@@ -1,0 +1,31 @@
+//! Ablation: alternative conjunction models `r` (Section 7.2.3's remark).
+//! The search algorithms only rely on Formula 4's monotonicity, so they run
+//! unchanged under every model; this bench shows the cost of doing so.
+
+use cqp_bench::build_workload;
+use cqp_bench::experiments;
+use cqp_bench::harness::Scale;
+use cqp_core::{solve_p2, Algorithm};
+use cqp_prefs::ConjModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_doi_model(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let spaces = experiments::spaces_at_k(&w, 20);
+    let space = &spaces[0];
+    let mut group = c.benchmark_group("ablation_doi_model");
+    group.sample_size(10);
+    for conj in [ConjModel::NoisyOr, ConjModel::Max, ConjModel::Quadrature] {
+        for algo in [Algorithm::CBoundaries, Algorithm::CMaxBounds] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{conj:?}"), algo.name()),
+                &(conj, algo),
+                |b, (conj, algo)| b.iter(|| solve_p2(space, *conj, w.scale.cmax_for(space), *algo)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_doi_model);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: the paper's specialized algorithms vs generic search
+//! (simulated annealing, tabu, genetic) — Related Work's claim quantified.
+
+use cqp_bench::build_workload;
+use cqp_bench::experiments;
+use cqp_bench::harness::Scale;
+use cqp_core::{solve_p2, Algorithm};
+use cqp_prefs::ConjModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let spaces = experiments::spaces_at_k(&w, 16);
+    let space = &spaces[0];
+    let algos = [
+        Algorithm::CMaxBounds,
+        Algorithm::DHeurDoi,
+        Algorithm::BranchBound,
+        Algorithm::Annealing,
+        Algorithm::Tabu,
+        Algorithm::Genetic,
+    ];
+    let mut group = c.benchmark_group("ablation_generic");
+    group.sample_size(10);
+    for algo in algos {
+        let sol = solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), algo);
+        eprintln!(
+            "ablation_generic: {}: doi {:.6}",
+            algo.name(),
+            sol.doi.value()
+        );
+        group.bench_with_input(BenchmarkId::new(algo.name(), 16), &algo, |b, algo| {
+            b.iter(|| solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), *algo))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figures 12(c)/(d): optimization time as a function of `cmax`
+//! (% of Supreme Cost) at fixed `K = 20`. The paper's headline shape — a
+//! hump peaking near 50% — emerges from the state counts.
+
+use cqp_bench::build_workload;
+use cqp_bench::experiments;
+use cqp_bench::harness::{supreme_cost_blocks, Scale};
+use cqp_core::solve_p2;
+use cqp_prefs::ConjModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig12c(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let spaces = experiments::spaces_at_k(&w, 20);
+    let space = &spaces[0];
+    let supreme = supreme_cost_blocks(space);
+    let mut group = c.benchmark_group("fig12c_time_vs_cmax");
+    group.sample_size(10);
+    for pct in [20u64, 50, 80] {
+        let cmax = supreme * pct / 100;
+        for algo in [
+            cqp_core::Algorithm::CBoundaries,
+            cqp_core::Algorithm::CMaxBounds,
+            cqp_core::Algorithm::DHeurDoi,
+        ] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), pct), &algo, |b, algo| {
+                b.iter(|| solve_p2(space, ConjModel::NoisyOr, cmax, *algo))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12c);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 12(b): Preference-Space extraction time — doi-only output
+//! (`D_PrefSelTime`) vs full `D`/`C`/`S` output (`C_PrefSelTime`).
+
+use cqp_bench::build_workload;
+use cqp_bench::harness::Scale;
+use cqp_prefspace::{extract, ExtractConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig12b(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let (profile, query) = w.pairs().next().expect("non-empty workload");
+    let mut group = c.benchmark_group("fig12b_prefspace_time");
+    group.sample_size(20);
+    for k in [10usize, 20, 40] {
+        for (variant, with_cost_vectors) in [("D_PrefSelTime", false), ("C_PrefSelTime", true)] {
+            let cfg = ExtractConfig {
+                max_k: k,
+                with_cost_vectors,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(variant, k), &cfg, |b, cfg| {
+                b.iter(|| extract(query, profile, &w.stats, cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12b);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 12(a): CQP optimization time as a function of `K`, one Criterion
+//! group per algorithm. The `reproduce` binary prints the full paper-style
+//! sweep; this bench gives statistically robust per-algorithm timings.
+
+use cqp_bench::experiments::FIG12_ALGORITHMS;
+use cqp_bench::harness::Scale;
+use cqp_bench::{build_workload, experiments};
+use cqp_core::solve_p2;
+use cqp_prefs::ConjModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig12a(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let mut group = c.benchmark_group("fig12a_time_vs_k");
+    group.sample_size(10);
+    for k in [10usize, 16] {
+        let spaces = experiments::spaces_at_k(&w, k);
+        let space = &spaces[0];
+        for algo in FIG12_ALGORITHMS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), k),
+                &(space, algo),
+                |b, (space, algo)| {
+                    b.iter(|| solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), *algo))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12a);
+criterion_main!(benches);

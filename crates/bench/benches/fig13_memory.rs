@@ -1,0 +1,39 @@
+//! Figure 13: memory requirements. Criterion measures time; the tracked
+//! peak bytes (the figure's actual metric) are printed once per
+//! configuration so the bench output carries both.
+
+use cqp_bench::build_workload;
+use cqp_bench::experiments::{self, FIG12_ALGORITHMS};
+use cqp_bench::harness::Scale;
+use cqp_core::solve_p2;
+use cqp_prefs::ConjModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig13(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let mut group = c.benchmark_group("fig13_memory");
+    group.sample_size(10);
+    for k in [10usize, 16] {
+        let spaces = experiments::spaces_at_k(&w, k);
+        let space = &spaces[0];
+        for algo in FIG12_ALGORITHMS {
+            let sol = solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), algo);
+            eprintln!(
+                "fig13: K={k} {}: peak memory {:.3} KB",
+                algo.name(),
+                sol.instrument.peak_kbytes()
+            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), k), &algo, |b, algo| {
+                b.iter(|| {
+                    solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), *algo)
+                        .instrument
+                        .peak_bytes
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

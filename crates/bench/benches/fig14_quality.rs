@@ -1,0 +1,41 @@
+//! Figure 14: solution quality of the heuristics. The gap to the exact
+//! optimum is printed once per configuration; the benched operation is the
+//! heuristic solve itself.
+
+use cqp_bench::build_workload;
+use cqp_bench::experiments::{self, FIG14_ALGORITHMS};
+use cqp_bench::harness::Scale;
+use cqp_core::{solve_p2, Algorithm};
+use cqp_prefs::ConjModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig14(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let spaces = experiments::spaces_at_k(&w, 20);
+    let space = &spaces[0];
+    let optimal = solve_p2(
+        space,
+        ConjModel::NoisyOr,
+        w.scale.cmax_for(space),
+        Algorithm::CBoundaries,
+    );
+    let mut group = c.benchmark_group("fig14_quality");
+    group.sample_size(10);
+    for algo in FIG14_ALGORITHMS {
+        let sol = solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), algo);
+        eprintln!(
+            "fig14: {}: doi {:.6} (optimal {:.6}, gap {:.3e})",
+            algo.name(),
+            sol.doi.value(),
+            optimal.doi.value(),
+            optimal.doi.value() - sol.doi.value()
+        );
+        group.bench_with_input(BenchmarkId::new(algo.name(), 20), &algo, |b, algo| {
+            b.iter(|| solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), *algo))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 15: personalized-query execution — the workload validating the
+//! paper's cost model. Benches the end-to-end execution of the constructed
+//! union/having query and prints estimated-vs-measured once.
+
+use cqp_bench::build_workload;
+use cqp_bench::harness::Scale;
+use cqp_core::construct::construct;
+use cqp_engine::{execute_personalized, CostModel};
+use cqp_storage::IoMeter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig15(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let (profile, query) = w.pairs().next().expect("non-empty workload");
+    let model = CostModel::new(&w.stats);
+    let mut group = c.benchmark_group("fig15_execution");
+    group.sample_size(10);
+    for k in [5usize, 10, 20] {
+        let (space, _) = w.space(profile, query, k, true);
+        let all: Vec<usize> = (0..space.k()).collect();
+        let pq = construct(query, &space, &all).expect("extracted spaces carry paths");
+        let meter = IoMeter::new(1.0);
+        execute_personalized(&w.db, &pq, &meter).expect("workload queries execute");
+        eprintln!(
+            "fig15: K={k}: estimated {:.1} ms, simulated I/O {:.1} ms",
+            model.personalized_ms(&pq),
+            meter.elapsed_ms()
+        );
+        group.bench_with_input(BenchmarkId::new("execute", k), &pq, |b, pq| {
+            b.iter(|| {
+                let meter = IoMeter::new(1.0);
+                execute_personalized(&w.db, pq, &meter).expect("workload queries execute")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

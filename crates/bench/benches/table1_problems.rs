@@ -1,0 +1,40 @@
+//! Table 1: the six CQP problems, each solved by the Section 6 state-space
+//! adaptation and by exact branch-and-bound.
+
+use cqp_bench::build_workload;
+use cqp_bench::experiments;
+use cqp_bench::harness::Scale;
+use cqp_core::algorithms::branch_bound;
+use cqp_core::{general_solve, ProblemSpec};
+use cqp_prefs::{ConjModel, Doi};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let w = build_workload(&Scale::default_scale());
+    let spaces = experiments::spaces_at_k(&w, 20);
+    let space = &spaces[0];
+    let base = space.base_rows;
+    let cmax = w.scale.cmax_for(space);
+    let problems: Vec<(usize, ProblemSpec)> = vec![
+        (1, ProblemSpec::p1(1.0, base * 0.25)),
+        (2, ProblemSpec::p2(cmax)),
+        (3, ProblemSpec::p3(cmax, 1.0, base * 0.25)),
+        (4, ProblemSpec::p4(Doi::new(0.5))),
+        (5, ProblemSpec::p5(Doi::new(0.5), 1.0, base * 0.25)),
+        (6, ProblemSpec::p6(1.0, base * 0.25)),
+    ];
+    let mut group = c.benchmark_group("table1_problems");
+    group.sample_size(10);
+    for (n, p) in &problems {
+        group.bench_with_input(BenchmarkId::new("state_space", n), p, |b, p| {
+            b.iter(|| general_solve(space, ConjModel::NoisyOr, p))
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), p, |b, p| {
+            b.iter(|| branch_bound::solve(space, ConjModel::NoisyOr, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,286 @@
+//! `cqp-shell` — an interactive personalization shell.
+//!
+//! Loads the synthetic movie database plus a profile and personalizes every
+//! SQL query you type, under a search context you can change on the fly:
+//!
+//! ```text
+//! cargo run --release -p cqp-bench --bin cqp-shell
+//! cqp> \problem p2 150
+//! cqp> select title from MOVIE
+//! ...
+//! cqp> \algo d_heurdoi
+//! cqp> \soft select title from MOVIE        -- ranked, any-preference match
+//! cqp> \quit
+//! ```
+//!
+//! Commands:
+//!
+//! * `\problem p1 <smin> <smax>` / `p2 <cmax>` / `p3 <cmax> <smin> <smax>` /
+//!   `p4 <dmin>` / `p5 <dmin> <smin> <smax>` / `p6 <smin> <smax>`
+//! * `\algo <exhaustive|c_boundaries|c_maxbounds|d_maxdoi|d_singlemaxdoi|d_heurdoi|branch_bound>`
+//! * `\profile` — print the loaded profile
+//! * `\load <path>` — load a profile file (`cqp-profile v1` format)
+//! * `\k <n>` — cap the number of extracted preferences
+//! * `\soft <query>` — execute with ranked any-match semantics
+//! * `\explain <query>` — show the personalized execution plan
+//! * `\help`, `\quit`
+//!
+//! Reads stdin; suitable for piping scripts in tests.
+
+use cqp_core::{Algorithm, CqpSystem, ProblemSpec, SolverConfig};
+use cqp_datagen::{generate_movie_db, generate_movie_profile, MovieDbConfig, ProfileGenConfig};
+use cqp_engine::parse_query;
+use cqp_prefs::{Doi, Profile};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let db_cfg = MovieDbConfig::tiny(42);
+    let mut db = generate_movie_db(&db_cfg);
+    let mut profile = generate_movie_profile(
+        db.catalog(),
+        &ProfileGenConfig {
+            n_directors: db_cfg.directors,
+            n_actors: db_cfg.actors,
+            ..ProfileGenConfig::tiny(7)
+        },
+    );
+    let mut problem = ProblemSpec::p2(100);
+    let mut config = SolverConfig::default();
+
+    println!(
+        "cqp-shell — movie database: {} rows / {} blocks; profile `{}` ({} preferences)",
+        db.total_rows(),
+        db.total_blocks(),
+        profile.name,
+        profile.num_preferences()
+    );
+    println!(
+        "type \\help for commands; queries are personalized with {:?}",
+        problem.kind()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("cqp> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            let mut parts = cmd.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "quit" | "q" | "exit" => break,
+                "help" => help(),
+                "profile" => {
+                    print!("{}", cqp_prefs::to_text(&profile, db.catalog()));
+                }
+                "loadcsv" => {
+                    let rel = parts.next();
+                    let path = parts.next();
+                    match (rel, path) {
+                        (Some(rel), Some(path)) => match db.catalog().relation_id(rel) {
+                            Ok(rid) => match std::fs::read_to_string(path) {
+                                Ok(text) => match cqp_storage::load_table(&mut db, rid, &text) {
+                                    Ok(n) => println!(
+                                        "loaded {n} row(s) into {rel} \
+                                                 (statistics refresh on next query)"
+                                    ),
+                                    Err(e) => println!("csv error: {e}"),
+                                },
+                                Err(e) => println!("cannot read {path}: {e}"),
+                            },
+                            Err(e) => println!("{e}"),
+                        },
+                        _ => println!("usage: \\loadcsv <RELATION> <path>"),
+                    }
+                }
+                "load" => match parts.next() {
+                    Some(path) => match std::fs::read_to_string(path) {
+                        Ok(text) => match cqp_prefs::from_text(&text, db.catalog()) {
+                            Ok(p) => {
+                                println!(
+                                    "loaded `{}` ({} preferences)",
+                                    p.name,
+                                    p.num_preferences()
+                                );
+                                profile = p;
+                            }
+                            Err(e) => println!("profile error: {e}"),
+                        },
+                        Err(e) => println!("cannot read {path}: {e}"),
+                    },
+                    None => println!("usage: \\load <path>"),
+                },
+                "k" => match parts.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(k) if k > 0 => {
+                        config.extract.max_k = k;
+                        println!("K capped at {k}");
+                    }
+                    _ => println!("usage: \\k <positive integer>"),
+                },
+                "algo" => match parts.next().and_then(parse_algo) {
+                    Some(a) => {
+                        config.algorithm = a;
+                        println!("algorithm: {}", a.name());
+                    }
+                    None => println!(
+                        "usage: \\algo <exhaustive|c_boundaries|c_maxbounds|d_maxdoi|\
+                         d_singlemaxdoi|d_heurdoi|branch_bound>"
+                    ),
+                },
+                "problem" => match parse_problem(&mut parts) {
+                    Some(p) => {
+                        problem = p;
+                        println!("problem: {:?} {:?}", problem.kind(), problem.constraints);
+                    }
+                    None => println!("usage: \\problem p2 <cmax> | p1 <smin> <smax> | …"),
+                },
+                "explain" => {
+                    let rest: String = parts.collect::<Vec<_>>().join(" ");
+                    let system = CqpSystem::new(&db);
+                    match parse_query(&rest, db.catalog()) {
+                        Ok(q) => match system.personalize(&q, &profile, &problem, &config) {
+                            Ok(outcome) => {
+                                match cqp_engine::explain_personalized(
+                                    db.catalog(),
+                                    system.stats(),
+                                    &outcome.query,
+                                ) {
+                                    Ok(plan) => print!("{}", plan.render()),
+                                    Err(e) => println!("explain error: {e}"),
+                                }
+                            }
+                            Err(e) => println!("personalization error: {e}"),
+                        },
+                        Err(e) => println!("parse error: {e}"),
+                    }
+                }
+                "soft" => {
+                    let rest: String = parts.collect::<Vec<_>>().join(" ");
+                    run_query(&db, &profile, &problem, &config, &rest, true);
+                }
+                other => println!("unknown command \\{other}; try \\help"),
+            }
+        } else {
+            run_query(&db, &profile, &problem, &config, line, false);
+        }
+    }
+    println!("bye");
+}
+
+fn parse_algo(s: &str) -> Option<Algorithm> {
+    match s.to_ascii_lowercase().as_str() {
+        "exhaustive" => Some(Algorithm::Exhaustive),
+        "c_boundaries" => Some(Algorithm::CBoundaries),
+        "c_maxbounds" => Some(Algorithm::CMaxBounds),
+        "d_maxdoi" => Some(Algorithm::DMaxDoi),
+        "d_singlemaxdoi" => Some(Algorithm::DSingleMaxDoi),
+        "d_heurdoi" => Some(Algorithm::DHeurDoi),
+        "branch_bound" => Some(Algorithm::BranchBound),
+        _ => None,
+    }
+}
+
+fn parse_problem<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Option<ProblemSpec> {
+    let kind = parts.next()?;
+    let mut num = || parts.next().and_then(|s| s.parse::<f64>().ok());
+    match kind {
+        "p1" => Some(ProblemSpec::p1(num()?, num()?)),
+        "p2" => Some(ProblemSpec::p2(num()? as u64)),
+        "p3" => Some(ProblemSpec::p3(num()? as u64, num()?, num()?)),
+        "p4" => Some(ProblemSpec::p4(Doi::clamped(num()?))),
+        "p5" => Some(ProblemSpec::p5(Doi::clamped(num()?), num()?, num()?)),
+        "p6" => Some(ProblemSpec::p6(num()?, num()?)),
+        _ => None,
+    }
+}
+
+fn run_query(
+    db: &cqp_storage::Database,
+    profile: &Profile,
+    problem: &ProblemSpec,
+    config: &SolverConfig,
+    sql: &str,
+    soft: bool,
+) {
+    // Statistics are re-analyzed here so \loadcsv-ed data is visible.
+    let system = CqpSystem::new(db);
+    let query = match parse_query(sql, db.catalog()) {
+        Ok(q) => q,
+        Err(e) => {
+            println!("parse error: {e}");
+            return;
+        }
+    };
+    match system.personalize(&query, profile, problem, config) {
+        Ok(outcome) => {
+            println!(
+                "{} preference(s); doi {:.3}; est. cost {} ms; est. size {:.1}",
+                outcome.solution.prefs.len(),
+                outcome.solution.doi.value(),
+                outcome.solution.cost_blocks,
+                outcome.solution.size_rows
+            );
+            println!("SQL: {}", outcome.sql);
+            if soft {
+                let space = system.preference_space(&query, profile, config);
+                match system.execute_ranked(&outcome, &space, 1, 1.0) {
+                    Ok(rows) => {
+                        println!("{} row(s), ranked:", rows.len());
+                        for r in rows.iter().take(10) {
+                            let vals: Vec<String> = r.row.iter().map(ToString::to_string).collect();
+                            println!("  [doi {:.3}] {}", r.doi, vals.join(", "));
+                        }
+                        if rows.len() > 10 {
+                            println!("  … and {} more", rows.len() - 10);
+                        }
+                    }
+                    Err(e) => println!("execution error: {e}"),
+                }
+            } else {
+                match system.execute(&outcome.query, 1.0) {
+                    Ok((rows, blocks, ms)) => {
+                        println!(
+                            "{} row(s) in {ms:.0} ms simulated I/O ({blocks} blocks):",
+                            rows.len()
+                        );
+                        for row in rows.rows.iter().take(10) {
+                            let vals: Vec<String> = row.iter().map(ToString::to_string).collect();
+                            println!("  {}", vals.join(", "));
+                        }
+                        if rows.len() > 10 {
+                            println!("  … and {} more", rows.len() - 10);
+                        }
+                    }
+                    Err(e) => println!("execution error: {e}"),
+                }
+            }
+        }
+        Err(e) => println!("personalization error: {e}"),
+    }
+}
+
+fn help() {
+    println!(
+        "\\problem p1 <smin> <smax> | p2 <cmax> | p3 <cmax> <smin> <smax> |\n\
+         \\        p4 <dmin> | p5 <dmin> <smin> <smax> | p6 <smin> <smax>\n\
+         \\algo <exhaustive|c_boundaries|c_maxbounds|d_maxdoi|d_singlemaxdoi|d_heurdoi|branch_bound>\n\
+         \\k <n>            cap the number of extracted preferences\n\
+         \\profile          print the loaded profile\n\
+         \\load <path>      load a cqp-profile v1 file\n\
+         \\soft <query>     personalize, then rank rows matching any preference\n\
+         <query>           personalize and execute (strict conjunction)\n\
+         \\quit"
+    );
+}

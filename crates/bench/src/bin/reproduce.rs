@@ -1,0 +1,473 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce <experiment> [--scale tiny|default|paper] [--out DIR] [--full-k]
+//!
+//! experiments:
+//!   all       every experiment below
+//!   fig12a    optimization time vs K
+//!   fig12b    preference-selection time vs K
+//!   fig12c    optimization time vs cmax (% Supreme Cost)   [incl. fig12d zoom]
+//!   fig13a    memory vs K
+//!   fig13b    memory vs cmax
+//!   fig14a    quality vs K
+//!   fig14b    quality vs cmax
+//!   fig15     cost-model validation (estimated vs real)
+//!   table1    the six CQP problems
+//!   table2    the Table 2/3 worked example (D/C/S vectors, state groups)
+//!   fig6      the Figure 6 boundary trace (cmax = 185)
+//!   fig8      the Figure 8 maximal-boundary trace (cmax = 185)
+//!   ablate    generic baselines, doi-model, annealing-budget ablations
+//! ```
+
+use cqp_bench::experiments::{self, FIG12_ALGORITHMS};
+use cqp_bench::{build_workload, csvout, harness::Scale, Workload};
+use cqp_core::algorithms::{c_boundaries, c_maxbounds, Algorithm};
+use cqp_core::spaces::SpaceView;
+use cqp_core::Instrument;
+use cqp_prefs::{ConjModel, Doi};
+use cqp_prefspace::{PrefParams, PreferenceSpace};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_owned();
+    let mut scale = Scale::default_scale();
+    let mut out = PathBuf::from("results");
+    let mut full_k = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = Scale::by_name(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|| die("unknown scale (tiny|default|paper)"));
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--full-k" => full_k = true,
+            other if !other.starts_with('-') => experiment = other.to_owned(),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    // The paper sweeps K in [10, 40]; the exact doi-space algorithms are
+    // exponential in practice (that is Figure 12's point), so the default
+    // caps their K at 20 unless --full-k is passed.
+    let ks: Vec<usize> = if full_k {
+        vec![10, 20, 30, 40]
+    } else {
+        vec![10, 13, 16, 20]
+    };
+    let percents: Vec<u32> = (1..=10).map(|i| i * 10).collect();
+
+    println!("== CQP reproduction — scale `{}` ==", scale.name);
+    let cmax_desc = match scale.cmax_supreme_frac {
+        Some(f) => format!("{:.0}% of Supreme Cost per space", f * 100.0),
+        None => format!("{} blocks", scale.cmax_blocks),
+    };
+    println!(
+        "   ({} profiles × {} queries per point; cmax = {cmax_desc}; K sweep {:?})",
+        scale.profiles, scale.queries, ks
+    );
+    let w = build_workload(&scale);
+    println!(
+        "   database: {} rows / {} blocks across {} relations\n",
+        w.db.total_rows(),
+        w.db.total_blocks(),
+        w.db.catalog().len()
+    );
+
+    let run_all = experiment == "all";
+    let mut ran = false;
+    if run_all || experiment == "fig12a" {
+        fig12a(&w, &ks, full_k, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig12b" {
+        fig12b(&w, &ks, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig12c" || experiment == "fig12d" {
+        fig12cd(&w, &percents, full_k, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig13a" {
+        fig13a(&w, &ks, full_k, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig13b" {
+        fig13b(&w, &percents, full_k, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig14a" {
+        fig14a(&w, &ks, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig14b" {
+        fig14b(&w, &percents, &out);
+        ran = true;
+    }
+    if run_all || experiment == "fig15" {
+        fig15(&w, &ks, &out);
+        ran = true;
+    }
+    if run_all || experiment == "table1" {
+        table1(&w, &out);
+        ran = true;
+    }
+    if run_all || experiment == "table2" {
+        table2_example();
+        ran = true;
+    }
+    if run_all || experiment == "fig6" {
+        fig6_trace();
+        ran = true;
+    }
+    if run_all || experiment == "fig8" {
+        fig8_trace();
+        ran = true;
+    }
+    if run_all || experiment == "ablate" {
+        ablations(&w, &ks, &out);
+        ran = true;
+    }
+    if !ran {
+        die(&format!("unknown experiment `{experiment}`"));
+    }
+    println!("\nCSV written under {}", out.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    std::process::exit(2)
+}
+
+/// Algorithms tractable at every K; the exact doi-space ones are capped
+/// unless --full-k (their blow-up IS the paper's headline result, but at
+/// K=40 it can take minutes — Figure 12(a) reports ~900 s in 2005).
+fn algos_for(k: usize, full_k: bool) -> Vec<Algorithm> {
+    if full_k || k <= 16 {
+        FIG12_ALGORITHMS.to_vec()
+    } else {
+        vec![
+            Algorithm::CBoundaries,
+            Algorithm::CMaxBounds,
+            Algorithm::DHeurDoi,
+        ]
+    }
+}
+
+fn print_time_series(title: &str, rows: &[experiments::AlgoTimeRow], x_label: &str) {
+    println!("--- {title} ---");
+    println!(
+        "{x_label:>6}  {:<16} {:>12} {:>12}",
+        "algorithm", "seconds", "states"
+    );
+    for r in rows {
+        println!(
+            "{:>6}  {:<16} {:>12.6} {:>12.1}",
+            r.x, r.algorithm, r.seconds, r.states
+        );
+    }
+    println!();
+}
+
+fn fig12a(w: &Workload, ks: &[usize], full_k: bool, out: &Path) {
+    let mut rows = Vec::new();
+    for &k in ks {
+        rows.extend(experiments::fig12a(w, &[k], &algos_for(k, full_k)));
+    }
+    print_time_series("Figure 12(a): CQP optimization time vs K", &rows, "K");
+    csvout::write_times(out, "fig12a", &rows).expect("CSV write");
+}
+
+fn fig12b(w: &Workload, ks: &[usize], out: &Path) {
+    let rows = experiments::fig12b(w, ks);
+    println!("--- Figure 12(b): Preference-Space time vs K ---");
+    println!("{:>6}  {:<16} {:>12}", "K", "variant", "seconds");
+    for r in &rows {
+        println!("{:>6}  {:<16} {:>12.6}", r.k, r.variant, r.seconds);
+    }
+    println!();
+    csvout::write_prefsel(out, "fig12b", &rows).expect("CSV write");
+}
+
+fn fig12cd(w: &Workload, percents: &[u32], full_k: bool, out: &Path) {
+    let k = 20;
+    let rows = experiments::fig12c(w, k, percents, &algos_for(k, full_k));
+    print_time_series(
+        "Figure 12(c): optimization time vs cmax (% Supreme Cost), K=20",
+        &rows,
+        "%",
+    );
+    csvout::write_times(out, "fig12c", &rows).expect("CSV write");
+    // Figure 12(d) is the zoom on the two fast algorithms.
+    let zoom: Vec<_> = rows
+        .iter()
+        .filter(|r| r.algorithm == "C_MaxBounds" || r.algorithm == "D_HeurDoi")
+        .cloned()
+        .collect();
+    print_time_series("Figure 12(d): zoom on C_MaxBounds / D_HeurDoi", &zoom, "%");
+    csvout::write_times(out, "fig12d", &zoom).expect("CSV write");
+}
+
+fn fig13a(w: &Workload, ks: &[usize], full_k: bool, out: &Path) {
+    let mut rows = Vec::new();
+    for &k in ks {
+        rows.extend(experiments::fig13a(w, &[k], &algos_for(k, full_k)));
+    }
+    println!("--- Figure 13(a): memory requirements vs K ---");
+    println!("{:>6}  {:<16} {:>12}", "K", "algorithm", "KBytes");
+    for r in &rows {
+        println!("{:>6}  {:<16} {:>12.3}", r.x, r.algorithm, r.kbytes);
+    }
+    println!();
+    csvout::write_memory(out, "fig13a", &rows).expect("CSV write");
+}
+
+fn fig13b(w: &Workload, percents: &[u32], full_k: bool, out: &Path) {
+    let k = 20;
+    let rows = experiments::fig13b(w, k, percents, &algos_for(k, full_k));
+    println!("--- Figure 13(b): memory requirements vs cmax (% Supreme Cost) ---");
+    println!("{:>6}  {:<16} {:>12}", "%", "algorithm", "KBytes");
+    for r in &rows {
+        println!("{:>6}  {:<16} {:>12.3}", r.x, r.algorithm, r.kbytes);
+    }
+    println!();
+    csvout::write_memory(out, "fig13b", &rows).expect("CSV write");
+}
+
+fn print_quality(title: &str, rows: &[experiments::QualityRow], x_label: &str) {
+    println!("--- {title} ---");
+    println!("{x_label:>6}  {:<16} {:>16}", "algorithm", "gap (x1e-7)");
+    for r in rows {
+        println!(
+            "{:>6}  {:<16} {:>16.3}",
+            r.x,
+            r.algorithm,
+            r.quality_gap * 1e7
+        );
+    }
+    println!();
+}
+
+fn fig14a(w: &Workload, ks: &[usize], out: &Path) {
+    let rows = experiments::fig14a(w, ks, ConjModel::NoisyOr);
+    print_quality("Figure 14(a): quality gap vs K", &rows, "K");
+    csvout::write_quality(out, "fig14a", &rows).expect("CSV write");
+}
+
+fn fig14b(w: &Workload, percents: &[u32], out: &Path) {
+    let rows = experiments::fig14b(w, 20, percents, ConjModel::NoisyOr);
+    print_quality(
+        "Figure 14(b): quality gap vs cmax (% Supreme Cost)",
+        &rows,
+        "%",
+    );
+    csvout::write_quality(out, "fig14b", &rows).expect("CSV write");
+}
+
+fn fig15(w: &Workload, ks: &[usize], out: &Path) {
+    let rows = experiments::fig15(w, ks);
+    println!("--- Figure 15: cost-model validation ---");
+    println!("{:>6} {:>16} {:>16}", "K", "estimated (ms)", "real (ms)");
+    for r in &rows {
+        println!("{:>6} {:>16.2} {:>16.2}", r.k, r.estimated_ms, r.real_ms);
+    }
+    println!();
+    csvout::write_costmodel(out, "fig15", &rows).expect("CSV write");
+}
+
+fn table1(w: &Workload, out: &Path) {
+    let rows = experiments::table1(w, 20);
+    println!("--- Table 1: the six CQP problems (K=20, first pair) ---");
+    for r in &rows {
+        println!(
+            "P{}: {:<55} found={} doi={:.4} cost={:.0}ms size={:.1} |PU|={} exact-match={}",
+            r.problem, r.spec, r.found, r.doi, r.cost_ms, r.size_rows, r.prefs, r.matches_exact
+        );
+    }
+    println!();
+    csvout::write_problems(out, "table1", &rows).expect("CSV write");
+}
+
+/// The worked example of Tables 2 and 3.
+fn table2_example() {
+    println!("--- Tables 2/3: worked example ---");
+    let space = PreferenceSpace::synthetic(
+        vec![
+            PrefParams {
+                doi: Doi::new(0.5),
+                cost_blocks: 10,
+                size_factor: 0.3,
+            },
+            PrefParams {
+                doi: Doi::new(0.8),
+                cost_blocks: 5,
+                size_factor: 0.2,
+            },
+            PrefParams {
+                doi: Doi::new(0.7),
+                cost_blocks: 12,
+                size_factor: 1.0,
+            },
+        ],
+        10.0,
+        0,
+    );
+    println!(
+        "P (by decreasing doi): doi={:?}",
+        (0..3).map(|i| space.doi(i).value()).collect::<Vec<_>>()
+    );
+    println!("C (by decreasing cost): {:?}", space.c);
+    println!("S (by increasing size): {:?}", space.s);
+    println!("(paper Table 2: D = {{2,3,1}}, C = {{3,1,2}}, S = {{2,1,3}} over p-numbers)");
+    // Table 3: groups of states for K = 4.
+    println!("Table 3 state groups for K=4:");
+    for size in 1..=4u32 {
+        let mut states = Vec::new();
+        for mask in 1u32..16 {
+            if mask.count_ones() == size {
+                let s: cqp_core::State = (0..4u16).filter(|i| mask & (1 << i) != 0).collect();
+                states.push(s.to_string());
+            }
+        }
+        println!("  group {size}: {}", states.join(" "));
+    }
+    println!();
+}
+
+fn fig6_fixture() -> PreferenceSpace {
+    let costs = [120u64, 80, 60, 40, 30];
+    let dois = [0.9, 0.8, 0.7, 0.6, 0.5];
+    PreferenceSpace::synthetic(
+        (0..5)
+            .map(|i| PrefParams {
+                doi: Doi::new(dois[i]),
+                cost_blocks: costs[i],
+                size_factor: 0.5,
+            })
+            .collect(),
+        1000.0,
+        0,
+    )
+}
+
+fn fig6_trace() {
+    println!("--- Figure 6: FINDBOUNDARY on the paper's example (cmax=185) ---");
+    let space = fig6_fixture();
+    let view = SpaceView::cost(&space, ConjModel::NoisyOr);
+    let mut inst = Instrument::new();
+    let bs = c_boundaries::find_boundary(&view, 185, &mut inst);
+    println!(
+        "boundaries: {}   (paper: c1, c1c3, c2c3c4, c2c4c5 — c2c4c5 is the\n\
+         'wrongly identified' one our stronger prune removes)",
+        bs.iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("states examined: {}\n", inst.states_examined);
+}
+
+fn fig8_trace() {
+    println!("--- Figure 8: C-MAXBOUNDS on the paper's example (cmax=185) ---");
+    let space = fig6_fixture();
+    let view = SpaceView::cost(&space, ConjModel::NoisyOr);
+    let mut inst = Instrument::new();
+    let mb = c_maxbounds::find_all_max_bounds(&view, 185, &mut inst);
+    println!(
+        "maximal boundaries: {}   (paper: c1c3, c2c3c4)",
+        mb.iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("states examined: {}\n", inst.states_examined);
+}
+
+fn ablations(w: &Workload, ks: &[usize], out: &Path) {
+    println!("--- Ablation: specialized vs generic search (K=20) ---");
+    let rows = experiments::ablation_generic(w, 20);
+    println!(
+        "{:<16} {:>12} {:>12} {:>16}",
+        "algorithm", "seconds", "states", "gap (x1e-7)"
+    );
+    let mut times = Vec::new();
+    let mut quals = Vec::new();
+    for (t, q) in rows {
+        println!(
+            "{:<16} {:>12.6} {:>12.1} {:>16.3}",
+            t.algorithm,
+            t.seconds,
+            t.states,
+            q.quality_gap * 1e7
+        );
+        times.push(t);
+        quals.push(q);
+    }
+    csvout::write_times(out, "ablation_generic_time", &times).expect("CSV write");
+    csvout::write_quality(out, "ablation_generic_quality", &quals).expect("CSV write");
+    println!();
+
+    println!("--- Ablation: conjunction model r ---");
+    for (model, rows) in experiments::ablation_doi_model(w, ks) {
+        let worst = rows.iter().map(|r| r.quality_gap).fold(0.0, f64::max);
+        println!("{model:<12} worst heuristic gap = {:.3e}", worst);
+        csvout::write_quality(out, &format!("ablation_doimodel_{model}"), &rows)
+            .expect("CSV write");
+    }
+    println!();
+
+    println!("--- Ablation: annealing budget (steps vs gap x1e-7) ---");
+    let rows = experiments::ablation_annealing_budget(w, 20, &[250, 1000, 4000, 16000]);
+    for r in &rows {
+        println!(
+            "steps {:>7}: {:>10.6}s  gap(x1e-7) {:>10.3}",
+            r.x, r.seconds, r.states
+        );
+    }
+    csvout::write_times(out, "ablation_annealing_budget", &rows).expect("CSV write");
+    println!();
+
+    println!("--- Ablation: block capacity (cost-model robustness) ---");
+    let rows = experiments::ablation_block_size(&[16, 32, 64, 128, 256], 10);
+    println!(
+        "{:>10} {:>14} {:>14} {:>16}",
+        "tuples/blk", "estimated ms", "I/O ms", "heuristic gap"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>14.1} {:>14.1} {:>16.6}",
+            r.block_capacity, r.estimated_ms, r.measured_io_ms, r.heuristic_gap
+        );
+        assert!(
+            (r.estimated_ms - r.measured_io_ms).abs() < 1e-9,
+            "block-level identity must hold at every capacity"
+        );
+    }
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{:.3},{:.3},{:.9}",
+                r.block_capacity, r.estimated_ms, r.measured_io_ms, r.heuristic_gap
+            )
+        })
+        .collect();
+    std::fs::create_dir_all(out).expect("results dir");
+    std::fs::write(
+        out.join("ablation_block_size.csv"),
+        format!(
+            "block_capacity,estimated_ms,measured_io_ms,heuristic_gap\n{}\n",
+            lines.join("\n")
+        ),
+    )
+    .expect("CSV write");
+    println!();
+}

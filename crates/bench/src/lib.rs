@@ -1,0 +1,24 @@
+//! # cqp-bench
+//!
+//! The experiment harness for the CQP reproduction: builds the synthetic
+//! IMDb-like workloads, runs every experiment of the paper's Section 7, and
+//! emits the same rows/series the paper's tables and figures report.
+//!
+//! * [`harness`] — workload construction (database, profiles, queries) and
+//!   preference-space extraction at a given `K`.
+//! * [`experiments`] — one function per table/figure (12a–15, Table 1) plus
+//!   the ablations DESIGN.md lists.
+//! * [`csvout`] — plain CSV emission for plotting.
+//!
+//! The `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p cqp-bench --bin reproduce -- all
+//! cargo run --release -p cqp-bench --bin reproduce -- fig12a --runs 9
+//! ```
+
+pub mod csvout;
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{build_workload, Scale, Workload};

@@ -1,0 +1,257 @@
+//! Exact branch-and-bound over the additive reformulation — the
+//! "knapsack-style" baseline of the Related Work discussion, and the exact
+//! reference solver for the *general* problems of Table 1.
+//!
+//! With the experimental choices of the paper (Formulas 9/10), every CQP
+//! parameter is additive in a transformed domain:
+//!
+//! * `doi = 1 − Π(1−di)` — maximizing doi ⇔ maximizing `Σ −ln(1−di)`;
+//! * `cost = Σ ci` — already additive;
+//! * `size = base × Π fi` — multiplicative, monotone non-increasing.
+//!
+//! The paper argues (Section 2) that knapsack algorithms are *not
+//! appropriate in general* because CQP may involve different, even
+//! nonlinear functions; this module exists precisely to quantify that
+//! comparison (ablation bench) and to provide an exact oracle at `K` values
+//! where `O(2^K)` enumeration is impossible. For conjunction models other
+//! than noisy-or the additive bound is replaced by a conservative one
+//! (doi of all remaining preferences), keeping the search exact.
+
+use super::Solution;
+use crate::instrument::Instrument;
+use crate::params::ParamEval;
+use crate::problem::{Objective, ProblemSpec};
+use cqp_prefs::{ConjModel, Doi};
+use cqp_prefspace::PreferenceSpace;
+
+/// Exact branch-and-bound for any CQP problem of Table 1.
+pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
+    let eval = ParamEval::new(space, conj);
+    let k = space.k();
+    let mut inst = Instrument::new();
+    if k == 0 {
+        return Solution {
+            instrument: inst,
+            ..Solution::empty(&eval)
+        };
+    }
+
+    let mut search = Search {
+        eval: &eval,
+        problem,
+        k,
+        best: None,
+        inst: &mut inst,
+        chosen: Vec::new(),
+    };
+    search.recurse(0, 0, Vec::new(), space.base_rows);
+    let best = search.best.take();
+
+    match best {
+        Some((prefs, _)) => Solution::from_prefs(&eval, prefs, inst),
+        None => Solution {
+            instrument: inst,
+            ..Solution::empty(&eval)
+        },
+    }
+}
+
+struct Search<'a, 'b> {
+    eval: &'a ParamEval<'a>,
+    problem: &'a ProblemSpec,
+    k: usize,
+    best: Option<(Vec<usize>, crate::params::QueryParams)>,
+    inst: &'b mut Instrument,
+    chosen: Vec<usize>,
+}
+
+impl Search<'_, '_> {
+    /// DFS over items `i..K` with the current (cost, members, size) state.
+    fn recurse(&mut self, i: usize, cost: u64, dois_members: Vec<Doi>, size: f64) {
+        self.inst.states_examined += 1;
+        // Evaluate the current node as a candidate.
+        if !self.chosen.is_empty() {
+            let params = crate::params::QueryParams {
+                doi: self.eval.conj_model().conj(&dois_members),
+                cost_blocks: cost,
+                size_rows: size,
+            };
+            self.inst.param_evals += 1;
+            if self.problem.feasible(&params) {
+                let replace = match &self.best {
+                    None => true,
+                    Some((_, bp)) => self.problem.better(&params, bp),
+                };
+                if replace {
+                    self.best = Some((self.chosen.clone(), params));
+                }
+            }
+        }
+        if i >= self.k {
+            return;
+        }
+
+        // --- Pruning ---------------------------------------------------
+        let c = &self.problem.constraints;
+
+        // Cost only grows: if the node already busts cmax, every extension
+        // does too (and the node itself was already evaluated).
+        if let Some(cmax) = c.cost_max_blocks {
+            if cost > cmax {
+                return;
+            }
+        }
+        // Size only shrinks: below smin nothing can recover.
+        if size < c.size_min {
+            return;
+        }
+        // Upper-bound the achievable size reduction: taking every remaining
+        // preference gives the smallest size; if that still exceeds smax,
+        // the subtree is infeasible.
+        if let Some(smax) = c.size_max {
+            let min_size = (i..self.k).fold(size, |s, j| s * self.eval.space().size_factor(j));
+            if min_size > smax {
+                return;
+            }
+        }
+        // Upper-bound the achievable doi (conjunction of members plus all
+        // remaining preferences — monotone by Formula 4).
+        let doi_bound = {
+            let mut all = dois_members.clone();
+            all.extend((i..self.k).map(|j| self.eval.space().doi(j)));
+            self.eval.conj_model().conj(&all)
+        };
+        if let Some(dmin) = c.doi_min {
+            if doi_bound < dmin {
+                return;
+            }
+        }
+        // Objective bounds against the incumbent.
+        if let Some((_, bp)) = &self.best {
+            match self.problem.objective {
+                Objective::MaxDoi => {
+                    // Strict: an equal-doi descendant can still win the
+                    // lower-cost tie-break.
+                    if doi_bound < bp.doi {
+                        return;
+                    }
+                }
+                Objective::MinCost => {
+                    // Cost only grows along the include-branch; the
+                    // exclude-branches keep the current cost; any
+                    // descendant costs ≥ the current node. Strict: an
+                    // equal-cost descendant can still win the higher-doi
+                    // tie-break.
+                    if cost > bp.cost_blocks {
+                        return;
+                    }
+                }
+            }
+        }
+
+        // --- Branch ------------------------------------------------------
+        // Include item i.
+        self.chosen.push(i);
+        let mut with = dois_members.clone();
+        with.push(self.eval.space().doi(i));
+        self.recurse(
+            i + 1,
+            cost + self.eval.space().cost_blocks(i),
+            with,
+            size * self.eval.space().size_factor(i),
+        );
+        self.chosen.pop();
+        // Exclude item i.
+        self.recurse(i + 1, cost, dois_members, size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive;
+    use cqp_prefspace::PrefParams;
+
+    fn space_with(costs: &[u64], dois: &[f64], factors: &[f64]) -> PreferenceSpace {
+        PreferenceSpace::synthetic(
+            costs
+                .iter()
+                .zip(dois)
+                .zip(factors)
+                .map(|((&c, &d), &f)| PrefParams {
+                    doi: Doi::new(d),
+                    cost_blocks: c,
+                    size_factor: f,
+                })
+                .collect(),
+            1000.0,
+            0,
+        )
+    }
+
+    fn fig6() -> PreferenceSpace {
+        space_with(
+            &[120, 80, 60, 40, 30],
+            &[0.9, 0.8, 0.7, 0.6, 0.5],
+            &[0.5, 0.5, 0.5, 0.5, 0.5],
+        )
+    }
+
+    #[test]
+    fn matches_exhaustive_on_p2_sweep() {
+        let space = fig6();
+        for cmax in (0..=340).step_by(5) {
+            let bb = solve(&space, ConjModel::NoisyOr, &ProblemSpec::p2(cmax));
+            let ex = exhaustive::solve_p2(&space, ConjModel::NoisyOr, cmax);
+            assert_eq!(bb.doi, ex.doi, "cmax={cmax}");
+            assert_eq!(bb.prefs, ex.prefs, "cmax={cmax}");
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_all_six_problems() {
+        let space = space_with(
+            &[50, 40, 30, 20, 10, 5],
+            &[0.95, 0.8, 0.6, 0.55, 0.3, 0.2],
+            &[0.9, 0.5, 0.7, 0.3, 0.8, 0.6],
+        );
+        let problems = [
+            ProblemSpec::p1(50.0, 600.0),
+            ProblemSpec::p2(70),
+            ProblemSpec::p3(70, 50.0, 600.0),
+            ProblemSpec::p4(Doi::new(0.9)),
+            ProblemSpec::p5(Doi::new(0.9), 50.0, 600.0),
+            ProblemSpec::p6(50.0, 600.0),
+        ];
+        for (n, p) in problems.iter().enumerate() {
+            let bb = solve(&space, ConjModel::NoisyOr, p);
+            let ex = exhaustive::solve(&space, ConjModel::NoisyOr, p);
+            assert_eq!(bb.found, ex.found, "problem {}", n + 1);
+            assert_eq!(bb.doi, ex.doi, "problem {}", n + 1);
+            assert_eq!(bb.cost_blocks, ex.cost_blocks, "problem {}", n + 1);
+        }
+    }
+
+    #[test]
+    fn scales_beyond_exhaustive_reach() {
+        // K = 34 with a tight budget: B&B finishes quickly where 2^34 would
+        // not.
+        let costs: Vec<u64> = (1..=34).map(|i| (i * 7 % 90 + 10) as u64).collect();
+        let dois: Vec<f64> = (1..=34).map(|i| 0.15 + (i as f64 * 0.37) % 0.8).collect();
+        let factors: Vec<f64> = (1..=34).map(|i| 0.4 + (i as f64 * 0.13) % 0.5).collect();
+        let space = space_with(&costs, &dois, &factors);
+        let sol = solve(&space, ConjModel::NoisyOr, &ProblemSpec::p2(120));
+        assert!(sol.found);
+        assert!(sol.cost_blocks <= 120);
+    }
+
+    #[test]
+    fn other_conj_models_stay_exact() {
+        let space = space_with(&[30, 20, 10], &[0.9, 0.5, 0.4], &[0.5, 0.6, 0.7]);
+        for conj in [ConjModel::Max, ConjModel::Quadrature] {
+            let bb = solve(&space, conj, &ProblemSpec::p2(40));
+            let ex = exhaustive::solve_p2(&space, conj, 40);
+            assert_eq!(bb.doi, ex.doi, "{conj:?}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Algorithm **C-BOUNDARIES** (paper Figure 5) — exact for Problem 2.
+//!
+//! Phase 1 (`FINDBOUNDARY`) finds the *boundaries*: nodes satisfying the
+//! cost constraint whose Vertical predecessors do not. They form a virtual
+//! borderline partitioning the cost state space. Phase 2
+//! (`C_FINDMAXDOI`, in [`super::find_max_doi`]) searches below the
+//! boundaries for the node of maximum doi.
+//!
+//! Queue discipline (Figure 5): feasible nodes push their Horizontal
+//! successor at the **tail**; infeasible nodes push their Vertical
+//! neighbors at the **head** — "in this way, we first examine all states
+//! belonging to the same group and then proceed to the next group's
+//! states". Verticals are generated in decreasing cost and pushed to the
+//! head one by one, so they are *examined* cheapest-first; this reproduces
+//! the paper's Figure 6 trace exactly.
+
+use super::find_max_doi::c_find_max_doi;
+use super::prune::Pruner;
+use super::Solution;
+use crate::cost_cache::CostCache;
+use crate::instrument::Instrument;
+use crate::spaces::SpaceView;
+use crate::state::State;
+use crate::transitions::{horizontal, vertical};
+use cqp_prefs::ConjModel;
+use cqp_prefspace::PreferenceSpace;
+use std::collections::VecDeque;
+
+/// Runs C-BOUNDARIES for Problem 2.
+pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    let view = SpaceView::cost(space, conj);
+    let eval = view.eval();
+    let mut inst = Instrument::new();
+    let boundaries = find_boundary(&view, cmax_blocks, &mut inst);
+    inst.boundaries_found = boundaries.len() as u64;
+    let (prefs, _doi) = c_find_max_doi(&view, &boundaries, &mut inst);
+    if prefs.is_empty() {
+        Solution {
+            instrument: inst,
+            ..Solution::empty(eval)
+        }
+    } else {
+        Solution::from_prefs(eval, prefs, inst)
+    }
+}
+
+/// Phase 1: `FINDBOUNDARY` (paper Figure 5).
+pub fn find_boundary(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> Vec<State> {
+    let mut boundaries: Vec<State> = Vec::new();
+    if view.k() == 0 {
+        return boundaries;
+    }
+    let mut rq: VecDeque<State> = VecDeque::new();
+    let mut pruner = Pruner::new();
+    // "Costs that may be re-used are cached" (Section 5.2.1): states
+    // re-reached through different transition sequences skip re-evaluation.
+    let mut cache = CostCache::new();
+    let start = State::singleton(0);
+    pruner.mark_visited(&start);
+    // Queue bytes are tracked incrementally so the per-iteration memory
+    // observation (Figure 13) stays O(1).
+    let mut rq_bytes = start.heap_bytes();
+    rq.push_back(start);
+
+    while let Some(r) = rq.pop_front() {
+        rq_bytes -= r.heap_bytes();
+        inst.states_examined += 1;
+        let cost = cache.cost(view, &r);
+        inst.param_evals += 1;
+        if cost <= cmax {
+            // A boundary: record it and move Horizontal (next group).
+            pruner.add_boundary(&r);
+            boundaries.push(r.clone());
+            if let Some(h) = horizontal(view, &r) {
+                inst.horizontal_moves += 1;
+                if pruner.mark_visited(&h) {
+                    rq_bytes += h.heap_bytes();
+                    rq.push_back(h);
+                }
+            }
+        } else {
+            // Push Vertical neighbors at the head; generation order is
+            // decreasing cost, so the head ends up cheapest-first.
+            for n in vertical(view, &r) {
+                inst.vertical_moves += 1;
+                if !pruner.prune(&n) {
+                    pruner.mark_visited(&n);
+                    rq_bytes += n.heap_bytes();
+                    rq.push_front(n);
+                }
+            }
+        }
+        // Boundary bytes are part of pruner.bytes().
+        inst.observe_bytes(rq_bytes + pruner.bytes() + cache.bytes());
+    }
+    boundaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive;
+    use cqp_prefs::Doi;
+    use cqp_prefspace::{PrefParams, PreferenceSpace};
+
+    /// The Figure 6 fixture: costs 120, 80, 60, 40, 30 (C order), base 0.
+    fn fig6_space() -> PreferenceSpace {
+        let costs = [120u64, 80, 60, 40, 30];
+        let dois = [0.9, 0.8, 0.7, 0.6, 0.5];
+        PreferenceSpace::synthetic(
+            (0..5)
+                .map(|i| PrefParams {
+                    doi: Doi::new(dois[i]),
+                    cost_blocks: costs[i],
+                    size_factor: 0.5,
+                })
+                .collect(),
+            1000.0,
+            0,
+        )
+    }
+
+    fn st(v: &[u16]) -> State {
+        State::from_indices(v.to_vec())
+    }
+
+    #[test]
+    fn figure6_boundaries_match_paper() {
+        // Paper: for cmax=185, FINDBOUNDARY outputs
+        // {{1}, {1,3}, {2,3,4}, {2,4,5}} = {c1, c1c3, c2c3c4, c2c4c5} — and
+        // then remarks that c2c4c5 "has been wrongly identified as a
+        // boundary. If c2c3c4 was found first, then c2c4c5 would not have
+        // been visited in the first place." Our queue discipline examines
+        // same-group Verticals cheapest-first, so c2c3c4 IS found first and
+        // the dominance prune removes c2c4c5, realizing exactly the
+        // behaviour the paper describes as intended.
+        let space = fig6_space();
+        let view = SpaceView::cost(&space, ConjModel::NoisyOr);
+        let mut inst = Instrument::new();
+        let bs = find_boundary(&view, 185, &mut inst);
+        assert_eq!(
+            bs,
+            vec![st(&[0]), st(&[0, 2]), st(&[1, 2, 3])],
+            "got: {:?}",
+            bs.iter().map(|b| b.to_string()).collect::<Vec<_>>()
+        );
+        // Every boundary satisfies the constraint...
+        for b in &bs {
+            assert!(view.state_cost(b) <= 185);
+        }
+        // ...and none is below another (they are mutually unreachable).
+        for a in &bs {
+            for b in &bs {
+                if a != b {
+                    assert!(!a.dominated_by(b), "{a} is below {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_solution_is_exact() {
+        let space = fig6_space();
+        let sol = solve(&space, ConjModel::NoisyOr, 185);
+        let oracle = exhaustive::solve_p2(&space, ConjModel::NoisyOr, 185);
+        assert_eq!(sol.prefs, oracle.prefs);
+        assert_eq!(sol.doi, oracle.doi);
+        assert!(sol.cost_blocks <= 185);
+        assert!(sol.instrument.boundaries_found >= 3);
+    }
+
+    #[test]
+    fn matches_oracle_across_cmax_sweep() {
+        let space = fig6_space();
+        for cmax in (0..=340).step_by(5) {
+            let sol = solve(&space, ConjModel::NoisyOr, cmax);
+            let oracle = exhaustive::solve_p2(&space, ConjModel::NoisyOr, cmax);
+            assert_eq!(sol.doi, oracle.doi, "cmax={cmax}");
+            assert!(
+                sol.cost_blocks <= cmax.max(space.base_cost_blocks),
+                "cmax={cmax}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_space_returns_empty() {
+        let space = PreferenceSpace::synthetic(vec![], 10.0, 2);
+        let sol = solve(&space, ConjModel::NoisyOr, 100);
+        assert!(!sol.found);
+        assert_eq!(sol.cost_blocks, 2); // base query cost
+    }
+
+    #[test]
+    fn memory_is_tracked() {
+        let space = fig6_space();
+        let sol = solve(&space, ConjModel::NoisyOr, 185);
+        assert!(sol.instrument.peak_bytes > 0);
+        assert!(sol.instrument.states_examined > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Exhaustive `O(2^K)` enumeration — the reference oracle.
+//!
+//! "The complexity of an exhaustive CQP algorithm is O(2^K)" (paper Section
+//! 5.2). This solver enumerates every subset of `P`, so it is only usable
+//! for small `K`, but it is *obviously correct* for every problem of Table 1
+//! and therefore anchors all correctness tests.
+
+use super::Solution;
+use crate::instrument::Instrument;
+use crate::params::ParamEval;
+use crate::problem::ProblemSpec;
+use cqp_prefs::ConjModel;
+use cqp_prefspace::PreferenceSpace;
+
+/// Largest `K` the exhaustive solver accepts (2^25 ≈ 33M states).
+pub const MAX_EXHAUSTIVE_K: usize = 25;
+
+/// Solves any CQP problem by enumerating all subsets of `P`.
+///
+/// # Panics
+/// Panics if `K` exceeds [`MAX_EXHAUSTIVE_K`].
+pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
+    let eval = ParamEval::new(space, conj);
+    let k = space.k();
+    assert!(
+        k <= MAX_EXHAUSTIVE_K,
+        "exhaustive search over K={k} is infeasible (max {MAX_EXHAUSTIVE_K})"
+    );
+    let mut inst = Instrument::new();
+    let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
+
+    // Subset 0 is the empty personalization; skipped as a "solution" (the
+    // paper's algorithms return PU = {} only when nothing is feasible).
+    for mask in 1u64..(1u64 << k) {
+        inst.states_examined += 1;
+        let prefs: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
+        let params = eval.params_of(&prefs);
+        inst.param_evals += 1;
+        if !problem.feasible(&params) {
+            continue;
+        }
+        let replace = match &best {
+            None => true,
+            Some((_, bp)) => problem.better(&params, bp),
+        };
+        if replace {
+            best = Some((prefs, params));
+        }
+    }
+
+    match best {
+        Some((prefs, _)) => Solution::from_prefs(&eval, prefs, inst),
+        None => Solution {
+            instrument: inst,
+            ..Solution::empty(&eval)
+        },
+    }
+}
+
+/// Convenience wrapper for Problem 2.
+pub fn solve_p2(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    solve(space, conj, &ProblemSpec::p2(cmax_blocks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_prefs::Doi;
+    use cqp_prefspace::PrefParams;
+
+    fn fig6_space() -> PreferenceSpace {
+        let costs = [120u64, 80, 60, 40, 30];
+        let dois = [0.9, 0.8, 0.7, 0.6, 0.5];
+        PreferenceSpace::synthetic(
+            (0..5)
+                .map(|i| PrefParams {
+                    doi: Doi::new(dois[i]),
+                    cost_blocks: costs[i],
+                    size_factor: 0.5,
+                })
+                .collect(),
+            1000.0,
+            0,
+        )
+    }
+
+    #[test]
+    fn fig6_optimum_at_cmax_185() {
+        // Feasible 3-sets: c2c3c4 (180), c2c4c5 (150), c2c3c5 (170),
+        // c3c4c5 (130). Best doi is the one with the highest dois:
+        // {p2,p3,p4} = 1-(0.2)(0.3)(0.4) = 0.976.
+        let s = fig6_space();
+        let sol = solve_p2(&s, ConjModel::NoisyOr, 185);
+        assert!(sol.found);
+        assert_eq!(sol.prefs, vec![1, 2, 3]);
+        assert_eq!(sol.cost_blocks, 180);
+        assert!((sol.doi.value() - 0.976).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_returns_empty() {
+        let s = fig6_space();
+        let sol = solve_p2(&s, ConjModel::NoisyOr, 10);
+        assert!(!sol.found);
+        assert!(sol.prefs.is_empty());
+        assert_eq!(sol.doi, Doi::ZERO);
+    }
+
+    #[test]
+    fn generous_budget_takes_everything() {
+        let s = fig6_space();
+        let sol = solve_p2(&s, ConjModel::NoisyOr, 10_000);
+        assert_eq!(sol.prefs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sol.cost_blocks, 330);
+    }
+
+    #[test]
+    fn min_cost_objective() {
+        // Problem 4: min cost with doi >= 0.9.
+        let s = fig6_space();
+        let sol = solve(&s, ConjModel::NoisyOr, &ProblemSpec::p4(Doi::new(0.9)));
+        assert!(sol.found);
+        assert!(sol.doi >= Doi::new(0.9));
+        // Verify optimality by brute re-check: every feasible subset costs
+        // at least as much.
+        let eval = ParamEval::new(&s, ConjModel::NoisyOr);
+        for mask in 1u64..(1 << 5) {
+            let prefs: Vec<usize> = (0..5).filter(|i| mask & (1 << i) != 0).collect();
+            let p = eval.params_of(&prefs);
+            if p.doi >= Doi::new(0.9) {
+                assert!(p.cost_blocks >= sol.cost_blocks);
+            }
+        }
+    }
+
+    #[test]
+    fn size_band_constraints() {
+        // Problem 1: size in [100, 300] with base 1000 and factors 0.5:
+        // 1 pref -> 500 (too big), 2 -> 250 (ok), 3 -> 125 (ok), 4 -> 62.5.
+        let s = fig6_space();
+        let sol = solve(&s, ConjModel::NoisyOr, &ProblemSpec::p1(100.0, 300.0));
+        assert!(sol.found);
+        assert_eq!(sol.prefs.len(), 3);
+        // Max doi among 3-subsets: the top three dois.
+        assert_eq!(sol.prefs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn large_k_rejected() {
+        let params = (0..26)
+            .map(|i| PrefParams {
+                doi: Doi::new(0.5),
+                cost_blocks: i as u64,
+                size_factor: 0.9,
+            })
+            .collect();
+        let s = PreferenceSpace::synthetic(params, 10.0, 0);
+        let _ = solve_p2(&s, ConjModel::NoisyOr, 100);
+    }
+}

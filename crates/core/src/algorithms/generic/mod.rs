@@ -1,0 +1,157 @@
+//! Generic search baselines (paper Section 2, Related Work).
+//!
+//! "Given the formulation of CQP as state-space optimization several
+//! well-known algorithms are potentially applicable: genetic algorithms,
+//! simulated annealing, tabu search, etc. These are generic approaches,
+//! however, that do not take into account the problem's particularities or
+//! special properties." These implementations exist to *quantify* that
+//! claim in the ablation benchmarks: they treat a state as a plain bit
+//! vector over `P` and learn nothing from the syntax-based partial orders.
+//!
+//! All three are deterministic given a seed, penalize constraint violations
+//! (so they can traverse infeasible regions), and only ever *return*
+//! feasible solutions.
+
+pub mod annealing;
+pub mod genetic;
+pub mod tabu;
+
+use crate::params::ParamEval;
+use cqp_prefs::Doi;
+
+/// A bit-vector state over `P` with cached parameters, shared by the
+/// generic searchers.
+#[derive(Debug, Clone)]
+pub(crate) struct BitState {
+    pub bits: Vec<bool>,
+}
+
+impl BitState {
+    pub fn empty(k: usize) -> Self {
+        BitState {
+            bits: vec![false; k],
+        }
+    }
+
+    pub fn prefs(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+
+    pub fn flip(&mut self, i: usize) {
+        self.bits[i] = !self.bits[i];
+    }
+}
+
+/// Energy of a state for Problem 2: negative doi plus a steep penalty for
+/// exceeding the cost budget (lower is better).
+pub(crate) fn p2_energy(eval: &ParamEval<'_>, s: &BitState, cmax: u64) -> f64 {
+    let prefs = s.prefs();
+    if prefs.is_empty() {
+        return 0.0; // doi 0, always feasible
+    }
+    let doi = eval.doi_of(prefs.iter().copied()).value();
+    let cost = eval.cost_of(prefs.iter().copied());
+    let penalty = if cost > cmax {
+        // Proportional overshoot keeps the landscape informative.
+        1.0 + (cost - cmax) as f64 / cmax.max(1) as f64
+    } else {
+        0.0
+    };
+    -doi + penalty
+}
+
+/// True when the state satisfies the Problem 2 constraint.
+pub(crate) fn p2_feasible(eval: &ParamEval<'_>, s: &BitState, cmax: u64) -> bool {
+    let prefs = s.prefs();
+    prefs.is_empty() || eval.cost_of(prefs.iter().copied()) <= cmax
+}
+
+/// Tracks the best feasible state seen by a generic search.
+#[derive(Debug, Clone)]
+pub(crate) struct BestTracker {
+    pub prefs: Vec<usize>,
+    pub doi: Doi,
+}
+
+impl BestTracker {
+    pub fn new() -> Self {
+        BestTracker {
+            prefs: Vec::new(),
+            doi: Doi::ZERO,
+        }
+    }
+
+    pub fn offer(&mut self, eval: &ParamEval<'_>, s: &BitState, cmax: u64) {
+        if !p2_feasible(eval, s, cmax) {
+            return;
+        }
+        let prefs = s.prefs();
+        if prefs.is_empty() {
+            return;
+        }
+        let doi = eval.doi_of(prefs.iter().copied());
+        if doi > self.doi {
+            self.doi = doi;
+            self.prefs = prefs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_prefs::ConjModel;
+    use cqp_prefspace::{PrefParams, PreferenceSpace};
+
+    fn space() -> PreferenceSpace {
+        PreferenceSpace::synthetic(
+            vec![
+                PrefParams {
+                    doi: Doi::new(0.8),
+                    cost_blocks: 50,
+                    size_factor: 0.5,
+                },
+                PrefParams {
+                    doi: Doi::new(0.6),
+                    cost_blocks: 30,
+                    size_factor: 0.5,
+                },
+            ],
+            100.0,
+            0,
+        )
+    }
+
+    #[test]
+    fn energy_penalizes_violations() {
+        let sp = space();
+        let eval = ParamEval::new(&sp, ConjModel::NoisyOr);
+        let mut s = BitState::empty(2);
+        assert_eq!(p2_energy(&eval, &s, 40), 0.0);
+        s.flip(1); // cost 30 <= 40
+        assert!(p2_energy(&eval, &s, 40) < 0.0);
+        s.flip(0); // cost 80 > 40
+        assert!(p2_energy(&eval, &s, 40) > 0.0);
+        assert!(!p2_feasible(&eval, &s, 40));
+    }
+
+    #[test]
+    fn tracker_keeps_best_feasible_only() {
+        let sp = space();
+        let eval = ParamEval::new(&sp, ConjModel::NoisyOr);
+        let mut t = BestTracker::new();
+        let mut s = BitState::empty(2);
+        s.flip(0);
+        t.offer(&eval, &s, 100);
+        assert_eq!(t.prefs, vec![0]);
+        s.flip(1); // cost 80 > 60: infeasible under cmax 60
+        t.offer(&eval, &s, 60);
+        assert_eq!(t.prefs, vec![0], "infeasible offers are ignored");
+        t.offer(&eval, &s, 100);
+        assert_eq!(t.prefs, vec![0, 1]);
+    }
+}

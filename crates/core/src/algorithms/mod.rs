@@ -1,0 +1,187 @@
+//! The CQP search algorithms (paper Section 5.2) and baselines.
+//!
+//! Exact for Problem 2 (`MAX doi` s.t. `cost ≤ cmax`):
+//!
+//! * [`c_boundaries`] — Theorem 2,
+//! * [`d_maxdoi`] — Theorem 3,
+//! * [`exhaustive`] — `O(2^K)` reference oracle,
+//! * [`branch_bound`] — exact branch-and-bound over the additive
+//!   reformulation (doubles as the knapsack-style baseline the Related Work
+//!   section discusses).
+//!
+//! Heuristic:
+//!
+//! * [`c_maxbounds`], [`d_singlemaxdoi`], [`d_heurdoi`] — the paper's fast
+//!   heuristics, evaluated for quality in Figure 14,
+//! * [`generic`] — simulated annealing / tabu / genetic baselines.
+
+pub mod branch_bound;
+pub mod c_boundaries;
+pub mod c_maxbounds;
+pub mod d_heurdoi;
+pub mod d_maxdoi;
+pub mod d_singlemaxdoi;
+pub mod exhaustive;
+pub mod find_max_doi;
+pub mod general;
+pub mod generic;
+pub mod pareto;
+pub mod prune;
+
+use crate::instrument::Instrument;
+use crate::params::{ParamEval, QueryParams};
+use cqp_prefs::{ConjModel, Doi};
+use cqp_prefspace::PreferenceSpace;
+
+/// The result of a CQP search: the preferences to integrate plus the
+/// estimated parameters of the personalized query they induce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Selected preferences as sorted P-indices (`PU` in the paper).
+    pub prefs: Vec<usize>,
+    /// `doi(Q ∧ PU)` (`MaxDoi` in the paper's pseudocode).
+    pub doi: Doi,
+    /// `cost(Q ∧ PU)` in blocks.
+    pub cost_blocks: u64,
+    /// Estimated result size in rows.
+    pub size_rows: f64,
+    /// True when a non-empty feasible personalization was found; false
+    /// means "run the query unpersonalized".
+    pub found: bool,
+    /// Work and memory counters.
+    pub instrument: Instrument,
+}
+
+impl Solution {
+    /// The "no personalization" solution: empty preference set.
+    pub fn empty(eval: &ParamEval<'_>) -> Self {
+        Solution {
+            prefs: Vec::new(),
+            doi: Doi::ZERO,
+            cost_blocks: eval.cost_of([]),
+            size_rows: eval.size_of([]),
+            found: false,
+            instrument: Instrument::default(),
+        }
+    }
+
+    /// Builds a solution from P-indices, evaluating its parameters.
+    pub fn from_prefs(eval: &ParamEval<'_>, mut prefs: Vec<usize>, instrument: Instrument) -> Self {
+        prefs.sort_unstable();
+        let params = eval.params_of(&prefs);
+        Solution {
+            found: !prefs.is_empty(),
+            prefs,
+            doi: params.doi,
+            cost_blocks: params.cost_blocks,
+            size_rows: params.size_rows,
+            instrument,
+        }
+    }
+
+    /// The solution's parameters as a [`QueryParams`].
+    pub fn params(&self) -> QueryParams {
+        QueryParams {
+            doi: self.doi,
+            cost_blocks: self.cost_blocks,
+            size_rows: self.size_rows,
+        }
+    }
+}
+
+/// Algorithm selector for [`solve_p2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// `O(2^K)` enumeration (exact; small `K` only).
+    Exhaustive,
+    /// Paper Figure 5 (exact — Theorem 2).
+    CBoundaries,
+    /// Paper Figure 7 (heuristic).
+    CMaxBounds,
+    /// Paper Figure 9 (exact — Theorem 3).
+    DMaxDoi,
+    /// Paper Figure 10 (heuristic).
+    DSingleMaxDoi,
+    /// Paper Figure 11 (heuristic).
+    DHeurDoi,
+    /// Exact branch-and-bound (knapsack-style baseline).
+    BranchBound,
+    /// Simulated annealing (generic baseline, Related Work).
+    Annealing,
+    /// Tabu search (generic baseline).
+    Tabu,
+    /// Genetic algorithm (generic baseline).
+    Genetic,
+}
+
+impl Algorithm {
+    /// The five algorithms proposed by the paper, in its presentation order.
+    pub const PAPER: [Algorithm; 5] = [
+        Algorithm::DMaxDoi,
+        Algorithm::DSingleMaxDoi,
+        Algorithm::CBoundaries,
+        Algorithm::CMaxBounds,
+        Algorithm::DHeurDoi,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Exhaustive => "Exhaustive",
+            Algorithm::CBoundaries => "C_Boundaries",
+            Algorithm::CMaxBounds => "C_MaxBounds",
+            Algorithm::DMaxDoi => "D_MaxDoi",
+            Algorithm::DSingleMaxDoi => "D_SingleMaxDoi",
+            Algorithm::DHeurDoi => "D_HeurDoi",
+            Algorithm::BranchBound => "BranchBound",
+            Algorithm::Annealing => "SimAnnealing",
+            Algorithm::Tabu => "TabuSearch",
+            Algorithm::Genetic => "Genetic",
+        }
+    }
+
+    /// True for algorithms that provably return the optimum of Problem 2.
+    pub fn is_exact(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Exhaustive
+                | Algorithm::CBoundaries
+                | Algorithm::DMaxDoi
+                | Algorithm::BranchBound
+        )
+    }
+
+    /// True for algorithms that need the `C`/`S` vectors of the preference
+    /// space (doi-based ones can work with a doi-only extraction,
+    /// cf. paper Figure 12(b)).
+    pub fn needs_cost_vectors(&self) -> bool {
+        matches!(self, Algorithm::CBoundaries | Algorithm::CMaxBounds)
+    }
+}
+
+/// Solves Problem 2 — `MAX doi(Q ∧ Px)` subject to
+/// `cost(Q ∧ Px) ≤ cmax_blocks` — with the chosen algorithm.
+///
+/// The generic baselines use a fixed internal seed; use their module
+/// functions directly for seed control.
+pub fn solve_p2(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    algorithm: Algorithm,
+) -> Solution {
+    match algorithm {
+        Algorithm::Exhaustive => exhaustive::solve_p2(space, conj, cmax_blocks),
+        Algorithm::CBoundaries => c_boundaries::solve(space, conj, cmax_blocks),
+        Algorithm::CMaxBounds => c_maxbounds::solve(space, conj, cmax_blocks),
+        Algorithm::DMaxDoi => d_maxdoi::solve(space, conj, cmax_blocks),
+        Algorithm::DSingleMaxDoi => d_singlemaxdoi::solve(space, conj, cmax_blocks),
+        Algorithm::DHeurDoi => d_heurdoi::solve(space, conj, cmax_blocks),
+        Algorithm::BranchBound => {
+            branch_bound::solve(space, conj, &crate::problem::ProblemSpec::p2(cmax_blocks))
+        }
+        Algorithm::Annealing => generic::annealing::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
+        Algorithm::Tabu => generic::tabu::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
+        Algorithm::Genetic => generic::genetic::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
+    }
+}

@@ -1,0 +1,359 @@
+//! Multi-objective CQP: the Pareto frontier over (doi, cost).
+//!
+//! The paper closes with: "we are interested in studying query
+//! personalization as a multi-objective constrained optimization problem,
+//! where more than one query parameter may be optimized simultaneously"
+//! (Section 8). This module implements that extension: instead of fixing
+//! one parameter as the objective and bounding the others, it enumerates
+//! every **Pareto-optimal** preference subset — no other subset has both
+//! higher doi and lower cost — optionally under a size band.
+//!
+//! The whole Table 1 family falls out of the frontier: Problem 2's answer
+//! is the highest-doi frontier point with cost ≤ cmax; Problem 4's is the
+//! cheapest point with doi ≥ dmin. Computing the frontier once therefore
+//! answers every budget the search context might pose — useful when the
+//! context (bandwidth, patience) is uncertain.
+//!
+//! The search is an exact branch-and-bound: a subtree is pruned when its
+//! optimistic (doi upper bound, cost lower bound) pair is already dominated
+//! by a frontier point.
+
+use super::Solution;
+use crate::instrument::Instrument;
+use crate::params::ParamEval;
+use crate::problem::Constraints;
+use cqp_prefs::{ConjModel, Doi};
+use cqp_prefspace::PreferenceSpace;
+
+/// One Pareto-optimal personalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Selected preferences (sorted P-indices).
+    pub prefs: Vec<usize>,
+    /// Degree of interest.
+    pub doi: Doi,
+    /// Cost in blocks.
+    pub cost_blocks: u64,
+    /// Estimated result size in rows.
+    pub size_rows: f64,
+}
+
+impl ParetoPoint {
+    /// True if `self` dominates `other`: at least as good on both axes and
+    /// strictly better on one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        (self.doi >= other.doi && self.cost_blocks <= other.cost_blocks)
+            && (self.doi > other.doi || self.cost_blocks < other.cost_blocks)
+    }
+}
+
+/// Computes the exact Pareto frontier over (doi ↑, cost ↓) for all
+/// non-empty preference subsets satisfying the (size-band part of the)
+/// constraints. Returned sorted by increasing cost (hence increasing doi).
+pub fn pareto_frontier(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    constraints: &Constraints,
+    inst: &mut Instrument,
+) -> Vec<ParetoPoint> {
+    let eval = ParamEval::new(space, conj);
+    let k = space.k();
+    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    if k == 0 {
+        return frontier;
+    }
+    let mut chosen: Vec<usize> = Vec::new();
+    recurse(
+        &eval,
+        constraints,
+        0,
+        0,
+        Vec::new(),
+        space.base_rows,
+        &mut chosen,
+        &mut frontier,
+        inst,
+    );
+    frontier.sort_by(|a, b| {
+        a.cost_blocks
+            .cmp(&b.cost_blocks)
+            .then_with(|| b.doi.cmp(&a.doi))
+    });
+    // A final sweep removes points dominated across equal-cost groups.
+    let mut clean: Vec<ParetoPoint> = Vec::new();
+    for p in frontier {
+        if !clean
+            .iter()
+            .any(|q| q.dominates(&p) || (q.doi == p.doi && q.cost_blocks == p.cost_blocks))
+        {
+            clean.push(p);
+        }
+    }
+    clean
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    eval: &ParamEval<'_>,
+    constraints: &Constraints,
+    i: usize,
+    cost: u64,
+    dois: Vec<Doi>,
+    size: f64,
+    chosen: &mut Vec<usize>,
+    frontier: &mut Vec<ParetoPoint>,
+    inst: &mut Instrument,
+) {
+    inst.states_examined += 1;
+    let k = eval.k();
+    if !chosen.is_empty() {
+        let doi = eval.conj_model().conj(&dois);
+        inst.param_evals += 1;
+        let in_band = size >= constraints.size_min
+            && constraints.size_max.is_none_or(|smax| size <= smax)
+            && constraints.cost_max_blocks.is_none_or(|cmax| cost <= cmax)
+            && constraints.doi_min.is_none_or(|dmin| doi >= dmin);
+        if in_band {
+            let point = ParetoPoint {
+                prefs: chosen.clone(),
+                doi,
+                cost_blocks: cost,
+                size_rows: size,
+            };
+            if !frontier.iter().any(|q| q.dominates(&point)) {
+                frontier.retain(|q| !point.dominates(q));
+                frontier.push(point);
+            }
+        }
+    }
+    if i >= k {
+        return;
+    }
+
+    // Optimistic bound: cost can stay as-is (exclude everything), doi can
+    // at best include every remaining preference.
+    let doi_bound = {
+        let mut all = dois.clone();
+        all.extend((i..k).map(|j| eval.space().doi(j)));
+        eval.conj_model().conj(&all)
+    };
+    if frontier
+        .iter()
+        .any(|q| q.cost_blocks <= cost && q.doi >= doi_bound)
+    {
+        // Everything this subtree can reach is dominated.
+        return;
+    }
+    // Size feasibility: taking every remaining preference gives the
+    // smallest reachable size; taking none the largest.
+    if let Some(smax) = constraints.size_max {
+        let min_size = (i..k).fold(size, |s, j| s * eval.space().size_factor(j));
+        if min_size > smax {
+            return;
+        }
+    }
+    if size < constraints.size_min {
+        return; // size only shrinks from here
+    }
+    if let Some(cmax) = constraints.cost_max_blocks {
+        if cost > cmax {
+            return;
+        }
+    }
+
+    // Include i.
+    chosen.push(i);
+    let mut with = dois.clone();
+    with.push(eval.space().doi(i));
+    recurse(
+        eval,
+        constraints,
+        i + 1,
+        cost + eval.space().cost_blocks(i),
+        with,
+        size * eval.space().size_factor(i),
+        chosen,
+        frontier,
+        inst,
+    );
+    chosen.pop();
+    // Exclude i.
+    recurse(
+        eval,
+        constraints,
+        i + 1,
+        cost,
+        dois,
+        size,
+        chosen,
+        frontier,
+        inst,
+    );
+}
+
+/// Reads a Table 1 answer off a precomputed frontier: the best point for
+/// Problem 2 (`cost ≤ cmax`).
+pub fn p2_from_frontier(frontier: &[ParetoPoint], cmax_blocks: u64) -> Option<&ParetoPoint> {
+    frontier
+        .iter()
+        .filter(|p| p.cost_blocks <= cmax_blocks)
+        .max_by(|a, b| {
+            a.doi
+                .cmp(&b.doi)
+                .then_with(|| b.cost_blocks.cmp(&a.cost_blocks))
+        })
+}
+
+/// Reads a Table 1 answer off a precomputed frontier: the best point for
+/// Problem 4 (`doi ≥ dmin`).
+pub fn p4_from_frontier(frontier: &[ParetoPoint], dmin: Doi) -> Option<&ParetoPoint> {
+    frontier.iter().filter(|p| p.doi >= dmin).min_by(|a, b| {
+        a.cost_blocks
+            .cmp(&b.cost_blocks)
+            .then_with(|| b.doi.cmp(&a.doi))
+    })
+}
+
+/// Converts a frontier point into a [`Solution`].
+pub fn to_solution(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    point: &ParetoPoint,
+    instrument: Instrument,
+) -> Solution {
+    let eval = ParamEval::new(space, conj);
+    Solution::from_prefs(&eval, point.prefs.clone(), instrument)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive;
+    use crate::problem::ProblemSpec;
+    use cqp_prefspace::PrefParams;
+
+    fn space() -> PreferenceSpace {
+        PreferenceSpace::synthetic(
+            vec![
+                PrefParams {
+                    doi: Doi::new(0.9),
+                    cost_blocks: 50,
+                    size_factor: 0.5,
+                },
+                PrefParams {
+                    doi: Doi::new(0.7),
+                    cost_blocks: 20,
+                    size_factor: 0.6,
+                },
+                PrefParams {
+                    doi: Doi::new(0.5),
+                    cost_blocks: 10,
+                    size_factor: 0.7,
+                },
+                PrefParams {
+                    doi: Doi::new(0.3),
+                    cost_blocks: 5,
+                    size_factor: 0.8,
+                },
+            ],
+            1000.0,
+            0,
+        )
+    }
+
+    #[test]
+    fn frontier_is_mutually_nondominated_and_sorted() {
+        let s = space();
+        let mut inst = Instrument::new();
+        let f = pareto_frontier(&s, ConjModel::NoisyOr, &Constraints::default(), &mut inst);
+        assert!(!f.is_empty());
+        for (i, a) in f.iter().enumerate() {
+            for (j, b) in f.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+        for w in f.windows(2) {
+            assert!(w[0].cost_blocks < w[1].cost_blocks);
+            assert!(w[0].doi < w[1].doi);
+        }
+    }
+
+    #[test]
+    fn frontier_contains_every_p2_optimum() {
+        let s = space();
+        let mut inst = Instrument::new();
+        let f = pareto_frontier(&s, ConjModel::NoisyOr, &Constraints::default(), &mut inst);
+        for cmax in [5u64, 15, 30, 50, 85, 200] {
+            let oracle = exhaustive::solve(
+                &s,
+                ConjModel::NoisyOr,
+                &ProblemSpec {
+                    objective: crate::problem::Objective::MaxDoi,
+                    constraints: Constraints {
+                        cost_max_blocks: Some(cmax),
+                        ..Constraints::default()
+                    },
+                },
+            );
+            let from_frontier = p2_from_frontier(&f, cmax);
+            match from_frontier {
+                Some(p) => assert_eq!(p.doi, oracle.doi, "cmax={cmax}"),
+                None => assert!(!oracle.found, "cmax={cmax}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_contains_every_p4_optimum() {
+        let s = space();
+        let mut inst = Instrument::new();
+        let f = pareto_frontier(&s, ConjModel::NoisyOr, &Constraints::default(), &mut inst);
+        for dmin in [0.3, 0.5, 0.8, 0.95] {
+            let dmin = Doi::new(dmin);
+            let oracle = exhaustive::solve(&s, ConjModel::NoisyOr, &ProblemSpec::p4(dmin));
+            match p4_from_frontier(&f, dmin) {
+                Some(p) => {
+                    assert_eq!(p.cost_blocks, oracle.cost_blocks, "dmin={dmin}")
+                }
+                None => assert!(!oracle.found, "dmin={dmin}"),
+            }
+        }
+    }
+
+    #[test]
+    fn size_band_filters_frontier() {
+        let s = space();
+        let mut inst = Instrument::new();
+        let band = Constraints {
+            size_min: 100.0,
+            size_max: Some(400.0),
+            ..Default::default()
+        };
+        let f = pareto_frontier(&s, ConjModel::NoisyOr, &band, &mut inst);
+        assert!(!f.is_empty());
+        for p in &f {
+            assert!(p.size_rows >= 100.0 && p.size_rows <= 400.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_space_yields_empty_frontier() {
+        let s = PreferenceSpace::synthetic(vec![], 10.0, 0);
+        let mut inst = Instrument::new();
+        assert!(
+            pareto_frontier(&s, ConjModel::NoisyOr, &Constraints::default(), &mut inst).is_empty()
+        );
+    }
+
+    #[test]
+    fn to_solution_roundtrip() {
+        let s = space();
+        let mut inst = Instrument::new();
+        let f = pareto_frontier(&s, ConjModel::NoisyOr, &Constraints::default(), &mut inst);
+        let sol = to_solution(&s, ConjModel::NoisyOr, &f[0], Instrument::default());
+        assert_eq!(sol.prefs, f[0].prefs);
+        assert_eq!(sol.doi, f[0].doi);
+    }
+}

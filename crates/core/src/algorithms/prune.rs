@@ -1,0 +1,110 @@
+//! The `prune(.)` machinery of the boundary algorithms.
+//!
+//! The paper (Section 5.2.1) prunes parts of the graph "either because they
+//! have already been visited or because they are below boundaries found"
+//! (details "skipped for space reasons"). Concretely:
+//!
+//! * **visited** — boundary search does not store the graph, so it must not
+//!   re-enqueue states; a bit-set keyed hash set catches revisits;
+//! * **below a boundary** — a state `R` is reachable from a boundary `B`
+//!   through Vertical transitions iff `|R| = |B|` and `R` is componentwise
+//!   `≥ B` (each Vertical replaces a member by its successor); such states
+//!   satisfy the constraint trivially and would produce spurious boundaries
+//!   (the paper's `c2c3c5` example under Figure 6).
+
+use crate::state::State;
+use std::collections::{HashMap, HashSet};
+
+/// Visited-set and boundary-dominance pruning.
+#[derive(Debug, Default)]
+pub struct Pruner {
+    visited: HashSet<u128>,
+    boundaries_by_size: HashMap<usize, Vec<State>>,
+    boundary_bytes: usize,
+}
+
+impl Pruner {
+    /// Creates an empty pruner.
+    pub fn new() -> Self {
+        Pruner::default()
+    }
+
+    /// Marks a state visited; returns `true` if it was new.
+    pub fn mark_visited(&mut self, s: &State) -> bool {
+        self.visited.insert(s.bitkey())
+    }
+
+    /// True if the state was already visited.
+    pub fn was_visited(&self, s: &State) -> bool {
+        self.visited.contains(&s.bitkey())
+    }
+
+    /// Registers a boundary for dominance pruning.
+    pub fn add_boundary(&mut self, s: &State) {
+        self.boundary_bytes += s.heap_bytes();
+        self.boundaries_by_size
+            .entry(s.len())
+            .or_default()
+            .push(s.clone());
+    }
+
+    /// True if `s` lies below (is Vertical-reachable from) a registered
+    /// boundary of the same group size.
+    pub fn below_boundary(&self, s: &State) -> bool {
+        self.boundaries_by_size
+            .get(&s.len())
+            .is_some_and(|bs| bs.iter().any(|b| s.dominated_by(b)))
+    }
+
+    /// The paper's `prune(R')`: visited or below a boundary.
+    pub fn prune(&self, s: &State) -> bool {
+        self.was_visited(s) || self.below_boundary(s)
+    }
+
+    /// Approximate tracked bytes (visited keys + boundary states), for the
+    /// Figure 13 memory accounting. O(1): byte counts are maintained
+    /// incrementally so per-iteration memory observations stay cheap.
+    pub fn bytes(&self) -> usize {
+        self.visited.len() * std::mem::size_of::<u128>() + self.boundary_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(v: &[u16]) -> State {
+        State::from_indices(v.to_vec())
+    }
+
+    #[test]
+    fn visited_marks_once() {
+        let mut p = Pruner::new();
+        let s = st(&[0, 2]);
+        assert!(!p.was_visited(&s));
+        assert!(p.mark_visited(&s));
+        assert!(!p.mark_visited(&s));
+        assert!(p.prune(&s));
+    }
+
+    #[test]
+    fn paper_c2c3c5_case() {
+        // Boundary c2c3c4 found; c2c3c5 must be pruned (below it), while
+        // c1c4c5 — not dominated — must not be.
+        let mut p = Pruner::new();
+        p.add_boundary(&st(&[1, 2, 3]));
+        assert!(p.prune(&st(&[1, 2, 4])));
+        assert!(!p.prune(&st(&[0, 3, 4])));
+        // Size mismatch: never dominated.
+        assert!(!p.prune(&st(&[1, 2])));
+    }
+
+    #[test]
+    fn bytes_grow_with_content() {
+        let mut p = Pruner::new();
+        let b0 = p.bytes();
+        p.mark_visited(&st(&[0]));
+        p.add_boundary(&st(&[0, 1]));
+        assert!(p.bytes() > b0);
+    }
+}

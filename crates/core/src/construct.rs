@@ -1,0 +1,177 @@
+//! Personalized Query Construction (paper Section 4.2).
+//!
+//! "After 'CQP State Space Search' has selected the optimal subset of
+//! preferences to be integrated into Q, this module does the actual
+//! modification of the query": one sub-query per preference, combined with
+//! `UNION ALL … GROUP BY … HAVING COUNT(*) = L`.
+
+use cqp_engine::{ConjunctiveQuery, PersonalizedQuery};
+use cqp_prefspace::PreferenceSpace;
+use std::fmt;
+
+/// Errors from query construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstructError {
+    /// A selected P-index is out of range for the space.
+    PrefIndexOutOfRange(usize),
+    /// The preference space carries no preference paths (synthetic spaces
+    /// built from raw parameters cannot be turned into SQL).
+    NoPreferencePaths,
+}
+
+impl fmt::Display for ConstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstructError::PrefIndexOutOfRange(i) => {
+                write!(f, "preference index {i} out of range")
+            }
+            ConstructError::NoPreferencePaths => {
+                write!(f, "preference space has no paths (synthetic space?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstructError {}
+
+/// Builds the personalized query integrating the selected preferences
+/// (P-indices) into the base query.
+pub fn construct(
+    base: &ConjunctiveQuery,
+    space: &PreferenceSpace,
+    prefs: &[usize],
+) -> Result<PersonalizedQuery, ConstructError> {
+    if !prefs.is_empty() && space.prefs.is_empty() {
+        return Err(ConstructError::NoPreferencePaths);
+    }
+    let mut paths = Vec::with_capacity(prefs.len());
+    for &i in prefs {
+        let pref = space
+            .prefs
+            .get(i)
+            .ok_or(ConstructError::PrefIndexOutOfRange(i))?;
+        paths.push(pref.predicates());
+    }
+    Ok(PersonalizedQuery::compose(base.clone(), paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_engine::QueryBuilder;
+    use cqp_prefs::Profile;
+    use cqp_prefspace::{extract, ExtractConfig};
+    use cqp_storage::{DataType, Database, RelationSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::with_block_capacity(4);
+        db.create_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        for i in 0..20i64 {
+            db.insert_into(
+                "MOVIE",
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("m{i}")),
+                    Value::Int(1990),
+                    Value::Int(100),
+                    Value::Int(i % 3),
+                ],
+            )
+            .unwrap();
+            db.insert_into("GENRE", vec![Value::Int(i), Value::str("musical")])
+                .unwrap();
+        }
+        for d in 0..3i64 {
+            db.insert_into("DIRECTOR", vec![Value::Int(d), Value::str("W. Allen")])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn constructs_paper_rewriting() {
+        let db = db();
+        let stats = db.analyze();
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let ex = extract(&base, &profile, &stats, &ExtractConfig::default());
+        assert_eq!(ex.space.k(), 2);
+
+        let pq = construct(&base, &ex.space, &[0, 1]).unwrap();
+        assert_eq!(pq.num_preferences(), 2);
+        let sql = cqp_engine::sql::personalized_sql(db.catalog(), &pq);
+        assert!(sql.contains("union all"));
+        assert!(sql.contains("having count(*) = 2"));
+        assert!(sql.contains("DIRECTOR.name = 'W. Allen'"));
+        assert!(sql.contains("GENRE.genre = 'musical'"));
+    }
+
+    #[test]
+    fn empty_selection_builds_trivial_query() {
+        let db = db();
+        let stats = db.analyze();
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let ex = extract(&base, &profile, &stats, &ExtractConfig::default());
+        let pq = construct(&base, &ex.space, &[]).unwrap();
+        assert!(pq.is_trivial());
+    }
+
+    #[test]
+    fn errors_on_bad_index_and_synthetic_space() {
+        let db = db();
+        let stats = db.analyze();
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let ex = extract(&base, &profile, &stats, &ExtractConfig::default());
+        assert_eq!(
+            construct(&base, &ex.space, &[99]),
+            Err(ConstructError::PrefIndexOutOfRange(99))
+        );
+        let synthetic = cqp_prefspace::PreferenceSpace::synthetic(
+            vec![cqp_prefspace::PrefParams {
+                doi: cqp_prefs::Doi::new(0.5),
+                cost_blocks: 1,
+                size_factor: 0.5,
+            }],
+            10.0,
+            0,
+        );
+        assert_eq!(
+            construct(&base, &synthetic, &[0]),
+            Err(ConstructError::NoPreferencePaths)
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Mapping the search context onto a CQP problem.
+//!
+//! "Mapping the search context onto the appropriate CQP problem is a policy
+//! issue and is not addressed here" (paper Section 1); "In ongoing work, we
+//! are concerned with policies mapping the search context onto the
+//! appropriate CQP problem" (Section 8). This module supplies a concrete,
+//! overridable default policy so applications can express contexts the way
+//! the paper's introduction does — device, connection, patience — instead
+//! of hand-picking Table 1 rows.
+//!
+//! The default policy follows the paper's narrative:
+//!
+//! * fast connection + big screen → maximize interest, keep the answer
+//!   non-empty (Problem 1 or 3 depending on whether a deadline exists);
+//! * slow connection or small screen → bound cost and size tightly
+//!   (Problem 3);
+//! * an impatient user with an interest floor → minimize cost
+//!   (Problem 4/5).
+
+use crate::problem::ProblemSpec;
+use cqp_prefs::Doi;
+
+/// The device class issuing the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Full-size screen: long answers are fine.
+    Desktop,
+    /// Small screen: answers must stay browsable.
+    Handheld,
+}
+
+/// The connection quality, which bounds tolerable execution cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connection {
+    /// High bandwidth / low latency.
+    Fast,
+    /// Low bandwidth (the paper's palmtop-in-Pisa situation).
+    Slow,
+}
+
+/// What the user cares about most right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Intent {
+    /// Best possible answer within the context's tolerances.
+    BestAnswer,
+    /// Fastest acceptable answer with at least this much interest.
+    QuickAnswer {
+        /// The interest floor.
+        min_doi: Doi,
+    },
+}
+
+/// A search context, in the vocabulary of the paper's introduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchContext {
+    /// Device class.
+    pub device: Device,
+    /// Connection quality.
+    pub connection: Connection,
+    /// The user's current intent.
+    pub intent: Intent,
+}
+
+/// Tunable thresholds of the default policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConfig {
+    /// Cost bound (blocks) granted to fast connections.
+    pub fast_cost_blocks: u64,
+    /// Cost bound (blocks) granted to slow connections.
+    pub slow_cost_blocks: u64,
+    /// Result-size cap for handheld devices.
+    pub handheld_size_max: f64,
+    /// Result-size cap for desktop devices.
+    pub desktop_size_max: f64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            fast_cost_blocks: 400, // the paper's default cmax at b = 1 ms
+            slow_cost_blocks: 60,
+            handheld_size_max: 3.0, // "say, three restaurants"
+            desktop_size_max: 50.0,
+        }
+    }
+}
+
+impl SearchContext {
+    /// Maps this context onto a Table 1 problem with the default policy.
+    pub fn problem(&self) -> ProblemSpec {
+        self.problem_with(&PolicyConfig::default())
+    }
+
+    /// Maps this context onto a Table 1 problem with explicit thresholds.
+    pub fn problem_with(&self, cfg: &PolicyConfig) -> ProblemSpec {
+        let cmax = match self.connection {
+            Connection::Fast => cfg.fast_cost_blocks,
+            Connection::Slow => cfg.slow_cost_blocks,
+        };
+        let smax = match self.device {
+            Device::Desktop => cfg.desktop_size_max,
+            Device::Handheld => cfg.handheld_size_max,
+        };
+        match self.intent {
+            Intent::BestAnswer => ProblemSpec::p3(cmax, 1.0, smax),
+            Intent::QuickAnswer { min_doi } => ProblemSpec::p5(min_doi, 1.0, smax),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ProblemKind;
+
+    #[test]
+    fn laptop_in_the_office() {
+        // The paper's first Al scenario: fast connection, big screen.
+        let ctx = SearchContext {
+            device: Device::Desktop,
+            connection: Connection::Fast,
+            intent: Intent::BestAnswer,
+        };
+        let p = ctx.problem();
+        assert_eq!(p.kind(), Some(ProblemKind::P3));
+        assert_eq!(p.constraints.cost_max_blocks, Some(400));
+        assert_eq!(p.constraints.size_max, Some(50.0));
+    }
+
+    #[test]
+    fn palmtop_in_pisa() {
+        // The paper's second Al scenario: handheld, low bandwidth, wants a
+        // handful of restaurants.
+        let ctx = SearchContext {
+            device: Device::Handheld,
+            connection: Connection::Slow,
+            intent: Intent::BestAnswer,
+        };
+        let p = ctx.problem();
+        assert_eq!(p.kind(), Some(ProblemKind::P3));
+        assert_eq!(p.constraints.cost_max_blocks, Some(60));
+        assert_eq!(p.constraints.size_max, Some(3.0));
+        assert!((p.constraints.size_min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impatient_user_minimizes_cost() {
+        let ctx = SearchContext {
+            device: Device::Handheld,
+            connection: Connection::Slow,
+            intent: Intent::QuickAnswer {
+                min_doi: Doi::new(0.6),
+            },
+        };
+        let p = ctx.problem();
+        assert_eq!(p.kind(), Some(ProblemKind::P5));
+        assert_eq!(p.constraints.doi_min, Some(Doi::new(0.6)));
+    }
+
+    #[test]
+    fn custom_policy_overrides_thresholds() {
+        let cfg = PolicyConfig {
+            slow_cost_blocks: 10,
+            handheld_size_max: 1.0,
+            ..Default::default()
+        };
+        let ctx = SearchContext {
+            device: Device::Handheld,
+            connection: Connection::Slow,
+            intent: Intent::BestAnswer,
+        };
+        let p = ctx.problem_with(&cfg);
+        assert_eq!(p.constraints.cost_max_blocks, Some(10));
+        assert_eq!(p.constraints.size_max, Some(1.0));
+    }
+}

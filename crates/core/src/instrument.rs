@@ -1,0 +1,90 @@
+//! Instrumentation of the search algorithms.
+//!
+//! The paper's experiments compare algorithms on execution time (Figure 12),
+//! **memory requirements** (Figure 13, "the maximum memory used by a CQP
+//! algorithm during its execution"), and quality (Figure 14). Time is
+//! measured by the harness; memory and work counters are collected here,
+//! machine-independently.
+
+/// Counters collected during one algorithm run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Instrument {
+    /// States popped from a work queue and examined.
+    pub states_examined: u64,
+    /// Parameter evaluations performed (cost/doi/size computations).
+    pub param_evals: u64,
+    /// Horizontal transitions taken.
+    pub horizontal_moves: u64,
+    /// Vertical transitions generated.
+    pub vertical_moves: u64,
+    /// Boundaries (or solution candidates) recorded by the first phase.
+    pub boundaries_found: u64,
+    /// Peak tracked memory in bytes (queues + boundary lists + visited set),
+    /// the quantity Figure 13 reports in KBytes.
+    pub peak_bytes: usize,
+}
+
+impl Instrument {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Instrument::default()
+    }
+
+    /// Records a current-memory observation, keeping the peak.
+    pub fn observe_bytes(&mut self, current: usize) {
+        if current > self.peak_bytes {
+            self.peak_bytes = current;
+        }
+    }
+
+    /// Peak memory in KBytes (the unit of paper Figure 13).
+    pub fn peak_kbytes(&self) -> f64 {
+        self.peak_bytes as f64 / 1024.0
+    }
+
+    /// Accumulates another run's counters into this one (summing work,
+    /// taking the max of peaks) — used when a solver runs phases separately.
+    pub fn merge(&mut self, other: &Instrument) {
+        self.states_examined += other.states_examined;
+        self.param_evals += other.param_evals;
+        self.horizontal_moves += other.horizontal_moves;
+        self.vertical_moves += other.vertical_moves;
+        self.boundaries_found += other.boundaries_found;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracking() {
+        let mut i = Instrument::new();
+        i.observe_bytes(100);
+        i.observe_bytes(50);
+        i.observe_bytes(2048);
+        i.observe_bytes(1024);
+        assert_eq!(i.peak_bytes, 2048);
+        assert!((i.peak_kbytes() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_work_and_maxes_peak() {
+        let mut a = Instrument {
+            states_examined: 5,
+            peak_bytes: 10,
+            ..Default::default()
+        };
+        let b = Instrument {
+            states_examined: 3,
+            param_evals: 7,
+            peak_bytes: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.states_examined, 8);
+        assert_eq!(a.param_evals, 7);
+        assert_eq!(a.peak_bytes, 10);
+    }
+}

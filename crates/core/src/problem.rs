@@ -1,0 +1,327 @@
+//! The CQP problem family (paper Table 1).
+//!
+//! | Problem | doi          | cost          | size                  |
+//! |---------|--------------|---------------|-----------------------|
+//! | 1       | MAX          |               | smin ≤ size ≤ smax    |
+//! | 2       | MAX          | cost ≤ cmax   |                       |
+//! | 3       | MAX          | cost ≤ cmax   | smin ≤ size ≤ smax    |
+//! | 4       | doi ≥ dmin   | MIN           |                       |
+//! | 5       | doi ≥ dmin   | MIN           | smin ≤ size ≤ smax    |
+//! | 6       |              | MIN           | smin ≤ size ≤ smax    |
+//!
+//! "Not all conceivable optimization problems are meaningful within the CQP
+//! family" (Section 4.1): doi is maximized or lower-bounded, cost is
+//! minimized or upper-bounded, and size always keeps a lower bound (default
+//! 1 — empty answers are undesirable) and possibly an upper one.
+
+use crate::params::QueryParams;
+use cqp_prefs::Doi;
+
+/// Which parameter a CQP problem optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximize the degree of interest (Problems 1–3).
+    MaxDoi,
+    /// Minimize the execution cost (Problems 4–6).
+    MinCost,
+}
+
+/// Range constraints on the non-optimized parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// `cost ≤ cmax` (blocks), if bounded.
+    pub cost_max_blocks: Option<u64>,
+    /// `doi ≥ dmin`, if bounded.
+    pub doi_min: Option<Doi>,
+    /// `size ≥ smin`. The paper's default lower bound is 1 (non-empty
+    /// answers); set to 0 to disable.
+    pub size_min: f64,
+    /// `size ≤ smax`, if bounded.
+    pub size_max: Option<f64>,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            cost_max_blocks: None,
+            doi_min: None,
+            size_min: 1.0,
+            size_max: None,
+        }
+    }
+}
+
+impl Constraints {
+    /// True when the parameters satisfy every constraint.
+    pub fn satisfied_by(&self, p: &QueryParams) -> bool {
+        if let Some(cmax) = self.cost_max_blocks {
+            if p.cost_blocks > cmax {
+                return false;
+            }
+        }
+        if let Some(dmin) = self.doi_min {
+            if p.doi < dmin {
+                return false;
+            }
+        }
+        if p.size_rows < self.size_min {
+            return false;
+        }
+        if let Some(smax) = self.size_max {
+            if p.size_rows > smax {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when the *down-closed* constraints hold — the ones that adding
+    /// preferences can only break (cost ≤ cmax grows; size ≥ smin shrinks).
+    pub fn down_closed_ok(&self, p: &QueryParams) -> bool {
+        if let Some(cmax) = self.cost_max_blocks {
+            if p.cost_blocks > cmax {
+                return false;
+            }
+        }
+        p.size_rows >= self.size_min
+    }
+
+    /// True when the *up-closed* constraints hold — the ones that adding
+    /// preferences can only help (doi ≥ dmin grows; size ≤ smax shrinks).
+    pub fn up_closed_ok(&self, p: &QueryParams) -> bool {
+        if let Some(dmin) = self.doi_min {
+            if p.doi < dmin {
+                return false;
+            }
+        }
+        if let Some(smax) = self.size_max {
+            if p.size_rows > smax {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The numbered problem kinds of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// Max doi, size band.
+    P1,
+    /// Max doi, cost bound — the problem Section 5 develops in detail.
+    P2,
+    /// Max doi, cost bound and size band.
+    P3,
+    /// Min cost, doi lower bound.
+    P4,
+    /// Min cost, doi lower bound and size band.
+    P5,
+    /// Min cost, size band.
+    P6,
+}
+
+/// A fully specified CQP problem: objective + constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProblemSpec {
+    /// The optimized parameter.
+    pub objective: Objective,
+    /// Bounds on the others.
+    pub constraints: Constraints,
+}
+
+impl ProblemSpec {
+    /// Problem 1: `MAX doi` s.t. `smin ≤ size ≤ smax`.
+    pub fn p1(size_min: f64, size_max: f64) -> Self {
+        ProblemSpec {
+            objective: Objective::MaxDoi,
+            constraints: Constraints {
+                size_min,
+                size_max: Some(size_max),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Problem 2: `MAX doi` s.t. `cost ≤ cmax` (in blocks).
+    pub fn p2(cost_max_blocks: u64) -> Self {
+        ProblemSpec {
+            objective: Objective::MaxDoi,
+            constraints: Constraints {
+                cost_max_blocks: Some(cost_max_blocks),
+                size_min: 0.0,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Problem 3: `MAX doi` s.t. `cost ≤ cmax ∧ smin ≤ size ≤ smax`.
+    pub fn p3(cost_max_blocks: u64, size_min: f64, size_max: f64) -> Self {
+        ProblemSpec {
+            objective: Objective::MaxDoi,
+            constraints: Constraints {
+                cost_max_blocks: Some(cost_max_blocks),
+                size_min,
+                size_max: Some(size_max),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Problem 4: `MIN cost` s.t. `doi ≥ dmin`.
+    pub fn p4(doi_min: Doi) -> Self {
+        ProblemSpec {
+            objective: Objective::MinCost,
+            constraints: Constraints {
+                doi_min: Some(doi_min),
+                size_min: 0.0,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Problem 5: `MIN cost` s.t. `doi ≥ dmin ∧ smin ≤ size ≤ smax`.
+    pub fn p5(doi_min: Doi, size_min: f64, size_max: f64) -> Self {
+        ProblemSpec {
+            objective: Objective::MinCost,
+            constraints: Constraints {
+                doi_min: Some(doi_min),
+                size_min,
+                size_max: Some(size_max),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Problem 6: `MIN cost` s.t. `smin ≤ size ≤ smax`.
+    pub fn p6(size_min: f64, size_max: f64) -> Self {
+        ProblemSpec {
+            objective: Objective::MinCost,
+            constraints: Constraints {
+                size_min,
+                size_max: Some(size_max),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Classifies this spec into the Table 1 numbering, if it matches one.
+    pub fn kind(&self) -> Option<ProblemKind> {
+        let c = &self.constraints;
+        let has_cost = c.cost_max_blocks.is_some();
+        let has_doi = c.doi_min.is_some();
+        let has_size = c.size_max.is_some();
+        match (self.objective, has_cost, has_doi, has_size) {
+            (Objective::MaxDoi, false, false, true) => Some(ProblemKind::P1),
+            (Objective::MaxDoi, true, false, false) => Some(ProblemKind::P2),
+            (Objective::MaxDoi, true, false, true) => Some(ProblemKind::P3),
+            (Objective::MinCost, false, true, false) => Some(ProblemKind::P4),
+            (Objective::MinCost, false, true, true) => Some(ProblemKind::P5),
+            (Objective::MinCost, false, false, true) => Some(ProblemKind::P6),
+            _ => None,
+        }
+    }
+
+    /// True when the parameters satisfy the constraints.
+    pub fn feasible(&self, p: &QueryParams) -> bool {
+        self.constraints.satisfied_by(p)
+    }
+
+    /// True when candidate parameters `a` are better than `b` under the
+    /// objective (ties broken toward lower cost for MaxDoi, higher doi for
+    /// MinCost, then smaller size distance — fully deterministic).
+    pub fn better(&self, a: &QueryParams, b: &QueryParams) -> bool {
+        match self.objective {
+            Objective::MaxDoi => match a.doi.cmp(&b.doi) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => a.cost_blocks < b.cost_blocks,
+            },
+            Objective::MinCost => match a.cost_blocks.cmp(&b.cost_blocks) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a.doi > b.doi,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(doi: f64, cost: u64, size: f64) -> QueryParams {
+        QueryParams {
+            doi: Doi::new(doi),
+            cost_blocks: cost,
+            size_rows: size,
+        }
+    }
+
+    #[test]
+    fn table1_kinds_roundtrip() {
+        assert_eq!(ProblemSpec::p1(1.0, 50.0).kind(), Some(ProblemKind::P1));
+        assert_eq!(ProblemSpec::p2(400).kind(), Some(ProblemKind::P2));
+        assert_eq!(
+            ProblemSpec::p3(400, 1.0, 50.0).kind(),
+            Some(ProblemKind::P3)
+        );
+        assert_eq!(ProblemSpec::p4(Doi::new(0.5)).kind(), Some(ProblemKind::P4));
+        assert_eq!(
+            ProblemSpec::p5(Doi::new(0.5), 1.0, 50.0).kind(),
+            Some(ProblemKind::P5)
+        );
+        assert_eq!(ProblemSpec::p6(1.0, 50.0).kind(), Some(ProblemKind::P6));
+    }
+
+    #[test]
+    fn feasibility_checks_each_bound() {
+        let p3 = ProblemSpec::p3(100, 2.0, 20.0);
+        assert!(p3.feasible(&params(0.5, 100, 10.0)));
+        assert!(!p3.feasible(&params(0.5, 101, 10.0))); // cost
+        assert!(!p3.feasible(&params(0.5, 50, 1.0))); // size_min
+        assert!(!p3.feasible(&params(0.5, 50, 30.0))); // size_max
+        let p4 = ProblemSpec::p4(Doi::new(0.7));
+        assert!(p4.feasible(&params(0.7, 999, 5.0)));
+        assert!(!p4.feasible(&params(0.69, 1, 5.0)));
+    }
+
+    #[test]
+    fn closed_direction_split() {
+        let c = Constraints {
+            cost_max_blocks: Some(100),
+            doi_min: Some(Doi::new(0.5)),
+            size_min: 2.0,
+            size_max: Some(20.0),
+        };
+        let p = params(0.6, 80, 10.0);
+        assert!(c.down_closed_ok(&p) && c.up_closed_ok(&p));
+        assert!(!c.down_closed_ok(&params(0.6, 120, 10.0)));
+        assert!(!c.down_closed_ok(&params(0.6, 80, 1.0)));
+        assert!(!c.up_closed_ok(&params(0.4, 80, 10.0)));
+        assert!(!c.up_closed_ok(&params(0.6, 80, 30.0)));
+        // satisfied = down ∧ up
+        assert_eq!(
+            c.satisfied_by(&p),
+            c.down_closed_ok(&p) && c.up_closed_ok(&p)
+        );
+    }
+
+    #[test]
+    fn better_breaks_ties_deterministically() {
+        let p2 = ProblemSpec::p2(100);
+        assert!(p2.better(&params(0.9, 50, 5.0), &params(0.8, 10, 5.0)));
+        assert!(p2.better(&params(0.9, 10, 5.0), &params(0.9, 50, 5.0)));
+        assert!(!p2.better(&params(0.9, 50, 5.0), &params(0.9, 50, 5.0)));
+        let p4 = ProblemSpec::p4(Doi::new(0.1));
+        assert!(p4.better(&params(0.2, 10, 5.0), &params(0.9, 20, 5.0)));
+        assert!(p4.better(&params(0.9, 10, 5.0), &params(0.2, 10, 5.0)));
+    }
+
+    #[test]
+    fn default_size_min_is_one() {
+        let c = Constraints::default();
+        assert!((c.size_min - 1.0).abs() < 1e-12);
+        assert!(!c.satisfied_by(&params(0.5, 10, 0.5)));
+        assert!(c.satisfied_by(&params(0.5, 10, 1.0)));
+    }
+}

@@ -1,0 +1,439 @@
+//! The CQP system facade — the full architecture of paper Figure 2.
+//!
+//! `User query + profile + search context → Preference Space → Parameter
+//! Estimation → CQP State Space Search → Personalized Query Construction →
+//! Query Execution`. [`CqpSystem`] wires the modules of this workspace into
+//! that pipeline.
+
+use crate::algorithms::{self, general, solve_p2, Algorithm, Solution};
+use crate::construct::{construct, ConstructError};
+use crate::problem::{ProblemKind, ProblemSpec};
+use cqp_engine::{
+    execute_personalized, ConjunctiveQuery, EngineError, ExecOutput, PersonalizedQuery,
+};
+use cqp_prefs::{ConjModel, Profile};
+use cqp_prefspace::{extract, ExtractConfig, PreferenceSpace};
+use cqp_storage::{Database, DbStats, IoMeter};
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration for one personalization request.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// The conjunction model `r` (Formula 10 by default).
+    pub conj: ConjModel,
+    /// Preference extraction parameters (`K`, pruning thresholds, …).
+    pub extract: ExtractConfig,
+    /// Search algorithm (used directly for Problem 2; other problems use
+    /// the Section 6 adaptation, or branch-and-bound when selected).
+    pub algorithm: Algorithm,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            conj: ConjModel::NoisyOr,
+            extract: ExtractConfig::default(),
+            algorithm: Algorithm::CMaxBounds,
+        }
+    }
+}
+
+/// Errors surfaced by the system facade.
+#[derive(Debug)]
+pub enum SolverError {
+    /// Query construction failed.
+    Construct(ConstructError),
+    /// Query execution failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Construct(e) => write!(f, "construction failed: {e}"),
+            SolverError::Engine(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<ConstructError> for SolverError {
+    fn from(e: ConstructError) -> Self {
+        SolverError::Construct(e)
+    }
+}
+
+impl From<EngineError> for SolverError {
+    fn from(e: EngineError) -> Self {
+        SolverError::Engine(e)
+    }
+}
+
+/// The result of a personalization request.
+#[derive(Debug, Clone)]
+pub struct PersonalizationOutcome {
+    /// The selected preferences and their estimated parameters.
+    pub solution: Solution,
+    /// The constructed personalized query.
+    pub query: PersonalizedQuery,
+    /// The query rendered as SQL (the paper's Section 4.2 form).
+    pub sql: String,
+    /// Number of preferences the Preference Space produced (`K`).
+    pub space_k: usize,
+    /// Wall-clock time spent extracting the preference space, seconds.
+    pub prefspace_secs: f64,
+    /// Wall-clock time spent in state-space search, seconds.
+    pub search_secs: f64,
+}
+
+/// The CQP system: a database plus its statistics, ready to personalize
+/// queries for any profile.
+#[derive(Debug)]
+pub struct CqpSystem<'a> {
+    db: &'a Database,
+    stats: DbStats,
+}
+
+impl<'a> CqpSystem<'a> {
+    /// Builds the system, analyzing the database for statistics.
+    pub fn new(db: &'a Database) -> Self {
+        CqpSystem {
+            db,
+            stats: db.analyze(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// The statistics the estimators run on.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Extracts the preference space for a query/profile pair.
+    pub fn preference_space(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        config: &SolverConfig,
+    ) -> PreferenceSpace {
+        let mut extract_cfg = config.extract.clone();
+        // Cost-based algorithms need the C/S vectors; the cost bound (if
+        // any) lets extraction prune hopeless preferences (Figure 3).
+        extract_cfg.with_cost_vectors =
+            extract_cfg.with_cost_vectors || config.algorithm.needs_cost_vectors();
+        extract(query, profile, &self.stats, &extract_cfg).space
+    }
+
+    /// Runs the full pipeline for one CQP problem.
+    pub fn personalize(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+    ) -> Result<PersonalizationOutcome, SolverError> {
+        let t0 = Instant::now();
+        let space = self.preference_space(query, profile, config);
+        let prefspace_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let solution = self.search(&space, problem, config);
+        let search_secs = t1.elapsed().as_secs_f64();
+
+        let pq = construct(query, &space, &solution.prefs)?;
+        let sql = cqp_engine::sql::personalized_sql(self.db.catalog(), &pq);
+        Ok(PersonalizationOutcome {
+            solution,
+            query: pq,
+            sql,
+            space_k: space.k(),
+            prefspace_secs,
+            search_secs,
+        })
+    }
+
+    /// State-space search only (no construction) — used by benchmarks.
+    pub fn search(
+        &self,
+        space: &PreferenceSpace,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+    ) -> Solution {
+        match (problem.kind(), config.algorithm) {
+            (_, Algorithm::BranchBound) => {
+                algorithms::branch_bound::solve(space, config.conj, problem)
+            }
+            (Some(ProblemKind::P2), algo) => {
+                let cmax = problem
+                    .constraints
+                    .cost_max_blocks
+                    .expect("P2 carries a cost bound");
+                solve_p2(space, config.conj, cmax, algo)
+            }
+            _ => general::solve(space, config.conj, problem),
+        }
+    }
+
+    /// Executes a personalized query on the database, returning the rows
+    /// and the metered I/O cost (`blocks, simulated ms`).
+    pub fn execute(
+        &self,
+        pq: &PersonalizedQuery,
+        ms_per_block: f64,
+    ) -> Result<(ExecOutput, u64, f64), SolverError> {
+        let meter = IoMeter::new(ms_per_block);
+        let out = execute_personalized(self.db, pq, &meter)?;
+        Ok((out, meter.blocks_read(), meter.elapsed_ms()))
+    }
+
+    /// Computes the full (doi, cost) Pareto frontier for a query/profile
+    /// pair — the paper's multi-objective extension (Section 8). Each point
+    /// can be turned into a query via [`crate::construct::construct`].
+    pub fn pareto_menu(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        constraints: &crate::problem::Constraints,
+        config: &SolverConfig,
+    ) -> (PreferenceSpace, Vec<algorithms::pareto::ParetoPoint>) {
+        let space = self.preference_space(query, profile, config);
+        let mut inst = crate::instrument::Instrument::new();
+        let frontier =
+            algorithms::pareto::pareto_frontier(&space, config.conj, constraints, &mut inst);
+        (space, frontier)
+    }
+
+    /// Executes a personalization outcome in *ranked* mode: rows that
+    /// satisfy at least `min_satisfied` of the selected preferences,
+    /// ordered by the doi of the preferences each row satisfies
+    /// (Section 3's ranking requirement).
+    pub fn execute_ranked(
+        &self,
+        outcome: &PersonalizationOutcome,
+        space: &PreferenceSpace,
+        min_satisfied: usize,
+        ms_per_block: f64,
+    ) -> Result<Vec<cqp_engine::RankedRow>, SolverError> {
+        let dois: Vec<f64> = outcome
+            .solution
+            .prefs
+            .iter()
+            .map(|&i| space.doi(i).value())
+            .collect();
+        let meter = IoMeter::new(ms_per_block);
+        let rows = cqp_engine::execute_ranked(
+            self.db,
+            &outcome.query,
+            &dois,
+            cqp_engine::Matching::AtLeast(min_satisfied),
+            &meter,
+        )?;
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_engine::QueryBuilder;
+    use cqp_prefs::Doi;
+    use cqp_storage::{DataType, RelationSchema, Value};
+
+    fn movie_db() -> Database {
+        let mut db = Database::with_block_capacity(4);
+        db.create_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        for i in 0..40i64 {
+            db.insert_into(
+                "MOVIE",
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("m{i}")),
+                    Value::Int(1980 + i % 20),
+                    Value::Int(90),
+                    Value::Int(i % 4),
+                ],
+            )
+            .unwrap();
+            db.insert_into(
+                "GENRE",
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "musical" } else { "drama" }),
+                ],
+            )
+            .unwrap();
+        }
+        for d in 0..4i64 {
+            let name = if d == 0 {
+                "W. Allen".to_owned()
+            } else {
+                format!("dir{d}")
+            };
+            db.insert_into("DIRECTOR", vec![Value::Int(d), Value::str(name)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn end_to_end_personalization() {
+        let db = movie_db();
+        let system = CqpSystem::new(&db);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+
+        // Generous budget: both Figure 1 preferences fit.
+        let outcome = system
+            .personalize(
+                &base,
+                &profile,
+                &ProblemSpec::p2(100),
+                &SolverConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.space_k, 2);
+        assert_eq!(outcome.solution.prefs.len(), 2);
+        assert!(outcome.sql.contains("having count(*) = 2"));
+
+        // Execute: results are W. Allen musicals (movies 0,4,8,... by d0
+        // with even mid — mid % 4 == 0).
+        let (rows, blocks, ms) = system.execute(&outcome.query, 1.0).unwrap();
+        assert!(!rows.is_empty());
+        assert!(blocks > 0);
+        assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn tight_budget_prunes_preferences() {
+        let db = movie_db();
+        let system = CqpSystem::new(&db);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        // MOVIE has 10 blocks, DIRECTOR 1, GENRE 10: the W. Allen sub-query
+        // costs 11, the musical one 20. With cmax=15, only W. Allen fits.
+        let outcome = system
+            .personalize(
+                &base,
+                &profile,
+                &ProblemSpec::p2(15),
+                &SolverConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(outcome.solution.prefs.len(), 1);
+        assert!(outcome.solution.cost_blocks <= 15);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_doi_here() {
+        let db = movie_db();
+        let system = CqpSystem::new(&db);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let mut dois = Vec::new();
+        for algo in Algorithm::PAPER {
+            let config = SolverConfig {
+                algorithm: algo,
+                ..Default::default()
+            };
+            let outcome = system
+                .personalize(&base, &profile, &ProblemSpec::p2(100), &config)
+                .unwrap();
+            dois.push(outcome.solution.doi);
+        }
+        assert!(dois.windows(2).all(|w| w[0] == w[1]), "{dois:?}");
+    }
+
+    #[test]
+    fn pareto_menu_and_ranked_execution_via_facade() {
+        let db = movie_db();
+        let system = CqpSystem::new(&db);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let config = SolverConfig::default();
+        let (space, frontier) = system.pareto_menu(
+            &base,
+            &profile,
+            &crate::problem::Constraints {
+                size_min: 0.0,
+                ..Default::default()
+            },
+            &config,
+        );
+        assert_eq!(space.k(), 2);
+        assert!(!frontier.is_empty());
+        // Ranked execution of a P2 outcome: soft matching returns at least
+        // as many rows as the strict conjunction.
+        let outcome = system
+            .personalize(&base, &profile, &ProblemSpec::p2(100), &config)
+            .unwrap();
+        let strict = system.execute(&outcome.query, 1.0).unwrap().0;
+        let soft = system.execute_ranked(&outcome, &space, 1, 1.0).unwrap();
+        assert!(soft.len() >= strict.len());
+        for w in soft.windows(2) {
+            assert!(w[0].doi >= w[1].doi);
+        }
+    }
+
+    #[test]
+    fn problem4_via_facade() {
+        let db = movie_db();
+        let system = CqpSystem::new(&db);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let outcome = system
+            .personalize(
+                &base,
+                &profile,
+                &ProblemSpec::p4(Doi::new(0.5)),
+                &SolverConfig::default(),
+            )
+            .unwrap();
+        assert!(outcome.solution.doi >= Doi::new(0.5));
+    }
+}

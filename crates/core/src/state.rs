@@ -1,0 +1,245 @@
+//! States of the CQP search space.
+//!
+//! "Each state in a CQP problem corresponds to a query built by integrating
+//! a set of preferences from the user profile into the initial query"
+//! (paper Section 5.1). Algorithms never manipulate the preferences
+//! directly; they work with **ordered sets of indices `R` into a rank
+//! vector** (`C`, `D`, or `S`) — paper Observation 1 — which is exactly
+//! what [`State`] stores.
+
+use std::fmt;
+
+/// Maximum number of preferences a state space can index.
+///
+/// The bit-key used for visited-set hashing packs indices into a `u128`;
+/// the paper's experiments use `K ≤ 40`, so 128 is generous.
+pub const MAX_K: usize = 128;
+
+/// An ordered index set: indices (0-based) into a rank vector, sorted
+/// ascending. The paper writes these as e.g. `c1c3c4` (1-based).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct State {
+    indices: Vec<u16>,
+}
+
+impl State {
+    /// The empty state (no preferences integrated).
+    pub fn empty() -> Self {
+        State {
+            indices: Vec::new(),
+        }
+    }
+
+    /// A single-preference state `{k}`.
+    pub fn singleton(k: u16) -> Self {
+        State { indices: vec![k] }
+    }
+
+    /// Builds a state from indices; sorts and deduplicates.
+    pub fn from_indices(mut indices: Vec<u16>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        State { indices }
+    }
+
+    /// Number of preferences — the paper's *group size* (Definition 1).
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if the state holds no preferences.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The sorted indices.
+    pub fn indices(&self) -> &[u16] {
+        &self.indices
+    }
+
+    /// Membership test.
+    pub fn contains(&self, k: u16) -> bool {
+        self.indices.binary_search(&k).is_ok()
+    }
+
+    /// The largest index, if any.
+    pub fn max_index(&self) -> Option<u16> {
+        self.indices.last().copied()
+    }
+
+    /// Returns a new state with `k` inserted.
+    pub fn with_inserted(&self, k: u16) -> State {
+        debug_assert!(!self.contains(k), "inserting an index already present");
+        let mut indices = Vec::with_capacity(self.indices.len() + 1);
+        let pos = self.indices.partition_point(|&i| i < k);
+        indices.extend_from_slice(&self.indices[..pos]);
+        indices.push(k);
+        indices.extend_from_slice(&self.indices[pos..]);
+        State { indices }
+    }
+
+    /// Returns a new state with the member `old` replaced by `new`.
+    pub fn with_replaced(&self, old: u16, new: u16) -> State {
+        debug_assert!(self.contains(old) && !self.contains(new));
+        let mut indices: Vec<u16> = self.indices.iter().copied().filter(|&i| i != old).collect();
+        let pos = indices.partition_point(|&i| i < new);
+        indices.insert(pos, new);
+        State { indices }
+    }
+
+    /// Returns the prefix state keeping the first `n` members (used by the
+    /// D-HEURDOI regrow heuristic, paper Figure 11 step 2.5.1).
+    pub fn prefix(&self, n: usize) -> State {
+        State {
+            indices: self.indices[..n.min(self.indices.len())].to_vec(),
+        }
+    }
+
+    /// True if `self` is componentwise ≥ `other` (same size): i.e. `self`
+    /// is reachable from `other` through Vertical transitions, which means
+    /// `self` lies *below* `other` in the paper's diagrams.
+    pub fn dominated_by(&self, other: &State) -> bool {
+        self.len() == other.len()
+            && self
+                .indices
+                .iter()
+                .zip(other.indices.iter())
+                .all(|(s, o)| s >= o)
+    }
+
+    /// True if `other`'s members are a subset of `self`'s.
+    pub fn is_superset_of(&self, other: &State) -> bool {
+        other.indices.iter().all(|i| self.contains(*i))
+    }
+
+    /// A 128-bit set key for visited hashing.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if an index exceeds [`MAX_K`].
+    pub fn bitkey(&self) -> u128 {
+        let mut key = 0u128;
+        for &i in &self.indices {
+            debug_assert!((i as usize) < MAX_K);
+            key |= 1u128 << (i as u32 % 128);
+        }
+        key
+    }
+
+    /// Approximate heap footprint in bytes — the unit the Figure 13 memory
+    /// experiment accumulates.
+    pub fn heap_bytes(&self) -> usize {
+        self.indices.capacity() * std::mem::size_of::<u16>()
+    }
+
+    /// Iterates over the members.
+    pub fn iter(&self) -> impl Iterator<Item = u16> + '_ {
+        self.indices.iter().copied()
+    }
+
+    /// Maps the state's rank-vector indices to P-indices through `order`
+    /// (the paper's `C[k]` dereference).
+    pub fn to_pref_indices(&self, order: &[usize]) -> Vec<usize> {
+        self.indices.iter().map(|&i| order[i as usize]).collect()
+    }
+}
+
+impl fmt::Display for State {
+    /// Paper-style rendering, 1-based: `c1c3c4`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.indices.is_empty() {
+            return write!(f, "∅");
+        }
+        for i in &self.indices {
+            write!(f, "c{}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u16> for State {
+    fn from_iter<T: IntoIterator<Item = u16>>(iter: T) -> Self {
+        State::from_indices(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[u16]) -> State {
+        State::from_indices(v.to_vec())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let st = s(&[3, 1, 3, 0]);
+        assert_eq!(st.indices(), &[0, 1, 3]);
+        assert_eq!(st.len(), 3);
+        assert!(st.contains(1));
+        assert!(!st.contains(2));
+        assert_eq!(st.max_index(), Some(3));
+    }
+
+    #[test]
+    fn insertion_and_replacement_keep_order() {
+        let st = s(&[0, 2]);
+        assert_eq!(st.with_inserted(1).indices(), &[0, 1, 2]);
+        assert_eq!(st.with_inserted(5).indices(), &[0, 2, 5]);
+        assert_eq!(st.with_replaced(2, 3).indices(), &[0, 3]);
+        assert_eq!(st.with_replaced(0, 1).indices(), &[1, 2]);
+    }
+
+    #[test]
+    fn paper_dominance_example() {
+        // Figure 6 discussion: c2c3c5 lies below boundary c2c3c4
+        // (componentwise {1,2,4} ≥ {1,2,3}).
+        let below = s(&[1, 2, 4]);
+        let boundary = s(&[1, 2, 3]);
+        assert!(below.dominated_by(&boundary));
+        assert!(!boundary.dominated_by(&below));
+        // Different sizes never dominate.
+        assert!(!s(&[1, 2]).dominated_by(&boundary));
+    }
+
+    #[test]
+    fn superset_check() {
+        // C-MAXBOUNDS: c1 is a subset of c1c3 and therefore redundant.
+        assert!(s(&[0, 2]).is_superset_of(&s(&[0])));
+        assert!(!s(&[0]).is_superset_of(&s(&[0, 2])));
+        assert!(s(&[0]).is_superset_of(&State::empty()));
+    }
+
+    #[test]
+    fn bitkeys_distinguish_states() {
+        assert_ne!(s(&[0, 1]).bitkey(), s(&[0, 2]).bitkey());
+        assert_eq!(s(&[1, 0]).bitkey(), s(&[0, 1]).bitkey());
+        assert_eq!(State::empty().bitkey(), 0);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let st = s(&[0, 2, 5]);
+        assert_eq!(st.prefix(2).indices(), &[0, 2]);
+        assert_eq!(st.prefix(0), State::empty());
+        assert_eq!(st.prefix(9), st);
+    }
+
+    #[test]
+    fn display_is_paper_style() {
+        assert_eq!(s(&[0, 2, 3]).to_string(), "c1c3c4");
+        assert_eq!(State::empty().to_string(), "∅");
+    }
+
+    #[test]
+    fn pref_index_mapping() {
+        // C = [2, 0, 1] maps state {0,2} to P-indices {2, 1}.
+        let order = vec![2usize, 0, 1];
+        assert_eq!(s(&[0, 2]).to_pref_indices(&order), vec![2, 1]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let st: State = vec![4u16, 1, 4].into_iter().collect();
+        assert_eq!(st.indices(), &[1, 4]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cqp-datagen
+//!
+//! Seeded synthetic workloads for the CQP experiments.
+//!
+//! The paper evaluated on the Internet Movie Database [7] with the
+//! evaluation setting of [12] — "a broad range of doi values, doi-value
+//! deviations, queries, etc." (Section 7). Neither artefact is available,
+//! and the experiments depend only on *statistical shape*: relation block
+//! counts, attribute selectivities, and the distribution of preference
+//! dois. This crate regenerates that shape deterministically:
+//!
+//! * [`movies`] — an IMDb-like database (MOVIE, DIRECTOR, GENRE, ACTOR,
+//!   CASTS) with Zipf-skewed value distributions,
+//! * [`tourism`] — the tourist-information schema of the paper's
+//!   introduction (Al planning his trip to Pisa),
+//! * [`profiles`] — random user profiles over either schema,
+//! * [`queries`] — query workloads (the experiments average over
+//!   20 profiles × 10 queries per data point),
+//! * [`zipf`] — the skew engine underneath.
+
+pub mod movies;
+pub mod profiles;
+pub mod queries;
+pub mod tourism;
+pub mod zipf;
+
+pub use movies::{generate_movie_db, MovieDbConfig};
+pub use profiles::{generate_movie_profile, ProfileGenConfig};
+pub use queries::{generate_movie_queries, QueryGenConfig};
+pub use tourism::{generate_tourism_db, TourismConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,201 @@
+//! Random user-profile generation over the movie schema.
+//!
+//! The evaluation setting (paper Section 7, following [12]) varies the doi
+//! values and their deviations across profiles; each experiment point
+//! averages 20 profiles. Profiles here consist of:
+//!
+//! * join preferences along the schema's foreign keys
+//!   (`MOVIE→GENRE`, `MOVIE→DIRECTOR`, `MOVIE→CASTS`, `CASTS→ACTOR`), and
+//! * selection preferences over genre names, director names, actor names,
+//!   and movie years,
+//!
+//! with dois drawn from a configurable `mean ± deviation` band. The counts
+//! default high enough that a query on MOVIE yields ≥ 40 related
+//! preferences — the paper's largest `K`.
+
+use crate::movies::{actor_name, director_name, GENRES};
+use cqp_engine::CmpOp;
+use cqp_prefs::{Doi, Profile};
+use cqp_storage::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Profile generator configuration.
+#[derive(Debug, Clone)]
+pub struct ProfileGenConfig {
+    /// Selection preferences on GENRE.genre.
+    pub genre_selections: usize,
+    /// Selection preferences on DIRECTOR.name.
+    pub director_selections: usize,
+    /// Selection preferences on ACTOR.name.
+    pub actor_selections: usize,
+    /// Selection preferences on MOVIE.year (as `year >= v`).
+    pub year_selections: usize,
+    /// Mean of the selection doi distribution.
+    pub doi_mean: f64,
+    /// Half-width of the uniform doi band around the mean.
+    pub doi_deviation: f64,
+    /// Number of directors in the database (for name sampling).
+    pub n_directors: usize,
+    /// Number of actors in the database (for name sampling).
+    pub n_actors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProfileGenConfig {
+    fn default() -> Self {
+        ProfileGenConfig {
+            genre_selections: 12,
+            director_selections: 15,
+            actor_selections: 15,
+            year_selections: 4,
+            doi_mean: 0.6,
+            doi_deviation: 0.3,
+            n_directors: 300,
+            n_actors: 2000,
+            seed: 7,
+        }
+    }
+}
+
+impl ProfileGenConfig {
+    /// A small configuration matched to [`crate::MovieDbConfig::tiny`].
+    pub fn tiny(seed: u64) -> Self {
+        ProfileGenConfig {
+            genre_selections: 5,
+            director_selections: 5,
+            actor_selections: 5,
+            year_selections: 2,
+            n_directors: 20,
+            n_actors: 100,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn sample_doi(&self, rng: &mut StdRng) -> Doi {
+        let lo = (self.doi_mean - self.doi_deviation).max(0.01);
+        let hi = (self.doi_mean + self.doi_deviation).min(0.99);
+        Doi::clamped(rng.gen_range(lo..=hi))
+    }
+}
+
+/// Generates a profile over the movie schema.
+///
+/// # Panics
+/// Panics if the catalog does not contain the movie schema.
+pub fn generate_movie_profile(catalog: &Catalog, config: &ProfileGenConfig) -> Profile {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut p = Profile::new(format!("profile-{}", config.seed));
+
+    // Join preferences along the schema graph. Join dois are kept high:
+    // they model structural relevance (the paper's Figure 1 join dois are
+    // 0.9 and 1.0).
+    let mut join = |l: (&str, &str), r: (&str, &str), rng: &mut StdRng| {
+        let doi = Doi::clamped(rng.gen_range(0.8..=1.0));
+        p.add_join(catalog, l.0, l.1, r.0, r.1, doi)
+            .expect("movie schema present");
+    };
+    join(("MOVIE", "mid"), ("GENRE", "mid"), &mut rng);
+    join(("MOVIE", "did"), ("DIRECTOR", "did"), &mut rng);
+    join(("MOVIE", "mid"), ("CASTS", "mid"), &mut rng);
+    join(("CASTS", "aid"), ("ACTOR", "aid"), &mut rng);
+
+    // Selection preferences with sampled values and dois.
+    let mut used_genres: Vec<usize> = Vec::new();
+    for _ in 0..config.genre_selections.min(GENRES.len()) {
+        let mut g = rng.gen_range(0..GENRES.len());
+        while used_genres.contains(&g) {
+            g = rng.gen_range(0..GENRES.len());
+        }
+        used_genres.push(g);
+        let doi = config.sample_doi(&mut rng);
+        p.add_selection(catalog, "GENRE", "genre", GENRES[g], doi)
+            .expect("movie schema present");
+    }
+    for _ in 0..config.director_selections {
+        let d = rng.gen_range(0..config.n_directors.max(1));
+        let doi = config.sample_doi(&mut rng);
+        p.add_selection(catalog, "DIRECTOR", "name", director_name(d), doi)
+            .expect("movie schema present");
+    }
+    for _ in 0..config.actor_selections {
+        let a = rng.gen_range(0..config.n_actors.max(1));
+        let doi = config.sample_doi(&mut rng);
+        p.add_selection(catalog, "ACTOR", "name", actor_name(a), doi)
+            .expect("movie schema present");
+    }
+    for _ in 0..config.year_selections {
+        let year = 1960 + rng.gen_range(0..45) as i64;
+        let doi = config.sample_doi(&mut rng);
+        p.add_selection_op(catalog, "MOVIE", "year", CmpOp::Ge, year, doi)
+            .expect("movie schema present");
+    }
+
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movies::{generate_movie_db, MovieDbConfig};
+
+    #[test]
+    fn generates_enough_preferences_for_k40() {
+        let db = generate_movie_db(&MovieDbConfig::tiny(1));
+        let cfg = ProfileGenConfig {
+            genre_selections: 12,
+            director_selections: 15,
+            actor_selections: 15,
+            year_selections: 4,
+            n_directors: 20,
+            n_actors: 100,
+            ..ProfileGenConfig::tiny(3)
+        };
+        let p = generate_movie_profile(db.catalog(), &cfg);
+        // 4 joins + 46 selections.
+        assert_eq!(p.num_preferences(), 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db = generate_movie_db(&MovieDbConfig::tiny(1));
+        let a = generate_movie_profile(db.catalog(), &ProfileGenConfig::tiny(9));
+        let b = generate_movie_profile(db.catalog(), &ProfileGenConfig::tiny(9));
+        assert_eq!(a.graph().selections(), b.graph().selections());
+        assert_eq!(a.graph().joins(), b.graph().joins());
+        let c = generate_movie_profile(db.catalog(), &ProfileGenConfig::tiny(10));
+        assert_ne!(a.graph().selections(), c.graph().selections());
+    }
+
+    #[test]
+    fn dois_respect_the_band() {
+        let db = generate_movie_db(&MovieDbConfig::tiny(1));
+        let cfg = ProfileGenConfig {
+            doi_mean: 0.5,
+            doi_deviation: 0.1,
+            ..ProfileGenConfig::tiny(4)
+        };
+        let p = generate_movie_profile(db.catalog(), &cfg);
+        for e in p.graph().selections() {
+            assert!(e.doi.value() >= 0.39 && e.doi.value() <= 0.61, "{}", e.doi);
+        }
+    }
+
+    #[test]
+    fn genre_selections_are_distinct() {
+        let db = generate_movie_db(&MovieDbConfig::tiny(1));
+        let p = generate_movie_profile(db.catalog(), &ProfileGenConfig::tiny(5));
+        let genre = db.catalog().relation_id("GENRE").unwrap();
+        let mut values: Vec<String> = p
+            .graph()
+            .selections_on(genre)
+            .map(|e| e.value.to_string())
+            .collect();
+        let before = values.len();
+        values.sort();
+        values.dedup();
+        assert_eq!(values.len(), before);
+    }
+}

@@ -1,0 +1,124 @@
+//! A seeded Zipf(θ) sampler over `{0, …, n-1}`.
+//!
+//! Real-world attribute values (genres, directors, cast sizes) are heavily
+//! skewed; Zipf is the standard model. Implemented with a precomputed CDF
+//! and binary search — O(n) setup, O(log n) per sample, fully
+//! deterministic under a caller-provided RNG.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `theta`.
+///
+/// `theta = 0` degenerates to uniform; `theta = 1` is the classic Zipf.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one outcome");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of outcomes.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(50, 1.0);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..50 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_skew() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be clearly more frequent than rank 10.
+        assert!(counts[0] > counts[10] * 3, "{counts:?}");
+        // Every count within the sampler's support was produced at least
+        // once for this size/seed.
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 15);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(30, 0.8);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn zero_outcomes_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The paper's approximate execution-cost model.
+//!
+//! Section 7.1: *"execution cost is simply the cost of reading from disk all
+//! required data once. Hence, the execution cost of a sub-query qi on
+//! relations Ri1,…RiN is estimated as `cost(qi) = b × Σ blocks(Rij)`"*, and
+//! (Formula 6/11) the cost of a personalized query is the sum of its
+//! sub-queries' costs — group-by/having is assumed negligible.
+//!
+//! Costs are carried around in integer *blocks* and converted to
+//! milliseconds only at the edges; this keeps every comparison inside the
+//! CQP search exact and deterministic.
+
+use crate::query::{ConjunctiveQuery, PersonalizedQuery};
+use cqp_storage::{DbStats, RelationId};
+
+/// The paper's cost model over database statistics.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    stats: &'a DbStats,
+    /// `b`: milliseconds per block read (1 ms in the paper's experiments).
+    ms_per_block: f64,
+}
+
+impl<'a> CostModel<'a> {
+    /// Builds a cost model with the paper's default `b = 1 ms`.
+    pub fn new(stats: &'a DbStats) -> Self {
+        CostModel {
+            stats,
+            ms_per_block: 1.0,
+        }
+    }
+
+    /// Builds a cost model with an explicit per-block cost.
+    pub fn with_ms_per_block(stats: &'a DbStats, ms_per_block: f64) -> Self {
+        assert!(ms_per_block.is_finite() && ms_per_block > 0.0);
+        CostModel {
+            stats,
+            ms_per_block,
+        }
+    }
+
+    /// `blocks(R)` for one relation (0 if statistics are missing).
+    pub fn relation_blocks(&self, relation: RelationId) -> u64 {
+        self.stats.table(relation.index()).map_or(0, |t| t.blocks)
+    }
+
+    /// Estimated cost of one conjunctive (sub-)query in blocks:
+    /// `Σ blocks(R)` over its FROM list.
+    pub fn query_blocks(&self, query: &ConjunctiveQuery) -> u64 {
+        query
+            .relations
+            .iter()
+            .map(|r| self.relation_blocks(*r))
+            .sum()
+    }
+
+    /// Estimated cost of a personalized query in blocks: the sum over its
+    /// sub-queries (Formula 6). A trivial personalized query costs as much
+    /// as its base query.
+    pub fn personalized_blocks(&self, pq: &PersonalizedQuery) -> u64 {
+        if pq.is_trivial() {
+            self.query_blocks(&pq.base)
+        } else {
+            pq.subqueries.iter().map(|q| self.query_blocks(q)).sum()
+        }
+    }
+
+    /// Converts a block count to milliseconds using `b`.
+    pub fn blocks_to_ms(&self, blocks: u64) -> f64 {
+        blocks as f64 * self.ms_per_block
+    }
+
+    /// Estimated cost of a conjunctive query in milliseconds.
+    pub fn query_ms(&self, query: &ConjunctiveQuery) -> f64 {
+        self.blocks_to_ms(self.query_blocks(query))
+    }
+
+    /// Estimated cost of a personalized query in milliseconds.
+    pub fn personalized_ms(&self, pq: &PersonalizedQuery) -> f64 {
+        self.blocks_to_ms(self.personalized_blocks(pq))
+    }
+
+    /// The configured `b` in milliseconds.
+    pub fn ms_per_block(&self) -> f64 {
+        self.ms_per_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use cqp_storage::{DataType, Database, RelationSchema, Value};
+
+    fn db_with_blocks() -> Database {
+        let mut db = Database::with_block_capacity(2);
+        db.create_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        for i in 0..10 {
+            db.insert_into(
+                "MOVIE",
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("m{i}")),
+                    Value::Int(i % 3),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..3 {
+            db.insert_into("DIRECTOR", vec![Value::Int(i), Value::str(format!("d{i}"))])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn query_cost_sums_relation_blocks() {
+        let db = db_with_blocks();
+        let stats = db.analyze();
+        let model = CostModel::new(&stats);
+        // MOVIE: 10 rows / 2 = 5 blocks; DIRECTOR: 3 rows / 2 = 2 blocks.
+        let q1 = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        assert_eq!(model.query_blocks(&q1), 5);
+        let q2 = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .join("MOVIE", "did", "DIRECTOR", "did")
+            .unwrap()
+            .build();
+        assert_eq!(model.query_blocks(&q2), 7);
+        assert!((model.query_ms(&q2) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn personalized_cost_is_sum_of_subqueries() {
+        let db = db_with_blocks();
+        let stats = db.analyze();
+        let model = CostModel::new(&stats);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let sub = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .join("MOVIE", "did", "DIRECTOR", "did")
+            .unwrap()
+            .build();
+        let pq = PersonalizedQuery {
+            base: base.clone(),
+            subqueries: vec![sub.clone(), sub],
+        };
+        assert_eq!(model.personalized_blocks(&pq), 14);
+        let trivial = PersonalizedQuery {
+            base,
+            subqueries: vec![],
+        };
+        assert_eq!(model.personalized_blocks(&trivial), 5);
+    }
+
+    #[test]
+    fn custom_block_time_scales_ms() {
+        let db = db_with_blocks();
+        let stats = db.analyze();
+        let model = CostModel::with_ms_per_block(&stats, 2.5);
+        let q = QueryBuilder::from(db.catalog(), "DIRECTOR")
+            .unwrap()
+            .select("DIRECTOR", "name")
+            .unwrap()
+            .build();
+        assert!((model.query_ms(&q) - 5.0).abs() < 1e-12);
+        assert!((model.ms_per_block() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_stats_cost_zero() {
+        let stats = DbStats::default();
+        let model = CostModel::new(&stats);
+        assert_eq!(model.relation_blocks(RelationId(5)), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Engine error types.
+
+use cqp_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while planning or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// A predicate references an attribute of a relation not in the query.
+    AttrNotInQuery {
+        /// Printable name of the offending attribute.
+        attr: String,
+    },
+    /// The query references no relations.
+    EmptyFrom,
+    /// A relation in the FROM list is unreachable by join predicates from
+    /// the rest of the query (would require a cartesian product).
+    DisconnectedRelation {
+        /// Printable name of the unreachable relation.
+        relation: String,
+    },
+    /// A projection attribute is absent from the executed tuple layout.
+    ProjectionUnavailable {
+        /// Printable name of the missing attribute.
+        attr: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::AttrNotInQuery { attr } => {
+                write!(f, "predicate references attribute {attr} not in the query's FROM list")
+            }
+            EngineError::EmptyFrom => write!(f, "query has an empty FROM list"),
+            EngineError::DisconnectedRelation { relation } => write!(
+                f,
+                "relation {relation} is not connected by any join predicate (cartesian products are not supported)"
+            ),
+            EngineError::ProjectionUnavailable { attr } => {
+                write!(f, "projection attribute {attr} is unavailable in the result layout")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Convenience alias for engine results.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: EngineError = StorageError::UnknownRelation("X".into()).into();
+        assert!(e.to_string().contains('X'));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::EmptyFrom.to_string().contains("FROM"));
+        let e = EngineError::DisconnectedRelation {
+            relation: "GENRE".into(),
+        };
+        assert!(e.to_string().contains("GENRE"));
+    }
+}

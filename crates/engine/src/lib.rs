@@ -1,0 +1,65 @@
+//! # cqp-engine
+//!
+//! Query representation, execution, and parameter estimation for the CQP
+//! reproduction (Koutrika & Ioannidis, SIGMOD 2005).
+//!
+//! The paper personalizes *conjunctive* select-project-join queries. A
+//! personalized query `Qx = Q ∧ Px` is rewritten (Section 4.2) as a set of
+//! sub-queries — one per preference — combined with
+//! `UNION ALL … GROUP BY … HAVING COUNT(*) = L`. This crate provides:
+//!
+//! * [`query::ConjunctiveQuery`] and [`query::PersonalizedQuery`] ASTs plus a
+//!   catalog-aware [`query::QueryBuilder`],
+//! * a pretty-printer ([`sql`]) that emits the SQL the paper shows,
+//! * an executor ([`exec`]) with block-metered scans, hash joins, and the
+//!   union/group/having combiner,
+//! * the paper's approximate cost model ([`cost`], Formulas 6/11), and
+//! * cardinality estimation ([`card`]) backed by `cqp-storage` statistics.
+//!
+//! ```
+//! use cqp_engine::{execute, CmpOp, QueryBuilder};
+//! use cqp_storage::{Database, DataType, IoMeter, RelationSchema, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_relation(RelationSchema::new(
+//!     "MOVIE",
+//!     vec![("mid", DataType::Int), ("title", DataType::Str), ("year", DataType::Int)],
+//! ))
+//! .unwrap();
+//! db.insert_into("MOVIE", vec![Value::Int(1), Value::str("Manhattan"), Value::Int(1979)])
+//!     .unwrap();
+//! db.insert_into("MOVIE", vec![Value::Int(2), Value::str("Chicago"), Value::Int(2002)])
+//!     .unwrap();
+//!
+//! let q = QueryBuilder::from(db.catalog(), "MOVIE")
+//!     .unwrap()
+//!     .select("MOVIE", "title")
+//!     .unwrap()
+//!     .filter("MOVIE", "year", CmpOp::Ge, 2000i64)
+//!     .unwrap()
+//!     .build();
+//!
+//! let meter = IoMeter::new(1.0); // b = 1 ms per block, as in the paper
+//! let out = execute(&db, &q, &meter).unwrap();
+//! assert_eq!(out.rows, vec![vec![Value::str("Chicago")]]);
+//! assert_eq!(meter.blocks_read(), 1);
+//! ```
+
+pub mod card;
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod parse;
+pub mod query;
+pub mod rank;
+pub mod sql;
+
+pub use card::CardEstimator;
+pub use cost::CostModel;
+pub use error::{EngineError, EngineResult};
+pub use exec::{execute, execute_personalized, ExecOutput};
+pub use explain::{explain, explain_personalized, PlanNode};
+pub use parse::{parse_query, ParseError};
+pub use query::{CmpOp, ConjunctiveQuery, PersonalizedQuery, Predicate, QueryBuilder};
+pub use rank::{execute_ranked, Matching, RankedRow};

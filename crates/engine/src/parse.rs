@@ -1,0 +1,626 @@
+//! A small SQL parser for the conjunctive fragment the paper uses.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query     := SELECT proj (',' proj)* FROM rel (',' rel)* [WHERE conj]
+//! proj      := ident | ident '.' ident
+//! conj      := pred (AND pred)*
+//! pred      := operand op operand
+//! operand   := ident['.' ident] | literal
+//! op        := '=' | '<>' | '<' | '<=' | '>' | '>='
+//! literal   := 'string' | integer | float
+//! ```
+//!
+//! Unqualified column names are resolved against the FROM relations and
+//! must be unambiguous. The parser exists so examples, tests, and REPL-ish
+//! tools can write the paper's queries as text:
+//!
+//! ```
+//! use cqp_engine::parse_query;
+//! use cqp_storage::{Catalog, DataType, RelationSchema};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.add_relation(RelationSchema::new(
+//!     "MOVIE",
+//!     vec![("mid", DataType::Int), ("title", DataType::Str)],
+//! )).unwrap();
+//!
+//! let q = parse_query("select title from MOVIE", &catalog).unwrap();
+//! assert_eq!(q.projection.len(), 1);
+//! ```
+
+use crate::query::{CmpOp, ConjunctiveQuery, Predicate};
+use cqp_storage::{Catalog, QualifiedAttr, RelationId, Value};
+use std::fmt;
+
+/// Errors from query parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenizer failure (unterminated string, bad character).
+    Lex(String),
+    /// A keyword or token was expected but something else appeared.
+    Expected {
+        /// What the parser wanted.
+        wanted: &'static str,
+        /// What it found.
+        found: String,
+    },
+    /// A relation named in FROM is unknown.
+    UnknownRelation(String),
+    /// A column could not be resolved.
+    UnknownColumn(String),
+    /// An unqualified column name matches several FROM relations.
+    AmbiguousColumn(String),
+    /// Trailing input after a complete query.
+    TrailingInput(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(m) => write!(f, "lex error: {m}"),
+            ParseError::Expected { wanted, found } => {
+                write!(f, "expected {wanted}, found `{found}`")
+            }
+            ParseError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            ParseError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ParseError::AmbiguousColumn(c) => {
+                write!(f, "column `{c}` is ambiguous across the FROM relations")
+            }
+            ParseError::TrailingInput(t) => write!(f, "trailing input starting at `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Comma,
+    Dot,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    End,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&'=') => {
+                        chars.next();
+                        out.push(Token::Le);
+                    }
+                    Some(&'>') => {
+                        chars.next();
+                        out.push(Token::Ne);
+                    }
+                    _ => out.push(Token::Lt),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            // '' escapes a quote, SQL style.
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(ParseError::Lex("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.contains('.') {
+                    let v: f64 = s
+                        .parse()
+                        .map_err(|_| ParseError::Lex(format!("bad number `{s}`")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = s
+                        .parse()
+                        .map_err(|_| ParseError::Lex(format!("bad number `{s}`")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(ParseError::Lex(format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(Token::End);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    catalog: &'a Catalog,
+    from: Vec<RelationId>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError::Expected {
+                wanted: kw,
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self, wanted: &'static str) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::Expected {
+                wanted,
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Resolves `name` or `rel.name` against the FROM relations.
+    fn resolve_column(&mut self, first: String) -> Result<QualifiedAttr, ParseError> {
+        if *self.peek() == Token::Dot {
+            self.next();
+            let attr = self.ident("attribute name")?;
+            let rid = self
+                .catalog
+                .relation_id(&first)
+                .map_err(|_| ParseError::UnknownRelation(first.clone()))?;
+            if !self.from.contains(&rid) {
+                return Err(ParseError::UnknownColumn(format!(
+                    "{first}.{attr} (relation not in FROM)"
+                )));
+            }
+            return self
+                .catalog
+                .attr_id(rid, &attr)
+                .map(|a| QualifiedAttr {
+                    relation: rid,
+                    attr: a,
+                })
+                .map_err(|_| ParseError::UnknownColumn(format!("{first}.{attr}")));
+        }
+        // Unqualified: search the FROM relations.
+        let mut hit: Option<QualifiedAttr> = None;
+        for &rid in &self.from {
+            if let Ok(a) = self.catalog.attr_id(rid, &first) {
+                if hit.is_some() {
+                    return Err(ParseError::AmbiguousColumn(first));
+                }
+                hit = Some(QualifiedAttr {
+                    relation: rid,
+                    attr: a,
+                });
+            }
+        }
+        hit.ok_or(ParseError::UnknownColumn(first))
+    }
+}
+
+/// Parses a conjunctive SELECT statement against a catalog.
+pub fn parse_query(input: &str, catalog: &Catalog) -> Result<ConjunctiveQuery, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+        from: Vec::new(),
+    };
+    p.expect_keyword("select")?;
+
+    // Projection names are collected first and resolved after FROM.
+    let mut proj_names: Vec<(String, Option<String>)> = Vec::new();
+    loop {
+        let first = p.ident("projection column")?;
+        if *p.peek() == Token::Dot {
+            p.next();
+            let attr = p.ident("attribute name")?;
+            proj_names.push((first, Some(attr)));
+        } else {
+            proj_names.push((first, None));
+        }
+        if *p.peek() == Token::Comma {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    p.expect_keyword("from")?;
+    loop {
+        let rel = p.ident("relation name")?;
+        let rid = p
+            .catalog
+            .relation_id(&rel)
+            .map_err(|_| ParseError::UnknownRelation(rel.clone()))?;
+        if !p.from.contains(&rid) {
+            p.from.push(rid);
+        }
+        if *p.peek() == Token::Comma {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    // Resolve the projection now that FROM is known.
+    let mut projection = Vec::new();
+    for (first, attr) in proj_names {
+        let qa = match attr {
+            Some(attr) => {
+                let rid = p
+                    .catalog
+                    .relation_id(&first)
+                    .map_err(|_| ParseError::UnknownRelation(first.clone()))?;
+                if !p.from.contains(&rid) {
+                    return Err(ParseError::UnknownColumn(format!(
+                        "{first}.{attr} (relation not in FROM)"
+                    )));
+                }
+                p.catalog
+                    .attr_id(rid, &attr)
+                    .map(|a| QualifiedAttr {
+                        relation: rid,
+                        attr: a,
+                    })
+                    .map_err(|_| ParseError::UnknownColumn(format!("{first}.{attr}")))?
+            }
+            None => {
+                // Temporarily rewind-free resolution of an unqualified name.
+                let mut hit: Option<QualifiedAttr> = None;
+                for &rid in &p.from {
+                    if let Ok(a) = p.catalog.attr_id(rid, &first) {
+                        if hit.is_some() {
+                            return Err(ParseError::AmbiguousColumn(first));
+                        }
+                        hit = Some(QualifiedAttr {
+                            relation: rid,
+                            attr: a,
+                        });
+                    }
+                }
+                hit.ok_or(ParseError::UnknownColumn(first))?
+            }
+        };
+        projection.push(qa);
+    }
+
+    let mut query = ConjunctiveQuery {
+        projection,
+        relations: p.from.clone(),
+        predicates: Vec::new(),
+    };
+
+    // Optional WHERE.
+    if let Token::Ident(s) = p.peek() {
+        if s.eq_ignore_ascii_case("where") {
+            p.next();
+            loop {
+                let pred = parse_predicate(&mut p)?;
+                query.predicates.push(pred);
+                match p.peek() {
+                    Token::Ident(s) if s.eq_ignore_ascii_case("and") => {
+                        p.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    match p.peek() {
+        Token::End => Ok(query),
+        other => Err(ParseError::TrailingInput(format!("{other:?}"))),
+    }
+}
+
+fn parse_predicate(p: &mut Parser<'_>) -> Result<Predicate, ParseError> {
+    let first = p.ident("column")?;
+    let left = p.resolve_column(first)?;
+    let op = match p.next() {
+        Token::Eq => CmpOp::Eq,
+        Token::Ne => CmpOp::Ne,
+        Token::Lt => CmpOp::Lt,
+        Token::Le => CmpOp::Le,
+        Token::Gt => CmpOp::Gt,
+        Token::Ge => CmpOp::Ge,
+        other => {
+            return Err(ParseError::Expected {
+                wanted: "=, <= or >=",
+                found: format!("{other:?}"),
+            })
+        }
+    };
+    match p.next() {
+        Token::Str(s) => Ok(Predicate::Selection {
+            attr: left,
+            op,
+            value: Value::Str(s),
+        }),
+        Token::Int(i) => Ok(Predicate::Selection {
+            attr: left,
+            op,
+            value: Value::Int(i),
+        }),
+        Token::Float(v) => Ok(Predicate::Selection {
+            attr: left,
+            op,
+            value: Value::float(v),
+        }),
+        Token::Ident(name) => {
+            let right = p.resolve_column(name)?;
+            if op != CmpOp::Eq {
+                return Err(ParseError::Expected {
+                    wanted: "= for join predicates",
+                    found: op.sql().to_owned(),
+                });
+            }
+            Ok(Predicate::Join { left, right })
+        }
+        other => Err(ParseError::Expected {
+            wanted: "value or column",
+            found: format!("{other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::conjunctive_sql;
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn parses_the_paper_base_query() {
+        let c = catalog();
+        let q = parse_query("select title from MOVIE", &c).unwrap();
+        assert_eq!(q.relations.len(), 1);
+        assert!(q.predicates.is_empty());
+        assert_eq!(conjunctive_sql(&c, &q), "select MOVIE.title from MOVIE");
+    }
+
+    #[test]
+    fn parses_the_paper_subquery_q1() {
+        let c = catalog();
+        let q = parse_query(
+            "select title from MOVIE, DIRECTOR \
+             where MOVIE.did = DIRECTOR.did and DIRECTOR.name = 'W. Allen'",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(q.relations.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert!(matches!(q.predicates[0], Predicate::Join { .. }));
+        assert!(matches!(
+            &q.predicates[1],
+            Predicate::Selection { value, .. } if value == &Value::str("W. Allen")
+        ));
+        q.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn resolves_unqualified_columns() {
+        let c = catalog();
+        let q = parse_query("select title, year from MOVIE where year >= 1990", &c).unwrap();
+        assert_eq!(q.projection.len(), 2);
+        assert!(matches!(
+            &q.predicates[0],
+            Predicate::Selection { op: CmpOp::Ge, value, .. } if value == &Value::Int(1990)
+        ));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_rejected() {
+        let c = catalog();
+        // `mid` exists in both MOVIE and GENRE.
+        let err = parse_query(
+            "select mid from MOVIE, GENRE where MOVIE.mid = GENRE.mid",
+            &c,
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseError::AmbiguousColumn("mid".into()));
+    }
+
+    #[test]
+    fn quoted_strings_support_sql_escapes() {
+        let c = catalog();
+        let q = parse_query("select title from MOVIE where title = 'It''s Magic'", &c).unwrap();
+        assert!(matches!(
+            &q.predicates[0],
+            Predicate::Selection { value, .. } if value == &Value::str("It's Magic")
+        ));
+    }
+
+    #[test]
+    fn error_cases() {
+        let c = catalog();
+        assert!(matches!(
+            parse_query("select title from NOPE", &c),
+            Err(ParseError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_query("select nope from MOVIE", &c),
+            Err(ParseError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            parse_query("select title from MOVIE extra", &c),
+            Err(ParseError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            parse_query("banana", &c),
+            Err(ParseError::Expected {
+                wanted: "select",
+                ..
+            })
+        ));
+        // Join with non-eq operator is rejected.
+        assert!(parse_query(
+            "select title from MOVIE, GENRE where MOVIE.mid >= GENRE.mid",
+            &c
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn strict_and_negated_comparisons_parse() {
+        let c = catalog();
+        let q = parse_query("select title from MOVIE where year < 1990", &c).unwrap();
+        assert!(matches!(
+            &q.predicates[0],
+            Predicate::Selection { op: CmpOp::Lt, .. }
+        ));
+        let q = parse_query("select title from MOVIE where year > 1990", &c).unwrap();
+        assert!(matches!(
+            &q.predicates[0],
+            Predicate::Selection { op: CmpOp::Gt, .. }
+        ));
+        let q = parse_query("select title from MOVIE where title <> 'X'", &c).unwrap();
+        assert!(matches!(
+            &q.predicates[0],
+            Predicate::Selection { op: CmpOp::Ne, .. }
+        ));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let c = catalog();
+        let q = parse_query("SELECT title FROM MOVIE WHERE year >= 2000", &c).unwrap();
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn parse_executes_round_trip() {
+        // Parsed queries run through the executor like built ones.
+        use cqp_storage::{Database, IoMeter};
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.insert_into(
+            "MOVIE",
+            vec![
+                Value::Int(1),
+                Value::str("Chicago"),
+                Value::Int(2002),
+                Value::Int(1),
+            ],
+        )
+        .unwrap();
+        let q = parse_query("select title from MOVIE where year >= 2000", db.catalog()).unwrap();
+        let out = crate::exec::execute(&db, &q, &IoMeter::default()).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::str("Chicago")]]);
+    }
+}

@@ -1,0 +1,185 @@
+//! SQL pretty-printing for queries, matching the paper's Section 4.2 form.
+
+use crate::query::{ConjunctiveQuery, PersonalizedQuery, Predicate};
+use cqp_storage::Catalog;
+use std::fmt::Write as _;
+
+/// Renders a conjunctive query as SQL text.
+pub fn conjunctive_sql(catalog: &Catalog, q: &ConjunctiveQuery) -> String {
+    let mut out = String::new();
+    let projection = if q.projection.is_empty() {
+        "*".to_owned()
+    } else {
+        q.projection
+            .iter()
+            .map(|qa| catalog.attr_name(*qa))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let from = q
+        .relations
+        .iter()
+        .map(|r| {
+            catalog
+                .relation(*r)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|_| "?".into())
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = write!(out, "select {projection} from {from}");
+    if !q.predicates.is_empty() {
+        let conds = q
+            .predicates
+            .iter()
+            .map(|p| predicate_sql(catalog, p))
+            .collect::<Vec<_>>()
+            .join(" and ");
+        let _ = write!(out, " where {conds}");
+    }
+    out
+}
+
+/// Renders one predicate as SQL text.
+pub fn predicate_sql(catalog: &Catalog, p: &Predicate) -> String {
+    match p {
+        Predicate::Selection { attr, op, value } => {
+            format!("{} {} {}", catalog.attr_name(*attr), op.sql(), value)
+        }
+        Predicate::Join { left, right } => {
+            format!(
+                "{} = {}",
+                catalog.attr_name(*left),
+                catalog.attr_name(*right)
+            )
+        }
+    }
+}
+
+/// Renders the personalized query using the paper's union/having rewriting:
+///
+/// ```sql
+/// select title
+/// from   (q1) union all (q2) ...
+/// group by title having count(*) = L
+/// ```
+pub fn personalized_sql(catalog: &Catalog, pq: &PersonalizedQuery) -> String {
+    if pq.is_trivial() {
+        return conjunctive_sql(catalog, &pq.base);
+    }
+    let projection = pq
+        .base
+        .projection
+        .iter()
+        .map(|qa| {
+            // Inside the union the attributes are exported by name only.
+            catalog
+                .relation(qa.relation)
+                .ok()
+                .and_then(|s| s.attr(qa.attr).map(|a| a.name.clone()))
+                .unwrap_or_else(|| "?".into())
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let unions = pq
+        .subqueries
+        .iter()
+        .map(|q| format!("({})", conjunctive_sql(catalog, q)))
+        .collect::<Vec<_>>()
+        .join(" union all ");
+    format!(
+        "select {projection} from {unions} group by {projection} having count(*) = {}",
+        pq.num_preferences()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{CmpOp, QueryBuilder};
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn renders_paper_subquery() {
+        let c = catalog();
+        let q = QueryBuilder::from(&c, "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .join("MOVIE", "did", "DIRECTOR", "did")
+            .unwrap()
+            .filter("DIRECTOR", "name", CmpOp::Eq, "W. Allen")
+            .unwrap()
+            .build();
+        let sql = conjunctive_sql(&c, &q);
+        assert_eq!(
+            sql,
+            "select MOVIE.title from MOVIE, DIRECTOR \
+             where MOVIE.did = DIRECTOR.did and DIRECTOR.name = 'W. Allen'"
+        );
+    }
+
+    #[test]
+    fn renders_union_having_form() {
+        let c = catalog();
+        let base = QueryBuilder::from(&c, "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let m_did = c.resolve("MOVIE", "did").unwrap();
+        let d_did = c.resolve("DIRECTOR", "did").unwrap();
+        let pq = PersonalizedQuery::compose(
+            base,
+            vec![
+                vec![Predicate::join(m_did, d_did)],
+                vec![Predicate::join(m_did, d_did)],
+            ],
+        );
+        let sql = personalized_sql(&c, &pq);
+        assert!(sql.starts_with("select title from ("));
+        assert!(sql.contains("union all"));
+        assert!(sql.ends_with("group by title having count(*) = 2"));
+    }
+
+    #[test]
+    fn trivial_personalized_renders_base() {
+        let c = catalog();
+        let base = QueryBuilder::from(&c, "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let pq = PersonalizedQuery {
+            base,
+            subqueries: vec![],
+        };
+        assert_eq!(personalized_sql(&c, &pq), "select MOVIE.title from MOVIE");
+    }
+
+    #[test]
+    fn empty_projection_renders_star() {
+        let c = catalog();
+        let q = ConjunctiveQuery::scan(c.relation_id("MOVIE").unwrap(), vec![]);
+        assert_eq!(conjunctive_sql(&c, &q), "select * from MOVIE");
+    }
+}

@@ -1,0 +1,235 @@
+//! The personalization graph (paper Section 3).
+//!
+//! A directed graph `G(V, E)` extending the database schema graph. Nodes are
+//! relations, attributes, and the values a user cares about; edges are
+//! **selection edges** (attribute node → value node, a potential selection
+//! condition) and **join edges** (attribute node → attribute node, a
+//! potential join condition). Every edge carries an atomic degree of
+//! interest.
+//!
+//! Join edges are *directed*: an edge `MOVIE.did → DIRECTOR.did` states how
+//! preferences on DIRECTOR (the right-hand side) influence MOVIE (the
+//! left-hand side), so preference paths are traversed from the queried
+//! relation outward along edge direction.
+
+use crate::doi::Doi;
+use cqp_engine::{CmpOp, Predicate};
+use cqp_storage::{Catalog, QualifiedAttr, RelationId, StorageResult, Value};
+
+/// A selection edge: `attr op value` with an atomic doi.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionEdge {
+    /// Constrained attribute.
+    pub attr: QualifiedAttr,
+    /// Comparison operator (the paper uses equality).
+    pub op: CmpOp,
+    /// The value node.
+    pub value: Value,
+    /// Atomic degree of interest.
+    pub doi: Doi,
+}
+
+impl SelectionEdge {
+    /// The predicate this edge represents.
+    pub fn predicate(&self) -> Predicate {
+        Predicate::Selection {
+            attr: self.attr,
+            op: self.op,
+            value: self.value.clone(),
+        }
+    }
+}
+
+/// A join edge: `left = right` with an atomic doi, directed left → right.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    /// Left-hand attribute (the influenced side).
+    pub left: QualifiedAttr,
+    /// Right-hand attribute (the influencing side).
+    pub right: QualifiedAttr,
+    /// Atomic degree of interest.
+    pub doi: Doi,
+}
+
+impl JoinEdge {
+    /// The predicate this edge represents.
+    pub fn predicate(&self) -> Predicate {
+        Predicate::Join {
+            left: self.left,
+            right: self.right,
+        }
+    }
+}
+
+/// The personalization graph: all selection and join edges of one profile.
+#[derive(Debug, Clone, Default)]
+pub struct PersonalizationGraph {
+    selections: Vec<SelectionEdge>,
+    joins: Vec<JoinEdge>,
+}
+
+impl PersonalizationGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a selection edge.
+    pub fn add_selection(&mut self, edge: SelectionEdge) {
+        self.selections.push(edge);
+    }
+
+    /// Adds a join edge.
+    pub fn add_join(&mut self, edge: JoinEdge) {
+        self.joins.push(edge);
+    }
+
+    /// All selection edges.
+    pub fn selections(&self) -> &[SelectionEdge] {
+        &self.selections
+    }
+
+    /// All join edges.
+    pub fn joins(&self) -> &[JoinEdge] {
+        &self.joins
+    }
+
+    /// Selection edges whose attribute belongs to `relation`.
+    pub fn selections_on(&self, relation: RelationId) -> impl Iterator<Item = &SelectionEdge> {
+        self.selections
+            .iter()
+            .filter(move |e| e.attr.relation == relation)
+    }
+
+    /// Join edges leaving `relation` (their left attribute is on it).
+    pub fn joins_from(&self, relation: RelationId) -> impl Iterator<Item = &JoinEdge> {
+        self.joins
+            .iter()
+            .filter(move |e| e.left.relation == relation)
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.selections.len() + self.joins.len()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.selections.is_empty() && self.joins.is_empty()
+    }
+
+    /// Validates every edge's attributes against a catalog.
+    pub fn validate(&self, catalog: &Catalog) -> StorageResult<()> {
+        for e in &self.selections {
+            catalog.check_attr(e.attr)?;
+        }
+        for e in &self.joins {
+            catalog.check_attr(e.left)?;
+            catalog.check_attr(e.right)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    /// Builds the paper's Figure 1 profile graph.
+    fn figure1_graph(c: &Catalog) -> PersonalizationGraph {
+        let mut g = PersonalizationGraph::new();
+        // p1: doi(GENRE.genre='musical') = 0.5
+        g.add_selection(SelectionEdge {
+            attr: c.resolve("GENRE", "genre").unwrap(),
+            op: CmpOp::Eq,
+            value: Value::str("musical"),
+            doi: Doi::new(0.5),
+        });
+        // p2: doi(MOVIE.mid = GENRE.mid) = 0.9
+        g.add_join(JoinEdge {
+            left: c.resolve("MOVIE", "mid").unwrap(),
+            right: c.resolve("GENRE", "mid").unwrap(),
+            doi: Doi::new(0.9),
+        });
+        // p3: doi(MOVIE.did = DIRECTOR.did) = 1.0
+        g.add_join(JoinEdge {
+            left: c.resolve("MOVIE", "did").unwrap(),
+            right: c.resolve("DIRECTOR", "did").unwrap(),
+            doi: Doi::new(1.0),
+        });
+        // p4: doi(DIRECTOR.name = 'W. Allen') = 0.8
+        g.add_selection(SelectionEdge {
+            attr: c.resolve("DIRECTOR", "name").unwrap(),
+            op: CmpOp::Eq,
+            value: Value::str("W. Allen"),
+            doi: Doi::new(0.8),
+        });
+        g
+    }
+
+    #[test]
+    fn figure1_profile_shape() {
+        let c = catalog();
+        let g = figure1_graph(&c);
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.is_empty());
+        g.validate(&c).unwrap();
+
+        let movie = c.relation_id("MOVIE").unwrap();
+        let director = c.relation_id("DIRECTOR").unwrap();
+        // MOVIE has two outgoing join edges (to GENRE and DIRECTOR).
+        assert_eq!(g.joins_from(movie).count(), 2);
+        // DIRECTOR has one selection edge (name = 'W. Allen').
+        assert_eq!(g.selections_on(director).count(), 1);
+        // No selection on MOVIE itself.
+        assert_eq!(g.selections_on(movie).count(), 0);
+    }
+
+    #[test]
+    fn edges_render_predicates() {
+        let c = catalog();
+        let g = figure1_graph(&c);
+        let sel = &g.selections()[0];
+        assert!(matches!(sel.predicate(), Predicate::Selection { .. }));
+        let join = &g.joins()[0];
+        assert!(matches!(join.predicate(), Predicate::Join { .. }));
+    }
+
+    #[test]
+    fn validate_catches_bad_attr() {
+        let c = catalog();
+        let mut g = PersonalizationGraph::new();
+        g.add_selection(SelectionEdge {
+            attr: QualifiedAttr::new(9, 0),
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+            doi: Doi::new(0.5),
+        });
+        assert!(g.validate(&c).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! Plain-text persistence for profiles.
+//!
+//! A personalization system keeps profiles across sessions; this module
+//! serializes them in a line-oriented format that survives in version
+//! control and diffs cleanly, without pulling a serialization dependency
+//! into the workspace:
+//!
+//! ```text
+//! # cqp-profile v1
+//! profile al
+//! join 1.0 MOVIE.did DIRECTOR.did
+//! select 0.8 DIRECTOR.name eq "W. Allen"
+//! select 0.4 MOVIE.year ge 1990
+//! ```
+//!
+//! Operators: `eq`, `ne`, `lt`, `le`, `gt`, `ge`.
+//!
+//! Values are typed by their literal form: quoted strings, integers, or
+//! floats. Attribute names are resolved against the catalog at load time,
+//! so a profile written against one schema fails loudly when loaded against
+//! an incompatible one.
+
+use crate::doi::Doi;
+use crate::profile::Profile;
+use cqp_engine::CmpOp;
+use cqp_storage::{Catalog, Value};
+use std::fmt;
+
+/// Errors from profile parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileParseError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileParseError::BadHeader => {
+                write!(f, "missing `# cqp-profile v1` header")
+            }
+            ProfileParseError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+fn op_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn parse_op(s: &str) -> Option<CmpOp> {
+    match s {
+        "eq" => Some(CmpOp::Eq),
+        "ne" => Some(CmpOp::Ne),
+        "lt" => Some(CmpOp::Lt),
+        "le" => Some(CmpOp::Le),
+        "gt" => Some(CmpOp::Gt),
+        "ge" => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+fn value_literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{:?}", s), // quoted + escaped
+        other => other.to_string(),
+    }
+}
+
+fn parse_value(s: &str) -> Option<Value> {
+    let s = s.trim();
+    if let Some(stripped) = s.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"')?;
+        // Minimal unescaping for \" and \\.
+        return Some(Value::Str(
+            inner.replace("\\\"", "\"").replace("\\\\", "\\"),
+        ));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        if x.is_finite() {
+            return Some(Value::float(x));
+        }
+    }
+    None
+}
+
+/// Serializes a profile, resolving attribute ids back to names.
+pub fn to_text(profile: &Profile, catalog: &Catalog) -> String {
+    let mut out = String::from("# cqp-profile v1\n");
+    out.push_str(&format!("profile {}\n", profile.name));
+    for j in profile.graph().joins() {
+        out.push_str(&format!(
+            "join {} {} {}\n",
+            j.doi,
+            catalog.attr_name(j.left),
+            catalog.attr_name(j.right)
+        ));
+    }
+    for s in profile.graph().selections() {
+        out.push_str(&format!(
+            "select {} {} {} {}\n",
+            s.doi,
+            catalog.attr_name(s.attr),
+            op_name(s.op),
+            value_literal(&s.value)
+        ));
+    }
+    out
+}
+
+/// Splits `REL.attr` notation.
+fn split_attr(s: &str) -> Option<(&str, &str)> {
+    s.split_once('.')
+}
+
+/// Parses a profile, resolving names against the catalog.
+pub fn from_text(text: &str, catalog: &Catalog) -> Result<Profile, ProfileParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == "# cqp-profile v1" => {}
+        _ => return Err(ProfileParseError::BadHeader),
+    }
+    let mut profile = Profile::new("unnamed");
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| ProfileParseError::BadLine {
+            line: line_no,
+            reason: reason.to_owned(),
+        };
+        let mut parts = line.splitn(2, ' ');
+        let kind = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match kind {
+            "profile" => {
+                profile.name = rest.to_owned();
+            }
+            "join" => {
+                let mut f = rest.split_whitespace();
+                let doi: f64 = f
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("join needs a doi"))?;
+                let (lr, la) = f
+                    .next()
+                    .and_then(split_attr)
+                    .ok_or_else(|| bad("join needs LEFT.attr"))?;
+                let (rr, ra) = f
+                    .next()
+                    .and_then(split_attr)
+                    .ok_or_else(|| bad("join needs RIGHT.attr"))?;
+                if !(0.0..=1.0).contains(&doi) {
+                    return Err(bad("doi out of [0,1]"));
+                }
+                profile
+                    .add_join(catalog, lr, la, rr, ra, Doi::new(doi))
+                    .map_err(|e| bad(&e.to_string()))?;
+            }
+            "select" => {
+                // select <doi> <REL.attr> <op> <value…>
+                let mut f = rest.splitn(4, ' ');
+                let doi: f64 = f
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("select needs a doi"))?;
+                let (rel, attr) = f
+                    .next()
+                    .and_then(split_attr)
+                    .ok_or_else(|| bad("select needs REL.attr"))?;
+                let op = f
+                    .next()
+                    .and_then(parse_op)
+                    .ok_or_else(|| bad("select needs eq|le|ge"))?;
+                let value = f
+                    .next()
+                    .and_then(parse_value)
+                    .ok_or_else(|| bad("select needs a value literal"))?;
+                if !(0.0..=1.0).contains(&doi) {
+                    return Err(bad("doi out of [0,1]"));
+                }
+                profile
+                    .add_selection_op(catalog, rel, attr, op, value, Doi::new(doi))
+                    .map_err(|e| bad(&e.to_string()))?;
+            }
+            other => return Err(bad(&format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn figure1_roundtrips() {
+        let c = catalog();
+        let original = Profile::paper_figure1(&c).unwrap();
+        let text = to_text(&original, &c);
+        assert!(text.contains("select 0.8 DIRECTOR.name eq \"W. Allen\""));
+        assert!(text.contains("join 1 MOVIE.did DIRECTOR.did"));
+        let parsed = from_text(&text, &c).unwrap();
+        assert_eq!(parsed.graph().selections(), original.graph().selections());
+        assert_eq!(parsed.graph().joins(), original.graph().joins());
+        assert_eq!(parsed.name, original.name);
+    }
+
+    #[test]
+    fn parses_hand_written_profile() {
+        let c = catalog();
+        let text = r#"# cqp-profile v1
+profile al
+
+# Al likes recent long movies
+select 0.4 MOVIE.year ge 1990
+select 0.3 MOVIE.duration le 150
+join 0.9 MOVIE.mid GENRE.mid
+select 0.5 GENRE.genre eq "musical"
+"#;
+        let p = from_text(text, &c).unwrap();
+        assert_eq!(p.name, "al");
+        assert_eq!(p.graph().selections().len(), 3);
+        assert_eq!(p.graph().joins().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let c = catalog();
+        assert_eq!(
+            from_text("nope", &c).unwrap_err(),
+            ProfileParseError::BadHeader
+        );
+        let err = from_text("# cqp-profile v1\nselect banana\n", &c).unwrap_err();
+        assert!(matches!(err, ProfileParseError::BadLine { line: 2, .. }));
+        let err = from_text("# cqp-profile v1\nselect 1.5 MOVIE.year ge 1990\n", &c).unwrap_err();
+        assert!(err.to_string().contains("doi out of"));
+        let err = from_text("# cqp-profile v1\nselect 0.5 NOPE.attr eq 1\n", &c).unwrap_err();
+        assert!(err.to_string().contains("unknown relation"));
+        let err = from_text("# cqp-profile v1\nfrobnicate 1\n", &c).unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        let c = catalog();
+        let mut p = Profile::new("quotes");
+        p.add_selection(&c, "MOVIE", "title", "The \"Best\" \\ Movie", Doi::new(0.5))
+            .unwrap();
+        let text = to_text(&p, &c);
+        let parsed = from_text(&text, &c).unwrap();
+        assert_eq!(parsed.graph().selections(), p.graph().selections());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let c = catalog();
+        let text = "# cqp-profile v1\n\n# a comment\nprofile x\n\n";
+        let p = from_text(text, &c).unwrap();
+        assert_eq!(p.name, "x");
+        assert_eq!(p.num_preferences(), 0);
+    }
+}

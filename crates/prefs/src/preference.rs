@@ -1,0 +1,242 @@
+//! Atomic and implicit preferences.
+//!
+//! A *preference* here is what the CQP search selects among: an acyclic path
+//! in the personalization graph, anchored at a relation of the query,
+//! consisting of zero or more join edges and ending in a selection edge.
+//! (The paper's Preference Space holds "atomic and implicit **selection**
+//! preferences" — a path that ends in a join edge does not constrain
+//! anything yet and only appears as an intermediate candidate during
+//! extraction.)
+//!
+//! The doi of an implicit preference composes the constituent atomic dois
+//! with `f⊗` (Formula 1) and is non-increasing in path length (Formula 2).
+
+use crate::doi::{Doi, PathCompose};
+use crate::graph::{JoinEdge, SelectionEdge};
+use cqp_engine::Predicate;
+use cqp_storage::{Catalog, RelationId};
+use std::fmt;
+
+/// One condition along a preference path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// A join step.
+    Join(JoinEdge),
+    /// The terminal selection.
+    Selection(SelectionEdge),
+}
+
+impl Condition {
+    /// The predicate this condition contributes.
+    pub fn predicate(&self) -> Predicate {
+        match self {
+            Condition::Join(j) => j.predicate(),
+            Condition::Selection(s) => s.predicate(),
+        }
+    }
+
+    /// The atomic doi of this condition's edge.
+    pub fn doi(&self) -> Doi {
+        match self {
+            Condition::Join(j) => j.doi,
+            Condition::Selection(s) => s.doi,
+        }
+    }
+}
+
+/// A (possibly implicit) selection preference: a join path ending in a
+/// selection, with its composed degree of interest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preference {
+    /// The conditions in path order; the last one is always a selection.
+    pub conditions: Vec<Condition>,
+    /// Composed doi of the whole path.
+    pub doi: Doi,
+}
+
+impl Preference {
+    /// Builds an atomic preference from a single selection edge.
+    pub fn atomic(edge: SelectionEdge) -> Self {
+        let doi = edge.doi;
+        Preference {
+            conditions: vec![Condition::Selection(edge)],
+            doi,
+        }
+    }
+
+    /// Builds an implicit preference from a join chain plus terminal
+    /// selection, composing the doi with `f⊗`.
+    pub fn implicit(joins: Vec<JoinEdge>, selection: SelectionEdge, compose: PathCompose) -> Self {
+        let mut dois: Vec<Doi> = joins.iter().map(|j| j.doi).collect();
+        dois.push(selection.doi);
+        let doi = compose.compose(&dois);
+        let mut conditions: Vec<Condition> = joins.into_iter().map(Condition::Join).collect();
+        conditions.push(Condition::Selection(selection));
+        Preference { conditions, doi }
+    }
+
+    /// Number of atomic conditions in the path.
+    pub fn len(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// A preference always has at least its terminal selection.
+    pub fn is_empty(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// True if the path is a single selection edge.
+    pub fn is_atomic(&self) -> bool {
+        self.conditions.len() == 1
+    }
+
+    /// The relation the path is anchored at (where the query must touch).
+    ///
+    /// For an implicit preference this is the left relation of its first
+    /// join edge; for an atomic one, the relation of its selection.
+    pub fn anchor(&self) -> RelationId {
+        match &self.conditions[0] {
+            Condition::Join(j) => j.left.relation,
+            Condition::Selection(s) => s.attr.relation,
+        }
+    }
+
+    /// Relations visited along the path, starting at the anchor.
+    pub fn relations(&self) -> Vec<RelationId> {
+        let mut rels = vec![self.anchor()];
+        for c in &self.conditions {
+            let r = match c {
+                Condition::Join(j) => j.right.relation,
+                Condition::Selection(s) => s.attr.relation,
+            };
+            if !rels.contains(&r) {
+                rels.push(r);
+            }
+        }
+        rels
+    }
+
+    /// The predicates this preference contributes to a sub-query.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        self.conditions.iter().map(Condition::predicate).collect()
+    }
+
+    /// True if extending this path with a join into `relation` would revisit
+    /// a relation (the extraction algorithm only builds acyclic paths).
+    pub fn would_cycle(&self, relation: RelationId) -> bool {
+        self.relations().contains(&relation)
+    }
+
+    /// Renders the path as a SQL-ish condition string for diagnostics.
+    pub fn describe(&self, catalog: &Catalog) -> String {
+        self.conditions
+            .iter()
+            .map(|c| cqp_engine::sql::predicate_sql(catalog, &c.predicate()))
+            .collect::<Vec<_>>()
+            .join(" and ")
+    }
+}
+
+impl fmt::Display for Preference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "preference(doi={}, len={})", self.doi, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_engine::CmpOp;
+    use cqp_storage::{DataType, RelationSchema, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    fn allen_pref(c: &Catalog) -> Preference {
+        // p3 ∧ p4: MOVIE.did = DIRECTOR.did (1.0) and DIRECTOR.name = 'W. Allen' (0.8)
+        Preference::implicit(
+            vec![JoinEdge {
+                left: c.resolve("MOVIE", "did").unwrap(),
+                right: c.resolve("DIRECTOR", "did").unwrap(),
+                doi: Doi::new(1.0),
+            }],
+            SelectionEdge {
+                attr: c.resolve("DIRECTOR", "name").unwrap(),
+                op: CmpOp::Eq,
+                value: Value::str("W. Allen"),
+                doi: Doi::new(0.8),
+            },
+            PathCompose::Product,
+        )
+    }
+
+    #[test]
+    fn paper_section3_composition() {
+        let c = catalog();
+        let p = allen_pref(&c);
+        // 1.0 × 0.8 = 0.8, the paper's example.
+        assert!((p.doi.value() - 0.8).abs() < 1e-12);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_atomic());
+        assert_eq!(p.anchor(), c.relation_id("MOVIE").unwrap());
+        assert_eq!(p.relations().len(), 2);
+    }
+
+    #[test]
+    fn atomic_preference_keeps_edge_doi() {
+        let c = catalog();
+        let p = Preference::atomic(SelectionEdge {
+            attr: c.resolve("MOVIE", "title").unwrap(),
+            op: CmpOp::Eq,
+            value: Value::str("Manhattan"),
+            doi: Doi::new(0.6),
+        });
+        assert!(p.is_atomic());
+        assert_eq!(p.doi, Doi::new(0.6));
+        assert_eq!(p.anchor(), c.relation_id("MOVIE").unwrap());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let c = catalog();
+        let p = allen_pref(&c);
+        assert!(p.would_cycle(c.relation_id("MOVIE").unwrap()));
+        assert!(p.would_cycle(c.relation_id("DIRECTOR").unwrap()));
+    }
+
+    #[test]
+    fn predicates_and_description() {
+        let c = catalog();
+        let p = allen_pref(&c);
+        let preds = p.predicates();
+        assert_eq!(preds.len(), 2);
+        let desc = p.describe(&c);
+        assert!(desc.contains("MOVIE.did = DIRECTOR.did"));
+        assert!(desc.contains("DIRECTOR.name = 'W. Allen'"));
+        assert!(p.to_string().contains("doi=0.8"));
+    }
+
+    #[test]
+    fn formula_2_longer_paths_never_gain_doi() {
+        let c = catalog();
+        let p = allen_pref(&c);
+        let atomic_min = p.conditions.iter().map(Condition::doi).min().unwrap();
+        assert!(p.doi <= atomic_min);
+    }
+}

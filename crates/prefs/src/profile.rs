@@ -1,0 +1,170 @@
+//! User profiles: a named personalization graph with a builder API.
+
+use crate::doi::Doi;
+use crate::graph::{JoinEdge, PersonalizationGraph, SelectionEdge};
+use cqp_engine::CmpOp;
+use cqp_storage::{Catalog, StorageResult, Value};
+
+/// A user profile: the personalization graph holding the user's atomic
+/// preferences (paper Figure 1 shows an example with four of them).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Display name of the profile owner.
+    pub name: String,
+    graph: PersonalizationGraph,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new(name: impl Into<String>) -> Self {
+        Profile {
+            name: name.into(),
+            graph: PersonalizationGraph::new(),
+        }
+    }
+
+    /// The underlying personalization graph.
+    pub fn graph(&self) -> &PersonalizationGraph {
+        &self.graph
+    }
+
+    /// Adds an atomic selection preference `REL.attr = value` with a doi,
+    /// resolving names through the catalog.
+    pub fn add_selection(
+        &mut self,
+        catalog: &Catalog,
+        relation: &str,
+        attribute: &str,
+        value: impl Into<Value>,
+        doi: Doi,
+    ) -> StorageResult<&mut Self> {
+        let attr = catalog.resolve(relation, attribute)?;
+        self.graph.add_selection(SelectionEdge {
+            attr,
+            op: CmpOp::Eq,
+            value: value.into(),
+            doi,
+        });
+        Ok(self)
+    }
+
+    /// Adds an atomic selection preference with an explicit comparison
+    /// operator (e.g. `MOVIE.year >= 1990`).
+    pub fn add_selection_op(
+        &mut self,
+        catalog: &Catalog,
+        relation: &str,
+        attribute: &str,
+        op: CmpOp,
+        value: impl Into<Value>,
+        doi: Doi,
+    ) -> StorageResult<&mut Self> {
+        let attr = catalog.resolve(relation, attribute)?;
+        self.graph.add_selection(SelectionEdge {
+            attr,
+            op,
+            value: value.into(),
+            doi,
+        });
+        Ok(self)
+    }
+
+    /// Adds an atomic (directed) join preference
+    /// `LEFT.attr = RIGHT.attr` with a doi.
+    pub fn add_join(
+        &mut self,
+        catalog: &Catalog,
+        left_rel: &str,
+        left_attr: &str,
+        right_rel: &str,
+        right_attr: &str,
+        doi: Doi,
+    ) -> StorageResult<&mut Self> {
+        let left = catalog.resolve(left_rel, left_attr)?;
+        let right = catalog.resolve(right_rel, right_attr)?;
+        self.graph.add_join(JoinEdge { left, right, doi });
+        Ok(self)
+    }
+
+    /// Number of atomic preferences stored.
+    pub fn num_preferences(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Builds the paper's Figure 1 example profile over the movie catalog
+    /// (requires relations MOVIE, DIRECTOR, GENRE with the paper's
+    /// attributes). Handy for tests, examples, and documentation.
+    pub fn paper_figure1(catalog: &Catalog) -> StorageResult<Self> {
+        let mut p = Profile::new("figure-1");
+        p.add_selection(catalog, "GENRE", "genre", "musical", Doi::new(0.5))?;
+        p.add_join(catalog, "MOVIE", "mid", "GENRE", "mid", Doi::new(0.9))?;
+        p.add_join(catalog, "MOVIE", "did", "DIRECTOR", "did", Doi::new(1.0))?;
+        p.add_selection(catalog, "DIRECTOR", "name", "W. Allen", Doi::new(0.8))?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn figure1_profile_builds() {
+        let c = catalog();
+        let p = Profile::paper_figure1(&c).unwrap();
+        assert_eq!(p.num_preferences(), 4);
+        assert_eq!(p.graph().selections().len(), 2);
+        assert_eq!(p.graph().joins().len(), 2);
+        p.graph().validate(&c).unwrap();
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = catalog();
+        let mut p = Profile::new("al");
+        p.add_selection(&c, "GENRE", "genre", "comedy", Doi::new(0.7))
+            .unwrap()
+            .add_selection_op(&c, "MOVIE", "year", CmpOp::Ge, 1990i64, Doi::new(0.4))
+            .unwrap();
+        assert_eq!(p.num_preferences(), 2);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let c = catalog();
+        let mut p = Profile::new("x");
+        assert!(p
+            .add_selection(&c, "NOPE", "a", 1i64, Doi::new(0.5))
+            .is_err());
+        assert!(p
+            .add_join(&c, "MOVIE", "mid", "NOPE", "mid", Doi::new(0.5))
+            .is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Syntactic relatedness of preferences to a query (paper Section 4.4).
+//!
+//! "Given a query Q and a user profile U, this module determines the set P
+//! of selection preferences extracted from U and related to Q. The latter
+//! refers to syntactic relationships, i.e. preferences whose paths on the
+//! personalization graph are attached to a relation included in Q."
+
+use crate::preference::Preference;
+use cqp_engine::ConjunctiveQuery;
+
+/// True when a preference path is attached to a relation of the query.
+pub fn is_related(pref: &Preference, query: &ConjunctiveQuery) -> bool {
+    query.relations.contains(&pref.anchor())
+}
+
+/// Filters a list of preferences down to those related to the query.
+pub fn related_to_query<'a>(
+    prefs: impl IntoIterator<Item = &'a Preference>,
+    query: &ConjunctiveQuery,
+) -> Vec<&'a Preference> {
+    prefs.into_iter().filter(|p| is_related(p, query)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doi::Doi;
+    use crate::graph::SelectionEdge;
+    use cqp_engine::CmpOp;
+    use cqp_storage::{Catalog, DataType, RelationSchema, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![("mid", DataType::Int), ("title", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "THEATRE",
+            vec![("tid", DataType::Int), ("city", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn anchored_preferences_are_related() {
+        let c = catalog();
+        let movie = c.relation_id("MOVIE").unwrap();
+        let theatre = c.relation_id("THEATRE").unwrap();
+        let q = ConjunctiveQuery::scan(movie, vec![c.resolve("MOVIE", "title").unwrap()]);
+
+        let on_movie = Preference::atomic(SelectionEdge {
+            attr: c.resolve("MOVIE", "title").unwrap(),
+            op: CmpOp::Eq,
+            value: Value::str("Manhattan"),
+            doi: Doi::new(0.5),
+        });
+        let on_theatre = Preference::atomic(SelectionEdge {
+            attr: c.resolve("THEATRE", "city").unwrap(),
+            op: CmpOp::Eq,
+            value: Value::str("Pisa"),
+            doi: Doi::new(0.9),
+        });
+
+        assert!(is_related(&on_movie, &q));
+        assert!(!is_related(&on_theatre, &q));
+
+        let all = vec![on_movie.clone(), on_theatre];
+        let related = related_to_query(&all, &q);
+        assert_eq!(related.len(), 1);
+        assert_eq!(related[0], &on_movie);
+
+        // A query over THEATRE relates the other way round.
+        let q2 = ConjunctiveQuery::scan(theatre, vec![]);
+        assert_eq!(related_to_query(&all, &q2).len(), 1);
+    }
+}

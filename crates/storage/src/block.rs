@@ -1,0 +1,74 @@
+//! Fixed-capacity blocks of tuples.
+//!
+//! The paper's cost model counts *blocks*: `cost(qi) = b × Σ blocks(Rij)`
+//! (Section 7.1). Rows are therefore stored in blocks of a configurable
+//! tuple capacity, and `blocks(R)` is simply the number of blocks a table
+//! occupies. Reading a block through the executor charges the
+//! [`crate::disk::IoMeter`].
+
+use crate::value::Tuple;
+
+/// Default number of tuples per block.
+///
+/// With ~100-byte tuples this corresponds roughly to an 8 KiB page, the
+/// classic default of the systems the paper ran on.
+pub const DEFAULT_BLOCK_CAPACITY: usize = 64;
+
+/// A block: up to `capacity` tuples stored contiguously.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    rows: Vec<Tuple>,
+}
+
+impl Block {
+    /// Creates an empty block with room for `capacity` rows.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Block {
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True if the block cannot accept another row under `capacity`.
+    pub fn is_full(&self, capacity: usize) -> bool {
+        self.rows.len() >= capacity
+    }
+
+    /// Appends a row. The caller (the table) enforces capacity.
+    pub fn push(&mut self, row: Tuple) {
+        self.rows.push(row);
+    }
+
+    /// The rows of this block.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn block_fills_up() {
+        let mut b = Block::with_capacity(2);
+        assert!(b.is_empty());
+        assert!(!b.is_full(2));
+        b.push(vec![Value::Int(1)]);
+        b.push(vec![Value::Int(2)]);
+        assert_eq!(b.len(), 2);
+        assert!(b.is_full(2));
+        assert!(!b.is_full(3));
+        assert_eq!(b.rows()[1], vec![Value::Int(2)]);
+    }
+}

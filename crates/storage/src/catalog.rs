@@ -1,0 +1,186 @@
+//! The catalog: the set of relation schemas, addressable by name or id.
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::{AttrId, QualifiedAttr, RelationId, RelationSchema};
+
+/// A catalog of relation schemas.
+///
+/// `RelationId`s are indices into the catalog's insertion order, which keeps
+/// every cross-crate reference (queries, preferences, statistics) a plain
+/// integer.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: Vec<RelationSchema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a relation schema, returning its id.
+    pub fn add_relation(&mut self, schema: RelationSchema) -> StorageResult<RelationId> {
+        if self.relations.iter().any(|r| r.name == schema.name) {
+            return Err(StorageError::DuplicateRelation(schema.name));
+        }
+        let id = RelationId(self.relations.len() as u16);
+        self.relations.push(schema);
+        Ok(id)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// All relation schemas in id order.
+    pub fn relations(&self) -> &[RelationSchema] {
+        &self.relations
+    }
+
+    /// Looks a relation up by id.
+    pub fn relation(&self, id: RelationId) -> StorageResult<&RelationSchema> {
+        self.relations
+            .get(id.index())
+            .ok_or(StorageError::RelationIdOutOfRange(id.index()))
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation_id(&self, name: &str) -> StorageResult<RelationId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RelationId(i as u16))
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Resolves `REL.attr` notation to a [`QualifiedAttr`].
+    pub fn resolve(&self, relation: &str, attribute: &str) -> StorageResult<QualifiedAttr> {
+        let rid = self.relation_id(relation)?;
+        let schema = self.relation(rid)?;
+        let attr = schema
+            .attr_id(attribute)
+            .ok_or_else(|| StorageError::UnknownAttribute {
+                relation: relation.to_owned(),
+                attribute: attribute.to_owned(),
+            })?;
+        Ok(QualifiedAttr {
+            relation: rid,
+            attr,
+        })
+    }
+
+    /// Human-readable name of a qualified attribute, e.g. `MOVIE.title`.
+    pub fn attr_name(&self, qa: QualifiedAttr) -> String {
+        match self.relation(qa.relation) {
+            Ok(schema) => {
+                let attr = schema
+                    .attr(qa.attr)
+                    .map(|a| a.name.as_str())
+                    .unwrap_or("<bad-attr>");
+                format!("{}.{}", schema.name, attr)
+            }
+            Err(_) => format!("<bad-rel>.{}", qa.attr),
+        }
+    }
+
+    /// Validates that a qualified attribute exists.
+    pub fn check_attr(&self, qa: QualifiedAttr) -> StorageResult<()> {
+        let schema = self.relation(qa.relation)?;
+        if schema.attr(qa.attr).is_none() {
+            return Err(StorageError::AttrIdOutOfRange {
+                relation: schema.name.clone(),
+                attr: qa.attr.index(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up an attribute id within a relation by name.
+    pub fn attr_id(&self, rid: RelationId, attribute: &str) -> StorageResult<AttrId> {
+        let schema = self.relation(rid)?;
+        schema
+            .attr_id(attribute)
+            .ok_or_else(|| StorageError::UnknownAttribute {
+                relation: schema.name.clone(),
+                attribute: attribute.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    /// The movie schema of the paper's Section 3.
+    pub fn paper_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn lookups_by_name_and_id() {
+        let c = paper_catalog();
+        assert_eq!(c.len(), 3);
+        let movie = c.relation_id("MOVIE").unwrap();
+        assert_eq!(movie, RelationId(0));
+        assert_eq!(c.relation(movie).unwrap().name, "MOVIE");
+        assert!(c.relation_id("RESTAURANT").is_err());
+    }
+
+    #[test]
+    fn resolve_qualified_attribute() {
+        let c = paper_catalog();
+        let qa = c.resolve("DIRECTOR", "name").unwrap();
+        assert_eq!(qa.relation, RelationId(1));
+        assert_eq!(qa.attr, AttrId(1));
+        assert_eq!(c.attr_name(qa), "DIRECTOR.name");
+        assert!(c.resolve("DIRECTOR", "genre").is_err());
+        assert!(c.resolve("NOPE", "name").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = paper_catalog();
+        let err = c
+            .add_relation(RelationSchema::new("MOVIE", vec![("x", DataType::Int)]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn check_attr_bounds() {
+        let c = paper_catalog();
+        assert!(c.check_attr(QualifiedAttr::new(2, 1)).is_ok());
+        assert!(c.check_attr(QualifiedAttr::new(2, 9)).is_err());
+        assert!(c.check_attr(QualifiedAttr::new(9, 0)).is_err());
+    }
+}

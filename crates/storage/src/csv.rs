@@ -1,0 +1,348 @@
+//! CSV bulk load and dump.
+//!
+//! Lets users bring their own data into the engine (and examine generated
+//! data outside it) without any external dependency. The dialect is
+//! deliberately simple: comma-separated, `"`-quoted fields with `""`
+//! escapes, a mandatory header naming the attributes, and the literal
+//! `NULL` (unquoted) for SQL NULL. Values are parsed according to the
+//! relation schema's declared types.
+
+use crate::database::Database;
+use crate::error::{StorageError, StorageResult};
+use crate::schema::RelationId;
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from CSV parsing (wrapped around storage errors on insert).
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or type failure at a given 1-based line.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The header did not match the relation schema.
+    HeaderMismatch {
+        /// What the schema wants.
+        expected: String,
+        /// What the file had.
+        got: String,
+    },
+    /// Insertion failed (arity/type checks).
+    Storage(StorageError),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::HeaderMismatch { expected, got } => {
+                write!(f, "header mismatch: expected `{expected}`, got `{got}`")
+            }
+            CsvError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<StorageError> for CsvError {
+    fn from(e: StorageError) -> Self {
+        CsvError::Storage(e)
+    }
+}
+
+/// Splits one CSV record into `(field, was_quoted)` pairs, honouring
+/// quotes. Quoting matters downstream: only an *unquoted* `NULL` is SQL
+/// NULL.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<(String, bool)>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    let mut was_quoted = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                ',' => {
+                    fields.push(finish_field(cur, was_quoted));
+                    cur = String::new();
+                    was_quoted = false;
+                }
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    was_quoted = true;
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::Parse {
+            line: line_no,
+            reason: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(finish_field(cur, was_quoted));
+    Ok(fields)
+}
+
+/// Quoted fields keep their content verbatim; unquoted fields are trimmed.
+fn finish_field(raw: String, was_quoted: bool) -> (String, bool) {
+    if was_quoted {
+        (raw, true)
+    } else {
+        (raw.trim().to_owned(), false)
+    }
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s == "NULL" {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Serializes a table to CSV text (header + one record per tuple).
+pub fn dump_table(db: &Database, relation: RelationId) -> StorageResult<String> {
+    let table = db.table(relation)?;
+    let schema = table.schema();
+    let mut out = String::new();
+    let header: Vec<&str> = schema.attributes.iter().map(|a| a.name.as_str()).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => "NULL".to_owned(),
+                Value::Str(s) => quote_field(s),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Writes a table to a CSV file.
+pub fn dump_table_to(db: &Database, relation: RelationId, path: &Path) -> Result<(), CsvError> {
+    let text = dump_table(db, relation)?;
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// Loads CSV text into a relation, validating the header against the
+/// schema and parsing each field by its declared type. Returns the number
+/// of rows inserted.
+pub fn load_table(db: &mut Database, relation: RelationId, text: &str) -> Result<usize, CsvError> {
+    let schema = db.table(relation)?.schema().clone();
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        reason: "empty input (missing header)".into(),
+    })?;
+    let expected: Vec<&str> = schema.attributes.iter().map(|a| a.name.as_str()).collect();
+    let got: Vec<String> = split_record(header, 1)?
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
+    if got != expected {
+        return Err(CsvError::HeaderMismatch {
+            expected: expected.join(","),
+            got: got.join(","),
+        });
+    }
+
+    let mut inserted = 0usize;
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields = split_record(raw, line_no)?;
+        if fields.len() != schema.arity() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                reason: format!("expected {} fields, got {}", schema.arity(), fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for ((field, quoted), attr) in fields.iter().zip(&schema.attributes) {
+            let value = if field == "NULL" && !quoted {
+                Value::Null
+            } else {
+                match attr.ty {
+                    DataType::Int => {
+                        Value::Int(field.parse::<i64>().map_err(|_| CsvError::Parse {
+                            line: line_no,
+                            reason: format!("`{field}` is not an integer ({})", attr.name),
+                        })?)
+                    }
+                    DataType::Float => {
+                        let v = field.parse::<f64>().map_err(|_| CsvError::Parse {
+                            line: line_no,
+                            reason: format!("`{field}` is not a float ({})", attr.name),
+                        })?;
+                        if !v.is_finite() {
+                            return Err(CsvError::Parse {
+                                line: line_no,
+                                reason: format!("non-finite float in {}", attr.name),
+                            });
+                        }
+                        Value::Float(v)
+                    }
+                    DataType::Str => Value::Str(field.clone()),
+                }
+            };
+            row.push(value);
+        }
+        db.insert(relation, row)?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Reads a CSV file into a relation.
+pub fn load_table_from(
+    db: &mut Database,
+    relation: RelationId,
+    path: &Path,
+) -> Result<usize, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    load_table(db, relation, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+
+    fn movie_db() -> (Database, RelationId) {
+        let mut db = Database::with_block_capacity(4);
+        let rid = db
+            .create_relation(RelationSchema::new(
+                "MOVIE",
+                vec![
+                    ("mid", DataType::Int),
+                    ("title", DataType::Str),
+                    ("rating", DataType::Float),
+                ],
+            ))
+            .unwrap();
+        (db, rid)
+    }
+
+    #[test]
+    fn roundtrip_with_quotes_and_nulls() {
+        let (mut db, rid) = movie_db();
+        db.insert(
+            rid,
+            vec![Value::Int(1), Value::str("Plain"), Value::float(7.5)],
+        )
+        .unwrap();
+        db.insert(
+            rid,
+            vec![
+                Value::Int(2),
+                Value::str("Comma, The \"Movie\""),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        db.insert(
+            rid,
+            vec![Value::Int(3), Value::str("NULL"), Value::float(1.0)],
+        )
+        .unwrap();
+
+        let text = dump_table(&db, rid).unwrap();
+        assert!(text.starts_with("mid,title,rating\n"));
+        assert!(text.contains("\"Comma, The \"\"Movie\"\"\""));
+        // The *string* "NULL" is quoted to distinguish it from SQL NULL.
+        assert!(text.contains("3,\"NULL\",1"));
+
+        let (mut db2, rid2) = movie_db();
+        let n = load_table(&mut db2, rid2, &text).unwrap();
+        assert_eq!(n, 3);
+        let a: Vec<_> = db.table(rid).unwrap().rows().cloned().collect();
+        let b: Vec<_> = db2.table(rid2).unwrap().rows().cloned().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let (mut db, rid) = movie_db();
+        let err = load_table(&mut db, rid, "mid,nope,rating\n1,x,2.0\n").unwrap_err();
+        assert!(matches!(err, CsvError::HeaderMismatch { .. }));
+    }
+
+    #[test]
+    fn type_errors_carry_line_numbers() {
+        let (mut db, rid) = movie_db();
+        let err = load_table(&mut db, rid, "mid,title,rating\n1,x,2.0\nnope,y,3.0\n").unwrap_err();
+        match err {
+            CsvError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("not an integer"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn arity_and_quoting_errors() {
+        let (mut db, rid) = movie_db();
+        let err = load_table(&mut db, rid, "mid,title,rating\n1,x\n").unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }));
+        let err = load_table(&mut db, rid, "mid,title,rating\n1,\"open,2.0\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (mut db, rid) = movie_db();
+        db.insert(rid, vec![Value::Int(1), Value::str("A"), Value::float(5.0)])
+            .unwrap();
+        let path = std::env::temp_dir().join("cqp_csv_roundtrip.csv");
+        dump_table_to(&db, rid, &path).unwrap();
+        let (mut db2, rid2) = movie_db();
+        assert_eq!(load_table_from(&mut db2, rid2, &path).unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_lines_skipped_and_empty_input_rejected() {
+        let (mut db, rid) = movie_db();
+        let n = load_table(&mut db, rid, "mid,title,rating\n\n1,x,2.0\n\n").unwrap();
+        assert_eq!(n, 1);
+        let err = load_table(&mut db, rid, "").unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }));
+    }
+}

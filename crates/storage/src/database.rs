@@ -1,0 +1,165 @@
+//! A database: a catalog plus one table per relation, plus statistics.
+
+use crate::catalog::Catalog;
+use crate::error::{StorageError, StorageResult};
+use crate::schema::{RelationId, RelationSchema};
+use crate::stats::{DbStats, TableStats};
+use crate::table::Table;
+use crate::value::Tuple;
+
+/// An in-memory database instance.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+    tables: Vec<Table>,
+    block_capacity: Option<usize>,
+}
+
+impl Database {
+    /// Creates an empty database with the default block capacity.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates an empty database whose tables use `block_capacity` tuples
+    /// per block.
+    pub fn with_block_capacity(block_capacity: usize) -> Self {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        Database {
+            catalog: Catalog::new(),
+            tables: Vec::new(),
+            block_capacity: Some(block_capacity),
+        }
+    }
+
+    /// Creates a relation, returning its id.
+    pub fn create_relation(&mut self, schema: RelationSchema) -> StorageResult<RelationId> {
+        let table = match self.block_capacity {
+            Some(c) => Table::with_block_capacity(schema.clone(), c),
+            None => Table::new(schema.clone()),
+        };
+        let id = self.catalog.add_relation(schema)?;
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The table backing a relation.
+    pub fn table(&self, id: RelationId) -> StorageResult<&Table> {
+        self.tables
+            .get(id.index())
+            .ok_or(StorageError::RelationIdOutOfRange(id.index()))
+    }
+
+    /// Mutable access to a relation's table (for loading data).
+    pub fn table_mut(&mut self, id: RelationId) -> StorageResult<&mut Table> {
+        self.tables
+            .get_mut(id.index())
+            .ok_or(StorageError::RelationIdOutOfRange(id.index()))
+    }
+
+    /// Inserts a tuple into a relation by id.
+    pub fn insert(&mut self, id: RelationId, row: Tuple) -> StorageResult<()> {
+        self.table_mut(id)?.insert(row)
+    }
+
+    /// Inserts a tuple into a relation by name.
+    pub fn insert_into(&mut self, relation: &str, row: Tuple) -> StorageResult<()> {
+        let id = self.catalog.relation_id(relation)?;
+        self.insert(id, row)
+    }
+
+    /// Computes statistics for every table — the `ANALYZE` of this engine.
+    pub fn analyze(&self) -> DbStats {
+        DbStats {
+            tables: self.tables.iter().map(TableStats::compute).collect(),
+        }
+    }
+
+    /// Total blocks across all tables.
+    pub fn total_blocks(&self) -> u64 {
+        self.tables.iter().map(Table::num_blocks).sum()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::num_rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn movie_db() -> Database {
+        let mut db = Database::with_block_capacity(2);
+        db.create_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_and_count() {
+        let mut db = movie_db();
+        db.insert_into(
+            "MOVIE",
+            vec![Value::Int(1), Value::str("Manhattan"), Value::Int(1)],
+        )
+        .unwrap();
+        db.insert_into(
+            "MOVIE",
+            vec![Value::Int(2), Value::str("Zelig"), Value::Int(1)],
+        )
+        .unwrap();
+        db.insert_into(
+            "MOVIE",
+            vec![Value::Int(3), Value::str("Bananas"), Value::Int(1)],
+        )
+        .unwrap();
+        db.insert_into("DIRECTOR", vec![Value::Int(1), Value::str("W. Allen")])
+            .unwrap();
+
+        assert_eq!(db.total_rows(), 4);
+        let movie = db.catalog().relation_id("MOVIE").unwrap();
+        assert_eq!(db.table(movie).unwrap().num_rows(), 3);
+        // 3 rows at 2 per block = 2 blocks, plus 1 block for DIRECTOR.
+        assert_eq!(db.total_blocks(), 3);
+    }
+
+    #[test]
+    fn analyze_produces_stats_per_relation() {
+        let mut db = movie_db();
+        db.insert_into("DIRECTOR", vec![Value::Int(1), Value::str("W. Allen")])
+            .unwrap();
+        db.insert_into("DIRECTOR", vec![Value::Int(2), Value::str("F. Fellini")])
+            .unwrap();
+        let stats = db.analyze();
+        assert_eq!(stats.tables.len(), 2);
+        assert_eq!(stats.table(1).unwrap().rows, 2);
+        assert_eq!(stats.table(1).unwrap().columns[1].n_distinct, 2);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = movie_db();
+        assert!(db.insert_into("NOPE", vec![]).is_err());
+        assert!(db.table(RelationId(9)).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types shared across the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Attribute that was missing.
+        attribute: String,
+    },
+    /// A relation id was out of range for the catalog.
+    RelationIdOutOfRange(usize),
+    /// An attribute id was out of range for its relation.
+    AttrIdOutOfRange {
+        /// Relation the attribute was looked up in.
+        relation: String,
+        /// The offending index.
+        attr: usize,
+    },
+    /// A tuple's arity did not match the relation schema.
+    ArityMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Expected number of attributes.
+        expected: usize,
+        /// Number of values in the tuple.
+        got: usize,
+    },
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Relation the tuple was inserted into.
+        relation: String,
+        /// Attribute position.
+        attr: usize,
+        /// Declared type name.
+        expected: &'static str,
+        /// Actual type name.
+        got: &'static str,
+    },
+    /// A relation with this name already exists.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "unknown attribute `{attribute}` in relation `{relation}`"
+                )
+            }
+            StorageError::RelationIdOutOfRange(id) => {
+                write!(f, "relation id {id} out of range")
+            }
+            StorageError::AttrIdOutOfRange { relation, attr } => {
+                write!(
+                    f,
+                    "attribute id {attr} out of range for relation `{relation}`"
+                )
+            }
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tuple arity mismatch for relation `{relation}`: expected {expected}, got {got}"
+            ),
+            StorageError::TypeMismatch {
+                relation,
+                attr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for `{relation}` attribute {attr}: expected {expected}, got {got}"
+            ),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias for storage results.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::UnknownRelation("MOVIE".into());
+        assert!(e.to_string().contains("MOVIE"));
+
+        let e = StorageError::UnknownAttribute {
+            relation: "MOVIE".into(),
+            attribute: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+        assert!(e.to_string().contains("MOVIE"));
+
+        let e = StorageError::ArityMismatch {
+            relation: "GENRE".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&StorageError::RelationIdOutOfRange(7));
+    }
+}

@@ -1,0 +1,165 @@
+//! Relation schemas and attribute references.
+//!
+//! The paper's personalization graph (Section 3) extends the *database
+//! schema graph*: relation nodes and attribute nodes come straight from the
+//! schema described here; join edges connect attribute nodes.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Index of a relation within a [`crate::catalog::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(pub u16);
+
+impl RelationId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index of an attribute within a relation schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A fully qualified attribute: `(relation, attribute)`, e.g. `MOVIE.did`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QualifiedAttr {
+    /// The relation the attribute belongs to.
+    pub relation: RelationId,
+    /// The attribute within that relation.
+    pub attr: AttrId,
+}
+
+impl QualifiedAttr {
+    /// Builds a qualified attribute from raw indices.
+    pub fn new(relation: u16, attr: u16) -> Self {
+        QualifiedAttr {
+            relation: RelationId(relation),
+            attr: AttrId(attr),
+        }
+    }
+}
+
+/// Definition of one attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute name, e.g. `title`.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+impl AttributeDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        AttributeDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Schema of one relation: a name plus an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, e.g. `MOVIE`.
+    pub name: String,
+    /// Ordered attribute definitions.
+    pub attributes: Vec<AttributeDef>,
+}
+
+impl RelationSchema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new(name: impl Into<String>, attrs: Vec<(&str, DataType)>) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes: attrs
+                .into_iter()
+                .map(|(n, ty)| AttributeDef::new(n, ty))
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u16))
+    }
+
+    /// Returns the definition of an attribute, if the id is in range.
+    pub fn attr(&self, id: AttrId) -> Option<&AttributeDef> {
+        self.attributes.get(id.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_schema() -> RelationSchema {
+        RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let s = movie_schema();
+        assert_eq!(s.attr_id("title"), Some(AttrId(1)));
+        assert_eq!(s.attr_id("did"), Some(AttrId(4)));
+        assert_eq!(s.attr_id("nope"), None);
+        assert_eq!(s.arity(), 5);
+    }
+
+    #[test]
+    fn attr_def_access() {
+        let s = movie_schema();
+        let a = s.attr(AttrId(1)).unwrap();
+        assert_eq!(a.name, "title");
+        assert_eq!(a.ty, DataType::Str);
+        assert!(s.attr(AttrId(99)).is_none());
+    }
+
+    #[test]
+    fn qualified_attr_ordering_and_display() {
+        let a = QualifiedAttr::new(0, 4);
+        let b = QualifiedAttr::new(1, 0);
+        assert!(a < b);
+        assert_eq!(RelationId(3).to_string(), "3");
+        assert_eq!(AttrId(2).to_string(), "2");
+    }
+}

@@ -1,0 +1,195 @@
+//! Tables: block-organized tuple storage for one relation.
+
+use crate::block::{Block, DEFAULT_BLOCK_CAPACITY};
+use crate::error::{StorageError, StorageResult};
+use crate::schema::RelationSchema;
+use crate::value::{Tuple, Value};
+
+/// A table stores the tuples of one relation in fixed-capacity blocks.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: RelationSchema,
+    blocks: Vec<Block>,
+    block_capacity: usize,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the default block capacity.
+    pub fn new(schema: RelationSchema) -> Self {
+        Self::with_block_capacity(schema, DEFAULT_BLOCK_CAPACITY)
+    }
+
+    /// Creates an empty table with an explicit tuples-per-block capacity.
+    ///
+    /// # Panics
+    /// Panics if `block_capacity` is zero.
+    pub fn with_block_capacity(schema: RelationSchema, block_capacity: usize) -> Self {
+        assert!(block_capacity > 0, "block capacity must be positive");
+        Table {
+            schema,
+            blocks: Vec::new(),
+            block_capacity,
+            num_rows: 0,
+        }
+    }
+
+    /// The relation schema of this table.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of tuples stored.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of blocks occupied — the `blocks(R)` of the paper's cost model.
+    pub fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Tuples-per-block capacity.
+    pub fn block_capacity(&self) -> usize {
+        self.block_capacity
+    }
+
+    /// Inserts a tuple after checking arity and types (NULL passes any type).
+    pub fn insert(&mut self, row: Tuple) -> StorageResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, (value, def)) in row.iter().zip(&self.schema.attributes).enumerate() {
+            if let Some(ty) = value.data_type() {
+                if ty != def.ty {
+                    return Err(StorageError::TypeMismatch {
+                        relation: self.schema.name.clone(),
+                        attr: i,
+                        expected: match def.ty {
+                            crate::value::DataType::Int => "INT",
+                            crate::value::DataType::Float => "FLOAT",
+                            crate::value::DataType::Str => "VARCHAR",
+                        },
+                        got: value.type_name(),
+                    });
+                }
+            }
+        }
+        self.insert_unchecked(row);
+        Ok(())
+    }
+
+    /// Inserts a tuple without schema validation (used by bulk loaders that
+    /// construct well-typed rows by design).
+    pub fn insert_unchecked(&mut self, row: Tuple) {
+        let needs_new = match self.blocks.last() {
+            Some(b) => b.is_full(self.block_capacity),
+            None => true,
+        };
+        if needs_new {
+            self.blocks.push(Block::with_capacity(self.block_capacity));
+        }
+        self.blocks
+            .last_mut()
+            .expect("a block was just ensured")
+            .push(row);
+        self.num_rows += 1;
+    }
+
+    /// The blocks of this table, for executors that meter I/O per block.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Iterates over all tuples without I/O metering (loaders, statistics).
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.blocks.iter().flat_map(|b| b.rows().iter())
+    }
+
+    /// Returns the values of one column without I/O metering.
+    pub fn column(&self, attr: usize) -> impl Iterator<Item = &Value> {
+        self.rows().map(move |r| &r[attr])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::DataType;
+
+    fn genre_table(block_capacity: usize) -> Table {
+        let schema = RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        );
+        Table::with_block_capacity(schema, block_capacity)
+    }
+
+    #[test]
+    fn rows_spill_into_blocks() {
+        let mut t = genre_table(3);
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::str("musical")])
+                .unwrap();
+        }
+        assert_eq!(t.num_rows(), 10);
+        // ceil(10 / 3) = 4 blocks
+        assert_eq!(t.num_blocks(), 4);
+        assert_eq!(t.blocks()[0].len(), 3);
+        assert_eq!(t.blocks()[3].len(), 1);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let mut t = genre_table(4);
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn types_are_checked_but_null_passes() {
+        let mut t = genre_table(4);
+        let err = t
+            .insert(vec![Value::str("x"), Value::str("y")])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { attr: 0, .. }));
+        t.insert(vec![Value::Null, Value::str("drama")]).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn column_iteration() {
+        let mut t = genre_table(2);
+        t.insert(vec![Value::Int(1), Value::str("musical")])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::str("drama")]).unwrap();
+        let genres: Vec<_> = t.column(1).cloned().collect();
+        assert_eq!(genres, vec![Value::str("musical"), Value::str("drama")]);
+    }
+
+    #[test]
+    fn empty_table_has_zero_blocks() {
+        let t = genre_table(4);
+        assert_eq!(t.num_blocks(), 0);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.rows().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block capacity")]
+    fn zero_capacity_rejected() {
+        let _ = genre_table(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's introduction scenario: Al and the tourist-information
+//! service.
+//!
+//! "While planning his trip to Pisa, Al looks for general information …
+//! using his laptop with a high-speed Internet connection … When Al is in
+//! Pisa, he may ask for a few local restaurants using his palmtop … The
+//! system should quickly return a short and easily browsable answer with,
+//! say, three restaurants that are of Al's general liking."
+//!
+//! The same user, query, and profile — but two search contexts mapped onto
+//! two different CQP problems produce very different personalized queries.
+//!
+//! ```text
+//! cargo run --release -p cqp-bench --example mobile_tourist
+//! ```
+
+use cqp_core::{
+    Algorithm, Connection, CqpSystem, Device, Intent, PolicyConfig, ProblemSpec, SearchContext,
+    SolverConfig,
+};
+use cqp_datagen::{generate_tourism_db, TourismConfig};
+use cqp_engine::{CmpOp, QueryBuilder};
+use cqp_prefs::{Doi, Profile};
+
+fn main() {
+    let db = generate_tourism_db(&TourismConfig::default());
+    let system = CqpSystem::new(&db);
+    let catalog = db.catalog();
+
+    // Al's query: restaurants (he will browse by name).
+    let query = QueryBuilder::from(catalog, "RESTAURANT")
+        .expect("RESTAURANT exists")
+        .select("RESTAURANT", "name")
+        .expect("name exists")
+        .build();
+
+    // Al's profile: he loves Tuscan food, likes seafood, prefers Pisa, and
+    // avoids pricey places.
+    let mut profile = Profile::new("al");
+    profile
+        .add_selection(catalog, "RESTAURANT", "cuisine", "tuscan", Doi::new(0.9))
+        .expect("schema");
+    profile
+        .add_selection(catalog, "RESTAURANT", "cuisine", "seafood", Doi::new(0.6))
+        .expect("schema");
+    profile
+        .add_selection_op(
+            catalog,
+            "RESTAURANT",
+            "price",
+            CmpOp::Le,
+            35i64,
+            Doi::new(0.7),
+        )
+        .expect("schema");
+    profile
+        .add_join(catalog, "RESTAURANT", "cid", "CITY", "cid", Doi::new(1.0))
+        .expect("schema");
+    profile
+        .add_selection(catalog, "CITY", "name", "Pisa", Doi::new(0.8))
+        .expect("schema");
+
+    let config = SolverConfig {
+        algorithm: Algorithm::CBoundaries,
+        ..Default::default()
+    };
+
+    // Scenario 0 — naive "maximum interest" personalization (Problem 2
+    // with a huge budget and no size bound). This is the paper's
+    // motivating failure: the over-personalized query demands Tuscan AND
+    // seafood cuisine simultaneously and returns nothing.
+    println!("=== naive max-interest personalization (P2, cmax = 500 ms, no size bound) ===");
+    let outcome = system
+        .personalize(&query, &profile, &ProblemSpec::p2(500), &config)
+        .expect("personalization succeeds");
+    report(&system, &outcome);
+
+    // The remaining contexts are expressed in the paper's own vocabulary —
+    // device, connection, intent — and mapped onto Table 1 problems by the
+    // policy module (the "policy issue" the paper defers to future work).
+    let policy = PolicyConfig {
+        fast_cost_blocks: 500,
+        slow_cost_blocks: 60,
+        desktop_size_max: 50.0,
+        handheld_size_max: 3.0,
+    };
+
+    // Context 1 — the office laptop: plenty of bandwidth and screen, but
+    // "empty answers are always undesirable" (Section 4.1) — the size
+    // lower bound defaults to 1.
+    let office = SearchContext {
+        device: Device::Desktop,
+        connection: Connection::Fast,
+        intent: Intent::BestAnswer,
+    };
+    println!(
+        "\n=== context: office laptop → {:?} ===",
+        office
+            .problem_with(&policy)
+            .kind()
+            .expect("policy yields a Table 1 problem")
+    );
+    let outcome = system
+        .personalize(&query, &profile, &office.problem_with(&policy), &config)
+        .expect("personalization succeeds");
+    report(&system, &outcome);
+
+    // Context 2 — the palmtop in Pisa: low bandwidth, tiny display, and
+    // the answer must be a handful of rows ("say, three restaurants").
+    let palmtop = SearchContext {
+        device: Device::Handheld,
+        connection: Connection::Slow,
+        intent: Intent::BestAnswer,
+    };
+    println!(
+        "\n=== context: palmtop in Pisa → {:?} ===",
+        palmtop
+            .problem_with(&policy)
+            .kind()
+            .expect("policy yields a Table 1 problem")
+    );
+    let outcome = system
+        .personalize(&query, &profile, &palmtop.problem_with(&policy), &config)
+        .expect("personalization succeeds");
+    report(&system, &outcome);
+}
+
+fn report(system: &CqpSystem<'_>, outcome: &cqp_core::PersonalizationOutcome) {
+    println!("selected {} preference(s)", outcome.solution.prefs.len());
+    println!(
+        "estimated: doi {:.3}, cost {} ms, size {:.1} rows",
+        outcome.solution.doi.value(),
+        outcome.solution.cost_blocks,
+        outcome.solution.size_rows
+    );
+    println!("SQL: {}", outcome.sql);
+    let (rows, blocks, ms) = system.execute(&outcome.query, 1.0).expect("query executes");
+    println!(
+        "answer: {} rows ({blocks} blocks, {ms:.0} ms simulated I/O)",
+        rows.len()
+    );
+    for row in rows.rows.iter().take(5) {
+        println!("  {}", row[0]);
+    }
+    if rows.len() > 5 {
+        println!("  … and {} more", rows.len() - 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! A richer movie-recommendation session exercising the whole problem
+//! family: the same user asks the same question under four different
+//! service-level regimes (Problems 1, 2, 4 and the unconstrained view).
+//!
+//! ```text
+//! cargo run --release -p cqp-bench --example movie_night
+//! ```
+
+use cqp_core::{Algorithm, CqpSystem, ProblemSpec, SolverConfig};
+use cqp_datagen::{generate_movie_db, generate_movie_profile, MovieDbConfig, ProfileGenConfig};
+use cqp_engine::QueryBuilder;
+use cqp_prefs::Doi;
+
+fn main() {
+    let db_cfg = MovieDbConfig::tiny(7);
+    let db = generate_movie_db(&db_cfg);
+    let system = CqpSystem::new(&db);
+
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .expect("MOVIE exists")
+        .select("MOVIE", "title")
+        .expect("title exists")
+        .select("MOVIE", "year")
+        .expect("year exists")
+        .build();
+
+    let profile = generate_movie_profile(
+        db.catalog(),
+        &ProfileGenConfig {
+            n_directors: db_cfg.directors,
+            n_actors: db_cfg.actors,
+            ..ProfileGenConfig::tiny(99)
+        },
+    );
+    println!(
+        "profile `{}` with {} atomic preferences; query: {}",
+        profile.name,
+        profile.num_preferences(),
+        cqp_engine::sql::conjunctive_sql(db.catalog(), &query)
+    );
+
+    let config = SolverConfig {
+        algorithm: Algorithm::CBoundaries,
+        ..Default::default()
+    };
+    let space = system.preference_space(&query, &profile, &config);
+    println!(
+        "preference space: K = {} related selection preferences\n",
+        space.k()
+    );
+
+    let scenarios: Vec<(&str, ProblemSpec)> = vec![
+        (
+            "rainy evening, fast home connection (P2: max doi, cost ≤ 150 ms)",
+            ProblemSpec::p2(150),
+        ),
+        (
+            "browsing on the couch, wants a shortlist (P1: max doi, 1 ≤ size ≤ 8)",
+            ProblemSpec::p1(1.0, 8.0),
+        ),
+        (
+            "impatient: anything decent, as fast as possible (P4: min cost, doi ≥ 0.6)",
+            ProblemSpec::p4(Doi::new(0.6)),
+        ),
+        (
+            "metered connection but picky (P5: min cost, doi ≥ 0.6, 1 ≤ size ≤ 20)",
+            ProblemSpec::p5(Doi::new(0.6), 1.0, 20.0),
+        ),
+    ];
+
+    for (label, problem) in scenarios {
+        println!("--- {label} ---");
+        match system.personalize(&query, &profile, &problem, &config) {
+            Ok(outcome) => {
+                println!(
+                    "  {} preference(s); doi {:.3}; cost {} ms; est. size {:.1}",
+                    outcome.solution.prefs.len(),
+                    outcome.solution.doi.value(),
+                    outcome.solution.cost_blocks,
+                    outcome.solution.size_rows
+                );
+                if outcome.solution.found {
+                    let (rows, _, ms) =
+                        system.execute(&outcome.query, 1.0).expect("query executes");
+                    println!(
+                        "  executed: {} rows in {ms:.0} ms simulated I/O",
+                        rows.len()
+                    );
+                    for row in rows.rows.iter().take(3) {
+                        println!("    {} ({})", row[0], row[1]);
+                    }
+                } else {
+                    println!("  no feasible personalization — running the query as-is");
+                }
+            }
+            Err(e) => println!("  failed: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,101 @@
+//! Multi-objective personalization: compute the (doi, cost) Pareto
+//! frontier once, then serve *any* budget the search context poses — the
+//! extension the paper sketches as future work ("query personalization as
+//! a multi-objective constrained optimization problem", Section 8).
+//!
+//! Also demonstrates soft ranked execution: rows satisfying any subset of
+//! the integrated preferences, ordered by their degree of interest
+//! (Section 3: "results should be ranked by function r").
+//!
+//! ```text
+//! cargo run --release -p cqp-bench --example pareto_menu
+//! ```
+
+use cqp_core::algorithms::pareto::{p2_from_frontier, pareto_frontier};
+use cqp_core::construct::construct;
+use cqp_core::{Constraints, CqpSystem, Instrument, SolverConfig};
+use cqp_datagen::{generate_movie_db, generate_movie_profile, MovieDbConfig, ProfileGenConfig};
+use cqp_engine::{execute_ranked, Matching, QueryBuilder};
+use cqp_prefs::ConjModel;
+use cqp_storage::IoMeter;
+
+fn main() {
+    let db_cfg = MovieDbConfig::tiny(21);
+    let db = generate_movie_db(&db_cfg);
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(
+        db.catalog(),
+        &ProfileGenConfig {
+            n_directors: db_cfg.directors,
+            n_actors: db_cfg.actors,
+            ..ProfileGenConfig::tiny(5)
+        },
+    );
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .expect("MOVIE exists")
+        .select("MOVIE", "title")
+        .expect("title exists")
+        .build();
+
+    let config = SolverConfig::default();
+    let space = system.preference_space(&query, &profile, &config);
+    println!("preference space: K = {}", space.k());
+
+    // The whole doi/cost menu, computed once.
+    let mut inst = Instrument::new();
+    let frontier = pareto_frontier(
+        &space,
+        ConjModel::NoisyOr,
+        &Constraints::default(),
+        &mut inst,
+    );
+    println!(
+        "\nPareto frontier ({} points, {} states explored):",
+        frontier.len(),
+        inst.states_examined
+    );
+    println!(
+        "{:>10} {:>10} {:>8}   preferences",
+        "cost (ms)", "doi", "size"
+    );
+    for p in &frontier {
+        println!(
+            "{:>10} {:>10.4} {:>8.1}   {:?}",
+            p.cost_blocks,
+            p.doi.value(),
+            p.size_rows,
+            p.prefs
+        );
+    }
+
+    // Any Problem 2 budget is now a lookup.
+    for cmax in [20u64, 60, 150, 400] {
+        match p2_from_frontier(&frontier, cmax) {
+            Some(p) => println!(
+                "budget {cmax:>4} ms → doi {:.4} with {} preference(s)",
+                p.doi.value(),
+                p.prefs.len()
+            ),
+            None => println!("budget {cmax:>4} ms → no personalization fits"),
+        }
+    }
+
+    // Soft ranked execution of the top frontier point: every movie that
+    // satisfies at least one preference, best first.
+    if let Some(best) = frontier.last() {
+        let pq = construct(&query, &space, &best.prefs).expect("real preference paths");
+        let dois: Vec<f64> = best.prefs.iter().map(|&i| space.doi(i).value()).collect();
+        let ranked = execute_ranked(&db, &pq, &dois, Matching::AtLeast(1), &IoMeter::new(1.0))
+            .expect("query executes");
+        println!("\ntop matches (soft ranking, {} rows):", ranked.len());
+        for r in ranked.iter().take(5) {
+            println!(
+                "  doi {:.4}  {}  (satisfies {} of {} preferences)",
+                r.doi,
+                r.row[0],
+                r.satisfied.len(),
+                best.prefs.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Quickstart: personalize `select title from MOVIE` with the paper's
+//! Figure 1 profile, end to end, on a small hand-built movie database.
+//!
+//! ```text
+//! cargo run --release -p cqp-bench --example quickstart
+//! ```
+
+use cqp_core::{Algorithm, CqpSystem, ProblemSpec, SolverConfig};
+use cqp_engine::QueryBuilder;
+use cqp_prefs::Profile;
+use cqp_storage::{DataType, Database, RelationSchema, Value};
+
+/// Builds the movie database of the paper's Section 3/4.2 running example.
+fn paper_database() -> Database {
+    let mut db = Database::with_block_capacity(4);
+    db.create_relation(RelationSchema::new(
+        "MOVIE",
+        vec![
+            ("mid", DataType::Int),
+            ("title", DataType::Str),
+            ("year", DataType::Int),
+            ("duration", DataType::Int),
+            ("did", DataType::Int),
+        ],
+    ))
+    .expect("fresh database");
+    db.create_relation(RelationSchema::new(
+        "DIRECTOR",
+        vec![("did", DataType::Int), ("name", DataType::Str)],
+    ))
+    .expect("fresh database");
+    db.create_relation(RelationSchema::new(
+        "GENRE",
+        vec![("mid", DataType::Int), ("genre", DataType::Str)],
+    ))
+    .expect("fresh database");
+
+    let movies: &[(i64, &str, i64, i64, i64)] = &[
+        (1, "Everyone Says I Love You", 1996, 101, 1),
+        (2, "Manhattan", 1979, 96, 1),
+        (3, "Annie Hall", 1977, 93, 1),
+        (4, "Chicago", 2002, 113, 2),
+        (5, "Cabaret", 1972, 124, 3),
+        (6, "Heat", 1995, 170, 4),
+        (7, "The Insider", 1999, 157, 4),
+    ];
+    for (mid, title, year, dur, did) in movies {
+        db.insert_into(
+            "MOVIE",
+            vec![
+                Value::Int(*mid),
+                Value::str(*title),
+                Value::Int(*year),
+                Value::Int(*dur),
+                Value::Int(*did),
+            ],
+        )
+        .expect("valid row");
+    }
+    for (did, name) in [
+        (1i64, "W. Allen"),
+        (2, "R. Marshall"),
+        (3, "B. Fosse"),
+        (4, "M. Mann"),
+    ] {
+        db.insert_into("DIRECTOR", vec![Value::Int(did), Value::str(name)])
+            .expect("valid row");
+    }
+    for (mid, genre) in [
+        (1i64, "musical"),
+        (1, "comedy"),
+        (2, "comedy"),
+        (3, "comedy"),
+        (4, "musical"),
+        (5, "musical"),
+        (6, "crime"),
+        (7, "drama"),
+    ] {
+        db.insert_into("GENRE", vec![Value::Int(mid), Value::str(genre)])
+            .expect("valid row");
+    }
+    db
+}
+
+fn main() {
+    // 1. The paper's movie database.
+    let db = paper_database();
+    let system = CqpSystem::new(&db);
+    println!(
+        "database: {} rows in {} blocks across {} relations",
+        db.total_rows(),
+        db.total_blocks(),
+        db.catalog().len()
+    );
+
+    // 2. The user query of Section 4.2: select title from MOVIE.
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .expect("MOVIE exists")
+        .select("MOVIE", "title")
+        .expect("title exists")
+        .build();
+    println!(
+        "query: {}",
+        cqp_engine::sql::conjunctive_sql(db.catalog(), &query)
+    );
+
+    // 3. The profile of Figure 1: musicals (0.5), W. Allen (0.8), with
+    //    join preferences MOVIE→GENRE (0.9) and MOVIE→DIRECTOR (1.0).
+    let profile = Profile::paper_figure1(db.catalog()).expect("movie schema present");
+    println!(
+        "profile: {} atomic preferences (paper Figure 1)",
+        profile.num_preferences()
+    );
+
+    // 4. Problem 2: maximize interest under a 10 ms budget
+    //    (b = 1 ms/block ⇒ 10 blocks).
+    let problem = ProblemSpec::p2(10);
+    let config = SolverConfig {
+        algorithm: Algorithm::CBoundaries,
+        ..Default::default()
+    };
+    let outcome = system
+        .personalize(&query, &profile, &problem, &config)
+        .expect("personalization succeeds");
+
+    println!("\nselected {} preference(s):", outcome.solution.prefs.len());
+    let space = system.preference_space(&query, &profile, &config);
+    for &i in &outcome.solution.prefs {
+        println!(
+            "  doi {:.2}  cost {:>3} blocks   {}",
+            space.doi(i).value(),
+            space.cost_blocks(i),
+            space.prefs[i].describe(db.catalog())
+        );
+    }
+    println!(
+        "estimated: doi {:.3}, cost {} ms, size {:.1} rows",
+        outcome.solution.doi.value(),
+        outcome.solution.cost_blocks,
+        outcome.solution.size_rows
+    );
+    println!(
+        "\npersonalized SQL (the Section 4.2 rewriting):\n  {}",
+        outcome.sql
+    );
+
+    // 5. Execute and show the answer: W. Allen's musicals.
+    let (rows, blocks, ms) = system.execute(&outcome.query, 1.0).expect("query executes");
+    println!(
+        "\nexecuted: {} row(s), {blocks} blocks read, {ms:.0} ms simulated I/O",
+        rows.len()
+    );
+    for row in rows.rows.iter() {
+        println!("  {}", row[0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration tests spanning the whole workspace: database → profile →
+//! preference space → search → construction → execution.
+
+use cqp_core::{Algorithm, CqpSystem, ProblemSpec, SolverConfig};
+use cqp_datagen::{
+    generate_movie_db, generate_movie_profile, generate_movie_queries, MovieDbConfig,
+    ProfileGenConfig, QueryGenConfig,
+};
+use cqp_engine::QueryBuilder;
+use cqp_prefs::{Doi, Profile};
+
+fn tiny_system() -> (cqp_storage::Database, ProfileGenConfig) {
+    let db_cfg = MovieDbConfig::tiny(11);
+    let db = generate_movie_db(&db_cfg);
+    let p_cfg = ProfileGenConfig {
+        n_directors: db_cfg.directors,
+        n_actors: db_cfg.actors,
+        ..ProfileGenConfig::tiny(23)
+    };
+    (db, p_cfg)
+}
+
+#[test]
+fn full_pipeline_produces_executable_queries() {
+    let (db, p_cfg) = tiny_system();
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(db.catalog(), &p_cfg);
+    let queries = generate_movie_queries(db.catalog(), &QueryGenConfig::default());
+
+    for query in &queries {
+        let outcome = system
+            .personalize(
+                query,
+                &profile,
+                &ProblemSpec::p2(100),
+                &SolverConfig::default(),
+            )
+            .expect("personalization succeeds");
+        // The constructed query must validate and execute.
+        outcome
+            .query
+            .validate(db.catalog())
+            .expect("valid construction");
+        let (rows, blocks, ms) = system.execute(&outcome.query, 1.0).expect("executes");
+        assert!(blocks > 0);
+        assert!(ms > 0.0);
+        // The personalized answer is a subset of the base answer.
+        let base = cqp_engine::execute(&db, query, &cqp_storage::IoMeter::default())
+            .expect("base executes");
+        assert!(rows.len() <= base.len());
+        // Constraint respected.
+        assert!(outcome.solution.cost_blocks <= 100 || !outcome.solution.found);
+    }
+}
+
+#[test]
+fn exact_algorithms_agree_end_to_end() {
+    let (db, p_cfg) = tiny_system();
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(db.catalog(), &p_cfg);
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+
+    for cmax in [30u64, 60, 100, 200] {
+        let mut dois = Vec::new();
+        for algo in [
+            Algorithm::CBoundaries,
+            Algorithm::DMaxDoi,
+            Algorithm::BranchBound,
+        ] {
+            let config = SolverConfig {
+                algorithm: algo,
+                ..Default::default()
+            };
+            let outcome = system
+                .personalize(&query, &profile, &ProblemSpec::p2(cmax), &config)
+                .expect("personalization succeeds");
+            dois.push(outcome.solution.doi);
+        }
+        assert!(
+            dois.windows(2).all(|w| w[0] == w[1]),
+            "exact algorithms disagree at cmax={cmax}: {dois:?}"
+        );
+    }
+}
+
+#[test]
+fn heuristics_stay_feasible_and_below_optimum() {
+    let (db, p_cfg) = tiny_system();
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(db.catalog(), &p_cfg);
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+
+    for cmax in [30u64, 60, 100, 200] {
+        let exact_cfg = SolverConfig {
+            algorithm: Algorithm::CBoundaries,
+            ..Default::default()
+        };
+        let optimum = system
+            .personalize(&query, &profile, &ProblemSpec::p2(cmax), &exact_cfg)
+            .unwrap()
+            .solution;
+        for algo in [
+            Algorithm::CMaxBounds,
+            Algorithm::DHeurDoi,
+            Algorithm::DSingleMaxDoi,
+        ] {
+            let config = SolverConfig {
+                algorithm: algo,
+                ..Default::default()
+            };
+            let sol = system
+                .personalize(&query, &profile, &ProblemSpec::p2(cmax), &config)
+                .unwrap()
+                .solution;
+            if sol.found {
+                assert!(sol.cost_blocks <= cmax, "{algo:?} violated cmax={cmax}");
+            }
+            assert!(sol.doi <= optimum.doi, "{algo:?} beat the optimum?!");
+        }
+    }
+}
+
+#[test]
+fn personalization_is_deterministic() {
+    let (db, p_cfg) = tiny_system();
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(db.catalog(), &p_cfg);
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let config = SolverConfig::default();
+    let a = system
+        .personalize(&query, &profile, &ProblemSpec::p2(80), &config)
+        .unwrap();
+    let b = system
+        .personalize(&query, &profile, &ProblemSpec::p2(80), &config)
+        .unwrap();
+    assert_eq!(a.solution.prefs, b.solution.prefs);
+    assert_eq!(a.sql, b.sql);
+}
+
+#[test]
+fn all_six_problems_end_to_end() {
+    let (db, p_cfg) = tiny_system();
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(db.catalog(), &p_cfg);
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let config = SolverConfig::default();
+    let space = system.preference_space(&query, &profile, &config);
+    let base = space.base_rows;
+
+    let problems = vec![
+        ProblemSpec::p1(1.0, base),
+        ProblemSpec::p2(100),
+        ProblemSpec::p3(100, 1.0, base),
+        ProblemSpec::p4(Doi::new(0.4)),
+        ProblemSpec::p5(Doi::new(0.4), 1.0, base),
+        ProblemSpec::p6(1.0, base),
+    ];
+    for problem in problems {
+        let outcome = system
+            .personalize(&query, &profile, &problem, &config)
+            .unwrap();
+        if outcome.solution.found {
+            assert!(
+                problem.feasible(&outcome.solution.params()),
+                "{problem:?} produced an infeasible solution"
+            );
+            system
+                .execute(&outcome.query, 1.0)
+                .expect("solution query executes");
+        }
+    }
+}
+
+#[test]
+fn larger_budget_never_hurts_interest() {
+    let (db, p_cfg) = tiny_system();
+    let system = CqpSystem::new(&db);
+    let profile = generate_movie_profile(db.catalog(), &p_cfg);
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let config = SolverConfig {
+        algorithm: Algorithm::CBoundaries,
+        ..Default::default()
+    };
+    let mut last = Doi::ZERO;
+    for cmax in [20u64, 40, 80, 160, 320, 640] {
+        let sol = system
+            .personalize(&query, &profile, &ProblemSpec::p2(cmax), &config)
+            .unwrap()
+            .solution;
+        assert!(
+            sol.doi >= last,
+            "doi decreased when the budget grew (cmax={cmax})"
+        );
+        last = sol.doi;
+    }
+}
+
+#[test]
+fn figure1_profile_example_is_consistent() {
+    // Cross-crate re-validation of the paper's running example on a
+    // generated database: both Figure 1 implicit preferences are found and
+    // the answer is the intersection of the two sub-queries.
+    let db = generate_movie_db(&MovieDbConfig::tiny(11));
+    let system = CqpSystem::new(&db);
+    let profile = Profile::paper_figure1(db.catalog()).unwrap();
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let config = SolverConfig {
+        algorithm: Algorithm::Exhaustive,
+        ..Default::default()
+    };
+    let outcome = system
+        .personalize(&query, &profile, &ProblemSpec::p2(10_000), &config)
+        .unwrap();
+    // The profile names a director ("W. Allen") that the generator never
+    // creates, so one sub-query is empty — but extraction still finds both
+    // preference paths (relatedness is syntactic).
+    assert_eq!(outcome.space_k, 2);
+    let (rows, _, _) = system.execute(&outcome.query, 1.0).unwrap();
+    assert!(
+        rows.is_empty(),
+        "no generated movie is directed by W. Allen"
+    );
+}

@@ -1,0 +1,180 @@
+//! Smoke tests for the experiment harness: every figure/table generator
+//! must run at tiny scale and produce structurally sound rows. This keeps
+//! the `reproduce` binary trustworthy without paying default-scale runtimes
+//! in CI.
+
+use cqp_bench::experiments::{self, FIG12_ALGORITHMS, FIG14_ALGORITHMS};
+use cqp_bench::harness::{supreme_cost_blocks, Scale};
+use cqp_bench::{build_workload, csvout};
+
+fn tiny() -> cqp_bench::Workload {
+    build_workload(&Scale::tiny())
+}
+
+#[test]
+fn fig12a_rows_cover_every_algorithm_and_k() {
+    let w = tiny();
+    let ks = [4usize, 6];
+    let rows = experiments::fig12a(&w, &ks, &FIG12_ALGORITHMS);
+    assert_eq!(rows.len(), ks.len() * FIG12_ALGORITHMS.len());
+    for r in &rows {
+        assert!(r.seconds >= 0.0);
+        assert!(r.states >= 0.0);
+    }
+    // Every algorithm/K combination is present exactly once.
+    for algo in FIG12_ALGORITHMS {
+        for k in ks {
+            assert_eq!(
+                rows.iter()
+                    .filter(|r| r.algorithm == algo.name() && r.x == k as f64)
+                    .count(),
+                1
+            );
+        }
+    }
+}
+
+#[test]
+fn fig12b_prefspace_times_are_sane() {
+    let w = tiny();
+    let rows = experiments::fig12b(&w, &[4, 8]);
+    assert_eq!(rows.len(), 4); // 2 Ks × 2 variants
+    for r in &rows {
+        assert!(r.seconds >= 0.0);
+        assert!(r.k == 4 || r.k == 8);
+    }
+}
+
+#[test]
+fn fig12c_sweeps_percent_of_supreme() {
+    let w = tiny();
+    let rows = experiments::fig12c(&w, 6, &[20, 60, 100], &FIG12_ALGORITHMS);
+    assert_eq!(rows.len(), 3 * FIG12_ALGORITHMS.len());
+    // At 100% everything is feasible: a single climb, minimal states.
+    let at_100: Vec<_> = rows.iter().filter(|r| r.x == 100.0).collect();
+    let at_60: Vec<_> = rows.iter().filter(|r| r.x == 60.0).collect();
+    let s100: f64 = at_100.iter().map(|r| r.states).sum();
+    let s60: f64 = at_60.iter().map(|r| r.states).sum();
+    assert!(
+        s100 <= s60 + 1e-9,
+        "100% supreme must not be harder than 60%"
+    );
+}
+
+#[test]
+fn fig13_memory_rows_are_positive_where_search_happens() {
+    let w = tiny();
+    let rows = experiments::fig13a(&w, &[6], &FIG12_ALGORITHMS);
+    assert_eq!(rows.len(), FIG12_ALGORITHMS.len());
+    for r in &rows {
+        assert!(r.kbytes >= 0.0);
+    }
+}
+
+#[test]
+fn fig14_quality_gaps_nonnegative_and_heuristics_listed() {
+    let w = tiny();
+    let rows = experiments::fig14a(&w, &[6], cqp_prefs::ConjModel::NoisyOr);
+    assert_eq!(rows.len(), FIG14_ALGORITHMS.len());
+    for r in &rows {
+        assert!(r.quality_gap >= 0.0, "{} gap negative", r.algorithm);
+        assert!(r.quality_gap <= 1.0);
+    }
+}
+
+#[test]
+fn fig15_estimate_tracks_measurement() {
+    let w = tiny();
+    let rows = experiments::fig15(&w, &[3, 6]);
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        assert!(r.estimated_ms > 0.0);
+        // Measured = simulated I/O (identical to the estimate by
+        // construction) + CPU time, so it can only exceed the estimate.
+        assert!(r.real_ms >= r.estimated_ms);
+        // ... but not by much: the model's error is the CPU overhead only.
+        assert!(r.real_ms <= r.estimated_ms * 1.5, "{r:?}");
+    }
+}
+
+#[test]
+fn table1_solves_all_six_and_matches_exact_where_guaranteed() {
+    let w = tiny();
+    let rows = experiments::table1(&w, 8);
+    assert_eq!(rows.len(), 6);
+    for r in &rows {
+        assert!((1..=6).contains(&r.problem));
+        // The state-space adaptation is exact for Problems 2 and 4 (see
+        // algorithms::general); the composite problems are heuristic and
+        // may legitimately diverge from branch-and-bound.
+        if r.problem == 2 || r.problem == 4 {
+            assert!(
+                r.matches_exact,
+                "P{} diverged from branch-and-bound",
+                r.problem
+            );
+        }
+        if r.found {
+            assert!(r.doi >= 0.0 && r.doi <= 1.0);
+            assert!(r.size_rows >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn ablations_run_at_tiny_scale() {
+    let w = tiny();
+    let rows = experiments::ablation_generic(&w, 6);
+    assert!(rows.len() >= 6);
+    for (t, q) in &rows {
+        assert!(t.seconds >= 0.0);
+        assert!(q.quality_gap >= 0.0);
+    }
+    let models = experiments::ablation_doi_model(&w, &[5]);
+    assert_eq!(models.len(), 3);
+    let budget = experiments::ablation_annealing_budget(&w, 6, &[100, 400]);
+    assert_eq!(budget.len(), 2);
+    assert!(budget[0].x < budget[1].x);
+}
+
+#[test]
+fn csv_writers_roundtrip_every_row_kind() {
+    let w = tiny();
+    let dir = std::env::temp_dir().join("cqp_harness_csv_test");
+    let times = experiments::fig12a(&w, &[4], &[cqp_core::Algorithm::CMaxBounds]);
+    csvout::write_times(&dir, "t", &times).unwrap();
+    let mem = experiments::fig13a(&w, &[4], &[cqp_core::Algorithm::CMaxBounds]);
+    csvout::write_memory(&dir, "m", &mem).unwrap();
+    let qual = experiments::fig14a(&w, &[4], cqp_prefs::ConjModel::NoisyOr);
+    csvout::write_quality(&dir, "q", &qual).unwrap();
+    let pres = experiments::fig12b(&w, &[4]);
+    csvout::write_prefsel(&dir, "p", &pres).unwrap();
+    let cm = experiments::fig15(&w, &[3]);
+    csvout::write_costmodel(&dir, "c", &cm).unwrap();
+    let probs = experiments::table1(&w, 6);
+    csvout::write_problems(&dir, "x", &probs).unwrap();
+    for f in ["t", "m", "q", "p", "c", "x"] {
+        let content = std::fs::read_to_string(dir.join(format!("{f}.csv"))).unwrap();
+        assert!(content.lines().count() >= 2, "{f}.csv lacks data rows");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn supreme_cost_and_cmax_policy() {
+    let w = tiny();
+    let (p, q) = w.pairs().next().unwrap();
+    let (space, _) = w.space(p, q, 8, true);
+    let supreme = supreme_cost_blocks(&space);
+    assert!(supreme > 0);
+    // Tiny scale uses the fixed budget.
+    assert_eq!(w.scale.cmax_for(&space), w.scale.cmax_blocks);
+    // Ratio mode binds to the supreme cost.
+    let ratio = Scale {
+        cmax_supreme_frac: Some(0.5),
+        ..Scale::tiny()
+    };
+    let half = ratio.cmax_for(&space);
+    assert!(half > 0 && half <= supreme);
+    assert_eq!(half, ((supreme as f64) * 0.5).round() as u64);
+}

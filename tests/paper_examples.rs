@@ -1,0 +1,294 @@
+//! The paper's worked examples, reproduced end to end across crates:
+//! Section 3 (Figure 1 profile), Section 4.2 (query rewriting), Table 2
+//! (rank vectors), Figures 4/6/8 (state space and traces).
+
+use cqp_core::algorithms::{c_boundaries, c_maxbounds, exhaustive};
+use cqp_core::spaces::SpaceView;
+use cqp_core::transitions::{horizontal, vertical};
+use cqp_core::{Instrument, State};
+use cqp_engine::{execute_personalized, PersonalizedQuery, Predicate, QueryBuilder};
+use cqp_prefs::{ConjModel, Doi, PathCompose, Profile};
+use cqp_prefspace::{PrefParams, PreferenceSpace};
+use cqp_storage::{DataType, Database, IoMeter, RelationSchema, Value};
+
+/// The Figure 6/8 example space: costs 120, 80, 60, 40, 30.
+fn fig6_space() -> PreferenceSpace {
+    let costs = [120u64, 80, 60, 40, 30];
+    let dois = [0.9, 0.8, 0.7, 0.6, 0.5];
+    PreferenceSpace::synthetic(
+        (0..5)
+            .map(|i| PrefParams {
+                doi: Doi::new(dois[i]),
+                cost_blocks: costs[i],
+                size_factor: 0.5,
+            })
+            .collect(),
+        1000.0,
+        0,
+    )
+}
+
+fn st(v: &[u16]) -> State {
+    State::from_indices(v.to_vec())
+}
+
+#[test]
+fn section3_implicit_preference_doi() {
+    // p3 ∧ p4 compose to doi 0.8 under multiplication (Formula 9).
+    let composed = PathCompose::Product.compose(&[Doi::new(1.0), Doi::new(0.8)]);
+    assert!((composed.value() - 0.8).abs() < 1e-12);
+    // Formula 10: the conjunction of the two implicit preferences
+    // (0.8 and 0.9×0.5=0.45) has doi 1 − 0.2×0.55 = 0.89.
+    let conj = ConjModel::NoisyOr.conj(&[Doi::new(0.8), Doi::new(0.45)]);
+    assert!((conj.value() - 0.89).abs() < 1e-12);
+}
+
+#[test]
+fn section42_rewriting_on_real_data() {
+    // Build the Section 4.2 example concretely and check the union/having
+    // rewriting returns exactly the movies satisfying BOTH preferences.
+    let mut db = Database::with_block_capacity(4);
+    db.create_relation(RelationSchema::new(
+        "MOVIE",
+        vec![
+            ("mid", DataType::Int),
+            ("title", DataType::Str),
+            ("did", DataType::Int),
+        ],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new(
+        "DIRECTOR",
+        vec![("did", DataType::Int), ("name", DataType::Str)],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new(
+        "GENRE",
+        vec![("mid", DataType::Int), ("genre", DataType::Str)],
+    ))
+    .unwrap();
+    // Three W. Allen movies, one of which is a musical; one musical by
+    // another director.
+    for (mid, title, did) in [
+        (1i64, "Everyone Says I Love You", 1i64),
+        (2, "Manhattan", 1),
+        (3, "Annie Hall", 1),
+        (4, "Chicago", 2),
+    ] {
+        db.insert_into(
+            "MOVIE",
+            vec![Value::Int(mid), Value::str(title), Value::Int(did)],
+        )
+        .unwrap();
+    }
+    db.insert_into("DIRECTOR", vec![Value::Int(1), Value::str("W. Allen")])
+        .unwrap();
+    db.insert_into("DIRECTOR", vec![Value::Int(2), Value::str("R. Marshall")])
+        .unwrap();
+    for (mid, g) in [
+        (1i64, "musical"),
+        (2, "comedy"),
+        (3, "comedy"),
+        (4, "musical"),
+    ] {
+        db.insert_into("GENRE", vec![Value::Int(mid), Value::str(g)])
+            .unwrap();
+    }
+
+    let c = db.catalog();
+    let base = QueryBuilder::from(c, "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let pq = PersonalizedQuery::compose(
+        base,
+        vec![
+            vec![
+                Predicate::join(
+                    c.resolve("MOVIE", "did").unwrap(),
+                    c.resolve("DIRECTOR", "did").unwrap(),
+                ),
+                Predicate::eq(c.resolve("DIRECTOR", "name").unwrap(), "W. Allen"),
+            ],
+            vec![
+                Predicate::join(
+                    c.resolve("MOVIE", "mid").unwrap(),
+                    c.resolve("GENRE", "mid").unwrap(),
+                ),
+                Predicate::eq(c.resolve("GENRE", "genre").unwrap(), "musical"),
+            ],
+        ],
+    );
+
+    // The SQL mirrors the paper's final query.
+    let sql = cqp_engine::sql::personalized_sql(c, &pq);
+    assert!(sql.contains("union all"));
+    assert!(sql.ends_with("having count(*) = 2"));
+
+    let out = execute_personalized(&db, &pq, &IoMeter::default()).unwrap();
+    assert_eq!(out.rows, vec![vec![Value::str("Everyone Says I Love You")]]);
+}
+
+#[test]
+fn table2_rank_vectors() {
+    // Table 2: p1(doi .5, cost 10, size 3), p2(.8, 5, 2), p3(.7, 12, 10).
+    // Sizes are expressed as factors of a base of 10 rows.
+    let space = PreferenceSpace::synthetic(
+        vec![
+            PrefParams {
+                doi: Doi::new(0.5),
+                cost_blocks: 10,
+                size_factor: 0.3,
+            },
+            PrefParams {
+                doi: Doi::new(0.8),
+                cost_blocks: 5,
+                size_factor: 0.2,
+            },
+            PrefParams {
+                doi: Doi::new(0.7),
+                cost_blocks: 12,
+                size_factor: 1.0,
+            },
+        ],
+        10.0,
+        0,
+    );
+    // Paper (1-based over p-numbers): D = {2,3,1}, C = {3,1,2}, S = {2,1,3}.
+    // Our P is stored in D-order (p2, p3, p1), so C and S over P-indices:
+    assert_eq!(space.c, vec![1, 2, 0]); // p3, p1, p2 by decreasing cost
+    assert_eq!(space.s, vec![0, 2, 1]); // p2, p1, p3 by increasing size
+}
+
+#[test]
+fn figure4_transition_structure() {
+    // Figure 4 (K=4): Horizontal(c1c3) = c1c3c4; Vertical(c1c3) = {c1c4, c2c3}.
+    let space = fig6_space();
+    let view = SpaceView::cost(&space, ConjModel::NoisyOr);
+    assert_eq!(horizontal(&view, &st(&[0, 2])), Some(st(&[0, 2, 3])));
+    assert_eq!(
+        vertical(&view, &st(&[0, 2])),
+        vec![st(&[0, 3]), st(&[1, 2])]
+    );
+}
+
+#[test]
+fn figure6_findboundary_trace() {
+    let space = fig6_space();
+    let view = SpaceView::cost(&space, ConjModel::NoisyOr);
+    let mut inst = Instrument::new();
+    let bs = c_boundaries::find_boundary(&view, 185, &mut inst);
+    // See the module tests for the full discussion: our discipline finds
+    // c2c3c4 before c2c4c5, so the "wrongly identified" boundary the paper
+    // reports never materializes.
+    assert_eq!(bs, vec![st(&[0]), st(&[0, 2]), st(&[1, 2, 3])]);
+    // Each boundary is feasible and its Vertical predecessors are not
+    // (Proposition 2: boundaries' predecessors violate the constraint).
+    for b in &bs {
+        assert!(view.state_cost(b) <= 185);
+    }
+}
+
+#[test]
+fn figure8_maxbounds_trace() {
+    let space = fig6_space();
+    let view = SpaceView::cost(&space, ConjModel::NoisyOr);
+    let mut inst = Instrument::new();
+    let mb = c_maxbounds::find_all_max_bounds(&view, 185, &mut inst);
+    // Paper: {c1c3, c2c3c4} — matched exactly.
+    assert_eq!(mb, vec![st(&[0, 2]), st(&[1, 2, 3])]);
+    // None is a subset of or reachable from another.
+    for a in &mb {
+        for b in &mb {
+            if a != b {
+                assert!(!a.is_superset_of(b) || a == b);
+                assert!(!a.dominated_by(b));
+            }
+        }
+    }
+}
+
+#[test]
+fn figure6_8_solutions_agree_with_oracle() {
+    let space = fig6_space();
+    for cmax in [120u64, 150, 185, 220, 330] {
+        let oracle = exhaustive::solve_p2(&space, ConjModel::NoisyOr, cmax);
+        let cb = c_boundaries::solve(&space, ConjModel::NoisyOr, cmax);
+        let mb = c_maxbounds::solve(&space, ConjModel::NoisyOr, cmax);
+        assert_eq!(cb.doi, oracle.doi, "C-BOUNDARIES at cmax={cmax}");
+        assert!(mb.doi <= oracle.doi, "C-MAXBOUNDS at cmax={cmax}");
+        // The heuristic is exact at the paper's own budget (and most
+        // others); at cmax=150 its greedy keeps the expensive c1 and gives
+        // up 0.01 of doi — the kind of minuscule gap Figure 14 quantifies.
+        if cmax != 150 {
+            assert_eq!(mb.doi, oracle.doi, "C-MAXBOUNDS quality at cmax={cmax}");
+        } else {
+            assert!(oracle.doi.value() - mb.doi.value() < 0.011);
+        }
+    }
+}
+
+#[test]
+fn figure1_profile_extraction_matches_paper() {
+    // From the Figure 1 profile and a MOVIE query, exactly the two
+    // implicit selection preferences arise, in decreasing doi order.
+    let mut db = Database::with_block_capacity(4);
+    db.create_relation(RelationSchema::new(
+        "MOVIE",
+        vec![
+            ("mid", DataType::Int),
+            ("title", DataType::Str),
+            ("year", DataType::Int),
+            ("duration", DataType::Int),
+            ("did", DataType::Int),
+        ],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new(
+        "DIRECTOR",
+        vec![("did", DataType::Int), ("name", DataType::Str)],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new(
+        "GENRE",
+        vec![("mid", DataType::Int), ("genre", DataType::Str)],
+    ))
+    .unwrap();
+    for i in 0..8i64 {
+        db.insert_into(
+            "MOVIE",
+            vec![
+                Value::Int(i),
+                Value::str(format!("m{i}")),
+                Value::Int(1990),
+                Value::Int(100),
+                Value::Int(i % 2),
+            ],
+        )
+        .unwrap();
+        db.insert_into("GENRE", vec![Value::Int(i), Value::str("musical")])
+            .unwrap();
+    }
+    db.insert_into("DIRECTOR", vec![Value::Int(0), Value::str("W. Allen")])
+        .unwrap();
+    db.insert_into("DIRECTOR", vec![Value::Int(1), Value::str("F. Fellini")])
+        .unwrap();
+
+    let stats = db.analyze();
+    let profile = Profile::paper_figure1(db.catalog()).unwrap();
+    let query = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let ex = cqp_prefspace::extract(
+        &query,
+        &profile,
+        &stats,
+        &cqp_prefspace::ExtractConfig::default(),
+    );
+    assert_eq!(ex.space.k(), 2);
+    assert!((ex.space.doi(0).value() - 0.8).abs() < 1e-12); // W. Allen path
+    assert!((ex.space.doi(1).value() - 0.45).abs() < 1e-12); // musical path
+}

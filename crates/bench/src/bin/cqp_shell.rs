@@ -23,6 +23,8 @@
 //! * `\k <n>` — cap the number of extracted preferences
 //! * `\soft <query>` — execute with ranked any-match semantics
 //! * `\explain <query>` — show the personalized execution plan
+//! * `\trace <query>` — personalize + execute under the tracer, then print
+//!   the nested span tree and the metrics registry
 //! * `\help`, `\quit`
 //!
 //! Reads stdin; suitable for piping scripts in tests.
@@ -30,8 +32,10 @@
 use cqp_core::{Algorithm, CqpSystem, ProblemSpec, SolverConfig};
 use cqp_datagen::{generate_movie_db, generate_movie_profile, MovieDbConfig, ProfileGenConfig};
 use cqp_engine::parse_query;
+use cqp_obs::{Obs, Recorder};
 use cqp_prefs::{Doi, Profile};
 use std::io::{BufRead, Write};
+use std::rc::Rc;
 
 fn main() {
     let db_cfg = MovieDbConfig::tiny(42);
@@ -170,6 +174,10 @@ fn main() {
                     let rest: String = parts.collect::<Vec<_>>().join(" ");
                     run_query(&db, &profile, &problem, &config, &rest, true);
                 }
+                "trace" => {
+                    let rest: String = parts.collect::<Vec<_>>().join(" ");
+                    trace_query(&db, &profile, &problem, &config, &rest);
+                }
                 other => println!("unknown command \\{other}; try \\help"),
             }
         } else {
@@ -271,6 +279,70 @@ fn run_query(
     }
 }
 
+/// `\trace <query>`: the full personalize-and-execute pipeline under an
+/// [`Obs`], followed by the nested span tree (solver phases, engine
+/// execution, storage reads) and the metrics registry.
+fn trace_query(
+    db: &cqp_storage::Database,
+    profile: &Profile,
+    problem: &ProblemSpec,
+    config: &SolverConfig,
+    sql: &str,
+) {
+    let obs = Rc::new(Obs::new());
+    let query = match parse_query(sql, db.catalog()) {
+        Ok(q) => q,
+        Err(e) => {
+            println!("parse error: {e}");
+            return;
+        }
+    };
+    let system = CqpSystem::new_recorded(db, &*obs);
+    let outcome = match system.personalize_recorded(&query, profile, problem, config, &*obs) {
+        Ok(o) => o,
+        Err(e) => {
+            println!("personalization error: {e}");
+            return;
+        }
+    };
+    match system.execute_recorded(&outcome.query, 1.0, Rc::clone(&obs) as Rc<dyn Recorder>) {
+        Ok((rows, blocks, ms)) => {
+            println!(
+                "{} preference(s); doi {:.3}; {} row(s) in {ms:.0} ms simulated I/O ({blocks} blocks)",
+                outcome.solution.prefs.len(),
+                outcome.solution.doi.value(),
+                rows.len()
+            );
+        }
+        Err(e) => println!("execution error: {e}"),
+    }
+    println!("\nspan tree:");
+    print!("{}", obs.render_tree());
+    let snap = obs.snapshot();
+    println!("\ncounters:");
+    for (name, value) in &snap.counters {
+        println!("  {name:<32} {value}");
+    }
+    if !snap.gauges.is_empty() {
+        println!("gauges:");
+        for (name, value) in &snap.gauges {
+            println!("  {name:<32} {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!("histograms:");
+        for (name, h) in &snap.histograms {
+            println!(
+                "  {name:<32} count={} min={} mean={:.1} max={}",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+}
+
 fn help() {
     println!(
         "\\problem p1 <smin> <smax> | p2 <cmax> | p3 <cmax> <smin> <smax> |\n\
@@ -280,6 +352,7 @@ fn help() {
          \\profile          print the loaded profile\n\
          \\load <path>      load a cqp-profile v1 file\n\
          \\soft <query>     personalize, then rank rows matching any preference\n\
+         \\trace <query>    personalize + execute, print span tree and metrics\n\
          <query>           personalize and execute (strict conjunction)\n\
          \\quit"
     );

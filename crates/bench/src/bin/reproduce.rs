@@ -25,6 +25,7 @@ use cqp_bench::{build_workload, csvout, harness::Scale, Workload};
 use cqp_core::algorithms::{c_boundaries, c_maxbounds, Algorithm};
 use cqp_core::spaces::SpaceView;
 use cqp_core::Instrument;
+use cqp_obs::RunReport;
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::{PrefParams, PreferenceSpace};
 use std::path::{Path, PathBuf};
@@ -139,12 +140,26 @@ fn main() {
     if !ran {
         die(&format!("unknown experiment `{experiment}`"));
     }
-    println!("\nCSV written under {}", out.display());
+    println!(
+        "\nCSV and .report.jsonl run-reports written under {}",
+        out.display()
+    );
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("reproduce: {msg}");
     std::process::exit(2)
+}
+
+/// Writes the run-report lines for one experiment next to its CSV, as
+/// `<name>.report.jsonl` (truncated first, so reruns don't accumulate).
+fn write_reports(out: &Path, name: &str, reports: &[RunReport]) {
+    std::fs::create_dir_all(out).expect("results dir");
+    let path = out.join(format!("{name}.report.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    for r in reports {
+        r.append_to(&path).expect("report write");
+    }
 }
 
 /// Algorithms tractable at every K; the exact doi-space ones are capped
@@ -179,15 +194,23 @@ fn print_time_series(title: &str, rows: &[experiments::AlgoTimeRow], x_label: &s
 
 fn fig12a(w: &Workload, ks: &[usize], full_k: bool, out: &Path) {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for &k in ks {
-        rows.extend(experiments::fig12a(w, &[k], &algos_for(k, full_k)));
+        rows.extend(experiments::fig12a_reported(
+            w,
+            &[k],
+            &algos_for(k, full_k),
+            &mut reports,
+        ));
     }
     print_time_series("Figure 12(a): CQP optimization time vs K", &rows, "K");
     csvout::write_times(out, "fig12a", &rows).expect("CSV write");
+    write_reports(out, "fig12a", &reports);
 }
 
 fn fig12b(w: &Workload, ks: &[usize], out: &Path) {
-    let rows = experiments::fig12b(w, ks);
+    let mut reports = Vec::new();
+    let rows = experiments::fig12b_reported(w, ks, &mut reports);
     println!("--- Figure 12(b): Preference-Space time vs K ---");
     println!("{:>6}  {:<16} {:>12}", "K", "variant", "seconds");
     for r in &rows {
@@ -195,31 +218,46 @@ fn fig12b(w: &Workload, ks: &[usize], out: &Path) {
     }
     println!();
     csvout::write_prefsel(out, "fig12b", &rows).expect("CSV write");
+    write_reports(out, "fig12b", &reports);
 }
 
 fn fig12cd(w: &Workload, percents: &[u32], full_k: bool, out: &Path) {
     let k = 20;
-    let rows = experiments::fig12c(w, k, percents, &algos_for(k, full_k));
+    let mut reports = Vec::new();
+    let rows = experiments::fig12c_reported(w, k, percents, &algos_for(k, full_k), &mut reports);
     print_time_series(
         "Figure 12(c): optimization time vs cmax (% Supreme Cost), K=20",
         &rows,
         "%",
     );
     csvout::write_times(out, "fig12c", &rows).expect("CSV write");
+    write_reports(out, "fig12c", &reports);
     // Figure 12(d) is the zoom on the two fast algorithms.
     let zoom: Vec<_> = rows
         .iter()
         .filter(|r| r.algorithm == "C_MaxBounds" || r.algorithm == "D_HeurDoi")
         .cloned()
         .collect();
+    let zoom_reports: Vec<_> = reports
+        .iter()
+        .filter(|r| r.label == "C_MaxBounds" || r.label == "D_HeurDoi")
+        .cloned()
+        .collect();
     print_time_series("Figure 12(d): zoom on C_MaxBounds / D_HeurDoi", &zoom, "%");
     csvout::write_times(out, "fig12d", &zoom).expect("CSV write");
+    write_reports(out, "fig12d", &zoom_reports);
 }
 
 fn fig13a(w: &Workload, ks: &[usize], full_k: bool, out: &Path) {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for &k in ks {
-        rows.extend(experiments::fig13a(w, &[k], &algos_for(k, full_k)));
+        rows.extend(experiments::fig13a_reported(
+            w,
+            &[k],
+            &algos_for(k, full_k),
+            &mut reports,
+        ));
     }
     println!("--- Figure 13(a): memory requirements vs K ---");
     println!("{:>6}  {:<16} {:>12}", "K", "algorithm", "KBytes");
@@ -228,11 +266,13 @@ fn fig13a(w: &Workload, ks: &[usize], full_k: bool, out: &Path) {
     }
     println!();
     csvout::write_memory(out, "fig13a", &rows).expect("CSV write");
+    write_reports(out, "fig13a", &reports);
 }
 
 fn fig13b(w: &Workload, percents: &[u32], full_k: bool, out: &Path) {
     let k = 20;
-    let rows = experiments::fig13b(w, k, percents, &algos_for(k, full_k));
+    let mut reports = Vec::new();
+    let rows = experiments::fig13b_reported(w, k, percents, &algos_for(k, full_k), &mut reports);
     println!("--- Figure 13(b): memory requirements vs cmax (% Supreme Cost) ---");
     println!("{:>6}  {:<16} {:>12}", "%", "algorithm", "KBytes");
     for r in &rows {
@@ -240,6 +280,7 @@ fn fig13b(w: &Workload, percents: &[u32], full_k: bool, out: &Path) {
     }
     println!();
     csvout::write_memory(out, "fig13b", &rows).expect("CSV write");
+    write_reports(out, "fig13b", &reports);
 }
 
 fn print_quality(title: &str, rows: &[experiments::QualityRow], x_label: &str) {
@@ -257,23 +298,28 @@ fn print_quality(title: &str, rows: &[experiments::QualityRow], x_label: &str) {
 }
 
 fn fig14a(w: &Workload, ks: &[usize], out: &Path) {
-    let rows = experiments::fig14a(w, ks, ConjModel::NoisyOr);
+    let mut reports = Vec::new();
+    let rows = experiments::fig14a_reported(w, ks, ConjModel::NoisyOr, &mut reports);
     print_quality("Figure 14(a): quality gap vs K", &rows, "K");
     csvout::write_quality(out, "fig14a", &rows).expect("CSV write");
+    write_reports(out, "fig14a", &reports);
 }
 
 fn fig14b(w: &Workload, percents: &[u32], out: &Path) {
-    let rows = experiments::fig14b(w, 20, percents, ConjModel::NoisyOr);
+    let mut reports = Vec::new();
+    let rows = experiments::fig14b_reported(w, 20, percents, ConjModel::NoisyOr, &mut reports);
     print_quality(
         "Figure 14(b): quality gap vs cmax (% Supreme Cost)",
         &rows,
         "%",
     );
     csvout::write_quality(out, "fig14b", &rows).expect("CSV write");
+    write_reports(out, "fig14b", &reports);
 }
 
 fn fig15(w: &Workload, ks: &[usize], out: &Path) {
-    let rows = experiments::fig15(w, ks);
+    let mut reports = Vec::new();
+    let rows = experiments::fig15_reported(w, ks, &mut reports);
     println!("--- Figure 15: cost-model validation ---");
     println!("{:>6} {:>16} {:>16}", "K", "estimated (ms)", "real (ms)");
     for r in &rows {
@@ -281,10 +327,12 @@ fn fig15(w: &Workload, ks: &[usize], out: &Path) {
     }
     println!();
     csvout::write_costmodel(out, "fig15", &rows).expect("CSV write");
+    write_reports(out, "fig15", &reports);
 }
 
 fn table1(w: &Workload, out: &Path) {
-    let rows = experiments::table1(w, 20);
+    let mut reports = Vec::new();
+    let rows = experiments::table1_reported(w, 20, &mut reports);
     println!("--- Table 1: the six CQP problems (K=20, first pair) ---");
     for r in &rows {
         println!(
@@ -294,6 +342,7 @@ fn table1(w: &Workload, out: &Path) {
     }
     println!();
     csvout::write_problems(out, "table1", &rows).expect("CSV write");
+    write_reports(out, "table1", &reports);
 }
 
 /// The worked example of Tables 2 and 3.
@@ -393,7 +442,8 @@ fn fig8_trace() {
 
 fn ablations(w: &Workload, ks: &[usize], out: &Path) {
     println!("--- Ablation: specialized vs generic search (K=20) ---");
-    let rows = experiments::ablation_generic(w, 20);
+    let mut generic_reports = Vec::new();
+    let rows = experiments::ablation_generic_reported(w, 20, &mut generic_reports);
     println!(
         "{:<16} {:>12} {:>12} {:>16}",
         "algorithm", "seconds", "states", "gap (x1e-7)"
@@ -413,19 +463,28 @@ fn ablations(w: &Workload, ks: &[usize], out: &Path) {
     }
     csvout::write_times(out, "ablation_generic_time", &times).expect("CSV write");
     csvout::write_quality(out, "ablation_generic_quality", &quals).expect("CSV write");
+    write_reports(out, "ablation_generic_time", &generic_reports);
+    write_reports(out, "ablation_generic_quality", &generic_reports);
     println!();
 
     println!("--- Ablation: conjunction model r ---");
-    for (model, rows) in experiments::ablation_doi_model(w, ks) {
+    for (model, rows, reports) in experiments::ablation_doi_model_reported(w, ks) {
         let worst = rows.iter().map(|r| r.quality_gap).fold(0.0, f64::max);
         println!("{model:<12} worst heuristic gap = {:.3e}", worst);
         csvout::write_quality(out, &format!("ablation_doimodel_{model}"), &rows)
             .expect("CSV write");
+        write_reports(out, &format!("ablation_doimodel_{model}"), &reports);
     }
     println!();
 
     println!("--- Ablation: annealing budget (steps vs gap x1e-7) ---");
-    let rows = experiments::ablation_annealing_budget(w, 20, &[250, 1000, 4000, 16000]);
+    let mut annealing_reports = Vec::new();
+    let rows = experiments::ablation_annealing_budget_reported(
+        w,
+        20,
+        &[250, 1000, 4000, 16000],
+        &mut annealing_reports,
+    );
     for r in &rows {
         println!(
             "steps {:>7}: {:>10.6}s  gap(x1e-7) {:>10.3}",
@@ -433,10 +492,16 @@ fn ablations(w: &Workload, ks: &[usize], out: &Path) {
         );
     }
     csvout::write_times(out, "ablation_annealing_budget", &rows).expect("CSV write");
+    write_reports(out, "ablation_annealing_budget", &annealing_reports);
     println!();
 
     println!("--- Ablation: block capacity (cost-model robustness) ---");
-    let rows = experiments::ablation_block_size(&[16, 32, 64, 128, 256], 10);
+    let mut blocksize_reports = Vec::new();
+    let rows = experiments::ablation_block_size_reported(
+        &[16, 32, 64, 128, 256],
+        10,
+        &mut blocksize_reports,
+    );
     println!(
         "{:>10} {:>14} {:>14} {:>16}",
         "tuples/blk", "estimated ms", "I/O ms", "heuristic gap"
@@ -469,5 +534,6 @@ fn ablations(w: &Workload, ks: &[usize], out: &Path) {
         ),
     )
     .expect("CSV write");
+    write_reports(out, "ablation_block_size", &blocksize_reports);
     println!();
 }

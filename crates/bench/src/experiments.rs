@@ -6,14 +6,16 @@
 //! averages follow the paper's methodology: each data point is the mean
 //! over the workload's profile × query pairs.
 
-use crate::harness::{supreme_cost_blocks, timed, Workload};
-use cqp_core::algorithms::{generic, solve_p2, Algorithm};
+use crate::harness::{span_secs, supreme_cost_blocks, timed_span, Workload};
+use cqp_core::algorithms::{generic, solve_p2, solve_p2_recorded, Algorithm, Solution};
 use cqp_core::construct::construct;
 use cqp_core::{general_solve, ProblemSpec};
 use cqp_engine::CostModel;
+use cqp_obs::{Obs, Recorder, RunReport};
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::PreferenceSpace;
 use cqp_storage::IoMeter;
+use std::rc::Rc;
 
 /// The algorithms of Figure 12, in the paper's legend order.
 pub const FIG12_ALGORITHMS: [Algorithm; 5] = [
@@ -116,17 +118,48 @@ pub fn spaces_at_k(w: &Workload, k: usize) -> Vec<PreferenceSpace> {
     w.pairs().map(|(p, q)| w.space(p, q, k, true).0).collect()
 }
 
+/// One recorded solver run under a shared cell `Obs`. The root span is the
+/// algorithm name, so the delta of its tracer total is this run's wall
+/// seconds — timing and metrics come from the same instrument.
+fn solve_timed(
+    obs: &Obs,
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax: u64,
+    algo: Algorithm,
+) -> (Solution, f64) {
+    let before = span_secs(obs, algo.name());
+    let sol = solve_p2_recorded(space, conj, cmax, algo, obs);
+    (sol, span_secs(obs, algo.name()) - before)
+}
+
 /// Figure 12(a): CQP optimization time as a function of `K`.
 pub fn fig12a(w: &Workload, ks: &[usize], algorithms: &[Algorithm]) -> Vec<AlgoTimeRow> {
+    fig12a_reported(w, ks, algorithms, &mut Vec::new())
+}
+
+/// [`fig12a`] collecting one [`RunReport`] per (K, algorithm) cell.
+pub fn fig12a_reported(
+    w: &Workload,
+    ks: &[usize],
+    algorithms: &[Algorithm],
+    reports: &mut Vec<RunReport>,
+) -> Vec<AlgoTimeRow> {
     let mut rows = Vec::new();
     for &k in ks {
         let spaces = spaces_at_k(w, k);
         for &algo in algorithms {
+            let obs = Obs::new();
             let mut secs = Vec::new();
             let mut states = Vec::new();
             for space in &spaces {
-                let (sol, t) =
-                    timed(|| solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), algo));
+                let (sol, t) = solve_timed(
+                    &obs,
+                    space,
+                    ConjModel::NoisyOr,
+                    w.scale.cmax_for(space),
+                    algo,
+                );
                 secs.push(t);
                 states.push(sol.instrument.states_examined as f64);
             }
@@ -136,6 +169,12 @@ pub fn fig12a(w: &Workload, ks: &[usize], algorithms: &[Algorithm]) -> Vec<AlgoT
                 seconds: mean(&secs),
                 states: mean(&states),
             });
+            reports.push(
+                RunReport::from_obs("fig12a", algo.name(), &obs)
+                    .with_field("k", k as u64)
+                    .with_field("runs", spaces.len() as u64)
+                    .with_field("mean_seconds", mean(&secs)),
+            );
         }
     }
     rows
@@ -145,12 +184,22 @@ pub fn fig12a(w: &Workload, ks: &[usize], algorithms: &[Algorithm]) -> Vec<AlgoT
 /// doi-only output (`D_PrefSelTime`) vs full `D`/`C`/`S` output
 /// (`C_PrefSelTime`).
 pub fn fig12b(w: &Workload, ks: &[usize]) -> Vec<PrefSelRow> {
+    fig12b_reported(w, ks, &mut Vec::new())
+}
+
+/// [`fig12b`] collecting one [`RunReport`] per (K, variant) cell.
+pub fn fig12b_reported(
+    w: &Workload,
+    ks: &[usize],
+    reports: &mut Vec<RunReport>,
+) -> Vec<PrefSelRow> {
     let mut rows = Vec::new();
     for &k in ks {
         for (variant, with_cost) in [("D_PrefSelTime", false), ("C_PrefSelTime", true)] {
+            let obs = Obs::new();
             let mut secs = Vec::new();
             for (p, q) in w.pairs() {
-                let (_, t) = w.space(p, q, k, with_cost);
+                let (_, t) = w.space_recorded(p, q, k, with_cost, &obs);
                 secs.push(t);
             }
             rows.push(PrefSelRow {
@@ -158,6 +207,12 @@ pub fn fig12b(w: &Workload, ks: &[usize]) -> Vec<PrefSelRow> {
                 variant,
                 seconds: mean(&secs),
             });
+            reports.push(
+                RunReport::from_obs("fig12b", variant, &obs)
+                    .with_field("k", k as u64)
+                    .with_field("runs", w.num_pairs() as u64)
+                    .with_field("mean_seconds", mean(&secs)),
+            );
         }
     }
     rows
@@ -171,15 +226,27 @@ pub fn fig12c(
     percents: &[u32],
     algorithms: &[Algorithm],
 ) -> Vec<AlgoTimeRow> {
+    fig12c_reported(w, k, percents, algorithms, &mut Vec::new())
+}
+
+/// [`fig12c`] collecting one [`RunReport`] per (percent, algorithm) cell.
+pub fn fig12c_reported(
+    w: &Workload,
+    k: usize,
+    percents: &[u32],
+    algorithms: &[Algorithm],
+    reports: &mut Vec<RunReport>,
+) -> Vec<AlgoTimeRow> {
     let spaces = spaces_at_k(w, k);
     let mut rows = Vec::new();
     for &pct in percents {
         for &algo in algorithms {
+            let obs = Obs::new();
             let mut secs = Vec::new();
             let mut states = Vec::new();
             for space in &spaces {
                 let cmax = supreme_cost_blocks(space) * pct as u64 / 100;
-                let (sol, t) = timed(|| solve_p2(space, ConjModel::NoisyOr, cmax, algo));
+                let (sol, t) = solve_timed(&obs, space, ConjModel::NoisyOr, cmax, algo);
                 secs.push(t);
                 states.push(sol.instrument.states_examined as f64);
             }
@@ -189,6 +256,13 @@ pub fn fig12c(
                 seconds: mean(&secs),
                 states: mean(&states),
             });
+            reports.push(
+                RunReport::from_obs("fig12c", algo.name(), &obs)
+                    .with_field("percent_supreme", pct as u64)
+                    .with_field("k", k as u64)
+                    .with_field("runs", spaces.len() as u64)
+                    .with_field("mean_seconds", mean(&secs)),
+            );
         }
     }
     rows
@@ -196,16 +270,35 @@ pub fn fig12c(
 
 /// Figure 13(a): peak memory as a function of `K`.
 pub fn fig13a(w: &Workload, ks: &[usize], algorithms: &[Algorithm]) -> Vec<MemoryRow> {
+    fig13a_reported(w, ks, algorithms, &mut Vec::new())
+}
+
+/// [`fig13a`] collecting one [`RunReport`] per (K, algorithm) cell; the
+/// report's `solver.peak_bytes` histogram holds min/mean/max peaks over the
+/// cell's runs.
+pub fn fig13a_reported(
+    w: &Workload,
+    ks: &[usize],
+    algorithms: &[Algorithm],
+    reports: &mut Vec<RunReport>,
+) -> Vec<MemoryRow> {
     let mut rows = Vec::new();
     for &k in ks {
         let spaces = spaces_at_k(w, k);
         for &algo in algorithms {
+            let obs = Obs::new();
             let kbytes: Vec<f64> = spaces
                 .iter()
                 .map(|space| {
-                    solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), algo)
-                        .instrument
-                        .peak_kbytes()
+                    solve_p2_recorded(
+                        space,
+                        ConjModel::NoisyOr,
+                        w.scale.cmax_for(space),
+                        algo,
+                        &obs,
+                    )
+                    .instrument
+                    .peak_kbytes()
                 })
                 .collect();
             rows.push(MemoryRow {
@@ -213,6 +306,12 @@ pub fn fig13a(w: &Workload, ks: &[usize], algorithms: &[Algorithm]) -> Vec<Memor
                 algorithm: algo.name(),
                 kbytes: mean(&kbytes),
             });
+            reports.push(
+                RunReport::from_obs("fig13a", algo.name(), &obs)
+                    .with_field("k", k as u64)
+                    .with_field("runs", spaces.len() as u64)
+                    .with_field("mean_kbytes", mean(&kbytes)),
+            );
         }
     }
     rows
@@ -225,15 +324,27 @@ pub fn fig13b(
     percents: &[u32],
     algorithms: &[Algorithm],
 ) -> Vec<MemoryRow> {
+    fig13b_reported(w, k, percents, algorithms, &mut Vec::new())
+}
+
+/// [`fig13b`] collecting one [`RunReport`] per (percent, algorithm) cell.
+pub fn fig13b_reported(
+    w: &Workload,
+    k: usize,
+    percents: &[u32],
+    algorithms: &[Algorithm],
+    reports: &mut Vec<RunReport>,
+) -> Vec<MemoryRow> {
     let spaces = spaces_at_k(w, k);
     let mut rows = Vec::new();
     for &pct in percents {
         for &algo in algorithms {
+            let obs = Obs::new();
             let kbytes: Vec<f64> = spaces
                 .iter()
                 .map(|space| {
                     let cmax = supreme_cost_blocks(space) * pct as u64 / 100;
-                    solve_p2(space, ConjModel::NoisyOr, cmax, algo)
+                    solve_p2_recorded(space, ConjModel::NoisyOr, cmax, algo, &obs)
                         .instrument
                         .peak_kbytes()
                 })
@@ -243,6 +354,13 @@ pub fn fig13b(
                 algorithm: algo.name(),
                 kbytes: mean(&kbytes),
             });
+            reports.push(
+                RunReport::from_obs("fig13b", algo.name(), &obs)
+                    .with_field("percent_supreme", pct as u64)
+                    .with_field("k", k as u64)
+                    .with_field("runs", spaces.len() as u64)
+                    .with_field("mean_kbytes", mean(&kbytes)),
+            );
         }
     }
     rows
@@ -257,16 +375,29 @@ pub const FIG14_ALGORITHMS: [Algorithm; 3] = [
 
 /// Figure 14(a): quality gap vs `K`.
 pub fn fig14a(w: &Workload, ks: &[usize], conj: ConjModel) -> Vec<QualityRow> {
+    fig14a_reported(w, ks, conj, &mut Vec::new())
+}
+
+/// [`fig14a`] collecting one [`RunReport`] per (K, algorithm) cell. Only
+/// the heuristic under evaluation is recorded; the C-BOUNDARIES reference
+/// runs unrecorded so its counters don't pollute the cell.
+pub fn fig14a_reported(
+    w: &Workload,
+    ks: &[usize],
+    conj: ConjModel,
+    reports: &mut Vec<RunReport>,
+) -> Vec<QualityRow> {
     let mut rows = Vec::new();
     for &k in ks {
         let spaces = spaces_at_k(w, k);
         for algo in FIG14_ALGORITHMS {
+            let obs = Obs::new();
             let gaps: Vec<f64> = spaces
                 .iter()
                 .map(|space| {
                     let optimal =
                         solve_p2(space, conj, w.scale.cmax_for(space), Algorithm::CBoundaries);
-                    let found = solve_p2(space, conj, w.scale.cmax_for(space), algo);
+                    let found = solve_p2_recorded(space, conj, w.scale.cmax_for(space), algo, &obs);
                     (optimal.doi.value() - found.doi.value()).max(0.0)
                 })
                 .collect();
@@ -275,6 +406,13 @@ pub fn fig14a(w: &Workload, ks: &[usize], conj: ConjModel) -> Vec<QualityRow> {
                 algorithm: algo.name(),
                 quality_gap: mean(&gaps),
             });
+            reports.push(
+                RunReport::from_obs("fig14a", algo.name(), &obs)
+                    .with_field("k", k as u64)
+                    .with_field("conj", format!("{conj:?}"))
+                    .with_field("runs", spaces.len() as u64)
+                    .with_field("mean_gap", mean(&gaps)),
+            );
         }
     }
     rows
@@ -282,16 +420,28 @@ pub fn fig14a(w: &Workload, ks: &[usize], conj: ConjModel) -> Vec<QualityRow> {
 
 /// Figure 14(b): quality gap vs `cmax` (% of Supreme Cost) at fixed `K`.
 pub fn fig14b(w: &Workload, k: usize, percents: &[u32], conj: ConjModel) -> Vec<QualityRow> {
+    fig14b_reported(w, k, percents, conj, &mut Vec::new())
+}
+
+/// [`fig14b`] collecting one [`RunReport`] per (percent, algorithm) cell.
+pub fn fig14b_reported(
+    w: &Workload,
+    k: usize,
+    percents: &[u32],
+    conj: ConjModel,
+    reports: &mut Vec<RunReport>,
+) -> Vec<QualityRow> {
     let spaces = spaces_at_k(w, k);
     let mut rows = Vec::new();
     for &pct in percents {
         for algo in FIG14_ALGORITHMS {
+            let obs = Obs::new();
             let gaps: Vec<f64> = spaces
                 .iter()
                 .map(|space| {
                     let cmax = supreme_cost_blocks(space) * pct as u64 / 100;
                     let optimal = solve_p2(space, conj, cmax, Algorithm::CBoundaries);
-                    let found = solve_p2(space, conj, cmax, algo);
+                    let found = solve_p2_recorded(space, conj, cmax, algo, &obs);
                     (optimal.doi.value() - found.doi.value()).max(0.0)
                 })
                 .collect();
@@ -300,6 +450,14 @@ pub fn fig14b(w: &Workload, k: usize, percents: &[u32], conj: ConjModel) -> Vec<
                 algorithm: algo.name(),
                 quality_gap: mean(&gaps),
             });
+            reports.push(
+                RunReport::from_obs("fig14b", algo.name(), &obs)
+                    .with_field("percent_supreme", pct as u64)
+                    .with_field("k", k as u64)
+                    .with_field("conj", format!("{conj:?}"))
+                    .with_field("runs", spaces.len() as u64)
+                    .with_field("mean_gap", mean(&gaps)),
+            );
         }
     }
     rows
@@ -313,21 +471,34 @@ pub fn fig14b(w: &Workload, k: usize, percents: &[u32], conj: ConjModel) -> Vec<
 /// same `b` per block actually read and adding the real CPU time — the
 /// residual gap is exactly the group-by/union work the model neglects.
 pub fn fig15(w: &Workload, ks: &[usize]) -> Vec<CostModelRow> {
+    fig15_reported(w, ks, &mut Vec::new())
+}
+
+/// [`fig15`] collecting one [`RunReport`] per `K`; the executor and the
+/// I/O meter feed the cell `Obs`, so each report carries the engine scan
+/// counters and the physical `storage.blocks_read` totals.
+pub fn fig15_reported(
+    w: &Workload,
+    ks: &[usize],
+    reports: &mut Vec<RunReport>,
+) -> Vec<CostModelRow> {
     let model = CostModel::new(&w.stats);
     let mut rows = Vec::new();
     for &k in ks {
+        let obs = Rc::new(Obs::new());
         let mut est = Vec::new();
         let mut real = Vec::new();
         for (p, q) in w.pairs() {
-            let (space, _) = w.space(p, q, k, true);
+            let (space, _) = w.space_recorded(p, q, k, true, &obs);
             let all: Vec<usize> = (0..space.k()).collect();
             let pq = construct(q, &space, &all).expect("extracted spaces carry paths");
             est.push(model.personalized_ms(&pq));
-            let meter = IoMeter::new(model.ms_per_block());
-            let (_, cpu_secs) = timed(|| {
-                cqp_engine::execute_personalized(&w.db, &pq, &meter)
-                    .expect("workload queries execute")
-            });
+            let meter =
+                IoMeter::with_recorder(model.ms_per_block(), Rc::clone(&obs) as Rc<dyn Recorder>);
+            let before = span_secs(&obs, "engine.execute_personalized");
+            cqp_engine::execute_personalized_recorded(&w.db, &pq, &meter, &*obs)
+                .expect("workload queries execute");
+            let cpu_secs = span_secs(&obs, "engine.execute_personalized") - before;
             real.push(meter.elapsed_ms() + cpu_secs * 1000.0);
         }
         rows.push(CostModelRow {
@@ -335,6 +506,13 @@ pub fn fig15(w: &Workload, ks: &[usize]) -> Vec<CostModelRow> {
             estimated_ms: mean(&est),
             real_ms: mean(&real),
         });
+        reports.push(
+            RunReport::from_obs("fig15", "all-K personalized query", &obs)
+                .with_field("k", k as u64)
+                .with_field("runs", w.num_pairs() as u64)
+                .with_field("mean_estimated_ms", mean(&est))
+                .with_field("mean_real_ms", mean(&real)),
+        );
     }
     rows
 }
@@ -342,8 +520,17 @@ pub fn fig15(w: &Workload, ks: &[usize]) -> Vec<CostModelRow> {
 /// Table 1: solve all six CQP problems on the workload's first pair and
 /// check each against exact branch-and-bound.
 pub fn table1(w: &Workload, k: usize) -> Vec<ProblemRow> {
+    table1_reported(w, k, &mut Vec::new())
+}
+
+/// [`table1`] collecting one [`RunReport`] for the whole table: each
+/// problem solves inside its own `p<N>` span and flushes its transition
+/// counters to the shared registry.
+pub fn table1_reported(w: &Workload, k: usize, reports: &mut Vec<RunReport>) -> Vec<ProblemRow> {
+    const PROBLEM_SPANS: [&str; 6] = ["p1", "p2", "p3", "p4", "p5", "p6"];
+    let obs = Obs::new();
     let (p, q) = w.pairs().next().expect("non-empty workload");
-    let (space, _) = w.space(p, q, k, true);
+    let (space, _) = w.space_recorded(p, q, k, true, &obs);
     let base_rows = space.base_rows;
     let cmax = w.scale.cmax_for(&space);
     let smin = 1.0;
@@ -383,10 +570,13 @@ pub fn table1(w: &Workload, k: usize) -> Vec<ProblemRow> {
         ),
     ];
 
-    specs
+    let rows: Vec<ProblemRow> = specs
         .into_iter()
         .map(|(n, spec, problem)| {
-            let sol = general_solve(&space, ConjModel::NoisyOr, &problem);
+            let (sol, _) = timed_span(&obs, PROBLEM_SPANS[n - 1], || {
+                general_solve(&space, ConjModel::NoisyOr, &problem)
+            });
+            sol.instrument.flush_to(&obs);
             let exact =
                 cqp_core::algorithms::branch_bound::solve(&space, ConjModel::NoisyOr, &problem);
             let matches_exact = sol.found == exact.found
@@ -405,12 +595,23 @@ pub fn table1(w: &Workload, k: usize) -> Vec<ProblemRow> {
                 matches_exact,
             }
         })
-        .collect()
+        .collect();
+    reports.push(RunReport::from_obs("table1", "general_solve", &obs).with_field("k", k as u64));
+    rows
 }
 
 /// Ablation: the paper's specialized algorithms vs the generic baselines
 /// (simulated annealing, tabu, genetic) on time and quality at fixed `K`.
 pub fn ablation_generic(w: &Workload, k: usize) -> Vec<(AlgoTimeRow, QualityRow)> {
+    ablation_generic_reported(w, k, &mut Vec::new())
+}
+
+/// [`ablation_generic`] collecting one [`RunReport`] per algorithm.
+pub fn ablation_generic_reported(
+    w: &Workload,
+    k: usize,
+    reports: &mut Vec<RunReport>,
+) -> Vec<(AlgoTimeRow, QualityRow)> {
     let spaces = spaces_at_k(w, k);
     let algos: Vec<Algorithm> = vec![
         Algorithm::CBoundaries,
@@ -423,6 +624,7 @@ pub fn ablation_generic(w: &Workload, k: usize) -> Vec<(AlgoTimeRow, QualityRow)
     ];
     let mut rows = Vec::new();
     for algo in algos {
+        let obs = Obs::new();
         let mut secs = Vec::new();
         let mut gaps = Vec::new();
         let mut states = Vec::new();
@@ -433,12 +635,24 @@ pub fn ablation_generic(w: &Workload, k: usize) -> Vec<(AlgoTimeRow, QualityRow)
                 w.scale.cmax_for(space),
                 Algorithm::CBoundaries,
             );
-            let (sol, t) =
-                timed(|| solve_p2(space, ConjModel::NoisyOr, w.scale.cmax_for(space), algo));
+            let (sol, t) = solve_timed(
+                &obs,
+                space,
+                ConjModel::NoisyOr,
+                w.scale.cmax_for(space),
+                algo,
+            );
             secs.push(t);
             states.push(sol.instrument.states_examined as f64);
             gaps.push((optimal.doi.value() - sol.doi.value()).max(0.0));
         }
+        reports.push(
+            RunReport::from_obs("ablation_generic", algo.name(), &obs)
+                .with_field("k", k as u64)
+                .with_field("runs", spaces.len() as u64)
+                .with_field("mean_seconds", mean(&secs))
+                .with_field("mean_gap", mean(&gaps)),
+        );
         rows.push((
             AlgoTimeRow {
                 x: k as f64,
@@ -460,9 +674,26 @@ pub fn ablation_generic(w: &Workload, k: usize) -> Vec<(AlgoTimeRow, QualityRow)
 /// (Section 7.2.3's remark that a different model "would still exhibit the
 /// same growing trends but might have resulted in larger differences").
 pub fn ablation_doi_model(w: &Workload, ks: &[usize]) -> Vec<(String, Vec<QualityRow>)> {
+    ablation_doi_model_reported(w, ks)
+        .into_iter()
+        .map(|(model, rows, _)| (model, rows))
+        .collect()
+}
+
+/// [`ablation_doi_model`] returning the per-model [`RunReport`] lines too
+/// (the lines keep `fig14a` as their experiment tag, qualified by the
+/// `conj` field).
+pub fn ablation_doi_model_reported(
+    w: &Workload,
+    ks: &[usize],
+) -> Vec<(String, Vec<QualityRow>, Vec<RunReport>)> {
     [ConjModel::NoisyOr, ConjModel::Max, ConjModel::Quadrature]
         .into_iter()
-        .map(|conj| (format!("{conj:?}"), fig14a(w, ks, conj)))
+        .map(|conj| {
+            let mut reports = Vec::new();
+            let rows = fig14a_reported(w, ks, conj, &mut reports);
+            (format!("{conj:?}"), rows, reports)
+        })
         .collect()
 }
 
@@ -470,9 +701,20 @@ pub fn ablation_doi_model(w: &Workload, ks: &[usize]) -> Vec<(String, Vec<Qualit
 /// trades time for quality (supports the Related Work claim that generic
 /// methods need far more work for comparable quality).
 pub fn ablation_annealing_budget(w: &Workload, k: usize, budgets: &[usize]) -> Vec<AlgoTimeRow> {
+    ablation_annealing_budget_reported(w, k, budgets, &mut Vec::new())
+}
+
+/// [`ablation_annealing_budget`] collecting one [`RunReport`] per budget.
+pub fn ablation_annealing_budget_reported(
+    w: &Workload,
+    k: usize,
+    budgets: &[usize],
+    reports: &mut Vec<RunReport>,
+) -> Vec<AlgoTimeRow> {
     let spaces = spaces_at_k(w, k);
     let mut rows = Vec::new();
     for &steps in budgets {
+        let obs = Obs::new();
         let mut secs = Vec::new();
         let mut gaps = Vec::new();
         for space in &spaces {
@@ -486,7 +728,7 @@ pub fn ablation_annealing_budget(w: &Workload, k: usize, budgets: &[usize]) -> V
                 steps,
                 ..Default::default()
             };
-            let (sol, t) = timed(|| {
+            let (sol, t) = timed_span(&obs, "SimAnnealing", || {
                 generic::annealing::solve_p2_with(
                     space,
                     ConjModel::NoisyOr,
@@ -495,6 +737,7 @@ pub fn ablation_annealing_budget(w: &Workload, k: usize, budgets: &[usize]) -> V
                     cfg,
                 )
             });
+            sol.instrument.flush_to(&obs);
             secs.push(t);
             gaps.push((optimal.doi.value() - sol.doi.value()).max(0.0));
         }
@@ -504,6 +747,13 @@ pub fn ablation_annealing_budget(w: &Workload, k: usize, budgets: &[usize]) -> V
             seconds: mean(&secs),
             states: mean(&gaps) * 1e7, // reuse: gap ×10⁷ in the states column
         });
+        reports.push(
+            RunReport::from_obs("ablation_annealing_budget", "SimAnnealing", &obs)
+                .with_field("steps", steps as u64)
+                .with_field("runs", spaces.len() as u64)
+                .with_field("mean_seconds", mean(&secs))
+                .with_field("mean_gap", mean(&gaps)),
+        );
     }
     rows
 }
@@ -526,10 +776,22 @@ pub struct BlockSizeRow {
 /// (estimate = blocks read) and the algorithms' relative behaviour must
 /// hold at any capacity. Sweeps the tuples-per-block knob.
 pub fn ablation_block_size(capacities: &[usize], k: usize) -> Vec<BlockSizeRow> {
+    ablation_block_size_reported(capacities, k, &mut Vec::new())
+}
+
+/// [`ablation_block_size`] collecting one [`RunReport`] per capacity; the
+/// executor feeds the cell `Obs` so `storage.blocks_read` shrinks as the
+/// block grows, while the row counters stay put.
+pub fn ablation_block_size_reported(
+    capacities: &[usize],
+    k: usize,
+    reports: &mut Vec<RunReport>,
+) -> Vec<BlockSizeRow> {
     use cqp_core::construct::construct;
     capacities
         .iter()
         .map(|&cap| {
+            let obs = Rc::new(Obs::new());
             let scale = crate::harness::Scale {
                 db: cqp_datagen::MovieDbConfig {
                     block_capacity: cap,
@@ -543,21 +805,41 @@ pub fn ablation_block_size(capacities: &[usize], k: usize) -> Vec<BlockSizeRow> 
             };
             let w = crate::harness::build_workload(&scale);
             let (p, q) = w.pairs().next().expect("non-empty workload");
-            let (space, _) = w.space(p, q, k, true);
+            let (space, _) = w.space_recorded(p, q, k, true, &obs);
             let model = CostModel::new(&w.stats);
             let all: Vec<usize> = (0..space.k()).collect();
             let pq = construct(q, &space, &all).expect("extracted spaces carry paths");
-            let meter = IoMeter::new(model.ms_per_block());
-            cqp_engine::execute_personalized(&w.db, &pq, &meter).expect("workload queries execute");
+            let meter =
+                IoMeter::with_recorder(model.ms_per_block(), Rc::clone(&obs) as Rc<dyn Recorder>);
+            cqp_engine::execute_personalized_recorded(&w.db, &pq, &meter, &*obs)
+                .expect("workload queries execute");
             let cmax = w.scale.cmax_for(&space);
-            let exact = solve_p2(&space, ConjModel::NoisyOr, cmax, Algorithm::CBoundaries);
-            let heur = solve_p2(&space, ConjModel::NoisyOr, cmax, Algorithm::CMaxBounds);
-            BlockSizeRow {
+            let exact = solve_p2_recorded(
+                &space,
+                ConjModel::NoisyOr,
+                cmax,
+                Algorithm::CBoundaries,
+                &*obs,
+            );
+            let heur = solve_p2_recorded(
+                &space,
+                ConjModel::NoisyOr,
+                cmax,
+                Algorithm::CMaxBounds,
+                &*obs,
+            );
+            let row = BlockSizeRow {
                 block_capacity: cap,
                 estimated_ms: model.personalized_ms(&pq),
                 measured_io_ms: meter.elapsed_ms(),
                 heuristic_gap: (exact.doi.value() - heur.doi.value()).max(0.0),
-            }
+            };
+            reports.push(
+                RunReport::from_obs("ablation_block_size", "block-capacity sweep", &obs)
+                    .with_field("block_capacity", cap as u64)
+                    .with_field("k", k as u64),
+            );
+            row
         })
         .collect()
 }

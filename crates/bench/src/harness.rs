@@ -12,10 +12,10 @@ use cqp_datagen::{
     ProfileGenConfig, QueryGenConfig,
 };
 use cqp_engine::ConjunctiveQuery;
+use cqp_obs::Obs;
 use cqp_prefs::Profile;
 use cqp_prefspace::{extract, ExtractConfig, PreferenceSpace};
 use cqp_storage::{Database, DbStats};
-use std::time::Instant;
 
 /// Experiment scale knobs.
 #[derive(Debug, Clone)]
@@ -150,14 +150,28 @@ impl Workload {
         k: usize,
         with_cost_vectors: bool,
     ) -> (PreferenceSpace, f64) {
+        self.space_recorded(profile, query, k, with_cost_vectors, &Obs::new())
+    }
+
+    /// [`Workload::space`] under a shared [`Obs`]: extraction runs inside a
+    /// `prefspace.extract` span so repeated calls aggregate in the tracer.
+    pub fn space_recorded(
+        &self,
+        profile: &Profile,
+        query: &ConjunctiveQuery,
+        k: usize,
+        with_cost_vectors: bool,
+        obs: &Obs,
+    ) -> (PreferenceSpace, f64) {
         let cfg = ExtractConfig {
             max_k: k,
             with_cost_vectors,
             ..Default::default()
         };
-        let t = Instant::now();
-        let ex = extract(query, profile, &self.stats, &cfg);
-        (ex.space, t.elapsed().as_secs_f64())
+        let (ex, secs) = timed_span(obs, "prefspace.extract", || {
+            extract(query, profile, &self.stats, &cfg)
+        });
+        (ex.space, secs)
     }
 }
 
@@ -208,11 +222,35 @@ pub fn supreme_cost_blocks(space: &PreferenceSpace) -> u64 {
     (0..space.k()).map(|i| space.cost_blocks(i)).sum()
 }
 
-/// Times a closure, returning its output and elapsed seconds.
+/// Times a closure, returning its output and elapsed seconds. The clock is
+/// the span tracer (a throwaway [`Obs`]), so every experiment timing flows
+/// through the same instrument as the recorded pipelines.
 pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
-    let t = Instant::now();
-    let r = f();
-    (r, t.elapsed().as_secs_f64())
+    timed_span(&Obs::new(), "timed", f)
+}
+
+/// Runs `f` inside a root span `name` on `obs` and returns its output plus
+/// the wall seconds the tracer attributed to *this* entry (total delta, so
+/// it works on an `Obs` shared across repeated runs).
+pub fn timed_span<R>(obs: &Obs, name: &'static str, f: impl FnOnce() -> R) -> (R, f64) {
+    let before = span_secs(obs, name);
+    let r = {
+        let _span = obs.span(name);
+        f()
+    };
+    (r, span_secs(obs, name) - before)
+}
+
+/// Total wall seconds the tracer has accumulated for spans whose dotted
+/// path equals `path` (0.0 if the span never ran).
+pub fn span_secs(obs: &Obs, path: &str) -> f64 {
+    obs.with_tracer(|t| {
+        t.spans()
+            .iter()
+            .filter(|s| s.path == path)
+            .map(|s| s.total.as_secs_f64())
+            .sum()
+    })
 }
 
 #[cfg(test)]
@@ -243,6 +281,20 @@ mod tests {
         let (space5, _) = w.space(p, q, 5, true);
         assert!(space5.k() <= 5);
         assert!(space.k() >= space5.k());
+    }
+
+    #[test]
+    fn timed_span_times_through_the_tracer() {
+        let obs = Obs::new();
+        let (v, t1) = timed_span(&obs, "work", || 42);
+        assert_eq!(v, 42);
+        assert!(t1 >= 0.0);
+        let (_, t2) = timed_span(&obs, "work", || ());
+        // Both entries aggregate in the tracer, yet each call reported only
+        // its own delta.
+        assert!((span_secs(&obs, "work") - (t1 + t2)).abs() < 1e-9);
+        assert_eq!(obs.with_tracer(|t| t.spans()[0].count), 2);
+        assert_eq!(span_secs(&obs, "no-such-span"), 0.0);
     }
 
     #[test]

@@ -22,26 +22,58 @@ use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
 use crate::transitions::{horizontal, vertical};
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
 use cqp_prefs::ConjModel;
 use cqp_prefspace::PreferenceSpace;
 use std::collections::VecDeque;
 
 /// Runs C-BOUNDARIES for Problem 2.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    solve_recorded(space, conj, cmax_blocks, &NoopRecorder)
+}
+
+/// [`solve`] with one span and one [`Instrument`] per phase; counters are
+/// flushed to the recorder at each phase boundary and kept in
+/// [`Solution::phases`].
+pub fn solve_recorded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+) -> Solution {
     let view = SpaceView::cost(space, conj);
     let eval = view.eval();
-    let mut inst = Instrument::new();
-    let boundaries = find_boundary(&view, cmax_blocks, &mut inst);
-    inst.boundaries_found = boundaries.len() as u64;
-    let (prefs, _doi) = c_find_max_doi(&view, &boundaries, &mut inst);
-    if prefs.is_empty() {
+
+    let mut p1 = Instrument::new();
+    let boundaries = {
+        let _span = span_guard(recorder, "find_boundaries");
+        let b = find_boundary(&view, cmax_blocks, &mut p1);
+        p1.boundaries_found = b.len() as u64;
+        p1.flush_to(recorder);
+        b
+    };
+
+    let mut p2 = Instrument::new();
+    let (prefs, _doi) = {
+        let _span = span_guard(recorder, "find_max_doi");
+        let r = c_find_max_doi(&view, &boundaries, &mut p2);
+        p2.flush_to(recorder);
+        r
+    };
+
+    let mut inst = p1;
+    inst.merge(&p2);
+    let mut sol = if prefs.is_empty() {
         Solution {
             instrument: inst,
             ..Solution::empty(eval)
         }
     } else {
         Solution::from_prefs(eval, prefs, inst)
-    }
+    };
+    sol.phases = vec![("find_boundaries", p1), ("find_max_doi", p2)];
+    sol
 }
 
 /// Phase 1: `FINDBOUNDARY` (paper Figure 5).
@@ -93,6 +125,7 @@ pub fn find_boundary(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> 
         // Boundary bytes are part of pruner.bytes().
         inst.observe_bytes(rq_bytes + pruner.bytes() + cache.bytes());
     }
+    inst.absorb_cache(&cache);
     boundaries
 }
 
@@ -197,5 +230,43 @@ mod tests {
         let sol = solve(&space, ConjModel::NoisyOr, 185);
         assert!(sol.instrument.peak_bytes > 0);
         assert!(sol.instrument.states_examined > 0);
+    }
+
+    #[test]
+    fn phases_are_attributed_separately() {
+        let space = fig6_space();
+        let obs = cqp_obs::Obs::new();
+        let sol = solve_recorded(&space, ConjModel::NoisyOr, 185, &obs);
+
+        // Per-phase instruments survive (no merge attribution loss) and
+        // their merge reproduces the blended total.
+        assert_eq!(sol.phases.len(), 2);
+        let (n1, p1) = sol.phases[0];
+        let (n2, p2) = sol.phases[1];
+        assert_eq!(n1, "find_boundaries");
+        assert_eq!(n2, "find_max_doi");
+        assert!(p1.states_examined > 0);
+        assert!(p2.param_evals > 0);
+        assert_eq!(p2.states_examined, 0, "phase 2 pops no queue states");
+        let mut merged = p1;
+        merged.merge(&p2);
+        assert_eq!(sol.instrument, merged);
+
+        // The cost cache flowed its stats into phase 1.
+        assert!(p1.cache_misses > 0);
+
+        // Spans and registry counters were published.
+        let spans = obs.with_tracer(|t| t.spans());
+        assert!(spans.iter().any(|s| s.path == "find_boundaries"));
+        assert!(spans.iter().any(|s| s.path == "find_max_doi"));
+        assert_eq!(
+            obs.registry().counter("solver.states_examined"),
+            sol.instrument.states_examined
+        );
+
+        // Recording changes observation, not the answer.
+        let plain = solve(&space, ConjModel::NoisyOr, 185);
+        assert_eq!(plain.prefs, sol.prefs);
+        assert_eq!(plain.doi, sol.doi);
     }
 }

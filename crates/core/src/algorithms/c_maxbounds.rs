@@ -17,32 +17,66 @@ use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
 use crate::transitions::{horizontal2, vertical};
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
 use cqp_prefs::ConjModel;
 use cqp_prefspace::PreferenceSpace;
 use std::collections::VecDeque;
 
 /// Runs C-MAXBOUNDS for Problem 2.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    solve_recorded(space, conj, cmax_blocks, &NoopRecorder)
+}
+
+/// [`solve`] with one span and one [`Instrument`] per phase; counters are
+/// flushed to the recorder at each phase boundary and kept in
+/// [`Solution::phases`].
+pub fn solve_recorded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+) -> Solution {
     let view = SpaceView::cost(space, conj);
     let eval = view.eval();
-    let mut inst = Instrument::new();
-    let max_bounds = find_all_max_bounds(&view, cmax_blocks, &mut inst);
-    inst.boundaries_found = max_bounds.len() as u64;
-    let (prefs, _doi) = c_find_max_doi(&view, &max_bounds, &mut inst);
-    if prefs.is_empty() {
-        // The growth loop never records bare seeds; a single feasible
-        // preference may still exist (the best one is the max-doi feasible
-        // singleton).
-        let single = best_feasible_singleton(&view, cmax_blocks, &mut inst);
-        return match single {
-            Some(p) => Solution::from_prefs(eval, vec![p], inst),
-            None => Solution {
-                instrument: inst,
-                ..Solution::empty(eval)
-            },
-        };
-    }
-    Solution::from_prefs(eval, prefs, inst)
+
+    let mut p1 = Instrument::new();
+    let max_bounds = {
+        let _span = span_guard(recorder, "find_max_bounds");
+        let b = find_all_max_bounds(&view, cmax_blocks, &mut p1);
+        p1.boundaries_found = b.len() as u64;
+        p1.flush_to(recorder);
+        b
+    };
+
+    let mut p2 = Instrument::new();
+    let prefs = {
+        let _span = span_guard(recorder, "find_max_doi");
+        let (mut prefs, _doi) = c_find_max_doi(&view, &max_bounds, &mut p2);
+        if prefs.is_empty() {
+            // The growth loop never records bare seeds; a single feasible
+            // preference may still exist (the best one is the max-doi
+            // feasible singleton).
+            prefs = best_feasible_singleton(&view, cmax_blocks, &mut p2)
+                .map(|p| vec![p])
+                .unwrap_or_default();
+        }
+        p2.flush_to(recorder);
+        prefs
+    };
+
+    let mut inst = p1;
+    inst.merge(&p2);
+    let mut sol = if prefs.is_empty() {
+        Solution {
+            instrument: inst,
+            ..Solution::empty(eval)
+        }
+    } else {
+        Solution::from_prefs(eval, prefs, inst)
+    };
+    sol.phases = vec![("find_max_bounds", p1), ("find_max_doi", p2)];
+    sol
 }
 
 /// Phase 1: rounds of `FINDMAXBOUND` over seeds `c1, c2, …` (Figure 7).

@@ -21,26 +21,58 @@ use crate::params::ParamEval;
 use crate::spaces::SpaceView;
 use crate::state::State;
 use crate::transitions::{horizontal, vertical};
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::PreferenceSpace;
 use std::collections::VecDeque;
 
 /// Runs D-MAXDOI for Problem 2.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    solve_recorded(space, conj, cmax_blocks, &NoopRecorder)
+}
+
+/// [`solve`] with one span and one [`Instrument`] per phase; counters are
+/// flushed to the recorder at each phase boundary and kept in
+/// [`Solution::phases`].
+pub fn solve_recorded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+) -> Solution {
     let view = SpaceView::doi(space, conj);
     let eval = view.eval();
-    let mut inst = Instrument::new();
-    let solutions = find_optimal(&view, cmax_blocks, &mut inst);
-    inst.boundaries_found = solutions.len() as u64;
-    let (prefs, _doi) = d_find_max_doi(&view, &solutions, &mut inst);
-    if prefs.is_empty() {
+
+    let mut p1 = Instrument::new();
+    let solutions = {
+        let _span = span_guard(recorder, "find_optimal");
+        let s = find_optimal(&view, cmax_blocks, &mut p1);
+        p1.boundaries_found = s.len() as u64;
+        p1.flush_to(recorder);
+        s
+    };
+
+    let mut p2 = Instrument::new();
+    let (prefs, _doi) = {
+        let _span = span_guard(recorder, "find_max_doi");
+        let r = d_find_max_doi(&view, &solutions, &mut p2);
+        p2.flush_to(recorder);
+        r
+    };
+
+    let mut inst = p1;
+    inst.merge(&p2);
+    let mut sol = if prefs.is_empty() {
         Solution {
             instrument: inst,
             ..Solution::empty(eval)
         }
     } else {
         Solution::from_prefs(eval, prefs, inst)
-    }
+    };
+    sol.phases = vec![("find_optimal", p1), ("find_max_doi", p2)];
+    sol
 }
 
 /// Phase 1: `FINDOPTIMAL` (Figure 9).

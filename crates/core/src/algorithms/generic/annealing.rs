@@ -71,13 +71,14 @@ pub fn solve_p2_with(
         };
         if accept {
             energy = candidate;
-            best.offer(&eval, &state, cmax_blocks);
+            best.offer(&eval, &state, cmax_blocks, &mut inst);
         } else {
             state.flip(i); // revert
         }
         temperature *= config.cooling;
+        // Current bit vector + tracked best.
+        inst.observe_bytes(k + best.bytes());
     }
-    inst.observe_bytes(k * 2); // current + best bit vectors
 
     if best.prefs.is_empty() {
         Solution {

@@ -82,10 +82,9 @@ pub fn solve_p2_with(
             })
             .collect();
         for s in &population {
-            best.offer(&eval, s, cmax_blocks);
+            best.offer(&eval, s, cmax_blocks, &mut inst);
         }
         inst.states_examined += population.len() as u64;
-        inst.observe_bytes(population.len() * k);
 
         let mut next: Vec<BitState> = Vec::with_capacity(config.population);
         while next.len() < config.population {
@@ -106,10 +105,12 @@ pub fn solve_p2_with(
             }
             next.push(child);
         }
+        // Peak: parents and offspring coexist until the swap below.
+        inst.observe_bytes((population.len() + next.len()) * k + best.bytes());
         population = next;
     }
     for s in &population {
-        best.offer(&eval, s, cmax_blocks);
+        best.offer(&eval, s, cmax_blocks, &mut inst);
     }
 
     if best.prefs.is_empty() {

@@ -16,6 +16,7 @@ pub mod annealing;
 pub mod genetic;
 pub mod tabu;
 
+use crate::instrument::Instrument;
 use crate::params::ParamEval;
 use cqp_prefs::Doi;
 
@@ -85,7 +86,9 @@ impl BestTracker {
         }
     }
 
-    pub fn offer(&mut self, eval: &ParamEval<'_>, s: &BitState, cmax: u64) {
+    pub fn offer(&mut self, eval: &ParamEval<'_>, s: &BitState, cmax: u64, inst: &mut Instrument) {
+        // The feasibility check is a cost evaluation in its own right.
+        inst.param_evals += 1;
         if !p2_feasible(eval, s, cmax) {
             return;
         }
@@ -93,11 +96,17 @@ impl BestTracker {
         if prefs.is_empty() {
             return;
         }
+        inst.param_evals += 1;
         let doi = eval.doi_of(prefs.iter().copied());
         if doi > self.doi {
             self.doi = doi;
             self.prefs = prefs;
         }
+    }
+
+    /// Heap footprint of the tracked best, for Figure 13 accounting.
+    pub fn bytes(&self) -> usize {
+        self.prefs.len() * std::mem::size_of::<usize>()
     }
 }
 
@@ -144,14 +153,19 @@ mod tests {
         let sp = space();
         let eval = ParamEval::new(&sp, ConjModel::NoisyOr);
         let mut t = BestTracker::new();
+        let mut inst = Instrument::new();
         let mut s = BitState::empty(2);
         s.flip(0);
-        t.offer(&eval, &s, 100);
+        t.offer(&eval, &s, 100, &mut inst);
         assert_eq!(t.prefs, vec![0]);
         s.flip(1); // cost 80 > 60: infeasible under cmax 60
-        t.offer(&eval, &s, 60);
+        t.offer(&eval, &s, 60, &mut inst);
         assert_eq!(t.prefs, vec![0], "infeasible offers are ignored");
-        t.offer(&eval, &s, 100);
+        t.offer(&eval, &s, 100, &mut inst);
         assert_eq!(t.prefs, vec![0, 1]);
+        // Every offer costs a feasibility eval; feasible non-empty ones a
+        // doi eval on top: 2 + 1 + 2.
+        assert_eq!(inst.param_evals, 5);
+        assert_eq!(t.bytes(), 2 * std::mem::size_of::<usize>());
     }
 }

@@ -58,7 +58,7 @@ pub fn solve_p2_with(
         state.flip(rng.gen_range(0..k));
     }
     let mut best = BestTracker::new();
-    best.offer(&eval, &state, cmax_blocks);
+    best.offer(&eval, &state, cmax_blocks, &mut inst);
     let mut tabu: VecDeque<usize> = VecDeque::new();
 
     for _ in 0..config.iterations {
@@ -73,8 +73,8 @@ pub fn solve_p2_with(
             inst.param_evals += 1;
             state.flip(i);
             let is_tabu = tabu.contains(&i);
-            let improves_best =
-                -e > best.doi.value() && p2_feasible_after_flip(&eval, &mut state, i, cmax_blocks);
+            let improves_best = -e > best.doi.value()
+                && p2_feasible_after_flip(&eval, &mut state, i, cmax_blocks, &mut inst);
             if is_tabu && !improves_best {
                 continue;
             }
@@ -84,12 +84,12 @@ pub fn solve_p2_with(
         }
         let Some((i, _)) = best_move else { break };
         state.flip(i);
-        best.offer(&eval, &state, cmax_blocks);
+        best.offer(&eval, &state, cmax_blocks, &mut inst);
         tabu.push_back(i);
         if tabu.len() > config.tenure {
             tabu.pop_front();
         }
-        inst.observe_bytes(k * 2 + tabu.len() * std::mem::size_of::<usize>());
+        inst.observe_bytes(k + (tabu.len() * std::mem::size_of::<usize>()) + best.bytes());
     }
 
     if best.prefs.is_empty() {
@@ -102,7 +102,14 @@ pub fn solve_p2_with(
     }
 }
 
-fn p2_feasible_after_flip(eval: &ParamEval<'_>, state: &mut BitState, i: usize, cmax: u64) -> bool {
+fn p2_feasible_after_flip(
+    eval: &ParamEval<'_>,
+    state: &mut BitState,
+    i: usize,
+    cmax: u64,
+    inst: &mut Instrument,
+) -> bool {
+    inst.param_evals += 1;
     state.flip(i);
     let ok = super::p2_feasible(eval, state, cmax);
     state.flip(i);

@@ -30,6 +30,8 @@ pub mod prune;
 
 use crate::instrument::Instrument;
 use crate::params::{ParamEval, QueryParams};
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::PreferenceSpace;
 
@@ -48,8 +50,12 @@ pub struct Solution {
     /// True when a non-empty feasible personalization was found; false
     /// means "run the query unpersonalized".
     pub found: bool,
-    /// Work and memory counters.
+    /// Work and memory counters, blended over the whole run.
     pub instrument: Instrument,
+    /// Per-phase counters for multi-phase algorithms (empty for
+    /// single-phase ones). `instrument` remains the merged total; this
+    /// preserves the attribution that `Instrument::merge` erases.
+    pub phases: Vec<(&'static str, Instrument)>,
 }
 
 impl Solution {
@@ -62,6 +68,7 @@ impl Solution {
             size_rows: eval.size_of([]),
             found: false,
             instrument: Instrument::default(),
+            phases: Vec::new(),
         }
     }
 
@@ -76,6 +83,7 @@ impl Solution {
             cost_blocks: params.cost_blocks,
             size_rows: params.size_rows,
             instrument,
+            phases: Vec::new(),
         }
     }
 
@@ -170,11 +178,26 @@ pub fn solve_p2(
     cmax_blocks: u64,
     algorithm: Algorithm,
 ) -> Solution {
-    match algorithm {
+    solve_p2_recorded(space, conj, cmax_blocks, algorithm, &NoopRecorder)
+}
+
+/// [`solve_p2`] with observability: the run is wrapped in a span named
+/// after the algorithm, two-phase algorithms nest one span per phase, and
+/// the work counters are flushed to the recorder under `solver.*`. With
+/// [`NoopRecorder`] this is exactly `solve_p2` (counters stay local).
+pub fn solve_p2_recorded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    algorithm: Algorithm,
+    recorder: &dyn Recorder,
+) -> Solution {
+    let span = span_guard(recorder, algorithm.name());
+    let sol = match algorithm {
         Algorithm::Exhaustive => exhaustive::solve_p2(space, conj, cmax_blocks),
-        Algorithm::CBoundaries => c_boundaries::solve(space, conj, cmax_blocks),
-        Algorithm::CMaxBounds => c_maxbounds::solve(space, conj, cmax_blocks),
-        Algorithm::DMaxDoi => d_maxdoi::solve(space, conj, cmax_blocks),
+        Algorithm::CBoundaries => c_boundaries::solve_recorded(space, conj, cmax_blocks, recorder),
+        Algorithm::CMaxBounds => c_maxbounds::solve_recorded(space, conj, cmax_blocks, recorder),
+        Algorithm::DMaxDoi => d_maxdoi::solve_recorded(space, conj, cmax_blocks, recorder),
         Algorithm::DSingleMaxDoi => d_singlemaxdoi::solve(space, conj, cmax_blocks),
         Algorithm::DHeurDoi => d_heurdoi::solve(space, conj, cmax_blocks),
         Algorithm::BranchBound => {
@@ -183,5 +206,21 @@ pub fn solve_p2(
         Algorithm::Annealing => generic::annealing::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
         Algorithm::Tabu => generic::tabu::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
         Algorithm::Genetic => generic::genetic::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
+    };
+    // Two-phase algorithms flush per phase; everything else flushes its
+    // blended total here, inside the algorithm span.
+    if sol.phases.is_empty() {
+        sol.instrument.flush_to(recorder);
     }
+    if recorder.is_enabled() {
+        recorder.event(&format!(
+            "{}: doi={:.4} cost={} states={}",
+            algorithm.name(),
+            sol.doi.value(),
+            sol.cost_blocks,
+            sol.instrument.states_examined,
+        ));
+    }
+    drop(span);
+    sol
 }

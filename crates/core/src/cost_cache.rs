@@ -17,20 +17,43 @@ use crate::state::State;
 use std::collections::HashMap;
 
 /// A per-run memo of `state → cost` keyed by the state's bit key.
-#[derive(Debug, Default)]
+///
+/// Unbounded by default (per-run caches die with the search); a capacity
+/// can be set to bound the footprint, in which case a full cache drops an
+/// arbitrary resident entry per insertion and counts the eviction.
+#[derive(Debug)]
 pub struct CostCache {
     map: HashMap<u128, u64>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for CostCache {
+    fn default() -> Self {
+        CostCache::new()
+    }
 }
 
 impl CostCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
-        CostCache::default()
+        CostCache::with_capacity(usize::MAX)
     }
 
-    /// The cost of `s` in `view`, computed at most once per state.
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CostCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The cost of `s` in `view`, computed at most once per resident state.
     pub fn cost(&mut self, view: &SpaceView<'_>, s: &State) -> u64 {
         let key = s.bitkey();
         match self.map.get(&key) {
@@ -41,6 +64,14 @@ impl CostCache {
             None => {
                 self.misses += 1;
                 let c = view.state_cost(s);
+                if self.map.len() >= self.capacity {
+                    // Random-replacement: HashMap iteration order is as good
+                    // a victim pick as any without an access-order list.
+                    if let Some(&victim) = self.map.keys().next() {
+                        self.map.remove(&victim);
+                        self.evictions += 1;
+                    }
+                }
                 self.map.insert(key, c);
                 c
             }
@@ -55,6 +86,21 @@ impl CostCache {
     /// Cache misses (actual evaluations) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
     /// Approximate heap footprint in bytes.
@@ -112,5 +158,25 @@ mod tests {
         cache.cost(&view, &State::singleton(1));
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let s = space();
+        let view = SpaceView::cost(&s, ConjModel::NoisyOr);
+        let mut cache = CostCache::with_capacity(1);
+        let a = State::singleton(0);
+        let b = State::singleton(1);
+        cache.cost(&view, &a);
+        cache.cost(&view, &b); // evicts a
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // a was evicted: recomputing it is a miss (and evicts b).
+        cache.cost(&view, &a);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.evictions(), 2);
+        // Costs stay correct throughout.
+        assert_eq!(cache.cost(&view, &a), view.state_cost(&a));
     }
 }

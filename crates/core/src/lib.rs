@@ -60,7 +60,7 @@ pub mod transitions;
 pub mod prelude {
     pub use crate::algorithms::general::solve as general_solve;
     pub use crate::algorithms::pareto::{pareto_frontier, ParetoPoint};
-    pub use crate::algorithms::{solve_p2, Algorithm, Solution};
+    pub use crate::algorithms::{solve_p2, solve_p2_recorded, Algorithm, Solution};
     pub use crate::context::{Connection, Device, Intent, PolicyConfig, SearchContext};
     pub use crate::instrument::Instrument;
     pub use crate::params::QueryParams;

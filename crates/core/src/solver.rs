@@ -5,16 +5,20 @@
 //! Query Execution`. [`CqpSystem`] wires the modules of this workspace into
 //! that pipeline.
 
-use crate::algorithms::{self, general, solve_p2, Algorithm, Solution};
+use crate::algorithms::{self, general, solve_p2_recorded, Algorithm, Solution};
 use crate::construct::{construct, ConstructError};
 use crate::problem::{ProblemKind, ProblemSpec};
 use cqp_engine::{
-    execute_personalized, ConjunctiveQuery, EngineError, ExecOutput, PersonalizedQuery,
+    execute_personalized, execute_personalized_recorded, ConjunctiveQuery, EngineError, ExecOutput,
+    PersonalizedQuery,
 };
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
 use cqp_prefs::{ConjModel, Profile};
 use cqp_prefspace::{extract, ExtractConfig, PreferenceSpace};
 use cqp_storage::{Database, DbStats, IoMeter};
 use std::fmt;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Configuration for one personalization request.
@@ -99,9 +103,15 @@ pub struct CqpSystem<'a> {
 impl<'a> CqpSystem<'a> {
     /// Builds the system, analyzing the database for statistics.
     pub fn new(db: &'a Database) -> Self {
+        Self::new_recorded(db, &NoopRecorder)
+    }
+
+    /// [`CqpSystem::new`] with the catalog analysis pass traced and its
+    /// row/table counters published (`storage.analyze` span).
+    pub fn new_recorded(db: &'a Database, recorder: &dyn Recorder) -> Self {
         CqpSystem {
             db,
-            stats: db.analyze(),
+            stats: db.analyze_recorded(recorder),
         }
     }
 
@@ -138,14 +148,40 @@ impl<'a> CqpSystem<'a> {
         problem: &ProblemSpec,
         config: &SolverConfig,
     ) -> Result<PersonalizationOutcome, SolverError> {
+        self.personalize_recorded(query, profile, problem, config, &NoopRecorder)
+    }
+
+    /// [`CqpSystem::personalize`] under a `personalize` span with nested
+    /// `prefspace` / `search` / `construct` phases. The outcome's wall-clock
+    /// fields are unchanged; the recorder additionally sees per-phase spans
+    /// and the `solver.*` counters.
+    pub fn personalize_recorded(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+        recorder: &dyn Recorder,
+    ) -> Result<PersonalizationOutcome, SolverError> {
+        let _run = span_guard(recorder, "personalize");
+
         let t0 = Instant::now();
-        let space = self.preference_space(query, profile, config);
+        let space = {
+            let _span = span_guard(recorder, "prefspace");
+            let space = self.preference_space(query, profile, config);
+            recorder.add("solver.prefspace_k", space.k() as u64);
+            space
+        };
         let prefspace_secs = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let solution = self.search(&space, problem, config);
+        let solution = {
+            let _span = span_guard(recorder, "search");
+            self.search_recorded(&space, problem, config, recorder)
+        };
         let search_secs = t1.elapsed().as_secs_f64();
 
+        let _span = span_guard(recorder, "construct");
         let pq = construct(query, &space, &solution.prefs)?;
         let sql = cqp_engine::sql::personalized_sql(self.db.catalog(), &pq);
         Ok(PersonalizationOutcome {
@@ -165,18 +201,37 @@ impl<'a> CqpSystem<'a> {
         problem: &ProblemSpec,
         config: &SolverConfig,
     ) -> Solution {
+        self.search_recorded(space, problem, config, &NoopRecorder)
+    }
+
+    /// [`CqpSystem::search`] with spans and `solver.*` counters.
+    pub fn search_recorded(
+        &self,
+        space: &PreferenceSpace,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+        recorder: &dyn Recorder,
+    ) -> Solution {
         match (problem.kind(), config.algorithm) {
             (_, Algorithm::BranchBound) => {
-                algorithms::branch_bound::solve(space, config.conj, problem)
+                let _span = span_guard(recorder, "BranchBound");
+                let sol = algorithms::branch_bound::solve(space, config.conj, problem);
+                sol.instrument.flush_to(recorder);
+                sol
             }
             (Some(ProblemKind::P2), algo) => {
                 let cmax = problem
                     .constraints
                     .cost_max_blocks
                     .expect("P2 carries a cost bound");
-                solve_p2(space, config.conj, cmax, algo)
+                solve_p2_recorded(space, config.conj, cmax, algo, recorder)
             }
-            _ => general::solve(space, config.conj, problem),
+            _ => {
+                let _span = span_guard(recorder, "general");
+                let sol = general::solve(space, config.conj, problem);
+                sol.instrument.flush_to(recorder);
+                sol
+            }
         }
     }
 
@@ -189,6 +244,20 @@ impl<'a> CqpSystem<'a> {
     ) -> Result<(ExecOutput, u64, f64), SolverError> {
         let meter = IoMeter::new(ms_per_block);
         let out = execute_personalized(self.db, pq, &meter)?;
+        Ok((out, meter.blocks_read(), meter.elapsed_ms()))
+    }
+
+    /// [`CqpSystem::execute`] with execution spans and engine/storage
+    /// counters: the I/O meter forwards every physical block read to the
+    /// recorder, and the executor reports scans, joins, and row counts.
+    pub fn execute_recorded(
+        &self,
+        pq: &PersonalizedQuery,
+        ms_per_block: f64,
+        recorder: Rc<dyn Recorder>,
+    ) -> Result<(ExecOutput, u64, f64), SolverError> {
+        let meter = IoMeter::with_recorder(ms_per_block, Rc::clone(&recorder));
+        let out = execute_personalized_recorded(self.db, pq, &meter, &*recorder)?;
         Ok((out, meter.blocks_read(), meter.elapsed_ms()))
     }
 
@@ -414,6 +483,45 @@ mod tests {
         for w in soft.windows(2) {
             assert!(w[0].doi >= w[1].doi);
         }
+    }
+
+    #[test]
+    fn recorded_pipeline_emits_spans_and_counters() {
+        let db = movie_db();
+        let obs: Rc<cqp_obs::Obs> = Rc::new(cqp_obs::Obs::new());
+        let system = CqpSystem::new_recorded(&db, &*obs);
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let config = SolverConfig {
+            algorithm: Algorithm::CBoundaries,
+            ..Default::default()
+        };
+        let outcome = system
+            .personalize_recorded(&base, &profile, &ProblemSpec::p2(100), &config, &*obs)
+            .unwrap();
+        let (_rows, blocks, _ms) = system
+            .execute_recorded(&outcome.query, 1.0, obs.clone())
+            .unwrap();
+
+        // Solver-phase spans nest under personalize → search → algorithm.
+        let spans = obs.with_tracer(|t| t.spans());
+        let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"storage.analyze"), "{paths:?}");
+        assert!(paths.contains(&"personalize.search.C_Boundaries.find_boundaries"));
+        assert!(paths.contains(&"personalize.search.C_Boundaries.find_max_doi"));
+        assert!(paths.contains(&"personalize.construct"));
+        assert!(paths.contains(&"engine.execute_personalized"));
+
+        // Counters flowed from all three layers into one registry.
+        let reg = obs.registry();
+        assert!(reg.counter("solver.states_examined") > 0);
+        assert!(reg.counter("engine.scans") > 0);
+        assert_eq!(reg.counter("storage.blocks_read"), blocks);
+        assert!(blocks > 0);
     }
 
     #[test]

@@ -12,18 +12,39 @@
 //! selectivity factor ≤ 1, so `Px ⊆ Py ⇒ size(Q ∧ Px) ≥ size(Q ∧ Py)`.
 
 use crate::query::{CmpOp, ConjunctiveQuery, Predicate};
+use cqp_obs::Recorder;
 use cqp_storage::{ColumnStats, DbStats, QualifiedAttr};
+use std::fmt;
 
 /// Cardinality estimator over database statistics.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CardEstimator<'a> {
     stats: &'a DbStats,
+    recorder: Option<&'a dyn Recorder>,
+}
+
+impl fmt::Debug for CardEstimator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CardEstimator")
+            .field("recorded", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl<'a> CardEstimator<'a> {
     /// Builds an estimator.
     pub fn new(stats: &'a DbStats) -> Self {
-        CardEstimator { stats }
+        CardEstimator {
+            stats,
+            recorder: None,
+        }
+    }
+
+    /// Attaches a recorder: every query-size estimate then ticks the
+    /// `engine.card_evals` counter.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     fn column(&self, qa: QualifiedAttr) -> Option<&ColumnStats> {
@@ -59,6 +80,9 @@ impl<'a> CardEstimator<'a> {
 
     /// Estimated result size of a conjunctive query.
     pub fn query_rows(&self, query: &ConjunctiveQuery) -> f64 {
+        if let Some(recorder) = self.recorder {
+            recorder.add("engine.card_evals", 1);
+        }
         let mut size: f64 = query
             .relations
             .iter()

@@ -11,14 +11,26 @@
 //! CQP search exact and deterministic.
 
 use crate::query::{ConjunctiveQuery, PersonalizedQuery};
+use cqp_obs::Recorder;
 use cqp_storage::{DbStats, RelationId};
+use std::fmt;
 
 /// The paper's cost model over database statistics.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CostModel<'a> {
     stats: &'a DbStats,
     /// `b`: milliseconds per block read (1 ms in the paper's experiments).
     ms_per_block: f64,
+    recorder: Option<&'a dyn Recorder>,
+}
+
+impl fmt::Debug for CostModel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CostModel")
+            .field("ms_per_block", &self.ms_per_block)
+            .field("recorded", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl<'a> CostModel<'a> {
@@ -27,6 +39,7 @@ impl<'a> CostModel<'a> {
         CostModel {
             stats,
             ms_per_block: 1.0,
+            recorder: None,
         }
     }
 
@@ -36,6 +49,20 @@ impl<'a> CostModel<'a> {
         CostModel {
             stats,
             ms_per_block,
+            recorder: None,
+        }
+    }
+
+    /// Attaches a recorder: every query-level estimate then ticks the
+    /// `engine.cost_evals` counter.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    fn tick(&self) {
+        if let Some(recorder) = self.recorder {
+            recorder.add("engine.cost_evals", 1);
         }
     }
 
@@ -47,6 +74,7 @@ impl<'a> CostModel<'a> {
     /// Estimated cost of one conjunctive (sub-)query in blocks:
     /// `Σ blocks(R)` over its FROM list.
     pub fn query_blocks(&self, query: &ConjunctiveQuery) -> u64 {
+        self.tick();
         query
             .relations
             .iter()
@@ -197,5 +225,25 @@ mod tests {
         let stats = DbStats::default();
         let model = CostModel::new(&stats);
         assert_eq!(model.relation_blocks(RelationId(5)), 0);
+    }
+
+    #[test]
+    fn recorder_counts_cost_evals() {
+        let db = db_with_blocks();
+        let stats = db.analyze();
+        let obs = cqp_obs::Obs::new();
+        let model = CostModel::new(&stats).with_recorder(&obs);
+        let q = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        model.query_blocks(&q);
+        model.personalized_blocks(&PersonalizedQuery {
+            base: q.clone(),
+            subqueries: vec![q.clone(), q],
+        });
+        // 1 direct + 2 sub-queries.
+        assert_eq!(obs.registry().counter("engine.cost_evals"), 3);
     }
 }

@@ -9,6 +9,8 @@
 
 use crate::error::{EngineError, EngineResult};
 use crate::query::{CmpOp, ConjunctiveQuery, PersonalizedQuery, Predicate};
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
 use cqp_storage::{Database, IoMeter, QualifiedAttr, RelationId, Tuple, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -44,12 +46,14 @@ impl Intermediate {
 }
 
 /// Scans one relation, applying pushed-down selections, charging the meter
-/// for every block read.
+/// for every block read. Scan totals are reported to `recorder` once per
+/// scan (not per block) so the no-op path stays out of the inner loop.
 fn scan_filtered(
     db: &Database,
     meter: &IoMeter,
     relation: RelationId,
     selections: &[(QualifiedAttr, CmpOp, Value)],
+    recorder: &dyn Recorder,
 ) -> EngineResult<Intermediate> {
     let table = db.table(relation)?;
     let arity = table.schema().arity();
@@ -57,9 +61,13 @@ fn scan_filtered(
         .map(|i| QualifiedAttr::new(relation.0, i as u16))
         .collect();
     let mut rows = Vec::new();
+    let mut blocks = 0u64;
+    let mut scanned = 0u64;
     for block in table.blocks() {
         meter.charge(1);
+        blocks += 1;
         for row in block.rows() {
+            scanned += 1;
             let keep = selections.iter().all(|(qa, op, value)| {
                 let idx = qa.attr.index();
                 op.eval(&row[idx], value)
@@ -69,6 +77,9 @@ fn scan_filtered(
             }
         }
     }
+    recorder.add("engine.scans", 1);
+    recorder.add("engine.blocks_scanned", blocks);
+    recorder.add("engine.rows_scanned", scanned);
     Ok(Intermediate { layout, rows })
 }
 
@@ -146,6 +157,18 @@ pub fn execute(
     query: &ConjunctiveQuery,
     meter: &IoMeter,
 ) -> EngineResult<ExecOutput> {
+    execute_recorded(db, query, meter, &NoopRecorder)
+}
+
+/// [`execute`] under an `engine.execute` span, reporting scan/join/row
+/// counters to `recorder`.
+pub fn execute_recorded(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    meter: &IoMeter,
+    recorder: &dyn Recorder,
+) -> EngineResult<ExecOutput> {
+    let _span = span_guard(recorder, "engine.execute");
     query.validate(db.catalog())?;
 
     // Group pushed-down selections per relation.
@@ -165,6 +188,7 @@ pub fn execute(
         meter,
         first,
         selections.get(&first).map(|v| v.as_slice()).unwrap_or(&[]),
+        recorder,
     )?;
     let mut joined: HashSet<RelationId> = HashSet::from([first]);
     let mut remaining: Vec<RelationId> = query
@@ -195,6 +219,7 @@ pub fn execute(
             meter,
             rel,
             selections.get(&rel).map(|v| v.as_slice()).unwrap_or(&[]),
+            recorder,
         )?;
 
         // All join predicates linking `rel` with the current intermediate.
@@ -222,6 +247,8 @@ pub fn execute(
             keys.push((li, ri));
         }
         current = hash_join(current, right, &keys);
+        recorder.add("engine.joins", 1);
+        recorder.add("engine.join_rows_emitted", current.rows.len() as u64);
         joined.insert(rel);
     }
 
@@ -243,6 +270,7 @@ pub fn execute(
         .map(|row| positions.iter().map(|&i| row[i].clone()).collect())
         .collect();
     rows.sort();
+    recorder.add("engine.rows_emitted", rows.len() as u64);
     Ok(ExecOutput { rows })
 }
 
@@ -261,13 +289,32 @@ pub fn execute_personalized(
     pq: &PersonalizedQuery,
     meter: &IoMeter,
 ) -> EngineResult<ExecOutput> {
+    execute_personalized_recorded(db, pq, meter, &NoopRecorder)
+}
+
+/// [`execute_personalized`] under an `engine.execute_personalized` span:
+/// each sub-query runs under a shared `engine.subquery` child span (entries
+/// aggregate) and the final HAVING-count filter reports the rows kept.
+pub fn execute_personalized_recorded(
+    db: &Database,
+    pq: &PersonalizedQuery,
+    meter: &IoMeter,
+    recorder: &dyn Recorder,
+) -> EngineResult<ExecOutput> {
+    let _span = span_guard(recorder, "engine.execute_personalized");
     if pq.is_trivial() {
-        return execute(db, &pq.base, meter);
+        return execute_recorded(db, &pq.base, meter, recorder);
     }
     let want = pq.num_preferences();
     let mut counts: HashMap<Tuple, usize> = HashMap::new();
     for sub in &pq.subqueries {
-        let out = execute(db, sub, meter)?;
+        let sub_span = span_guard(recorder, "engine.subquery");
+        let out = execute_recorded(db, sub, meter, recorder)?;
+        recorder.add("engine.subqueries", 1);
+        if recorder.is_enabled() {
+            recorder.observe("engine.subquery_rows", out.rows.len() as u64);
+        }
+        drop(sub_span);
         let distinct: HashSet<Tuple> = out.rows.into_iter().collect();
         for row in distinct {
             *counts.entry(row).or_insert(0) += 1;
@@ -279,6 +326,7 @@ pub fn execute_personalized(
         .map(|(r, _)| r)
         .collect();
     rows.sort();
+    recorder.add("engine.personalized_rows_kept", rows.len() as u64);
     Ok(ExecOutput { rows })
 }
 

@@ -58,7 +58,9 @@ pub mod sql;
 pub use card::CardEstimator;
 pub use cost::CostModel;
 pub use error::{EngineError, EngineResult};
-pub use exec::{execute, execute_personalized, ExecOutput};
+pub use exec::{
+    execute, execute_personalized, execute_personalized_recorded, execute_recorded, ExecOutput,
+};
 pub use explain::{explain, explain_personalized, PlanNode};
 pub use parse::{parse_query, ParseError};
 pub use query::{CmpOp, ConjunctiveQuery, PersonalizedQuery, Predicate, QueryBuilder};

@@ -1,0 +1,28 @@
+//! Observability for the CQP workspace.
+//!
+//! Three pieces, all `std`-only and single-threaded by design (the solver,
+//! engine, and storage layers run on one thread per query):
+//!
+//! * [`metrics`] — a [`Registry`] of named monotonic counters, gauges, and
+//!   log-linear histograms, with point-in-time [`Snapshot`]s and
+//!   [`Snapshot::diff`] for attributing counter deltas to a region of work.
+//! * [`trace`] — a hierarchical span [`Tracer`]: per-span wall-clock time,
+//!   counter deltas captured at span boundaries, and a ring-buffered event
+//!   log. Renders as a flame-style text tree for `cqp_shell`.
+//! * [`record`] — the [`Recorder`] trait the lower layers are written
+//!   against. [`NoopRecorder`] keeps the hot path free when observability
+//!   is off; [`Obs`] (registry + tracer behind one handle) records
+//!   everything.
+//!
+//! [`report`] turns a finished [`Obs`] into a JSONL run-report line
+//! (hand-rolled JSON encoder; no serde in this environment).
+
+pub mod metrics;
+pub mod record;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{Histogram, HistogramSummary, Registry, Snapshot};
+pub use record::{NoopRecorder, Obs, Recorder, SpanGuard};
+pub use report::{Json, RunReport};
+pub use trace::{SpanView, Tracer};

@@ -1,0 +1,380 @@
+//! Metrics registry: named counters, gauges, and log-linear histograms.
+//!
+//! All mutation goes through `&self` (interior mutability) so a registry can
+//! be shared by reference across solver, engine, and storage within one
+//! query without threading `&mut` through every call chain.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Number of linear sub-buckets per power-of-two magnitude group.
+const SUB_BUCKETS: u64 = 4;
+
+/// A log-linear histogram over `u64` observations.
+///
+/// Values are grouped by floor-log2 magnitude, each magnitude split into
+/// [`SUB_BUCKETS`] linear sub-buckets, giving a worst-case relative bucket
+/// width of 25% with a handful of buckets per decade. Zero gets a dedicated
+/// bucket. Exact `count`/`sum`/`min`/`max` are tracked alongside.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value: 0 for 0, else `1 + 4*floor(log2 v) + sub`.
+fn bucket_index(v: u64) -> u32 {
+    if v == 0 {
+        return 0;
+    }
+    let mag = 63 - v.leading_zeros();
+    // Position of v within [2^mag, 2^(mag+1)), scaled to SUB_BUCKETS slots.
+    // (v << 2) >> mag maps the magnitude group onto [4, 8); subtracting 4
+    // yields the sub-bucket. For mag > 61 shift the value down instead to
+    // avoid overflow.
+    let sub = if mag <= 61 {
+        ((v << 2) >> mag) - SUB_BUCKETS
+    } else {
+        (v >> (mag - 2)) & 0b11
+    };
+    1 + mag * SUB_BUCKETS as u32 + sub as u32
+}
+
+/// Inclusive lower bound of a bucket, for rendering: the smallest value
+/// whose scaled position within the magnitude group reaches `sub`, i.e.
+/// `ceil(base * (1 + sub/4))`.
+fn bucket_floor(index: u32) -> u64 {
+    if index == 0 {
+        return 0;
+    }
+    let mag = (index - 1) / SUB_BUCKETS as u32;
+    let sub = ((index - 1) % SUB_BUCKETS as u32) as u128;
+    let base = 1u64 << mag;
+    base + (base as u128 * sub).div_ceil(SUB_BUCKETS as u128) as u64
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupied buckets as `(inclusive lower bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .map(|(&i, &c)| (bucket_floor(i), c))
+            .collect()
+    }
+
+    /// Condensed view for snapshots and reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Exact aggregate view of a [`Histogram`] at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms behind `&self`.
+///
+/// Metric names are `&'static str` dotted paths by convention
+/// (`"storage.blocks_read"`, `"solver.states_examined"`); keeping them
+/// static makes recording allocation-free on the counter path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RefCell<BTreeMap<&'static str, u64>>,
+    gauges: RefCell<BTreeMap<&'static str, f64>>,
+    histograms: RefCell<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        *self.counters.borrow_mut().entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        self.gauges.borrow_mut().insert(name, value);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.borrow().get(name).copied()
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.histograms
+            .borrow_mut()
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+
+    /// Occupied buckets of a histogram (empty vec if absent).
+    pub fn histogram_buckets(&self, name: &str) -> Vec<(u64, u64)> {
+        self.histograms
+            .borrow()
+            .get(name)
+            .map(|h| h.nonzero_buckets())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .borrow()
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .borrow()
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .borrow()
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Counter map keyed by static name — the cheap snapshot the tracer
+    /// takes at span boundaries to compute per-span counter deltas.
+    pub(crate) fn counters_now(&self) -> BTreeMap<&'static str, u64> {
+        self.counters.borrow().clone()
+    }
+}
+
+/// Point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// What happened between `earlier` and `self`.
+    ///
+    /// Counters subtract (saturating, so a reset registry diffs to zero
+    /// rather than wrapping); histogram summaries subtract `count`/`sum`
+    /// and keep `self`'s `min`/`max` (extrema are not invertible); gauges
+    /// keep `self`'s value. Metrics absent from `earlier` count as zero.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let before = earlier.histograms.get(k).copied().unwrap_or_default();
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: h.count.saturating_sub(before.count),
+                        sum: h.sum.saturating_sub(before.sum),
+                        min: h.min,
+                        max: h.max,
+                    },
+                )
+            })
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_zero_has_own_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        let mut last = 0;
+        for v in 1..4096u64 {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket regressed at v={v}");
+            last = b;
+        }
+        // Values in the same magnitude/quarter share a bucket.
+        assert_eq!(bucket_index(64), bucket_index(79));
+        assert_ne!(bucket_index(64), bucket_index(80));
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index_lower_bound() {
+        for v in [0u64, 1, 2, 3, 5, 8, 13, 100, 1023, 1024, 1_000_000] {
+            let b = bucket_index(v);
+            let floor = bucket_floor(b);
+            assert!(floor <= v, "floor {floor} > v {v}");
+            // The next bucket's floor must be above v.
+            if b < u32::MAX {
+                assert!(bucket_floor(b + 1) > v, "v {v} not below next floor");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_handles_huge_values() {
+        assert!(bucket_index(u64::MAX) > bucket_index(u64::MAX / 2));
+        assert!(bucket_index(1u64 << 62) < bucket_index(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_tracks_aggregates() {
+        let mut h = Histogram::default();
+        for v in [3u64, 9, 27, 81, 0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 120);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 81);
+        assert!((h.mean() - 24.0).abs() < 1e-9);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let r = Registry::new();
+        r.add("a.x", 2);
+        r.add("a.x", 3);
+        r.set_gauge("g", 1.5);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.counter("a.x"), 5);
+        assert_eq!(r.counter("a.y"), 0);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_hist_counts() {
+        let r = Registry::new();
+        r.add("c", 10);
+        r.observe("h", 4);
+        let before = r.snapshot();
+        r.add("c", 7);
+        r.add("d", 1);
+        r.observe("h", 8);
+        r.observe("h", 16);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counters.get("c"), Some(&7));
+        assert_eq!(d.counters.get("d"), Some(&1));
+        let h = d.histograms.get("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 24);
+    }
+
+    #[test]
+    fn snapshot_diff_drops_unchanged_metrics() {
+        let r = Registry::new();
+        r.add("stable", 5);
+        let before = r.snapshot();
+        r.add("moving", 1);
+        let d = r.snapshot().diff(&before);
+        assert!(!d.counters.contains_key("stable"));
+        assert_eq!(d.counters.get("moving"), Some(&1));
+    }
+}

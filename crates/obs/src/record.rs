@@ -1,0 +1,187 @@
+//! The [`Recorder`] trait lower layers are written against, its no-op
+//! implementation, and [`Obs`] — the live registry + tracer bundle.
+
+use crate::metrics::{Registry, Snapshot};
+use crate::trace::Tracer;
+use std::cell::RefCell;
+
+/// Observability sink. Every method takes `&self` and defaults to a no-op,
+/// so instrumented code pays one virtual call (or nothing, when it checks
+/// [`Recorder::is_enabled`] first) when recording is off.
+///
+/// Span discipline: `span_enter`/`span_exit` must nest; use
+/// [`SpanGuard`] (via [`span_guard`]) to make exits drop-safe.
+pub trait Recorder {
+    /// Whether this recorder keeps anything. Instrumented code may skip
+    /// preparing expensive arguments (formatting, snapshots) when false.
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a nested span.
+    fn span_enter(&self, _name: &'static str) {}
+
+    /// Closes the innermost span.
+    fn span_exit(&self) {}
+
+    /// Adds to a monotonic counter.
+    fn add(&self, _name: &'static str, _delta: u64) {}
+
+    /// Sets a gauge (last write wins).
+    fn set_gauge(&self, _name: &'static str, _value: f64) {}
+
+    /// Records a histogram observation.
+    fn observe(&self, _name: &'static str, _value: u64) {}
+
+    /// Appends a point event to the ring log.
+    fn event(&self, _message: &str) {}
+}
+
+/// Discards everything; all methods are the trait defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Live observability state: a metrics [`Registry`] plus a span [`Tracer`],
+/// shared by `&self` across solver, engine, and storage for one run.
+#[derive(Debug, Default)]
+pub struct Obs {
+    registry: Registry,
+    tracer: RefCell<Tracer>,
+}
+
+impl Obs {
+    /// A fresh registry and tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Point-in-time snapshot of the registry.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Runs `f` against the tracer (borrow scope kept internal).
+    pub fn with_tracer<R>(&self, f: impl FnOnce(&Tracer) -> R) -> R {
+        f(&self.tracer.borrow())
+    }
+
+    /// Flame-style text rendering of the span tree.
+    pub fn render_tree(&self) -> String {
+        self.tracer.borrow().render()
+    }
+
+    /// Opens a span and returns a guard that closes it on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        span_guard(self, name)
+    }
+}
+
+impl Recorder for Obs {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        let counters = self.registry.counters_now();
+        self.tracer.borrow_mut().enter(name, counters);
+    }
+
+    fn span_exit(&self) {
+        let counters = self.registry.counters_now();
+        self.tracer.borrow_mut().exit(counters);
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        self.registry.add(name, delta);
+    }
+
+    fn set_gauge(&self, name: &'static str, value: f64) {
+        self.registry.set_gauge(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.registry.observe(name, value);
+    }
+
+    fn event(&self, message: &str) {
+        self.tracer.borrow_mut().event(message.to_string());
+    }
+}
+
+/// Closes its span when dropped, so early returns and `?` cannot leave a
+/// span open.
+pub struct SpanGuard<'a> {
+    recorder: &'a dyn Recorder,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder.span_exit();
+    }
+}
+
+/// Opens `name` on `recorder` and returns the closing guard.
+pub fn span_guard<'a>(recorder: &'a dyn Recorder, name: &'static str) -> SpanGuard<'a> {
+    recorder.span_enter(name);
+    SpanGuard { recorder }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_inert() {
+        let r = NoopRecorder;
+        assert!(!r.is_enabled());
+        r.span_enter("x");
+        r.add("c", 1);
+        r.span_exit();
+    }
+
+    #[test]
+    fn obs_attributes_counters_to_spans() {
+        let obs = Obs::new();
+        {
+            let _solve = obs.span("solve");
+            obs.add("solver.states", 5);
+            {
+                let _phase = obs.span("phase1");
+                obs.add("solver.states", 7);
+            }
+        }
+        assert_eq!(obs.registry().counter("solver.states"), 12);
+        let spans = obs.with_tracer(|t| t.spans());
+        let solve = spans.iter().find(|s| s.path == "solve").unwrap();
+        let phase = spans.iter().find(|s| s.path == "solve.phase1").unwrap();
+        assert_eq!(solve.counter_deltas, vec![("solver.states", 12)]);
+        assert_eq!(phase.counter_deltas, vec![("solver.states", 7)]);
+    }
+
+    #[test]
+    fn guard_closes_span_on_early_drop() {
+        let obs = Obs::new();
+        let g = obs.span("outer");
+        drop(g);
+        assert_eq!(obs.with_tracer(|t| t.open_depth()), 0);
+    }
+
+    #[test]
+    fn dyn_dispatch_works_for_both_impls() {
+        fn run(r: &dyn Recorder) {
+            let _g = span_guard(r, "dyn");
+            r.add("k", 1);
+        }
+        run(&NoopRecorder);
+        let obs = Obs::new();
+        run(&obs);
+        assert_eq!(obs.registry().counter("k"), 1);
+    }
+}

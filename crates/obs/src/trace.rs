@@ -1,0 +1,344 @@
+//! Hierarchical span tracer.
+//!
+//! Spans form a tree; entering the same span name twice under the same
+//! parent aggregates into one node (count + total time), which keeps the
+//! rendered tree readable when a phase runs in a loop. At span boundaries
+//! the tracer captures counter values from the owning registry so each
+//! node carries the counter *deltas* attributable to it (including its
+//! children). A small ring buffer keeps the most recent point events.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Maximum retained point events.
+const EVENT_RING: usize = 256;
+
+#[derive(Debug)]
+struct SpanData {
+    name: &'static str,
+    children: Vec<usize>,
+    count: u64,
+    total: Duration,
+    counter_deltas: BTreeMap<&'static str, u64>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    node: usize,
+    started: Instant,
+    counters_at_entry: BTreeMap<&'static str, u64>,
+}
+
+/// Read-only view of one span node, for exporters.
+#[derive(Debug, Clone)]
+pub struct SpanView {
+    /// Dotted path from the root, e.g. `"solve.find_boundaries"`.
+    pub path: String,
+    /// Span name (last path segment).
+    pub name: &'static str,
+    /// Tree depth (root children are 0).
+    pub depth: usize,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock across entries.
+    pub total: Duration,
+    /// Counter deltas attributed to this span (children included).
+    pub counter_deltas: Vec<(&'static str, u64)>,
+}
+
+/// The span tree plus event ring. Mutation requires `&mut`; the shared
+/// wrapper lives in [`crate::record::Obs`].
+#[derive(Debug)]
+pub struct Tracer {
+    arena: Vec<SpanData>,
+    roots: Vec<usize>,
+    stack: Vec<OpenSpan>,
+    epoch: Instant,
+    events: VecDeque<(Duration, String)>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// An empty tracer; the epoch for event timestamps starts now.
+    pub fn new() -> Self {
+        Tracer {
+            arena: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            epoch: Instant::now(),
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Opens a span under the currently open one (or at the root).
+    /// `counters` is the registry's counter state at entry, used to compute
+    /// this span's deltas on exit.
+    pub fn enter(&mut self, name: &'static str, counters: BTreeMap<&'static str, u64>) {
+        let siblings = match self.stack.last() {
+            Some(open) => &self.arena[open.node].children,
+            None => &self.roots,
+        };
+        let existing = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.arena[i].name == name);
+        let node = match existing {
+            Some(i) => i,
+            None => {
+                let i = self.arena.len();
+                self.arena.push(SpanData {
+                    name,
+                    children: Vec::new(),
+                    count: 0,
+                    total: Duration::ZERO,
+                    counter_deltas: BTreeMap::new(),
+                });
+                match self.stack.last() {
+                    Some(open) => self.arena[open.node].children.push(i),
+                    None => self.roots.push(i),
+                }
+                i
+            }
+        };
+        self.stack.push(OpenSpan {
+            node,
+            started: Instant::now(),
+            counters_at_entry: counters,
+        });
+    }
+
+    /// Closes the innermost open span, folding in elapsed time and the
+    /// counter deltas since entry. No-op if nothing is open.
+    pub fn exit(&mut self, counters: BTreeMap<&'static str, u64>) {
+        let Some(open) = self.stack.pop() else {
+            return;
+        };
+        let data = &mut self.arena[open.node];
+        data.count += 1;
+        data.total += open.started.elapsed();
+        for (name, now) in counters {
+            let before = open.counters_at_entry.get(name).copied().unwrap_or(0);
+            let delta = now.saturating_sub(before);
+            if delta > 0 {
+                *data.counter_deltas.entry(name).or_insert(0) += delta;
+            }
+        }
+    }
+
+    /// Appends a point event to the ring (oldest dropped past capacity).
+    pub fn event(&mut self, message: String) {
+        if self.events.len() == EVENT_RING {
+            self.events.pop_front();
+        }
+        self.events.push_back((self.epoch.elapsed(), message));
+    }
+
+    /// Retained events as `(time since tracer creation, message)`.
+    pub fn events(&self) -> impl Iterator<Item = (Duration, &str)> {
+        self.events.iter().map(|(t, m)| (*t, m.as_str()))
+    }
+
+    /// Depth of currently open spans.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Flattens the closed span tree in render order (pre-order).
+    pub fn spans(&self) -> Vec<SpanView> {
+        let mut out = Vec::new();
+        for &root in &self.roots {
+            self.flatten(root, "", 0, &mut out);
+        }
+        out
+    }
+
+    fn flatten(&self, node: usize, prefix: &str, depth: usize, out: &mut Vec<SpanView>) {
+        let data = &self.arena[node];
+        let path = if prefix.is_empty() {
+            data.name.to_string()
+        } else {
+            format!("{prefix}.{}", data.name)
+        };
+        out.push(SpanView {
+            path: path.clone(),
+            name: data.name,
+            depth,
+            count: data.count,
+            total: data.total,
+            counter_deltas: data.counter_deltas.iter().map(|(&k, &v)| (k, v)).collect(),
+        });
+        for &child in &data.children {
+            self.flatten(child, &path, depth + 1, out);
+        }
+    }
+
+    /// Flame-style text rendering of the span tree, one line per node:
+    /// tree guides, name, total time, entry count, and counter deltas.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &root in &self.roots {
+            self.render_node(root, "", true, true, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, node: usize, indent: &str, last: bool, root: bool, out: &mut String) {
+        let data = &self.arena[node];
+        let (branch, child_indent) = if root {
+            (String::new(), String::new())
+        } else if last {
+            (format!("{indent}└─ "), format!("{indent}   "))
+        } else {
+            (format!("{indent}├─ "), format!("{indent}│  "))
+        };
+        out.push_str(&branch);
+        out.push_str(data.name);
+        out.push_str(&format!("  {}", fmt_duration(data.total)));
+        if data.count != 1 {
+            out.push_str(&format!("  ({}x)", data.count));
+        }
+        if !data.counter_deltas.is_empty() {
+            let deltas: Vec<String> = data
+                .counter_deltas
+                .iter()
+                .map(|(k, v)| format!("{k} +{v}"))
+                .collect();
+            out.push_str(&format!("  [{}]", deltas.join(", ")));
+        }
+        out.push('\n');
+        for (i, &child) in data.children.iter().enumerate() {
+            let child_last = i + 1 == data.children.len();
+            self.render_node(child, &child_indent, child_last, false, out);
+        }
+    }
+}
+
+/// Human-readable duration: ns/µs/ms/s with sensible precision.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(pairs: &[(&'static str, u64)]) -> BTreeMap<&'static str, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn nesting_builds_a_tree_with_paths() {
+        let mut t = Tracer::new();
+        t.enter("solve", counters(&[]));
+        t.enter("find_boundaries", counters(&[]));
+        t.exit(counters(&[]));
+        t.enter("find_max_doi", counters(&[]));
+        t.exit(counters(&[]));
+        t.exit(counters(&[]));
+        let spans = t.spans();
+        let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["solve", "solve.find_boundaries", "solve.find_max_doi"]
+        );
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+    }
+
+    #[test]
+    fn reentering_a_span_aggregates() {
+        let mut t = Tracer::new();
+        for _ in 0..3 {
+            t.enter("phase", counters(&[]));
+            t.exit(counters(&[]));
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].count, 3);
+    }
+
+    #[test]
+    fn parent_time_covers_child_time() {
+        let mut t = Tracer::new();
+        t.enter("parent", counters(&[]));
+        t.enter("child", counters(&[]));
+        std::thread::sleep(Duration::from_millis(2));
+        t.exit(counters(&[]));
+        t.exit(counters(&[]));
+        let spans = t.spans();
+        let parent = spans.iter().find(|s| s.name == "parent").unwrap();
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        assert!(child.total > Duration::ZERO);
+        assert!(
+            parent.total >= child.total,
+            "parent {:?} < child {:?}",
+            parent.total,
+            child.total
+        );
+    }
+
+    #[test]
+    fn counter_deltas_attributed_to_span() {
+        let mut t = Tracer::new();
+        t.enter("work", counters(&[("io.blocks", 10)]));
+        t.exit(counters(&[("io.blocks", 25), ("io.other", 3)]));
+        let spans = t.spans();
+        assert_eq!(
+            spans[0].counter_deltas,
+            vec![("io.blocks", 15), ("io.other", 3)]
+        );
+    }
+
+    #[test]
+    fn unbalanced_exit_is_harmless() {
+        let mut t = Tracer::new();
+        t.exit(counters(&[]));
+        t.enter("a", counters(&[]));
+        t.exit(counters(&[]));
+        t.exit(counters(&[]));
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.open_depth(), 0);
+    }
+
+    #[test]
+    fn event_ring_caps_retention() {
+        let mut t = Tracer::new();
+        for i in 0..(EVENT_RING + 10) {
+            t.event(format!("e{i}"));
+        }
+        let events: Vec<_> = t.events().collect();
+        assert_eq!(events.len(), EVENT_RING);
+        assert_eq!(events[0].1, "e10");
+    }
+
+    #[test]
+    fn render_contains_guides_and_names() {
+        let mut t = Tracer::new();
+        t.enter("solve", counters(&[]));
+        t.enter("a", counters(&[("n", 0)]));
+        t.exit(counters(&[("n", 7)]));
+        t.enter("b", counters(&[]));
+        t.exit(counters(&[]));
+        t.exit(counters(&[]));
+        let text = t.render();
+        assert!(text.contains("solve"));
+        assert!(text.contains("├─ a"));
+        assert!(text.contains("└─ b"));
+        assert!(text.contains("[n +7]"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], `criterion_group!` / `criterion_main!`, [`black_box`])
+//! with a plain timed-iteration runner: each benchmark runs a short warmup,
+//! then `sample_size` timed samples, and prints mean/min/max per iteration.
+//! No statistics engine, plotting, or HTML reports — just numbers on stdout,
+//! which is what an offline container can support.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Labels a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            f.write_str(&self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the body.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`: one untimed warmup iteration, then `sample_size`
+    /// timed samples (one iteration each — workloads here are milliseconds
+    /// and up, far above timer resolution).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, R>(&mut self, id: BenchmarkId, input: &I, routine: R)
+    where
+        R: FnOnce(&mut Bencher<'_>, &I),
+    {
+        let mut results = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: &mut results,
+        };
+        routine(&mut b, input);
+        self.report(&id.to_string(), &results);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, routine: R)
+    where
+        R: FnOnce(&mut Bencher<'_>),
+    {
+        let mut results = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: &mut results,
+        };
+        routine(&mut b);
+        self.report(&id.to_string(), &results);
+    }
+
+    /// Finishes the group (reporting happens per-benchmark; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        println!(
+            "{}/{id}: mean {} [min {} .. max {}] ({} samples)",
+            self.name,
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Benchmark runner and entry point handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A runner with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group (default 100 samples, as upstream).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_collects_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &3u64, |b, x| {
+            b.iter(|| {
+                runs += 1;
+                black_box(*x * 2)
+            })
+        });
+        group.finish();
+        // 1 warmup + 5 samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn id_formats_like_upstream() {
+        assert_eq!(BenchmarkId::new("algo", 16).to_string(), "algo/16");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -2,15 +2,19 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::schema::{AttrId, QualifiedAttr, RelationId, RelationSchema};
+use std::cell::Cell;
 
 /// A catalog of relation schemas.
 ///
 /// `RelationId`s are indices into the catalog's insertion order, which keeps
 /// every cross-crate reference (queries, preferences, statistics) a plain
-/// integer.
+/// integer. Every lookup (by id or by name) ticks an internal counter so
+/// observability layers can report catalog traffic without the catalog
+/// depending on them; see [`Catalog::lookups`].
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     relations: Vec<RelationSchema>,
+    lookups: Cell<u64>,
 }
 
 impl Catalog {
@@ -46,6 +50,7 @@ impl Catalog {
 
     /// Looks a relation up by id.
     pub fn relation(&self, id: RelationId) -> StorageResult<&RelationSchema> {
+        self.lookups.set(self.lookups.get() + 1);
         self.relations
             .get(id.index())
             .ok_or(StorageError::RelationIdOutOfRange(id.index()))
@@ -53,11 +58,18 @@ impl Catalog {
 
     /// Looks a relation up by name.
     pub fn relation_id(&self, name: &str) -> StorageResult<RelationId> {
+        self.lookups.set(self.lookups.get() + 1);
         self.relations
             .iter()
             .position(|r| r.name == name)
             .map(|i| RelationId(i as u16))
             .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Total schema lookups served (by id or name) since creation, for
+    /// observability. Cloning a catalog copies the count taken so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
     }
 
     /// Resolves `REL.attr` notation to a [`QualifiedAttr`].
@@ -174,6 +186,16 @@ mod tests {
             .add_relation(RelationSchema::new("MOVIE", vec![("x", DataType::Int)]))
             .unwrap_err();
         assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn lookup_counter_ticks() {
+        let c = paper_catalog();
+        assert_eq!(c.lookups(), 0);
+        let movie = c.relation_id("MOVIE").unwrap();
+        let _ = c.relation(movie).unwrap();
+        let _ = c.resolve("GENRE", "genre").unwrap();
+        assert!(c.lookups() >= 3, "lookups = {}", c.lookups());
     }
 
     #[test]

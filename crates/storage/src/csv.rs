@@ -11,6 +11,7 @@ use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
 use crate::schema::RelationId;
 use crate::value::{DataType, Value};
+use cqp_obs::Recorder;
 use std::fmt;
 use std::path::Path;
 
@@ -162,6 +163,30 @@ pub fn dump_table_to(db: &Database, relation: RelationId, path: &Path) -> Result
 /// schema and parsing each field by its declared type. Returns the number
 /// of rows inserted.
 pub fn load_table(db: &mut Database, relation: RelationId, text: &str) -> Result<usize, CsvError> {
+    load_table_recorded(db, relation, text, &cqp_obs::NoopRecorder)
+}
+
+/// [`load_table`], reporting progress to `recorder`: a `storage.csv_load`
+/// span wrapping the parse, plus `storage.csv_rows_loaded` /
+/// `storage.csv_bytes_parsed` counters.
+pub fn load_table_recorded(
+    db: &mut Database,
+    relation: RelationId,
+    text: &str,
+    recorder: &dyn Recorder,
+) -> Result<usize, CsvError> {
+    let _span = cqp_obs::record::span_guard(recorder, "storage.csv_load");
+    let inserted = load_table_inner(db, relation, text)?;
+    recorder.add("storage.csv_rows_loaded", inserted as u64);
+    recorder.add("storage.csv_bytes_parsed", text.len() as u64);
+    Ok(inserted)
+}
+
+fn load_table_inner(
+    db: &mut Database,
+    relation: RelationId,
+    text: &str,
+) -> Result<usize, CsvError> {
     let schema = db.table(relation)?.schema().clone();
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(CsvError::Parse {
@@ -235,8 +260,18 @@ pub fn load_table_from(
     relation: RelationId,
     path: &Path,
 ) -> Result<usize, CsvError> {
+    load_table_from_recorded(db, relation, path, &cqp_obs::NoopRecorder)
+}
+
+/// [`load_table_from`] with observability, as in [`load_table_recorded`].
+pub fn load_table_from_recorded(
+    db: &mut Database,
+    relation: RelationId,
+    path: &Path,
+    recorder: &dyn Recorder,
+) -> Result<usize, CsvError> {
     let text = std::fs::read_to_string(path)?;
-    load_table(db, relation, &text)
+    load_table_recorded(db, relation, &text, recorder)
 }
 
 #[cfg(test)]

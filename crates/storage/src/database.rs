@@ -80,6 +80,19 @@ impl Database {
         }
     }
 
+    /// [`Database::analyze`] under a `storage.analyze` span, reporting how
+    /// many tables/rows the statistics pass scanned.
+    pub fn analyze_recorded(&self, recorder: &dyn cqp_obs::Recorder) -> DbStats {
+        let _span = cqp_obs::record::span_guard(recorder, "storage.analyze");
+        let stats = self.analyze();
+        recorder.add("storage.stats_tables_analyzed", stats.tables.len() as u64);
+        recorder.add(
+            "storage.stats_rows_scanned",
+            stats.tables.iter().map(|t| t.rows as u64).sum(),
+        );
+        stats
+    }
+
     /// Total blocks across all tables.
     pub fn total_blocks(&self) -> u64 {
         self.tables.iter().map(Table::num_blocks).sum()

@@ -5,20 +5,40 @@
 //! experiments. The executor charges this meter once per block it reads;
 //! "real" execution time for Figure 15 is `blocks_read × ms_per_block` plus
 //! the (small) CPU time actually spent.
+//!
+//! A meter can optionally carry a [`Recorder`]: every charge is then also
+//! forwarded to the `storage.blocks_read` counter, which lets the span
+//! tracer attribute physical reads to solver phases and engine operators.
 
+use cqp_obs::Recorder;
 use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
 
 /// Default per-block read cost in milliseconds (`b` in the paper).
 pub const DEFAULT_MS_PER_BLOCK: f64 = 1.0;
+
+/// Registry counter fed by metered block reads.
+pub const BLOCKS_READ_COUNTER: &str = "storage.blocks_read";
 
 /// Counts block reads and converts them to simulated milliseconds.
 ///
 /// Interior mutability lets read-only executor pipelines share one meter
 /// without threading `&mut` through every iterator adapter.
-#[derive(Debug)]
 pub struct IoMeter {
     blocks_read: Cell<u64>,
     ms_per_block: f64,
+    recorder: Option<Rc<dyn Recorder>>,
+}
+
+impl fmt::Debug for IoMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IoMeter")
+            .field("blocks_read", &self.blocks_read.get())
+            .field("ms_per_block", &self.ms_per_block)
+            .field("recorded", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Default for IoMeter {
@@ -34,12 +54,24 @@ impl IoMeter {
         IoMeter {
             blocks_read: Cell::new(0),
             ms_per_block,
+            recorder: None,
         }
+    }
+
+    /// Creates a meter that also forwards every charge to `recorder`'s
+    /// [`BLOCKS_READ_COUNTER`].
+    pub fn with_recorder(ms_per_block: f64, recorder: Rc<dyn Recorder>) -> Self {
+        let mut meter = IoMeter::new(ms_per_block);
+        meter.recorder = Some(recorder);
+        meter
     }
 
     /// Charges `n` block reads.
     pub fn charge(&self, n: u64) {
         self.blocks_read.set(self.blocks_read.get() + n);
+        if let Some(recorder) = &self.recorder {
+            recorder.add(BLOCKS_READ_COUNTER, n);
+        }
     }
 
     /// Total block reads charged so far.
@@ -57,7 +89,8 @@ impl IoMeter {
         self.ms_per_block
     }
 
-    /// Resets the counter to zero.
+    /// Resets the counter to zero (the recorder's counter, being monotonic,
+    /// is not rewound).
     pub fn reset(&self) {
         self.blocks_read.set(0);
     }
@@ -66,6 +99,7 @@ impl IoMeter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqp_obs::Obs;
 
     #[test]
     fn charges_accumulate() {
@@ -91,6 +125,18 @@ mod tests {
         m.reset();
         assert_eq!(m.blocks_read(), 0);
         assert_eq!(m.elapsed_ms(), 0.0);
+    }
+
+    #[test]
+    fn recorder_sees_every_charge() {
+        let obs = Rc::new(Obs::new());
+        let m = IoMeter::with_recorder(1.0, obs.clone());
+        m.charge(7);
+        m.reset();
+        m.charge(2);
+        assert_eq!(m.blocks_read(), 2);
+        // Monotonic counter keeps the pre-reset charges too.
+        assert_eq!(obs.registry().counter(BLOCKS_READ_COUNTER), 9);
     }
 
     #[test]

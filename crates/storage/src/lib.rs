@@ -60,9 +60,9 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use csv::{dump_table, load_table, CsvError};
+pub use csv::{dump_table, load_table, load_table_recorded, CsvError};
 pub use database::Database;
-pub use disk::IoMeter;
+pub use disk::{IoMeter, BLOCKS_READ_COUNTER};
 pub use error::{StorageError, StorageResult};
 pub use schema::{AttrId, AttributeDef, QualifiedAttr, RelationId, RelationSchema};
 pub use stats::{ColumnStats, DbStats, TableStats};

@@ -35,7 +35,7 @@ use cqp_engine::parse_query;
 use cqp_obs::{Obs, Recorder};
 use cqp_prefs::{Doi, Profile};
 use std::io::{BufRead, Write};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let db_cfg = MovieDbConfig::tiny(42);
@@ -132,6 +132,16 @@ fn main() {
                         println!("K capped at {k}");
                     }
                     _ => println!("usage: \\k <positive integer>"),
+                },
+                "threads" => match parts.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => {
+                        config.parallelism = cqp_core::solver::Parallelism::new(n);
+                        println!(
+                            "threads: {n} (partitioned exact searches and \\trace \
+                             run on a {n}-worker pool)"
+                        );
+                    }
+                    _ => println!("usage: \\threads <positive integer>"),
                 },
                 "algo" => match parts.next().and_then(parse_algo) {
                     Some(a) => {
@@ -289,7 +299,7 @@ fn trace_query(
     config: &SolverConfig,
     sql: &str,
 ) {
-    let obs = Rc::new(Obs::new());
+    let obs = Arc::new(Obs::new());
     let query = match parse_query(sql, db.catalog()) {
         Ok(q) => q,
         Err(e) => {
@@ -297,20 +307,50 @@ fn trace_query(
             return;
         }
     };
-    let system = CqpSystem::new_recorded(db, &*obs);
-    let outcome = match system.personalize_recorded(&query, profile, problem, config, &*obs) {
-        Ok(o) => o,
-        Err(e) => {
-            println!("personalization error: {e}");
-            return;
+    // With \threads N > 1 the request goes through the batch driver, so the
+    // pipeline spans nest under a `workerNN` subtree — the tracer keeps one
+    // span stack per OS thread, so concurrent workers can never interleave
+    // into each other's subtree.
+    let (solution, personalized) = if config.parallelism.threads > 1 {
+        let driver =
+            cqp_core::batch::BatchDriver::new(Arc::new(db.clone()), config.parallelism.threads);
+        let request = cqp_core::batch::BatchRequest {
+            query,
+            profile: profile.clone(),
+            problem: *problem,
+            config: config.clone(),
+        };
+        let (mut results, stats) = driver.run_recorded(vec![request], &*obs);
+        match results.remove(0) {
+            Ok(item) => {
+                println!(
+                    "batch of 1 on {} worker(s): {:.1} req/s, p50 {} us",
+                    stats.threads, stats.requests_per_sec, stats.p50_us
+                );
+                (item.solution, item.query)
+            }
+            Err(e) => {
+                println!("personalization error: {e}");
+                return;
+            }
+        }
+    } else {
+        let system = CqpSystem::new_recorded(db, &*obs);
+        match system.personalize_recorded(&query, profile, problem, config, &*obs) {
+            Ok(o) => (o.solution, o.query),
+            Err(e) => {
+                println!("personalization error: {e}");
+                return;
+            }
         }
     };
-    match system.execute_recorded(&outcome.query, 1.0, Rc::clone(&obs) as Rc<dyn Recorder>) {
+    let system = CqpSystem::new_recorded(db, &*obs);
+    match system.execute_recorded(&personalized, 1.0, Arc::clone(&obs) as Arc<dyn Recorder>) {
         Ok((rows, blocks, ms)) => {
             println!(
                 "{} preference(s); doi {:.3}; {} row(s) in {ms:.0} ms simulated I/O ({blocks} blocks)",
-                outcome.solution.prefs.len(),
-                outcome.solution.doi.value(),
+                solution.prefs.len(),
+                solution.doi.value(),
                 rows.len()
             );
         }
@@ -352,6 +392,7 @@ fn help() {
          \\profile          print the loaded profile\n\
          \\load <path>      load a cqp-profile v1 file\n\
          \\soft <query>     personalize, then rank rows matching any preference\n\
+         \\threads <n>      worker pool width for exact searches and \\trace\n\
          \\trace <query>    personalize + execute, print span tree and metrics\n\
          <query>           personalize and execute (strict conjunction)\n\
          \\quit"

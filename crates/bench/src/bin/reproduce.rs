@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reproduce <experiment> [--scale tiny|default|paper] [--out DIR] [--full-k]
+//!           [--threads N]
 //!
 //! experiments:
 //!   all       every experiment below
@@ -18,17 +19,24 @@
 //!   fig6      the Figure 6 boundary trace (cmax = 185)
 //!   fig8      the Figure 8 maximal-boundary trace (cmax = 185)
 //!   ablate    generic baselines, doi-model, annealing-budget ablations
+//!   bench_par 1-thread vs N-thread batch driver + fig12 grid (BENCH_parallel.json)
+//!
+//! --threads N fans the fig12 grid cells and the batch driver across N
+//! work-stealing workers (default 1 = sequential).
 //! ```
 
 use cqp_bench::experiments::{self, FIG12_ALGORITHMS};
 use cqp_bench::{build_workload, csvout, harness::Scale, Workload};
 use cqp_core::algorithms::{c_boundaries, c_maxbounds, Algorithm};
+use cqp_core::batch::{BatchDriver, BatchRequest};
 use cqp_core::spaces::SpaceView;
-use cqp_core::Instrument;
-use cqp_obs::RunReport;
+use cqp_core::{Instrument, ProblemSpec, SolverConfig};
+use cqp_obs::{Json, Obs, RunReport};
 use cqp_prefs::{ConjModel, Doi};
-use cqp_prefspace::{PrefParams, PreferenceSpace};
+use cqp_prefspace::{ExtractConfig, PrefParams, PreferenceSpace};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +44,7 @@ fn main() {
     let mut scale = Scale::default_scale();
     let mut out = PathBuf::from("results");
     let mut full_k = false;
+    let mut threads = 1usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +57,14 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = PathBuf::from(args.get(i).unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t >= 1)
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
             }
             "--full-k" => full_k = true,
             other if !other.starts_with('-') => experiment = other.to_owned(),
@@ -85,16 +102,16 @@ fn main() {
 
     let run_all = experiment == "all";
     let mut ran = false;
-    if run_all || experiment == "fig12a" {
-        fig12a(&w, &ks, full_k, &out);
+    if run_all || experiment == "fig12a" || experiment == "fig12" {
+        fig12a(&w, &ks, full_k, threads, &out);
         ran = true;
     }
-    if run_all || experiment == "fig12b" {
+    if run_all || experiment == "fig12b" || experiment == "fig12" {
         fig12b(&w, &ks, &out);
         ran = true;
     }
-    if run_all || experiment == "fig12c" || experiment == "fig12d" {
-        fig12cd(&w, &percents, full_k, &out);
+    if run_all || experiment == "fig12c" || experiment == "fig12d" || experiment == "fig12" {
+        fig12cd(&w, &percents, full_k, threads, &out);
         ran = true;
     }
     if run_all || experiment == "fig13a" {
@@ -135,6 +152,10 @@ fn main() {
     }
     if run_all || experiment == "ablate" {
         ablations(&w, &ks, &out);
+        ran = true;
+    }
+    if run_all || experiment == "bench_par" {
+        bench_par(&w, &ks, full_k, threads, &out);
         ran = true;
     }
     if !ran {
@@ -192,17 +213,17 @@ fn print_time_series(title: &str, rows: &[experiments::AlgoTimeRow], x_label: &s
     println!();
 }
 
-fn fig12a(w: &Workload, ks: &[usize], full_k: bool, out: &Path) {
-    let mut rows = Vec::new();
+/// The fig12a grid as explicit `(K, algorithm)` cells, preserving the
+/// sequential row order.
+fn fig12a_cells(ks: &[usize], full_k: bool) -> Vec<(usize, Algorithm)> {
+    ks.iter()
+        .flat_map(|&k| algos_for(k, full_k).into_iter().map(move |a| (k, a)))
+        .collect()
+}
+
+fn fig12a(w: &Workload, ks: &[usize], full_k: bool, threads: usize, out: &Path) {
     let mut reports = Vec::new();
-    for &k in ks {
-        rows.extend(experiments::fig12a_reported(
-            w,
-            &[k],
-            &algos_for(k, full_k),
-            &mut reports,
-        ));
-    }
+    let rows = experiments::fig12a_parallel(w, &fig12a_cells(ks, full_k), threads, &mut reports);
     print_time_series("Figure 12(a): CQP optimization time vs K", &rows, "K");
     csvout::write_times(out, "fig12a", &rows).expect("CSV write");
     write_reports(out, "fig12a", &reports);
@@ -221,10 +242,11 @@ fn fig12b(w: &Workload, ks: &[usize], out: &Path) {
     write_reports(out, "fig12b", &reports);
 }
 
-fn fig12cd(w: &Workload, percents: &[u32], full_k: bool, out: &Path) {
+fn fig12cd(w: &Workload, percents: &[u32], full_k: bool, threads: usize, out: &Path) {
     let k = 20;
     let mut reports = Vec::new();
-    let rows = experiments::fig12c_reported(w, k, percents, &algos_for(k, full_k), &mut reports);
+    let rows =
+        experiments::fig12c_parallel(w, k, percents, &algos_for(k, full_k), threads, &mut reports);
     print_time_series(
         "Figure 12(c): optimization time vs cmax (% Supreme Cost), K=20",
         &rows,
@@ -536,4 +558,154 @@ fn ablations(w: &Workload, ks: &[usize], out: &Path) {
     .expect("CSV write");
     write_reports(out, "ablation_block_size", &blocksize_reports);
     println!();
+}
+
+/// 1-thread vs N-thread comparison of the two parallel hot paths — the
+/// batch personalization driver and the fig12(a) grid — written as
+/// `BENCH_parallel.json` (in `out` and at the repo root) alongside a
+/// `bench_par.report.jsonl` run report. Solutions are asserted
+/// bit-identical across thread counts before any timing is reported.
+fn bench_par(w: &Workload, ks: &[usize], full_k: bool, threads: usize, out: &Path) {
+    let batch_k = 20;
+    let mut requests = Vec::new();
+    for (profile, query) in w.pairs() {
+        let (space, _) = w.space(profile, query, batch_k, true);
+        if space.k() == 0 {
+            continue;
+        }
+        let cmax = w.scale.cmax_for(&space);
+        for algo in Algorithm::PAPER {
+            requests.push(BatchRequest {
+                query: query.clone(),
+                profile: profile.clone(),
+                problem: ProblemSpec::p2(cmax),
+                config: SolverConfig {
+                    algorithm: algo,
+                    extract: ExtractConfig {
+                        max_k: batch_k,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    let db = Arc::new(w.db.clone());
+    let stats = Arc::new(w.stats.clone());
+    let widths: Vec<usize> = if threads > 1 {
+        vec![1, threads]
+    } else {
+        vec![1]
+    };
+
+    println!(
+        "--- bench_par: batch driver, {} requests ---",
+        requests.len()
+    );
+    let mut batch_rows = Vec::new();
+    let mut baseline: Option<Vec<_>> = None;
+    let mut reports = Vec::new();
+    for &t in &widths {
+        let driver = BatchDriver::with_stats(Arc::clone(&db), Arc::clone(&stats), t);
+        let obs = Obs::new();
+        let (results, stats_t) = driver.run_recorded(requests.clone(), &obs);
+        let solutions: Vec<_> = results
+            .into_iter()
+            .map(|r| r.expect("batch request").solution)
+            .collect();
+        match &baseline {
+            None => baseline = Some(solutions),
+            Some(base) => {
+                for (a, b) in base.iter().zip(&solutions) {
+                    assert_eq!(a.prefs, b.prefs, "parallel batch changed the answer");
+                    assert_eq!(a.doi, b.doi);
+                    assert_eq!(a.cost_blocks, b.cost_blocks);
+                }
+            }
+        }
+        println!(
+            "{:>2} thread(s): {:>8.1} req/s  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us  \
+             cache {}h/{}m  steals {}",
+            t,
+            stats_t.requests_per_sec,
+            stats_t.p50_us,
+            stats_t.p95_us,
+            stats_t.p99_us,
+            stats_t.cache_hits,
+            stats_t.cache_misses,
+            stats_t.steals
+        );
+        reports.push(
+            RunReport::from_obs("bench_par", &format!("batch_t{t}"), &obs)
+                .with_field("threads", t as u64)
+                .with_field("requests_per_sec", stats_t.requests_per_sec),
+        );
+        batch_rows.push((t, stats_t));
+    }
+
+    println!("--- bench_par: fig12(a) grid ---");
+    let cells = fig12a_cells(ks, full_k);
+    let mut grid_rows = Vec::new();
+    for &t in &widths {
+        let mut grid_reports = Vec::new();
+        let t0 = Instant::now();
+        let rows = experiments::fig12a_parallel(w, &cells, t, &mut grid_reports);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("{:>2} thread(s): {} cells in {:.3} s", t, rows.len(), secs);
+        grid_rows.push((t, rows.len(), secs));
+    }
+
+    let batch_json = Json::Arr(
+        batch_rows
+            .iter()
+            .map(|(t, s)| {
+                Json::obj(vec![
+                    ("threads", Json::from(*t as u64)),
+                    ("requests", Json::from(s.requests as u64)),
+                    ("wall_secs", Json::from(s.wall_secs)),
+                    ("requests_per_sec", Json::from(s.requests_per_sec)),
+                    ("p50_us", Json::from(s.p50_us)),
+                    ("p95_us", Json::from(s.p95_us)),
+                    ("p99_us", Json::from(s.p99_us)),
+                    ("cache_hits", Json::from(s.cache_hits)),
+                    ("cache_misses", Json::from(s.cache_misses)),
+                    ("steals", Json::from(s.steals)),
+                ])
+            })
+            .collect(),
+    );
+    let grid_json = Json::Arr(
+        grid_rows
+            .iter()
+            .map(|(t, cells, secs)| {
+                Json::obj(vec![
+                    ("threads", Json::from(*t as u64)),
+                    ("cells", Json::from(*cells as u64)),
+                    ("wall_secs", Json::from(*secs)),
+                ])
+            })
+            .collect(),
+    );
+    let speedup = |rows: &[(usize, usize, f64)]| -> f64 {
+        match rows {
+            [(_, _, base), .., (_, _, par)] if *par > 0.0 => base / par,
+            _ => 1.0,
+        }
+    };
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("bench_par".into())),
+        ("threads_requested", Json::from(threads as u64)),
+        ("batch", batch_json),
+        ("fig12a_grid", grid_json),
+        ("fig12a_speedup", Json::from(speedup(&grid_rows))),
+    ]);
+    let rendered = doc.render();
+    std::fs::create_dir_all(out).expect("results dir");
+    std::fs::write(out.join("BENCH_parallel.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_parallel.json", &rendered).expect("bench write");
+    write_reports(out, "bench_par", &reports);
+    println!(
+        "BENCH_parallel.json written ({} and repo root)\n",
+        out.display()
+    );
 }

@@ -12,10 +12,11 @@ use cqp_core::construct::construct;
 use cqp_core::{general_solve, ProblemSpec};
 use cqp_engine::CostModel;
 use cqp_obs::{Obs, Recorder, RunReport};
+use cqp_par::ThreadPool;
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::PreferenceSpace;
 use cqp_storage::IoMeter;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The algorithms of Figure 12, in the paper's legend order.
 pub const FIG12_ALGORITHMS: [Algorithm; 5] = [
@@ -218,6 +219,67 @@ pub fn fig12b_reported(
     rows
 }
 
+/// [`fig12a_reported`] with the `(K, algorithm)` grid cells fanned across a
+/// work-stealing pool. `cells` fixes the row order (cells come back in
+/// input order regardless of which worker ran them); each cell gets its own
+/// [`Obs`], so cell timings and reports are attributed exactly as in the
+/// sequential run. With `threads == 1` the pool inlines and this *is* the
+/// sequential run.
+pub fn fig12a_parallel(
+    w: &Workload,
+    cells: &[(usize, Algorithm)],
+    threads: usize,
+    reports: &mut Vec<RunReport>,
+) -> Vec<AlgoTimeRow> {
+    let pool = ThreadPool::new(threads);
+    // Extract each distinct K's spaces once (shared across that K's cells),
+    // itself fanned over the pool.
+    let mut distinct_ks: Vec<usize> = Vec::new();
+    for &(k, _) in cells {
+        if !distinct_ks.contains(&k) {
+            distinct_ks.push(k);
+        }
+    }
+    let spaces_by_k: Vec<Vec<PreferenceSpace>> =
+        pool.map(distinct_ks.clone(), |_, k| spaces_at_k(w, k));
+
+    let out = pool.map(cells.to_vec(), |_, (k, algo)| {
+        let ki = distinct_ks.iter().position(|&d| d == k).unwrap();
+        let spaces = &spaces_by_k[ki];
+        let obs = Obs::new();
+        let mut secs = Vec::new();
+        let mut states = Vec::new();
+        for space in spaces {
+            let (sol, t) = solve_timed(
+                &obs,
+                space,
+                ConjModel::NoisyOr,
+                w.scale.cmax_for(space),
+                algo,
+            );
+            secs.push(t);
+            states.push(sol.instrument.states_examined as f64);
+        }
+        let row = AlgoTimeRow {
+            x: k as f64,
+            algorithm: algo.name(),
+            seconds: mean(&secs),
+            states: mean(&states),
+        };
+        let report = RunReport::from_obs("fig12a", algo.name(), &obs)
+            .with_field("k", k as u64)
+            .with_field("runs", spaces.len() as u64)
+            .with_field("mean_seconds", mean(&secs));
+        (row, report)
+    });
+    let mut rows = Vec::new();
+    for (row, report) in out {
+        rows.push(row);
+        reports.push(report);
+    }
+    rows
+}
+
 /// Figures 12(c)/(d): optimization time as a function of `cmax`, expressed
 /// as a percentage of each space's Supreme Cost, at fixed `K`.
 pub fn fig12c(
@@ -264,6 +326,54 @@ pub fn fig12c_reported(
                     .with_field("mean_seconds", mean(&secs)),
             );
         }
+    }
+    rows
+}
+
+/// [`fig12c_reported`] with the `(percent, algorithm)` grid cells fanned
+/// across a work-stealing pool; row/report order matches the sequential
+/// run, and `threads == 1` inlines to it.
+pub fn fig12c_parallel(
+    w: &Workload,
+    k: usize,
+    percents: &[u32],
+    algorithms: &[Algorithm],
+    threads: usize,
+    reports: &mut Vec<RunReport>,
+) -> Vec<AlgoTimeRow> {
+    let pool = ThreadPool::new(threads);
+    let spaces = spaces_at_k(w, k);
+    let cells: Vec<(u32, Algorithm)> = percents
+        .iter()
+        .flat_map(|&pct| algorithms.iter().map(move |&a| (pct, a)))
+        .collect();
+    let out = pool.map(cells, |_, (pct, algo)| {
+        let obs = Obs::new();
+        let mut secs = Vec::new();
+        let mut states = Vec::new();
+        for space in &spaces {
+            let cmax = supreme_cost_blocks(space) * pct as u64 / 100;
+            let (sol, t) = solve_timed(&obs, space, ConjModel::NoisyOr, cmax, algo);
+            secs.push(t);
+            states.push(sol.instrument.states_examined as f64);
+        }
+        let row = AlgoTimeRow {
+            x: pct as f64,
+            algorithm: algo.name(),
+            seconds: mean(&secs),
+            states: mean(&states),
+        };
+        let report = RunReport::from_obs("fig12c", algo.name(), &obs)
+            .with_field("percent_supreme", pct as u64)
+            .with_field("k", k as u64)
+            .with_field("runs", spaces.len() as u64)
+            .with_field("mean_seconds", mean(&secs));
+        (row, report)
+    });
+    let mut rows = Vec::new();
+    for (row, report) in out {
+        rows.push(row);
+        reports.push(report);
     }
     rows
 }
@@ -485,7 +595,7 @@ pub fn fig15_reported(
     let model = CostModel::new(&w.stats);
     let mut rows = Vec::new();
     for &k in ks {
-        let obs = Rc::new(Obs::new());
+        let obs = Arc::new(Obs::new());
         let mut est = Vec::new();
         let mut real = Vec::new();
         for (p, q) in w.pairs() {
@@ -494,7 +604,7 @@ pub fn fig15_reported(
             let pq = construct(q, &space, &all).expect("extracted spaces carry paths");
             est.push(model.personalized_ms(&pq));
             let meter =
-                IoMeter::with_recorder(model.ms_per_block(), Rc::clone(&obs) as Rc<dyn Recorder>);
+                IoMeter::with_recorder(model.ms_per_block(), Arc::clone(&obs) as Arc<dyn Recorder>);
             let before = span_secs(&obs, "engine.execute_personalized");
             cqp_engine::execute_personalized_recorded(&w.db, &pq, &meter, &*obs)
                 .expect("workload queries execute");
@@ -791,7 +901,7 @@ pub fn ablation_block_size_reported(
     capacities
         .iter()
         .map(|&cap| {
-            let obs = Rc::new(Obs::new());
+            let obs = Arc::new(Obs::new());
             let scale = crate::harness::Scale {
                 db: cqp_datagen::MovieDbConfig {
                     block_capacity: cap,
@@ -810,7 +920,7 @@ pub fn ablation_block_size_reported(
             let all: Vec<usize> = (0..space.k()).collect();
             let pq = construct(q, &space, &all).expect("extracted spaces carry paths");
             let meter =
-                IoMeter::with_recorder(model.ms_per_block(), Rc::clone(&obs) as Rc<dyn Recorder>);
+                IoMeter::with_recorder(model.ms_per_block(), Arc::clone(&obs) as Arc<dyn Recorder>);
             cqp_engine::execute_personalized_recorded(&w.db, &pq, &meter, &*obs)
                 .expect("workload queries execute");
             let cmax = w.scale.cmax_for(&space);

@@ -21,8 +21,10 @@ use super::Solution;
 use crate::instrument::Instrument;
 use crate::params::ParamEval;
 use crate::problem::{Objective, ProblemSpec};
+use cqp_par::ThreadPool;
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::PreferenceSpace;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Exact branch-and-bound for any CQP problem of Table 1.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
@@ -43,6 +45,7 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) ->
         best: None,
         inst: &mut inst,
         chosen: Vec::new(),
+        shared: None,
     };
     search.recurse(0, 0, Vec::new(), space.base_rows);
     let best = search.best.take();
@@ -56,6 +59,120 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) ->
     }
 }
 
+/// [`solve`] with the DFS partitioned across `pool`'s workers.
+///
+/// The first `d` include/exclude decisions are fixed per task (`2^d` prefix
+/// subproblems, `d` sized for ~4 tasks per worker so stealing re-balances
+/// the wildly uneven subtree sizes); each task runs an independent
+/// [`Search`] seeded with its prefix. Workers publish their incumbents to a
+/// shared monotone bound ([`SharedBest`]); because the objective prunes are
+/// *strict*, a cross-worker bound can never cut a subtree holding an
+/// eventual winner or tie-candidate, so the answer stays exact. Per-task
+/// optima are merged in the sequential DFS's include-first preorder under
+/// the same strict `better` predicate, making the returned solution
+/// deterministic at any worker count (work *counters* may vary run to run —
+/// the racy bound changes how much gets pruned, never what is returned).
+pub fn solve_partitioned(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    pool: &ThreadPool,
+) -> Solution {
+    let k = space.k();
+    if k == 0 || pool.threads() == 1 {
+        return solve(space, conj, problem);
+    }
+    let eval = ParamEval::new(space, conj);
+    let mut d = 0usize;
+    while (1usize << d) < pool.threads() * 4 && d < k {
+        d += 1;
+    }
+    let shared = SharedBest::new();
+    // Prefix id bit `j` set means item `j` is EXCLUDED, so ascending ids
+    // enumerate depth-`d` prefixes in the include-first DFS preorder.
+    let prefixes: Vec<u32> = (0..(1u32 << d)).collect();
+    let per_prefix = pool.map(prefixes, |_, p| {
+        let mut inst = Instrument::new();
+        let mut chosen = Vec::new();
+        let mut cost = 0u64;
+        let mut dois = Vec::new();
+        let mut size = space.base_rows;
+        for j in 0..d {
+            if p & (1 << j) == 0 {
+                chosen.push(j);
+                cost += eval.space().cost_blocks(j);
+                dois.push(eval.space().doi(j));
+                size *= eval.space().size_factor(j);
+            }
+        }
+        let mut search = Search {
+            eval: &eval,
+            problem,
+            k,
+            best: None,
+            inst: &mut inst,
+            chosen,
+            shared: Some(&shared),
+        };
+        search.recurse(d, cost, dois, size);
+        (search.best.take(), inst)
+    });
+
+    let mut inst = Instrument::new();
+    let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
+    for (cand, task_inst) in per_prefix {
+        inst.merge(&task_inst);
+        if let Some((prefs, params)) = cand {
+            let replace = match &best {
+                None => true,
+                Some((_, bp)) => problem.better(&params, bp),
+            };
+            if replace {
+                best = Some((prefs, params));
+            }
+        }
+    }
+    match best {
+        Some((prefs, _)) => Solution::from_prefs(&eval, prefs, inst),
+        None => Solution {
+            instrument: inst,
+            ..Solution::empty(&eval)
+        },
+    }
+}
+
+/// A cross-worker incumbent bound: monotone best doi and best (lowest)
+/// cost over every *feasible* candidate any worker has accepted. The doi is
+/// stored as `f64` bits — doi is non-negative, so bit order equals numeric
+/// order and `fetch_max` suffices.
+struct SharedBest {
+    doi_bits: AtomicU64,
+    cost: AtomicU64,
+}
+
+impl SharedBest {
+    fn new() -> Self {
+        SharedBest {
+            doi_bits: AtomicU64::new(0),
+            cost: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn publish(&self, p: &crate::params::QueryParams) {
+        self.doi_bits
+            .fetch_max(p.doi.value().to_bits(), Ordering::Relaxed);
+        self.cost.fetch_min(p.cost_blocks, Ordering::Relaxed);
+    }
+
+    fn best_doi(&self) -> Doi {
+        Doi::new(f64::from_bits(self.doi_bits.load(Ordering::Relaxed)))
+    }
+
+    fn best_cost(&self) -> u64 {
+        self.cost.load(Ordering::Relaxed)
+    }
+}
+
 struct Search<'a, 'b> {
     eval: &'a ParamEval<'a>,
     problem: &'a ProblemSpec,
@@ -63,6 +180,8 @@ struct Search<'a, 'b> {
     best: Option<(Vec<usize>, crate::params::QueryParams)>,
     inst: &'b mut Instrument,
     chosen: Vec<usize>,
+    /// Cross-worker bound in partitioned mode; `None` when sequential.
+    shared: Option<&'a SharedBest>,
 }
 
 impl Search<'_, '_> {
@@ -83,6 +202,9 @@ impl Search<'_, '_> {
                     Some((_, bp)) => self.problem.better(&params, bp),
                 };
                 if replace {
+                    if let Some(sh) = self.shared {
+                        sh.publish(&params);
+                    }
                     self.best = Some((self.chosen.clone(), params));
                 }
             }
@@ -124,6 +246,23 @@ impl Search<'_, '_> {
         if let Some(dmin) = c.doi_min {
             if doi_bound < dmin {
                 return;
+            }
+        }
+        // Objective bounds against the cross-worker incumbent (strict, like
+        // the local ones below — a bound published elsewhere can only cut
+        // strictly-worse subtrees).
+        if let Some(sh) = self.shared {
+            match self.problem.objective {
+                Objective::MaxDoi => {
+                    if doi_bound < sh.best_doi() {
+                        return;
+                    }
+                }
+                Objective::MinCost => {
+                    if cost > sh.best_cost() {
+                        return;
+                    }
+                }
             }
         }
         // Objective bounds against the incumbent.
@@ -243,6 +382,63 @@ mod tests {
         let sol = solve(&space, ConjModel::NoisyOr, &ProblemSpec::p2(120));
         assert!(sol.found);
         assert!(sol.cost_blocks <= 120);
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_at_every_width() {
+        let space = fig6();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            for cmax in (0..=340).step_by(17) {
+                let problem = ProblemSpec::p2(cmax);
+                let seq = solve(&space, ConjModel::NoisyOr, &problem);
+                let par = solve_partitioned(&space, ConjModel::NoisyOr, &problem, &pool);
+                assert_eq!(par.prefs, seq.prefs, "threads={threads} cmax={cmax}");
+                assert_eq!(par.doi, seq.doi, "threads={threads} cmax={cmax}");
+                assert_eq!(par.cost_blocks, seq.cost_blocks);
+                assert_eq!(par.found, seq.found);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_on_all_six_problems() {
+        let space = space_with(
+            &[50, 40, 30, 20, 10, 5],
+            &[0.95, 0.8, 0.6, 0.55, 0.3, 0.2],
+            &[0.9, 0.5, 0.7, 0.3, 0.8, 0.6],
+        );
+        let pool = ThreadPool::new(4);
+        let problems = [
+            ProblemSpec::p1(50.0, 600.0),
+            ProblemSpec::p2(70),
+            ProblemSpec::p3(70, 50.0, 600.0),
+            ProblemSpec::p4(Doi::new(0.9)),
+            ProblemSpec::p5(Doi::new(0.9), 50.0, 600.0),
+            ProblemSpec::p6(50.0, 600.0),
+        ];
+        for (n, p) in problems.iter().enumerate() {
+            let par = solve_partitioned(&space, ConjModel::NoisyOr, p, &pool);
+            let seq = solve(&space, ConjModel::NoisyOr, p);
+            assert_eq!(par.found, seq.found, "problem {}", n + 1);
+            assert_eq!(par.prefs, seq.prefs, "problem {}", n + 1);
+            assert_eq!(par.doi, seq.doi, "problem {}", n + 1);
+            assert_eq!(par.cost_blocks, seq.cost_blocks, "problem {}", n + 1);
+        }
+    }
+
+    #[test]
+    fn partitioned_scales_beyond_exhaustive_reach() {
+        let costs: Vec<u64> = (1..=34).map(|i| (i * 7 % 90 + 10) as u64).collect();
+        let dois: Vec<f64> = (1..=34).map(|i| 0.15 + (i as f64 * 0.37) % 0.8).collect();
+        let factors: Vec<f64> = (1..=34).map(|i| 0.4 + (i as f64 * 0.13) % 0.5).collect();
+        let space = space_with(&costs, &dois, &factors);
+        let pool = ThreadPool::new(4);
+        let par = solve_partitioned(&space, ConjModel::NoisyOr, &ProblemSpec::p2(120), &pool);
+        let seq = solve(&space, ConjModel::NoisyOr, &ProblemSpec::p2(120));
+        assert_eq!(par.prefs, seq.prefs);
+        assert_eq!(par.doi, seq.doi);
+        assert!(par.cost_blocks <= 120);
     }
 
     #[test]

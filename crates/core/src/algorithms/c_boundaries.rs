@@ -17,7 +17,7 @@
 use super::find_max_doi::c_find_max_doi;
 use super::prune::Pruner;
 use super::Solution;
-use crate::cost_cache::CostCache;
+use crate::cost_cache::{CacheHandle, SharedCostCache};
 use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
@@ -42,13 +42,31 @@ pub fn solve_recorded(
     cmax_blocks: u64,
     recorder: &dyn Recorder,
 ) -> Solution {
+    solve_cached(space, conj, cmax_blocks, recorder, None)
+}
+
+/// [`solve_recorded`] with an optional batch-wide [`SharedCostCache`]:
+/// when given, phase 1 memoizes state costs through it so concurrent
+/// requests over the same preference space reuse each other's evaluations.
+/// Cached costs are exact, so the answer is identical either way.
+pub fn solve_cached(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+    shared: Option<&SharedCostCache>,
+) -> Solution {
     let view = SpaceView::cost(space, conj);
     let eval = view.eval();
+    let mut cache = match shared {
+        Some(c) => CacheHandle::shared(c, &view),
+        None => CacheHandle::local(),
+    };
 
     let mut p1 = Instrument::new();
     let boundaries = {
         let _span = span_guard(recorder, "find_boundaries");
-        let b = find_boundary(&view, cmax_blocks, &mut p1);
+        let b = find_boundary_cached(&view, cmax_blocks, &mut p1, &mut cache);
         p1.boundaries_found = b.len() as u64;
         p1.flush_to(recorder);
         b
@@ -78,15 +96,26 @@ pub fn solve_recorded(
 
 /// Phase 1: `FINDBOUNDARY` (paper Figure 5).
 pub fn find_boundary(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> Vec<State> {
+    // "Costs that may be re-used are cached" (Section 5.2.1): states
+    // re-reached through different transition sequences skip re-evaluation.
+    let mut cache = CacheHandle::local();
+    find_boundary_cached(view, cmax, inst, &mut cache)
+}
+
+/// [`find_boundary`] against a caller-provided cost cache (local or
+/// batch-shared).
+pub fn find_boundary_cached(
+    view: &SpaceView<'_>,
+    cmax: u64,
+    inst: &mut Instrument,
+    cache: &mut CacheHandle<'_>,
+) -> Vec<State> {
     let mut boundaries: Vec<State> = Vec::new();
     if view.k() == 0 {
         return boundaries;
     }
     let mut rq: VecDeque<State> = VecDeque::new();
     let mut pruner = Pruner::new();
-    // "Costs that may be re-used are cached" (Section 5.2.1): states
-    // re-reached through different transition sequences skip re-evaluation.
-    let mut cache = CostCache::new();
     let start = State::singleton(0);
     pruner.mark_visited(&start);
     // Queue bytes are tracked incrementally so the per-iteration memory
@@ -125,7 +154,7 @@ pub fn find_boundary(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> 
         // Boundary bytes are part of pruner.bytes().
         inst.observe_bytes(rq_bytes + pruner.bytes() + cache.bytes());
     }
-    inst.absorb_cache(&cache);
+    cache.absorb_into(inst);
     boundaries
 }
 

@@ -9,6 +9,7 @@ use super::Solution;
 use crate::instrument::Instrument;
 use crate::params::ParamEval;
 use crate::problem::ProblemSpec;
+use cqp_par::ThreadPool;
 use cqp_prefs::ConjModel;
 use cqp_prefspace::PreferenceSpace;
 
@@ -60,6 +61,87 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) ->
 /// Convenience wrapper for Problem 2.
 pub fn solve_p2(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
     solve(space, conj, &ProblemSpec::p2(cmax_blocks))
+}
+
+/// [`solve`] with the `2^K` subset enumeration split across `pool`'s
+/// workers into contiguous mask ranges (fixed high-order prefix bits).
+///
+/// Each range is scanned in ascending mask order keeping its first
+/// strictly-better optimum, and the per-range optima are merged in
+/// ascending range order under the same `problem.better` predicate — the
+/// exact tie-breaking the sequential scan applies — so the returned
+/// solution is bit-identical to [`solve`]'s at any worker count.
+///
+/// # Panics
+/// Panics if `K` exceeds [`MAX_EXHAUSTIVE_K`].
+pub fn solve_partitioned(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    pool: &ThreadPool,
+) -> Solution {
+    let k = space.k();
+    assert!(
+        k <= MAX_EXHAUSTIVE_K,
+        "exhaustive search over K={k} is infeasible (max {MAX_EXHAUSTIVE_K})"
+    );
+    let eval = ParamEval::new(space, conj);
+    let total: u64 = 1u64 << k;
+    // Over-partition ~4 tasks per worker: feasibility density varies across
+    // the range, and stealing re-balances only if there is slack to steal.
+    let chunks = ((pool.threads() * 4) as u64).clamp(1, (total - 1).max(1));
+    let ranges: Vec<(u64, u64)> = (0..chunks)
+        .map(|c| {
+            (
+                1 + c * (total - 1) / chunks,
+                1 + (c + 1) * (total - 1) / chunks,
+            )
+        })
+        .collect();
+
+    let per_range = pool.map(ranges, |_, (lo, hi)| {
+        let mut inst = Instrument::new();
+        let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
+        for mask in lo..hi {
+            inst.states_examined += 1;
+            let prefs: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
+            let params = eval.params_of(&prefs);
+            inst.param_evals += 1;
+            if !problem.feasible(&params) {
+                continue;
+            }
+            let replace = match &best {
+                None => true,
+                Some((_, bp)) => problem.better(&params, bp),
+            };
+            if replace {
+                best = Some((prefs, params));
+            }
+        }
+        (best, inst)
+    });
+
+    let mut inst = Instrument::new();
+    let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
+    for (cand, range_inst) in per_range {
+        inst.merge(&range_inst);
+        if let Some((prefs, params)) = cand {
+            let replace = match &best {
+                None => true,
+                Some((_, bp)) => problem.better(&params, bp),
+            };
+            if replace {
+                best = Some((prefs, params));
+            }
+        }
+    }
+    match best {
+        Some((prefs, _)) => Solution::from_prefs(&eval, prefs, inst),
+        None => Solution {
+            instrument: inst,
+            ..Solution::empty(&eval)
+        },
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +225,25 @@ mod tests {
         assert_eq!(sol.prefs.len(), 3);
         // Max doi among 3-subsets: the top three dois.
         assert_eq!(sol.prefs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partitioned_matches_sequential_at_every_width() {
+        let s = fig6_space();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            for cmax in (0..=340).step_by(17) {
+                let problem = ProblemSpec::p2(cmax);
+                let seq = solve(&s, ConjModel::NoisyOr, &problem);
+                let par = solve_partitioned(&s, ConjModel::NoisyOr, &problem, &pool);
+                assert_eq!(par.prefs, seq.prefs, "threads={threads} cmax={cmax}");
+                assert_eq!(par.doi, seq.doi, "threads={threads} cmax={cmax}");
+                assert_eq!(par.cost_blocks, seq.cost_blocks);
+                assert_eq!(par.found, seq.found);
+                // Coverage is exact: every non-empty subset examined once.
+                assert_eq!(par.instrument.states_examined, (1 << 5) - 1);
+            }
+        }
     }
 
     #[test]

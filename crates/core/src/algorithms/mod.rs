@@ -192,10 +192,28 @@ pub fn solve_p2_recorded(
     algorithm: Algorithm,
     recorder: &dyn Recorder,
 ) -> Solution {
+    solve_p2_cached(space, conj, cmax_blocks, algorithm, recorder, None)
+}
+
+/// [`solve_p2_recorded`] with an optional batch-wide
+/// [`SharedCostCache`](crate::cost_cache::SharedCostCache). Only
+/// C-BOUNDARIES evaluates state costs through a cache, so it alone consults
+/// it; every other algorithm ignores the argument. Cached costs are exact —
+/// the answer is identical with or without sharing.
+pub fn solve_p2_cached(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    algorithm: Algorithm,
+    recorder: &dyn Recorder,
+    shared: Option<&crate::cost_cache::SharedCostCache>,
+) -> Solution {
     let span = span_guard(recorder, algorithm.name());
     let sol = match algorithm {
         Algorithm::Exhaustive => exhaustive::solve_p2(space, conj, cmax_blocks),
-        Algorithm::CBoundaries => c_boundaries::solve_recorded(space, conj, cmax_blocks, recorder),
+        Algorithm::CBoundaries => {
+            c_boundaries::solve_cached(space, conj, cmax_blocks, recorder, shared)
+        }
         Algorithm::CMaxBounds => c_maxbounds::solve_recorded(space, conj, cmax_blocks, recorder),
         Algorithm::DMaxDoi => d_maxdoi::solve_recorded(space, conj, cmax_blocks, recorder),
         Algorithm::DSingleMaxDoi => d_singlemaxdoi::solve(space, conj, cmax_blocks),

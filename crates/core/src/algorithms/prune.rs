@@ -12,13 +12,13 @@
 //!   satisfy the constraint trivially and would produce spurious boundaries
 //!   (the paper's `c2c3c5` example under Figure 6).
 
-use crate::state::State;
+use crate::state::{State, StateKey};
 use std::collections::{HashMap, HashSet};
 
 /// Visited-set and boundary-dominance pruning.
 #[derive(Debug, Default)]
 pub struct Pruner {
-    visited: HashSet<u128>,
+    visited: HashSet<StateKey>,
     boundaries_by_size: HashMap<usize, Vec<State>>,
     boundary_bytes: usize,
 }
@@ -65,7 +65,7 @@ impl Pruner {
     /// Figure 13 memory accounting. O(1): byte counts are maintained
     /// incrementally so per-iteration memory observations stay cheap.
     pub fn bytes(&self) -> usize {
-        self.visited.len() * std::mem::size_of::<u128>() + self.boundary_bytes
+        self.visited.len() * std::mem::size_of::<StateKey>() + self.boundary_bytes
     }
 }
 

@@ -1,0 +1,367 @@
+//! Batch personalization: N concurrent requests over one shared database.
+//!
+//! The paper evaluates personalization per request; a deployed system
+//! (Section 7's discussion of integration into a DBMS) faces *streams* of
+//! requests from many users over the same database. [`BatchDriver`] serves
+//! such a batch on a work-stealing pool ([`cqp_par::ThreadPool`]):
+//!
+//! * the [`Database`] and its [`DbStats`] are shared (`Arc`), analyzed
+//!   once — not per request;
+//! * each request runs the full pipeline (preference space → search →
+//!   construction) on whichever worker claims it, under a per-worker
+//!   tracer span so `\trace` output keeps one subtree per worker;
+//! * cost evaluations of the boundary search flow through one
+//!   [`SharedCostCache`] (sharded, `Mutex`-per-shard), so concurrent
+//!   requests over the same preference space reuse each other's work — the
+//!   batch-level generalization of the paper's Section 5.2.1 cost memo;
+//! * per-request latencies land in a [`Histogram`], reported as
+//!   p50/p95/p99 plus throughput in [`BatchStats`].
+//!
+//! Results are deterministic: the pool returns results in request order,
+//! every algorithm is deterministic, and shared-cache hits return exactly
+//! the cost a private evaluation would compute — so `threads = N` is
+//! bit-identical to `threads = 1` (verified in `tests/parallel.rs`).
+
+use crate::algorithms::{solve_p2_cached, Algorithm, Solution};
+use crate::construct::construct;
+use crate::cost_cache::SharedCostCache;
+use crate::problem::{ProblemKind, ProblemSpec};
+use crate::solver::{CqpSystem, SolverConfig, SolverError};
+use cqp_engine::ConjunctiveQuery;
+use cqp_obs::metrics::Histogram;
+use cqp_obs::record::span_guard;
+use cqp_obs::{NoopRecorder, Recorder};
+use cqp_par::ThreadPool;
+use cqp_prefs::Profile;
+use cqp_storage::{Database, DbStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One personalization request in a batch.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The user's base query.
+    pub query: ConjunctiveQuery,
+    /// The user's profile.
+    pub profile: Profile,
+    /// Which CQP problem to solve.
+    pub problem: ProblemSpec,
+    /// Per-request solver configuration (algorithm, conjunction model, …).
+    pub config: SolverConfig,
+}
+
+/// The per-request output of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchItemResult {
+    /// The search outcome.
+    pub solution: Solution,
+    /// The constructed personalized query `Q ∧ PU`.
+    pub query: cqp_engine::PersonalizedQuery,
+    /// The personalized query rendered as SQL.
+    pub sql: String,
+    /// `K` of the extracted preference space.
+    pub space_k: usize,
+    /// Wall-clock latency of this request, microseconds.
+    pub latency_us: u64,
+}
+
+/// Aggregate figures for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Pool width used.
+    pub threads: usize,
+    /// Wall-clock for the whole batch, seconds.
+    pub wall_secs: f64,
+    /// Requests per second of wall-clock.
+    pub requests_per_sec: f64,
+    /// Latency quantiles, microseconds (bucketed; ≤ 25 % relative error).
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Shared cost-cache hits across the batch.
+    pub cache_hits: u64,
+    /// Shared cost-cache misses (actual evaluations).
+    pub cache_misses: u64,
+    /// Tasks migrated between workers by stealing.
+    pub steals: u64,
+}
+
+/// Serves batches of personalization requests over one shared database.
+#[derive(Debug)]
+pub struct BatchDriver {
+    db: Arc<Database>,
+    stats: Arc<DbStats>,
+    threads: usize,
+    cache_shards: usize,
+}
+
+impl BatchDriver {
+    /// A driver over `db` with `threads` workers; analyzes the database
+    /// once, up front.
+    pub fn new(db: Arc<Database>, threads: usize) -> Self {
+        let stats = Arc::new(db.analyze());
+        BatchDriver::with_stats(db, stats, threads)
+    }
+
+    /// [`BatchDriver::new`] with precomputed statistics.
+    pub fn with_stats(db: Arc<Database>, stats: Arc<DbStats>, threads: usize) -> Self {
+        BatchDriver {
+            db,
+            stats,
+            threads: threads.max(1),
+            cache_shards: crate::cost_cache::DEFAULT_SHARDS,
+        }
+    }
+
+    /// The worker count this driver fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves every request, returning per-request results **in request
+    /// order** plus aggregate throughput/latency figures.
+    pub fn run(
+        &self,
+        requests: Vec<BatchRequest>,
+    ) -> (Vec<Result<BatchItemResult, SolverError>>, BatchStats) {
+        self.run_recorded(requests, &NoopRecorder)
+    }
+
+    /// [`BatchDriver::run`] with observability: each request's pipeline
+    /// spans nest under its worker's span (`worker00`, `worker01`, …), and
+    /// the batch totals are published as `batch.*` metrics — including the
+    /// latency histogram `batch.latency_us` the run report renders
+    /// quantiles from.
+    pub fn run_recorded(
+        &self,
+        requests: Vec<BatchRequest>,
+        recorder: &dyn Recorder,
+    ) -> (Vec<Result<BatchItemResult, SolverError>>, BatchStats) {
+        let n = requests.len();
+        let pool = ThreadPool::new(self.threads);
+        let cache = SharedCostCache::new(self.cache_shards);
+        let db = &self.db;
+        let stats = &self.stats;
+
+        let t0 = Instant::now();
+        let results = pool.run(requests, |ctx, _i, req| {
+            let t = Instant::now();
+            let _worker = span_guard(recorder, ctx.span_name);
+            let r = serve_one(db, stats, &cache, &req, recorder);
+            let latency_us = t.elapsed().as_micros() as u64;
+            recorder.observe("batch.latency_us", latency_us);
+            r.map(|(solution, query, sql, space_k)| BatchItemResult {
+                solution,
+                query,
+                sql,
+                space_k,
+                latency_us,
+            })
+        });
+        let wall_secs = t0.elapsed().as_secs_f64();
+
+        let mut latencies = Histogram::default();
+        for r in results.iter().flatten() {
+            latencies.observe(r.latency_us);
+        }
+        let stats = BatchStats {
+            requests: n,
+            threads: pool.threads(),
+            wall_secs,
+            requests_per_sec: if wall_secs > 0.0 {
+                n as f64 / wall_secs
+            } else {
+                0.0
+            },
+            p50_us: latencies.quantile(0.50),
+            p95_us: latencies.quantile(0.95),
+            p99_us: latencies.quantile(0.99),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            steals: pool.steals(),
+        };
+        recorder.add("batch.requests", n as u64);
+        recorder.add("batch.cache_hits", stats.cache_hits);
+        recorder.add("batch.cache_misses", stats.cache_misses);
+        recorder.add("batch.steals", stats.steals);
+        recorder.set_gauge("batch.requests_per_sec", stats.requests_per_sec);
+        (results, stats)
+    }
+}
+
+/// One request's pipeline: preference space → search (through the shared
+/// cost cache where the algorithm supports it) → query construction.
+fn serve_one(
+    db: &Database,
+    stats: &DbStats,
+    cache: &SharedCostCache,
+    req: &BatchRequest,
+    recorder: &dyn Recorder,
+) -> Result<(Solution, cqp_engine::PersonalizedQuery, String, usize), SolverError> {
+    let _span = span_guard(recorder, "personalize");
+    let system = CqpSystem::from_parts(db, stats.clone());
+    let space = {
+        let _s = span_guard(recorder, "prefspace");
+        system.preference_space(&req.query, &req.profile, &req.config)
+    };
+    let solution = {
+        let _s = span_guard(recorder, "search");
+        match (req.problem.kind(), req.config.algorithm) {
+            // P2 through the cache-aware dispatcher: C-BOUNDARIES shares
+            // cost evaluations batch-wide, everything else is unchanged.
+            (Some(ProblemKind::P2), algo) if algo != Algorithm::BranchBound => {
+                let cmax = req
+                    .problem
+                    .constraints
+                    .cost_max_blocks
+                    .expect("P2 carries a cost bound");
+                solve_p2_cached(&space, req.config.conj, cmax, algo, recorder, Some(cache))
+            }
+            _ => system.search_recorded(&space, &req.problem, &req.config, recorder),
+        }
+    };
+    let _s = span_guard(recorder, "construct");
+    let pq = construct(&req.query, &space, &solution.prefs)?;
+    let sql = cqp_engine::sql::personalized_sql(db.catalog(), &pq);
+    Ok((solution, pq, sql, space.k()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_engine::QueryBuilder;
+    use cqp_storage::{DataType, RelationSchema, Value};
+
+    fn movie_db() -> Database {
+        let mut db = Database::with_block_capacity(4);
+        db.create_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        db.create_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        for i in 0..40i64 {
+            db.insert_into(
+                "MOVIE",
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("m{i}")),
+                    Value::Int(1980 + i % 20),
+                    Value::Int(90),
+                    Value::Int(i % 4),
+                ],
+            )
+            .unwrap();
+            db.insert_into(
+                "GENRE",
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "musical" } else { "drama" }),
+                ],
+            )
+            .unwrap();
+        }
+        for d in 0..4i64 {
+            let name = if d == 0 {
+                "W. Allen".to_owned()
+            } else {
+                format!("dir{d}")
+            };
+            db.insert_into("DIRECTOR", vec![Value::Int(d), Value::str(name)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn paper_requests(db: &Database, n: usize) -> Vec<BatchRequest> {
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        (0..n)
+            .map(|i| BatchRequest {
+                query: base.clone(),
+                profile: profile.clone(),
+                problem: ProblemSpec::p2(if i % 2 == 0 { 100 } else { 15 }),
+                config: SolverConfig {
+                    algorithm: Algorithm::PAPER[i % Algorithm::PAPER.len()],
+                    ..Default::default()
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_serves_requests_in_order_and_reports_stats() {
+        let db = Arc::new(movie_db());
+        let driver = BatchDriver::new(Arc::clone(&db), 2);
+        let (results, stats) = driver.run(paper_requests(&db, 10));
+        assert_eq!(results.len(), 10);
+        assert_eq!(stats.requests, 10);
+        assert!(stats.requests_per_sec > 0.0);
+        assert!(stats.p50_us <= stats.p95_us && stats.p95_us <= stats.p99_us);
+        for (i, r) in results.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            assert!(r.space_k >= 1, "request {i}");
+            assert!(r.solution.cost_blocks <= if i % 2 == 0 { 100 } else { 15 });
+        }
+        // C-BOUNDARIES requests repeat the same space: the shared cache
+        // must serve hits across requests.
+        assert!(stats.cache_hits + stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_sequential() {
+        let db = Arc::new(movie_db());
+        let reqs = paper_requests(&db, 15);
+        let seq = BatchDriver::new(Arc::clone(&db), 1).run(reqs.clone()).0;
+        let par = BatchDriver::new(Arc::clone(&db), 4).run(reqs).0;
+        for (s, p) in seq.iter().zip(&par) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.solution.prefs, p.solution.prefs);
+            assert_eq!(s.solution.doi, p.solution.doi);
+            assert_eq!(s.solution.cost_blocks, p.solution.cost_blocks);
+            assert_eq!(s.solution.size_rows, p.solution.size_rows);
+            assert_eq!(s.sql, p.sql);
+        }
+    }
+
+    #[test]
+    fn recorded_batch_publishes_metrics_and_worker_spans() {
+        let db = Arc::new(movie_db());
+        let obs = cqp_obs::Obs::new();
+        let driver = BatchDriver::new(Arc::clone(&db), 2);
+        let (results, _stats) = driver.run_recorded(paper_requests(&db, 6), &obs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let reg = obs.registry();
+        assert_eq!(reg.counter("batch.requests"), 6);
+        let h = reg.histogram("batch.latency_us").unwrap();
+        assert_eq!(h.count(), 6);
+        // Worker spans are roots; request pipelines nest under them.
+        let spans = obs.with_tracer(|t| t.spans());
+        assert!(spans
+            .iter()
+            .any(|s| s.path.starts_with("worker0") && s.path.contains("personalize")));
+    }
+}

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod batch;
 pub mod construct;
 pub mod context;
 pub mod cost_cache;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::algorithms::general::solve as general_solve;
     pub use crate::algorithms::pareto::{pareto_frontier, ParetoPoint};
     pub use crate::algorithms::{solve_p2, solve_p2_recorded, Algorithm, Solution};
+    pub use crate::batch::{BatchDriver, BatchRequest};
     pub use crate::context::{Connection, Device, Intent, PolicyConfig, SearchContext};
     pub use crate::instrument::Instrument;
     pub use crate::params::QueryParams;

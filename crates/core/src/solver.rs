@@ -14,12 +14,49 @@ use cqp_engine::{
 };
 use cqp_obs::record::span_guard;
 use cqp_obs::{NoopRecorder, Recorder};
+use cqp_par::ThreadPool;
 use cqp_prefs::{ConjModel, Profile};
 use cqp_prefspace::{extract, ExtractConfig, PreferenceSpace};
 use cqp_storage::{Database, DbStats, IoMeter};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// How much hardware parallelism a search may use.
+///
+/// `threads == 1` (the default) is the sequential baseline every parallel
+/// path is tested bit-identical against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads for partitionable searches (clamped to
+    /// `1..=`[`cqp_par::MAX_WORKERS`] by the pool).
+    pub threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism { threads: 1 }
+    }
+}
+
+impl Parallelism {
+    /// `threads` workers (0 is treated as 1 by the pool).
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// One worker per hardware thread.
+    pub fn auto() -> Self {
+        Parallelism {
+            threads: cqp_par::available_parallelism(),
+        }
+    }
+
+    /// A pool of this width.
+    pub fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads)
+    }
+}
 
 /// Configuration for one personalization request.
 #[derive(Debug, Clone)]
@@ -31,6 +68,11 @@ pub struct SolverConfig {
     /// Search algorithm (used directly for Problem 2; other problems use
     /// the Section 6 adaptation, or branch-and-bound when selected).
     pub algorithm: Algorithm,
+    /// Worker threads for partitionable searches (Exhaustive and
+    /// BranchBound split their subset enumeration across a pool; the
+    /// paper's graph searches are sequential and ignore this — batch-level
+    /// parallelism across requests is [`crate::batch`]'s job).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SolverConfig {
@@ -39,6 +81,7 @@ impl Default for SolverConfig {
             conj: ConjModel::NoisyOr,
             extract: ExtractConfig::default(),
             algorithm: Algorithm::CMaxBounds,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -113,6 +156,13 @@ impl<'a> CqpSystem<'a> {
             db,
             stats: db.analyze_recorded(recorder),
         }
+    }
+
+    /// Builds the system from already-computed statistics, skipping the
+    /// analysis pass. The batch driver uses this so every concurrent
+    /// request shares one `DbStats` instead of re-analyzing per request.
+    pub fn from_parts(db: &'a Database, stats: DbStats) -> Self {
+        CqpSystem { db, stats }
     }
 
     /// The underlying database.
@@ -215,7 +265,28 @@ impl<'a> CqpSystem<'a> {
         match (problem.kind(), config.algorithm) {
             (_, Algorithm::BranchBound) => {
                 let _span = span_guard(recorder, "BranchBound");
-                let sol = algorithms::branch_bound::solve(space, config.conj, problem);
+                let sol = if config.parallelism.threads > 1 {
+                    let pool = config.parallelism.pool();
+                    algorithms::branch_bound::solve_partitioned(space, config.conj, problem, &pool)
+                } else {
+                    algorithms::branch_bound::solve(space, config.conj, problem)
+                };
+                sol.instrument.flush_to(recorder);
+                sol
+            }
+            (Some(ProblemKind::P2), Algorithm::Exhaustive) if config.parallelism.threads > 1 => {
+                let _span = span_guard(recorder, "Exhaustive");
+                let cmax = problem
+                    .constraints
+                    .cost_max_blocks
+                    .expect("P2 carries a cost bound");
+                let pool = config.parallelism.pool();
+                let sol = algorithms::exhaustive::solve_partitioned(
+                    space,
+                    config.conj,
+                    &ProblemSpec::p2(cmax),
+                    &pool,
+                );
                 sol.instrument.flush_to(recorder);
                 sol
             }
@@ -254,9 +325,9 @@ impl<'a> CqpSystem<'a> {
         &self,
         pq: &PersonalizedQuery,
         ms_per_block: f64,
-        recorder: Rc<dyn Recorder>,
+        recorder: Arc<dyn Recorder>,
     ) -> Result<(ExecOutput, u64, f64), SolverError> {
-        let meter = IoMeter::with_recorder(ms_per_block, Rc::clone(&recorder));
+        let meter = IoMeter::with_recorder(ms_per_block, Arc::clone(&recorder));
         let out = execute_personalized_recorded(self.db, pq, &meter, &*recorder)?;
         Ok((out, meter.blocks_read(), meter.elapsed_ms()))
     }
@@ -488,7 +559,7 @@ mod tests {
     #[test]
     fn recorded_pipeline_emits_spans_and_counters() {
         let db = movie_db();
-        let obs: Rc<cqp_obs::Obs> = Rc::new(cqp_obs::Obs::new());
+        let obs: Arc<cqp_obs::Obs> = Arc::new(cqp_obs::Obs::new());
         let system = CqpSystem::new_recorded(&db, &*obs);
         let base = QueryBuilder::from(db.catalog(), "MOVIE")
             .unwrap()

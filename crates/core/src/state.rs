@@ -11,9 +11,49 @@ use std::fmt;
 
 /// Maximum number of preferences a state space can index.
 ///
-/// The bit-key used for visited-set hashing packs indices into a `u128`;
-/// the paper's experiments use `K ≤ 40`, so 128 is generous.
-pub const MAX_K: usize = 128;
+/// The bit-key used for visited-set and cost-cache hashing packs indices
+/// into a 256-bit set ([`StateKey`]); the paper's experiments use `K ≤ 40`,
+/// so 256 is generous. Indices at or beyond this bound **hard-error** (see
+/// [`State::bitkey`]) instead of silently aliasing.
+pub const MAX_K: usize = 256;
+
+/// A 256-bit set key identifying a [`State`] exactly (one bit per index).
+///
+/// Replaces the earlier `u128` key, whose `1 << (i % 128)` construction
+/// silently collided for indices ≥ 128 and corrupted visited sets and cost
+/// caches on large profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StateKey([u64; 4]);
+
+impl StateKey {
+    /// The key of the empty state.
+    pub const EMPTY: StateKey = StateKey([0; 4]);
+
+    /// Sets the bit for index `i`.
+    ///
+    /// # Panics
+    /// Panics (in all builds) if `i ≥ MAX_K`: aliasing two states onto one
+    /// key is silent state-space corruption, never acceptable.
+    fn set(&mut self, i: u16) {
+        assert!(
+            (i as usize) < MAX_K,
+            "preference index {i} out of range: StateKey holds at most {MAX_K} \
+             preferences; raise MAX_K (and widen StateKey) for larger profiles"
+        );
+        self.0[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    /// A well-mixed 64-bit digest of the key, for shard selection.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the four words, then a final avalanche multiply.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in self.0 {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= h >> 33;
+        h.wrapping_mul(0xff51_afd7_ed55_8ccd)
+    }
+}
 
 /// An ordered index set: indices (0-based) into a rank vector, sorted
 /// ascending. The paper writes these as e.g. `c1c3c4` (1-based).
@@ -112,15 +152,15 @@ impl State {
         other.indices.iter().all(|i| self.contains(*i))
     }
 
-    /// A 128-bit set key for visited hashing.
+    /// The exact 256-bit set key for visited/cost-cache hashing.
     ///
     /// # Panics
-    /// Panics (in debug builds) if an index exceeds [`MAX_K`].
-    pub fn bitkey(&self) -> u128 {
-        let mut key = 0u128;
+    /// Panics (in all builds) if an index reaches [`MAX_K`] — a clear error
+    /// beats the silent key aliasing a modulo would cause.
+    pub fn bitkey(&self) -> StateKey {
+        let mut key = StateKey::EMPTY;
         for &i in &self.indices {
-            debug_assert!((i as usize) < MAX_K);
-            key |= 1u128 << (i as u32 % 128);
+            key.set(i);
         }
         key
     }
@@ -213,7 +253,30 @@ mod tests {
     fn bitkeys_distinguish_states() {
         assert_ne!(s(&[0, 1]).bitkey(), s(&[0, 2]).bitkey());
         assert_eq!(s(&[1, 0]).bitkey(), s(&[0, 1]).bitkey());
-        assert_eq!(State::empty().bitkey(), 0);
+        assert_eq!(State::empty().bitkey(), StateKey::EMPTY);
+    }
+
+    #[test]
+    fn bitkeys_do_not_alias_across_the_128_boundary() {
+        // Regression: the old u128 key computed `1 << (i % 128)`, so index
+        // 128 aliased index 0 and 129 aliased 1.
+        assert_ne!(s(&[0]).bitkey(), s(&[128]).bitkey());
+        assert_ne!(s(&[1]).bitkey(), s(&[129]).bitkey());
+        assert_ne!(s(&[128]).bitkey(), s(&[129]).bitkey());
+        assert_ne!(s(&[0, 128]).bitkey(), s(&[0]).bitkey());
+        // Word boundaries inside the key.
+        assert_ne!(s(&[63]).bitkey(), s(&[64]).bitkey());
+        assert_ne!(s(&[191]).bitkey(), s(&[192]).bitkey());
+        assert_ne!(s(&[255]).bitkey(), s(&[0]).bitkey());
+        // Digests spread too (not a correctness requirement, but the shard
+        // selector depends on them not being degenerate).
+        assert_ne!(s(&[0]).bitkey().digest(), s(&[128]).bitkey().digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitkey_hard_errors_beyond_max_k() {
+        let _ = s(&[MAX_K as u16]).bitkey();
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Observability for the CQP workspace.
 //!
-//! Three pieces, all `std`-only and single-threaded by design (the solver,
-//! engine, and storage layers run on one thread per query):
+//! Three pieces, all `std`-only and thread-safe (one `Obs` can be shared —
+//! by reference or `Arc` — across the workers of a parallel search or a
+//! batch personalization run):
 //!
 //! * [`metrics`] — a [`Registry`] of named monotonic counters, gauges, and
 //!   log-linear histograms, with point-in-time [`Snapshot`]s and
 //!   [`Snapshot::diff`] for attributing counter deltas to a region of work.
+//!   Counters and gauges are atomics; histograms sit behind a mutex.
 //! * [`trace`] — a hierarchical span [`Tracer`]: per-span wall-clock time,
 //!   counter deltas captured at span boundaries, and a ring-buffered event
-//!   log. Renders as a flame-style text tree for `cqp_shell`.
+//!   log. Nesting is tracked per thread, so concurrent workers build
+//!   disjoint subtrees. Renders as a flame-style text tree for `cqp_shell`.
 //! * [`record`] — the [`Recorder`] trait the lower layers are written
 //!   against. [`NoopRecorder`] keeps the hot path free when observability
 //!   is off; [`Obs`] (registry + tracer behind one handle) records

@@ -2,10 +2,13 @@
 //!
 //! All mutation goes through `&self` (interior mutability) so a registry can
 //! be shared by reference across solver, engine, and storage within one
-//! query without threading `&mut` through every call chain.
+//! query — and, since the registry is `Sync`, across the workers of a
+//! parallel batch. Counters and gauges are lock-free atomics once created
+//! (a `RwLock` guards only map growth); histograms sit behind one `Mutex`.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// Number of linear sub-buckets per power-of-two magnitude group.
 const SUB_BUCKETS: u64 = 4;
@@ -108,6 +111,28 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the bucket counts.
+    ///
+    /// Resolution is the bucket width (≤ 25% relative error); the estimate
+    /// is the floor of the bucket holding the target rank, clamped to
+    /// `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * count).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Condensed view for snapshots and reports.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -147,12 +172,16 @@ impl HistogramSummary {
 ///
 /// Metric names are `&'static str` dotted paths by convention
 /// (`"storage.blocks_read"`, `"solver.states_examined"`); keeping them
-/// static makes recording allocation-free on the counter path.
+/// static makes recording allocation-free on the counter path. The registry
+/// is `Sync`: counter/gauge updates are atomic `fetch_add`/`store` under a
+/// read lock (the write lock is taken only the first time a name appears),
+/// so workers of a parallel batch can share one registry.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: RefCell<BTreeMap<&'static str, u64>>,
-    gauges: RefCell<BTreeMap<&'static str, f64>>,
-    histograms: RefCell<BTreeMap<&'static str, Histogram>>,
+    counters: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    // Gauges store the f64 bit pattern so they can share the atomic path.
+    gauges: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
 }
 
 impl Registry {
@@ -163,28 +192,62 @@ impl Registry {
 
     /// Adds `delta` to the named monotonic counter.
     pub fn add(&self, name: &'static str, delta: u64) {
-        *self.counters.borrow_mut().entry(name).or_insert(0) += delta;
+        {
+            let map = self.counters.read().unwrap();
+            if let Some(c) = map.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.counters
+            .write()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.borrow().get(name).copied().unwrap_or(0)
+        self.counters
+            .read()
+            .unwrap()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Sets the named gauge to `value` (last write wins).
     pub fn set_gauge(&self, name: &'static str, value: f64) {
-        self.gauges.borrow_mut().insert(name, value);
+        let bits = value.to_bits();
+        {
+            let map = self.gauges.read().unwrap();
+            if let Some(g) = map.get(name) {
+                g.store(bits, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.gauges
+            .write()
+            .unwrap()
+            .entry(name)
+            .or_insert_with(|| AtomicU64::new(bits))
+            .store(bits, Ordering::Relaxed);
     }
 
     /// Current value of a gauge, if ever set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.borrow().get(name).copied()
+        self.gauges
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
     }
 
     /// Records `value` into the named histogram.
     pub fn observe(&self, name: &'static str, value: u64) {
         self.histograms
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .entry(name)
             .or_default()
             .observe(value);
@@ -193,10 +256,16 @@ impl Registry {
     /// Occupied buckets of a histogram (empty vec if absent).
     pub fn histogram_buckets(&self, name: &str) -> Vec<(u64, u64)> {
         self.histograms
-            .borrow()
+            .lock()
+            .unwrap()
             .get(name)
             .map(|h| h.nonzero_buckets())
             .unwrap_or_default()
+    }
+
+    /// A point-in-time copy of the named histogram, if ever observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.lock().unwrap().get(name).cloned()
     }
 
     /// Point-in-time copy of every metric.
@@ -204,19 +273,22 @@ impl Registry {
         Snapshot {
             counters: self
                 .counters
-                .borrow()
+                .read()
+                .unwrap()
                 .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
+                .map(|(&k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
                 .collect(),
             gauges: self
                 .gauges
-                .borrow()
+                .read()
+                .unwrap()
                 .iter()
-                .map(|(&k, &v)| (k.to_string(), v))
+                .map(|(&k, v)| (k.to_string(), f64::from_bits(v.load(Ordering::Relaxed))))
                 .collect(),
             histograms: self
                 .histograms
-                .borrow()
+                .lock()
+                .unwrap()
                 .iter()
                 .map(|(&k, h)| (k.to_string(), h.summary()))
                 .collect(),
@@ -226,7 +298,12 @@ impl Registry {
     /// Counter map keyed by static name — the cheap snapshot the tracer
     /// takes at span boundaries to compute per-span counter deltas.
     pub(crate) fn counters_now(&self) -> BTreeMap<&'static str, u64> {
-        self.counters.borrow().clone()
+        self.counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -334,6 +411,44 @@ mod tests {
         assert!((h.mean() - 24.0).abs() < 1e-9);
         let buckets = h.nonzero_buckets();
         assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_resolution() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Bucket width is ≤ 25%, so estimates land within one bucket of the
+        // true rank value.
+        assert!((375..=500).contains(&p50), "p50={p50}");
+        assert!((712..=950).contains(&p95), "p95={p95}");
+        assert!((742..=990).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(0.0), 1);
+        assert!(h.quantile(1.0) >= p99 && h.quantile(1.0) <= 1000);
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_is_sync_across_threads() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        r.add("t.count", 1);
+                        r.observe("t.hist", 8);
+                    }
+                    r.set_gauge("t.gauge", 2.5);
+                });
+            }
+        });
+        assert_eq!(r.counter("t.count"), 4000);
+        assert_eq!(r.gauge("t.gauge"), Some(2.5));
+        assert_eq!(r.histogram("t.hist").unwrap().count(), 4000);
     }
 
     #[test]

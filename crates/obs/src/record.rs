@@ -3,15 +3,18 @@
 
 use crate::metrics::{Registry, Snapshot};
 use crate::trace::Tracer;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Observability sink. Every method takes `&self` and defaults to a no-op,
 /// so instrumented code pays one virtual call (or nothing, when it checks
 /// [`Recorder::is_enabled`] first) when recording is off.
 ///
-/// Span discipline: `span_enter`/`span_exit` must nest; use
+/// Recorders are `Send + Sync` so one sink (behind an `Arc` or a plain
+/// reference) can serve every worker of a parallel search or batch run.
+///
+/// Span discipline: `span_enter`/`span_exit` must nest *per thread*; use
 /// [`SpanGuard`] (via [`span_guard`]) to make exits drop-safe.
-pub trait Recorder {
+pub trait Recorder: Send + Sync {
     /// Whether this recorder keeps anything. Instrumented code may skip
     /// preparing expensive arguments (formatting, snapshots) when false.
     fn is_enabled(&self) -> bool {
@@ -44,11 +47,13 @@ pub struct NoopRecorder;
 impl Recorder for NoopRecorder {}
 
 /// Live observability state: a metrics [`Registry`] plus a span [`Tracer`],
-/// shared by `&self` across solver, engine, and storage for one run.
+/// shared by `&self` across solver, engine, and storage for one run — and
+/// across worker threads for a parallel one (the tracer keeps one open-span
+/// stack per thread).
 #[derive(Debug, Default)]
 pub struct Obs {
     registry: Registry,
-    tracer: RefCell<Tracer>,
+    tracer: Mutex<Tracer>,
 }
 
 impl Obs {
@@ -67,14 +72,14 @@ impl Obs {
         self.registry.snapshot()
     }
 
-    /// Runs `f` against the tracer (borrow scope kept internal).
+    /// Runs `f` against the tracer (lock scope kept internal).
     pub fn with_tracer<R>(&self, f: impl FnOnce(&Tracer) -> R) -> R {
-        f(&self.tracer.borrow())
+        f(&self.tracer.lock().unwrap())
     }
 
     /// Flame-style text rendering of the span tree.
     pub fn render_tree(&self) -> String {
-        self.tracer.borrow().render()
+        self.tracer.lock().unwrap().render()
     }
 
     /// Opens a span and returns a guard that closes it on drop.
@@ -90,12 +95,12 @@ impl Recorder for Obs {
 
     fn span_enter(&self, name: &'static str) {
         let counters = self.registry.counters_now();
-        self.tracer.borrow_mut().enter(name, counters);
+        self.tracer.lock().unwrap().enter(name, counters);
     }
 
     fn span_exit(&self) {
         let counters = self.registry.counters_now();
-        self.tracer.borrow_mut().exit(counters);
+        self.tracer.lock().unwrap().exit(counters);
     }
 
     fn add(&self, name: &'static str, delta: u64) {
@@ -111,7 +116,7 @@ impl Recorder for Obs {
     }
 
     fn event(&self, message: &str) {
-        self.tracer.borrow_mut().event(message.to_string());
+        self.tracer.lock().unwrap().event(message.to_string());
     }
 }
 
@@ -170,6 +175,37 @@ mod tests {
         let obs = Obs::new();
         let g = obs.span("outer");
         drop(g);
+        assert_eq!(obs.with_tracer(|t| t.open_depth()), 0);
+    }
+
+    #[test]
+    fn concurrent_workers_build_disjoint_subtrees() {
+        const WORKER_SPANS: [&str; 4] = ["w0", "w1", "w2", "w3"];
+        let obs = Obs::new();
+        std::thread::scope(|s| {
+            for name in WORKER_SPANS {
+                let obs = &obs;
+                s.spawn(move || {
+                    let _w = obs.span(name);
+                    for _ in 0..50 {
+                        let _inner = obs.span("work");
+                        obs.add("r.ticks", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.registry().counter("r.ticks"), 200);
+        let spans = obs.with_tracer(|t| t.spans());
+        // Each worker has its own root with a nested `work` node — no
+        // cross-thread interleaving corrupted the nesting.
+        for name in WORKER_SPANS {
+            let path = format!("{name}.work");
+            let node = spans.iter().find(|v| v.path == path).unwrap_or_else(|| {
+                panic!("missing {path}");
+            });
+            assert_eq!(node.count, 50);
+            assert_eq!(node.depth, 1);
+        }
         assert_eq!(obs.with_tracer(|t| t.open_depth()), 0);
     }
 

@@ -6,9 +6,15 @@
 //! the tracer captures counter values from the owning registry so each
 //! node carries the counter *deltas* attributable to it (including its
 //! children). A small ring buffer keeps the most recent point events.
+//!
+//! Nesting is tracked **per thread**: each thread gets its own open-span
+//! stack, so workers of a parallel search build disjoint subtrees (rooted
+//! at their per-worker spans) instead of corrupting each other's nesting.
+//! The tree itself is shared — same-name siblings still aggregate.
 
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::thread::{self, ThreadId};
 use std::time::{Duration, Instant};
 
 /// Maximum retained point events.
@@ -48,12 +54,15 @@ pub struct SpanView {
 }
 
 /// The span tree plus event ring. Mutation requires `&mut`; the shared
-/// wrapper lives in [`crate::record::Obs`].
+/// wrapper lives in [`crate::record::Obs`] (a `Mutex`, so one tracer can
+/// serve many worker threads).
 #[derive(Debug)]
 pub struct Tracer {
     arena: Vec<SpanData>,
     roots: Vec<usize>,
-    stack: Vec<OpenSpan>,
+    // One open-span stack per thread; entries are removed when a thread's
+    // stack drains so short-lived pool workers don't accumulate.
+    stacks: HashMap<ThreadId, Vec<OpenSpan>>,
     epoch: Instant,
     events: VecDeque<(Duration, String)>,
 }
@@ -70,18 +79,24 @@ impl Tracer {
         Tracer {
             arena: Vec::new(),
             roots: Vec::new(),
-            stack: Vec::new(),
+            stacks: HashMap::new(),
             epoch: Instant::now(),
             events: VecDeque::new(),
         }
     }
 
-    /// Opens a span under the currently open one (or at the root).
-    /// `counters` is the registry's counter state at entry, used to compute
-    /// this span's deltas on exit.
+    /// Opens a span under the calling thread's currently open one (or at
+    /// the root). `counters` is the registry's counter state at entry, used
+    /// to compute this span's deltas on exit.
     pub fn enter(&mut self, name: &'static str, counters: BTreeMap<&'static str, u64>) {
-        let siblings = match self.stack.last() {
-            Some(open) => &self.arena[open.node].children,
+        let tid = thread::current().id();
+        let parent = self
+            .stacks
+            .get(&tid)
+            .and_then(|stack| stack.last())
+            .map(|open| open.node);
+        let siblings = match parent {
+            Some(p) => &self.arena[p].children,
             None => &self.roots,
         };
         let existing = siblings
@@ -99,26 +114,34 @@ impl Tracer {
                     total: Duration::ZERO,
                     counter_deltas: BTreeMap::new(),
                 });
-                match self.stack.last() {
-                    Some(open) => self.arena[open.node].children.push(i),
+                match parent {
+                    Some(p) => self.arena[p].children.push(i),
                     None => self.roots.push(i),
                 }
                 i
             }
         };
-        self.stack.push(OpenSpan {
+        self.stacks.entry(tid).or_default().push(OpenSpan {
             node,
             started: Instant::now(),
             counters_at_entry: counters,
         });
     }
 
-    /// Closes the innermost open span, folding in elapsed time and the
-    /// counter deltas since entry. No-op if nothing is open.
+    /// Closes the calling thread's innermost open span, folding in elapsed
+    /// time and the counter deltas since entry. No-op if nothing is open.
     pub fn exit(&mut self, counters: BTreeMap<&'static str, u64>) {
-        let Some(open) = self.stack.pop() else {
+        let tid = thread::current().id();
+        let Some(stack) = self.stacks.get_mut(&tid) else {
             return;
         };
+        let Some(open) = stack.pop() else {
+            self.stacks.remove(&tid);
+            return;
+        };
+        if stack.is_empty() {
+            self.stacks.remove(&tid);
+        }
         let data = &mut self.arena[open.node];
         data.count += 1;
         data.total += open.started.elapsed();
@@ -144,9 +167,9 @@ impl Tracer {
         self.events.iter().map(|(t, m)| (*t, m.as_str()))
     }
 
-    /// Depth of currently open spans.
+    /// Depth of spans currently open on the calling thread.
     pub fn open_depth(&self) -> usize {
-        self.stack.len()
+        self.stacks.get(&thread::current().id()).map_or(0, Vec::len)
     }
 
     /// Flattens the closed span tree in render order (pre-order).

@@ -2,19 +2,29 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::schema::{AttrId, QualifiedAttr, RelationId, RelationSchema};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A catalog of relation schemas.
 ///
 /// `RelationId`s are indices into the catalog's insertion order, which keeps
 /// every cross-crate reference (queries, preferences, statistics) a plain
-/// integer. Every lookup (by id or by name) ticks an internal counter so
+/// integer. Every lookup (by id or by name) ticks an internal counter
+/// (atomic, so a shared database can serve concurrent readers) so
 /// observability layers can report catalog traffic without the catalog
 /// depending on them; see [`Catalog::lookups`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Catalog {
     relations: Vec<RelationSchema>,
-    lookups: Cell<u64>,
+    lookups: AtomicU64,
+}
+
+impl Clone for Catalog {
+    fn clone(&self) -> Self {
+        Catalog {
+            relations: self.relations.clone(),
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Catalog {
@@ -50,7 +60,7 @@ impl Catalog {
 
     /// Looks a relation up by id.
     pub fn relation(&self, id: RelationId) -> StorageResult<&RelationSchema> {
-        self.lookups.set(self.lookups.get() + 1);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.relations
             .get(id.index())
             .ok_or(StorageError::RelationIdOutOfRange(id.index()))
@@ -58,7 +68,7 @@ impl Catalog {
 
     /// Looks a relation up by name.
     pub fn relation_id(&self, name: &str) -> StorageResult<RelationId> {
-        self.lookups.set(self.lookups.get() + 1);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.relations
             .iter()
             .position(|r| r.name == name)
@@ -69,7 +79,7 @@ impl Catalog {
     /// Total schema lookups served (by id or name) since creation, for
     /// observability. Cloning a catalog copies the count taken so far.
     pub fn lookups(&self) -> u64 {
-        self.lookups.get()
+        self.lookups.load(Ordering::Relaxed)
     }
 
     /// Resolves `REL.attr` notation to a [`QualifiedAttr`].

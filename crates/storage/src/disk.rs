@@ -11,9 +11,9 @@
 //! tracer attribute physical reads to solver phases and engine operators.
 
 use cqp_obs::Recorder;
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Default per-block read cost in milliseconds (`b` in the paper).
 pub const DEFAULT_MS_PER_BLOCK: f64 = 1.0;
@@ -24,17 +24,18 @@ pub const BLOCKS_READ_COUNTER: &str = "storage.blocks_read";
 /// Counts block reads and converts them to simulated milliseconds.
 ///
 /// Interior mutability lets read-only executor pipelines share one meter
-/// without threading `&mut` through every iterator adapter.
+/// without threading `&mut` through every iterator adapter; the counter is
+/// atomic so meters (and their recorders) can be shared across threads.
 pub struct IoMeter {
-    blocks_read: Cell<u64>,
+    blocks_read: AtomicU64,
     ms_per_block: f64,
-    recorder: Option<Rc<dyn Recorder>>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl fmt::Debug for IoMeter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("IoMeter")
-            .field("blocks_read", &self.blocks_read.get())
+            .field("blocks_read", &self.blocks_read.load(Ordering::Relaxed))
             .field("ms_per_block", &self.ms_per_block)
             .field("recorded", &self.recorder.is_some())
             .finish()
@@ -52,7 +53,7 @@ impl IoMeter {
     pub fn new(ms_per_block: f64) -> Self {
         assert!(ms_per_block.is_finite() && ms_per_block >= 0.0);
         IoMeter {
-            blocks_read: Cell::new(0),
+            blocks_read: AtomicU64::new(0),
             ms_per_block,
             recorder: None,
         }
@@ -60,7 +61,7 @@ impl IoMeter {
 
     /// Creates a meter that also forwards every charge to `recorder`'s
     /// [`BLOCKS_READ_COUNTER`].
-    pub fn with_recorder(ms_per_block: f64, recorder: Rc<dyn Recorder>) -> Self {
+    pub fn with_recorder(ms_per_block: f64, recorder: Arc<dyn Recorder>) -> Self {
         let mut meter = IoMeter::new(ms_per_block);
         meter.recorder = Some(recorder);
         meter
@@ -68,7 +69,7 @@ impl IoMeter {
 
     /// Charges `n` block reads.
     pub fn charge(&self, n: u64) {
-        self.blocks_read.set(self.blocks_read.get() + n);
+        self.blocks_read.fetch_add(n, Ordering::Relaxed);
         if let Some(recorder) = &self.recorder {
             recorder.add(BLOCKS_READ_COUNTER, n);
         }
@@ -76,12 +77,12 @@ impl IoMeter {
 
     /// Total block reads charged so far.
     pub fn blocks_read(&self) -> u64 {
-        self.blocks_read.get()
+        self.blocks_read.load(Ordering::Relaxed)
     }
 
     /// Simulated elapsed I/O time in milliseconds.
     pub fn elapsed_ms(&self) -> f64 {
-        self.blocks_read.get() as f64 * self.ms_per_block
+        self.blocks_read.load(Ordering::Relaxed) as f64 * self.ms_per_block
     }
 
     /// The configured per-block cost.
@@ -92,7 +93,7 @@ impl IoMeter {
     /// Resets the counter to zero (the recorder's counter, being monotonic,
     /// is not rewound).
     pub fn reset(&self) {
-        self.blocks_read.set(0);
+        self.blocks_read.store(0, Ordering::Relaxed);
     }
 }
 
@@ -129,7 +130,7 @@ mod tests {
 
     #[test]
     fn recorder_sees_every_charge() {
-        let obs = Rc::new(Obs::new());
+        let obs = Arc::new(Obs::new());
         let m = IoMeter::with_recorder(1.0, obs.clone());
         m.charge(7);
         m.reset();

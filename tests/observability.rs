@@ -9,9 +9,9 @@ use cqp_datagen::{
     ProfileGenConfig, QueryGenConfig,
 };
 use cqp_obs::{Obs, Recorder, RunReport};
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn traced_run(algorithm: Algorithm) -> (Rc<Obs>, u64) {
+fn traced_run(algorithm: Algorithm) -> (Arc<Obs>, u64) {
     let db_cfg = MovieDbConfig::tiny(11);
     let db = generate_movie_db(&db_cfg);
     let p_cfg = ProfileGenConfig {
@@ -25,7 +25,7 @@ fn traced_run(algorithm: Algorithm) -> (Rc<Obs>, u64) {
         .next()
         .expect("generator yields queries");
 
-    let obs = Rc::new(Obs::new());
+    let obs = Arc::new(Obs::new());
     let system = CqpSystem::new_recorded(&db, &*obs);
     let config = SolverConfig {
         algorithm,
@@ -35,7 +35,7 @@ fn traced_run(algorithm: Algorithm) -> (Rc<Obs>, u64) {
         .personalize_recorded(&query, &profile, &ProblemSpec::p2(100), &config, &*obs)
         .expect("personalization succeeds");
     let (_, blocks, _) = system
-        .execute_recorded(&outcome.query, 1.0, Rc::clone(&obs) as Rc<dyn Recorder>)
+        .execute_recorded(&outcome.query, 1.0, Arc::clone(&obs) as Arc<dyn Recorder>)
         .expect("execution succeeds");
     (obs, blocks)
 }

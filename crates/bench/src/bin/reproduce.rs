@@ -20,6 +20,7 @@
 //!   fig8      the Figure 8 maximal-boundary trace (cmax = 185)
 //!   ablate    generic baselines, doi-model, annealing-budget ablations
 //!   bench_par 1-thread vs N-thread batch driver + fig12 grid (BENCH_parallel.json)
+//!   resilience seeded fault-injection batch + deadline sweep (degradation rates)
 //!
 //! --threads N fans the fig12 grid cells and the batch driver across N
 //! work-stealing workers (default 1 = sequential).
@@ -28,12 +29,14 @@
 use cqp_bench::experiments::{self, FIG12_ALGORITHMS};
 use cqp_bench::{build_workload, csvout, harness::Scale, Workload};
 use cqp_core::algorithms::{c_boundaries, c_maxbounds, Algorithm};
-use cqp_core::batch::{BatchDriver, BatchRequest};
+use cqp_core::batch::{BatchDriver, BatchRequest, RetryPolicy};
+use cqp_core::budget::Budget;
 use cqp_core::spaces::SpaceView;
 use cqp_core::{Instrument, ProblemSpec, SolverConfig};
 use cqp_obs::{Json, Obs, RunReport};
 use cqp_prefs::{ConjModel, Doi};
 use cqp_prefspace::{ExtractConfig, PrefParams, PreferenceSpace};
+use cqp_storage::{FaultMode, FaultPlan};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -156,6 +159,10 @@ fn main() {
     }
     if run_all || experiment == "bench_par" {
         bench_par(&w, &ks, full_k, threads, &out);
+        ran = true;
+    }
+    if run_all || experiment == "resilience" {
+        resilience(&w, threads, &out);
         ran = true;
     }
     if !ran {
@@ -706,6 +713,141 @@ fn bench_par(w: &Workload, ks: &[usize], full_k: bool, threads: usize, out: &Pat
     write_reports(out, "bench_par", &reports);
     println!(
         "BENCH_parallel.json written ({} and repo root)\n",
+        out.display()
+    );
+}
+
+/// Serving-resilience experiment: (1) a 64-request batch under a seeded
+/// [`FaultPlan`] with retry-on-transient-failure — must finish with zero
+/// panics and zero errors, retry counters land in
+/// `resilience.report.jsonl`; (2) a deadline sweep over the five paper
+/// algorithms measuring degradation rates, the serving-time face of the
+/// paper's exact-vs-heuristic tradeoff (Figures 12–13).
+fn resilience(w: &Workload, threads: usize, out: &Path) {
+    let batch_k = 20;
+    let mut pool = Vec::new();
+    for (profile, query) in w.pairs() {
+        let (space, _) = w.space(profile, query, batch_k, true);
+        if space.k() == 0 {
+            continue;
+        }
+        let cmax = w.scale.cmax_for(&space);
+        for algo in Algorithm::PAPER {
+            pool.push(BatchRequest {
+                query: query.clone(),
+                profile: profile.clone(),
+                problem: ProblemSpec::p2(cmax),
+                config: SolverConfig {
+                    algorithm: algo,
+                    extract: ExtractConfig {
+                        max_k: batch_k,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    if pool.is_empty() {
+        println!("--- resilience: workload produced no requests, skipping ---\n");
+        return;
+    }
+    let requests: Vec<BatchRequest> = (0..64).map(|i| pool[i % pool.len()].clone()).collect();
+    let db = Arc::new(w.db.clone());
+    let stats = Arc::new(w.stats.clone());
+    let mut reports = Vec::new();
+
+    // (1) Fault-injected batch. The seed and mode are the documented
+    // reference plan (README "Resilience"): error every 25th metered read,
+    // capped at 8 injections so the retry total is deterministic under any
+    // thread interleaving; retries(10) covers the worst case of one
+    // request absorbing the whole cap.
+    let seed: u64 = 0x00C0_FFEE_5EED;
+    let plan = Arc::new(FaultPlan::new(seed, FaultMode::EveryNth { n: 25 }).with_max_faults(8));
+    let driver = BatchDriver::with_stats(Arc::clone(&db), Arc::clone(&stats), threads)
+        .with_execution(0.01)
+        .with_fault_plan(Arc::clone(&plan))
+        .with_retry_policy(RetryPolicy::retries(10));
+    let obs = Obs::new();
+    let (results, batch_stats) = driver.run_recorded(requests.clone(), &obs);
+    assert_eq!(batch_stats.panics_caught, 0, "fault batch panicked");
+    assert_eq!(batch_stats.errors, 0, "retries must absorb injected faults");
+    assert!(results.iter().all(|r| r.is_ok()));
+    println!(
+        "--- resilience: 64-request batch, seed {seed:#x}, every-25th faults (cap 8) ---\n\
+         {:>2} thread(s): {:>8.1} req/s  reads {}  faults {}  retries {}  errors {}  panics {}",
+        batch_stats.threads,
+        batch_stats.requests_per_sec,
+        plan.reads_seen(),
+        plan.faults_injected(),
+        batch_stats.retries,
+        batch_stats.errors,
+        batch_stats.panics_caught,
+    );
+    reports.push(
+        RunReport::from_obs("resilience", "fault_batch", &obs)
+            .with_field("threads", batch_stats.threads as u64)
+            .with_field("seed", seed)
+            .with_field("faults_injected", plan.faults_injected())
+            .with_field("retries", batch_stats.retries)
+            .with_field("errors", batch_stats.errors)
+            .with_field("panics_caught", batch_stats.panics_caught),
+    );
+
+    // (2) Deadline sweep: per paper algorithm, what fraction of requests
+    // comes back degraded as the budget shrinks to nothing?
+    println!("\n--- resilience: deadline sweep (degraded requests / 64) ---");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "algorithm", "0 ms", "5 ms", "unlimited"
+    );
+    for algo in Algorithm::PAPER {
+        let mut rates = Vec::new();
+        for deadline_ms in [Some(0u64), Some(5), None] {
+            let budget = match deadline_ms {
+                Some(ms) => Budget::with_deadline_ms(ms),
+                None => Budget::unlimited(),
+            };
+            let sweep: Vec<BatchRequest> = requests
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.config.algorithm = algo;
+                    r.config.budget = budget;
+                    r
+                })
+                .collect();
+            let driver = BatchDriver::with_stats(Arc::clone(&db), Arc::clone(&stats), threads);
+            let obs = Obs::new();
+            let (_, s) = driver.run_recorded(sweep, &obs);
+            assert_eq!(
+                s.panics_caught,
+                0,
+                "{} deadline sweep panicked",
+                algo.name()
+            );
+            let label = match deadline_ms {
+                Some(ms) => format!("deadline_{ms}ms_{}", algo.name()),
+                None => format!("deadline_unlimited_{}", algo.name()),
+            };
+            reports.push(
+                RunReport::from_obs("resilience", &label, &obs)
+                    .with_field("degraded", s.degraded)
+                    .with_field("requests", s.requests as u64),
+            );
+            rates.push(s.degraded);
+        }
+        println!(
+            "{:<16} {:>9}/64 {:>9}/64 {:>9}/64",
+            algo.name(),
+            rates[0],
+            rates[1],
+            rates[2]
+        );
+    }
+    write_reports(out, "resilience", &reports);
+    println!(
+        "\nresilience.report.jsonl written under {}\n",
         out.display()
     );
 }

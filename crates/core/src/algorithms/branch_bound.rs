@@ -18,6 +18,7 @@
 //! (doi of all remaining preferences), keeping the search exact.
 
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::params::ParamEval;
 use crate::problem::{Objective, ProblemSpec};
@@ -28,6 +29,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Exact branch-and-bound for any CQP problem of Table 1.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
+    solve_bounded(space, conj, problem, &CancelToken::unlimited())
+}
+
+/// [`solve`] polling `token` at every DFS node; on a trip the remaining
+/// subtrees are abandoned and the incumbent so far is returned (the caller
+/// tags it degraded).
+pub fn solve_bounded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    token: &CancelToken,
+) -> Solution {
     let eval = ParamEval::new(space, conj);
     let k = space.k();
     let mut inst = Instrument::new();
@@ -46,6 +59,7 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) ->
         inst: &mut inst,
         chosen: Vec::new(),
         shared: None,
+        token,
     };
     search.recurse(0, 0, Vec::new(), space.base_rows);
     let best = search.best.take();
@@ -78,9 +92,24 @@ pub fn solve_partitioned(
     problem: &ProblemSpec,
     pool: &ThreadPool,
 ) -> Solution {
+    solve_partitioned_bounded(space, conj, problem, pool, &CancelToken::unlimited())
+}
+
+/// [`solve_partitioned`] sharing one [`CancelToken`] across all workers:
+/// every task's DFS polls it per node, so the whole pool stops within one
+/// state of the trip. A degraded partitioned search keeps the deterministic
+/// merge but may have covered different subtrees than the sequential DFS at
+/// the same trip point.
+pub fn solve_partitioned_bounded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    pool: &ThreadPool,
+    token: &CancelToken,
+) -> Solution {
     let k = space.k();
     if k == 0 || pool.threads() == 1 {
-        return solve(space, conj, problem);
+        return solve_bounded(space, conj, problem, token);
     }
     let eval = ParamEval::new(space, conj);
     let mut d = 0usize;
@@ -113,6 +142,7 @@ pub fn solve_partitioned(
             inst: &mut inst,
             chosen,
             shared: Some(&shared),
+            token,
         };
         search.recurse(d, cost, dois, size);
         (search.best.take(), inst)
@@ -182,11 +212,16 @@ struct Search<'a, 'b> {
     chosen: Vec<usize>,
     /// Cross-worker bound in partitioned mode; `None` when sequential.
     shared: Option<&'a SharedBest>,
+    /// Cooperative cancellation, polled once per DFS node.
+    token: &'a CancelToken,
 }
 
 impl Search<'_, '_> {
     /// DFS over items `i..K` with the current (cost, members, size) state.
     fn recurse(&mut self, i: usize, cost: u64, dois_members: Vec<Doi>, size: f64) {
+        if self.token.should_stop() {
+            return;
+        }
         self.inst.states_examined += 1;
         // Evaluate the current node as a candidate.
         if !self.chosen.is_empty() {

@@ -17,6 +17,7 @@
 use super::find_max_doi::c_find_max_doi;
 use super::prune::Pruner;
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::cost_cache::{CacheHandle, SharedCostCache};
 use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
@@ -56,6 +57,27 @@ pub fn solve_cached(
     recorder: &dyn Recorder,
     shared: Option<&SharedCostCache>,
 ) -> Solution {
+    solve_budgeted(
+        space,
+        conj,
+        cmax_blocks,
+        recorder,
+        shared,
+        &CancelToken::unlimited(),
+    )
+}
+
+/// [`solve_cached`] polling `token` in both phases; on a trip the phase
+/// stops where it is and the best incumbent reachable from the boundaries
+/// found so far is returned (the dispatcher tags it degraded).
+pub fn solve_budgeted(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+    shared: Option<&SharedCostCache>,
+    token: &CancelToken,
+) -> Solution {
     let view = SpaceView::cost(space, conj);
     let eval = view.eval();
     let mut cache = match shared {
@@ -66,7 +88,7 @@ pub fn solve_cached(
     let mut p1 = Instrument::new();
     let boundaries = {
         let _span = span_guard(recorder, "find_boundaries");
-        let b = find_boundary_cached(&view, cmax_blocks, &mut p1, &mut cache);
+        let b = find_boundary_bounded(&view, cmax_blocks, &mut p1, &mut cache, token);
         p1.boundaries_found = b.len() as u64;
         p1.flush_to(recorder);
         b
@@ -75,7 +97,7 @@ pub fn solve_cached(
     let mut p2 = Instrument::new();
     let (prefs, _doi) = {
         let _span = span_guard(recorder, "find_max_doi");
-        let r = c_find_max_doi(&view, &boundaries, &mut p2);
+        let r = c_find_max_doi(&view, &boundaries, &mut p2, token);
         p2.flush_to(recorder);
         r
     };
@@ -110,6 +132,19 @@ pub fn find_boundary_cached(
     inst: &mut Instrument,
     cache: &mut CacheHandle<'_>,
 ) -> Vec<State> {
+    find_boundary_bounded(view, cmax, inst, cache, &CancelToken::unlimited())
+}
+
+/// [`find_boundary_cached`] polling `token` once per dequeued state. On a
+/// trip the queue is abandoned: the boundaries found so far are returned,
+/// each of which already satisfies the cost constraint.
+pub fn find_boundary_bounded(
+    view: &SpaceView<'_>,
+    cmax: u64,
+    inst: &mut Instrument,
+    cache: &mut CacheHandle<'_>,
+    token: &CancelToken,
+) -> Vec<State> {
     let mut boundaries: Vec<State> = Vec::new();
     if view.k() == 0 {
         return boundaries;
@@ -124,6 +159,9 @@ pub fn find_boundary_cached(
     rq.push_back(start);
 
     while let Some(r) = rq.pop_front() {
+        if token.should_stop() {
+            break;
+        }
         rq_bytes -= r.heap_bytes();
         inst.states_examined += 1;
         let cost = cache.cost(view, &r);

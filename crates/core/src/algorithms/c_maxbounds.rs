@@ -13,6 +13,7 @@
 use super::find_max_doi::c_find_max_doi;
 use super::prune::Pruner;
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
@@ -37,13 +38,32 @@ pub fn solve_recorded(
     cmax_blocks: u64,
     recorder: &dyn Recorder,
 ) -> Solution {
+    solve_budgeted(
+        space,
+        conj,
+        cmax_blocks,
+        recorder,
+        &CancelToken::unlimited(),
+    )
+}
+
+/// [`solve_recorded`] polling `token` in both phases; on a trip the best
+/// refinement over the maximal boundaries found so far is returned (the
+/// dispatcher tags it degraded).
+pub fn solve_budgeted(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+    token: &CancelToken,
+) -> Solution {
     let view = SpaceView::cost(space, conj);
     let eval = view.eval();
 
     let mut p1 = Instrument::new();
     let max_bounds = {
         let _span = span_guard(recorder, "find_max_bounds");
-        let b = find_all_max_bounds(&view, cmax_blocks, &mut p1);
+        let b = find_all_max_bounds_bounded(&view, cmax_blocks, &mut p1, token);
         p1.boundaries_found = b.len() as u64;
         p1.flush_to(recorder);
         b
@@ -52,7 +72,7 @@ pub fn solve_recorded(
     let mut p2 = Instrument::new();
     let prefs = {
         let _span = span_guard(recorder, "find_max_doi");
-        let (mut prefs, _doi) = c_find_max_doi(&view, &max_bounds, &mut p2);
+        let (mut prefs, _doi) = c_find_max_doi(&view, &max_bounds, &mut p2, token);
         if prefs.is_empty() {
             // The growth loop never records bare seeds; a single feasible
             // preference may still exist (the best one is the max-doi
@@ -81,14 +101,28 @@ pub fn solve_recorded(
 
 /// Phase 1: rounds of `FINDMAXBOUND` over seeds `c1, c2, …` (Figure 7).
 pub fn find_all_max_bounds(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> Vec<State> {
+    find_all_max_bounds_bounded(view, cmax, inst, &CancelToken::unlimited())
+}
+
+/// [`find_all_max_bounds`] polling `token` between rounds and per dequeued
+/// state; on a trip the maximal boundaries recorded so far are returned.
+pub fn find_all_max_bounds_bounded(
+    view: &SpaceView<'_>,
+    cmax: u64,
+    inst: &mut Instrument,
+    token: &CancelToken,
+) -> Vec<State> {
     let k_total = view.k();
     let mut max_bounds: Vec<State> = Vec::new();
     let mut last_solution_size = 0usize;
     let mut k = 0usize;
     // Paper (1-based): while k + LastSolutionSize <= K.
     while k < k_total && (k + 1) + last_solution_size <= k_total {
+        if token.should_stop() {
+            break;
+        }
         let seed = State::singleton(k as u16);
-        find_max_bound(view, k as u16, seed, cmax, &mut max_bounds, inst);
+        find_max_bound(view, k as u16, seed, cmax, &mut max_bounds, inst, token);
         last_solution_size = max_bounds.last().map_or(0, State::len);
         k += 1;
     }
@@ -96,6 +130,7 @@ pub fn find_all_max_bounds(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrumen
 }
 
 /// `FINDMAXBOUND` (Figure 7): grow maximal boundaries containing seed `k`.
+#[allow(clippy::too_many_arguments)]
 fn find_max_bound(
     view: &SpaceView<'_>,
     k: u16,
@@ -103,6 +138,7 @@ fn find_max_bound(
     cmax: u64,
     max_bounds: &mut Vec<State>,
     inst: &mut Instrument,
+    token: &CancelToken,
 ) {
     let mut rq: VecDeque<State> = VecDeque::new();
     let mut pruner = Pruner::new();
@@ -114,6 +150,9 @@ fn find_max_bound(
     rq.push_back(seed);
 
     while let Some(mut r) = rq.pop_front() {
+        if token.should_stop() {
+            break;
+        }
         rq_bytes -= r.heap_bytes();
         inst.states_examined += 1;
         let r0 = r.clone();

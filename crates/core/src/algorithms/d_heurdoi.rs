@@ -10,6 +10,7 @@
 
 use super::d_singlemaxdoi::greedy_grow;
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
@@ -18,6 +19,17 @@ use cqp_prefspace::PreferenceSpace;
 
 /// Runs D-HEURDOI for Problem 2.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    solve_budgeted(space, conj, cmax_blocks, &CancelToken::unlimited())
+}
+
+/// [`solve`] polling `token` between rounds; on a trip the best grown node
+/// found so far is returned (the dispatcher tags it degraded).
+pub fn solve_budgeted(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    token: &CancelToken,
+) -> Solution {
     let view = SpaceView::doi(space, conj);
     let eval = view.eval();
     let k_total = view.k();
@@ -29,6 +41,9 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solu
 
     let mut k = 0usize;
     while k < k_total && max_doi <= best_expected {
+        if token.should_stop() {
+            break;
+        }
         let seed = State::singleton(k as u16);
         inst.param_evals += 1;
         if view.state_cost(&seed) <= cmax_blocks {

@@ -16,6 +16,7 @@
 
 use super::prune::Pruner;
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::params::ParamEval;
 use crate::spaces::SpaceView;
@@ -41,13 +42,32 @@ pub fn solve_recorded(
     cmax_blocks: u64,
     recorder: &dyn Recorder,
 ) -> Solution {
+    solve_budgeted(
+        space,
+        conj,
+        cmax_blocks,
+        recorder,
+        &CancelToken::unlimited(),
+    )
+}
+
+/// [`solve_recorded`] polling `token` in both phases; on a trip the best
+/// incumbent among the candidate solutions found so far is returned (the
+/// dispatcher tags it degraded).
+pub fn solve_budgeted(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    recorder: &dyn Recorder,
+    token: &CancelToken,
+) -> Solution {
     let view = SpaceView::doi(space, conj);
     let eval = view.eval();
 
     let mut p1 = Instrument::new();
     let solutions = {
         let _span = span_guard(recorder, "find_optimal");
-        let s = find_optimal(&view, cmax_blocks, &mut p1);
+        let s = find_optimal_bounded(&view, cmax_blocks, &mut p1, token);
         p1.boundaries_found = s.len() as u64;
         p1.flush_to(recorder);
         s
@@ -56,7 +76,7 @@ pub fn solve_recorded(
     let mut p2 = Instrument::new();
     let (prefs, _doi) = {
         let _span = span_guard(recorder, "find_max_doi");
-        let r = d_find_max_doi(&view, &solutions, &mut p2);
+        let r = d_find_max_doi(&view, &solutions, &mut p2, token);
         p2.flush_to(recorder);
         r
     };
@@ -77,6 +97,17 @@ pub fn solve_recorded(
 
 /// Phase 1: `FINDOPTIMAL` (Figure 9).
 pub fn find_optimal(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> Vec<State> {
+    find_optimal_bounded(view, cmax, inst, &CancelToken::unlimited())
+}
+
+/// [`find_optimal`] polling `token` once per dequeued state; on a trip the
+/// candidate solutions recorded so far are returned (each is feasible).
+pub fn find_optimal_bounded(
+    view: &SpaceView<'_>,
+    cmax: u64,
+    inst: &mut Instrument,
+    token: &CancelToken,
+) -> Vec<State> {
     let mut solutions: Vec<State> = Vec::new();
     if view.k() == 0 {
         return solutions;
@@ -91,6 +122,9 @@ pub fn find_optimal(view: &SpaceView<'_>, cmax: u64, inst: &mut Instrument) -> V
     let mut solution_bytes = 0usize;
 
     while let Some(mut r) = rq.pop_front() {
+        if token.should_stop() {
+            break;
+        }
         rq_bytes -= r.heap_bytes();
         inst.states_examined += 1;
         inst.param_evals += 1;
@@ -140,6 +174,7 @@ pub fn d_find_max_doi(
     view: &SpaceView<'_>,
     solutions: &[State],
     inst: &mut Instrument,
+    token: &CancelToken,
 ) -> (Vec<usize>, Doi) {
     let eval: &ParamEval<'_> = view.eval();
     let mut sorted: Vec<&State> = solutions.iter().collect();
@@ -149,6 +184,9 @@ pub fn d_find_max_doi(
     let mut best: Vec<usize> = Vec::new();
     let mut group = view.k();
     for r in sorted {
+        if token.should_stop() {
+            break;
+        }
         if r.len() < group {
             group = r.len();
             let best_expected = eval.best_doi_for_group(group);

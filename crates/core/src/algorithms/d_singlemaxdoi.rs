@@ -10,6 +10,7 @@
 
 use super::prune::Pruner;
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
@@ -54,6 +55,18 @@ pub(crate) fn greedy_grow(
 
 /// Runs D-SINGLEMAXDOI for Problem 2.
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solution {
+    solve_budgeted(space, conj, cmax_blocks, &CancelToken::unlimited())
+}
+
+/// [`solve`] polling `token` between rounds and per dequeued state; on a
+/// trip the best grown node found so far is returned (the dispatcher tags
+/// it degraded).
+pub fn solve_budgeted(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    token: &CancelToken,
+) -> Solution {
     let view = SpaceView::doi(space, conj);
     let eval = view.eval();
     let k_total = view.k();
@@ -65,6 +78,9 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solu
 
     let mut k = 0usize;
     while k < k_total && max_doi <= best_expected {
+        if token.should_stop() {
+            break;
+        }
         let seed = State::singleton(k as u16);
         let mut pruner = Pruner::new();
         pruner.mark_visited(&seed);
@@ -80,6 +96,9 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, cmax_blocks: u64) -> Solu
         }
 
         while let Some(r) = rq.pop_front() {
+            if token.should_stop() {
+                break;
+            }
             rq_bytes -= r.heap_bytes();
             inst.states_examined += 1;
             let grown = greedy_grow(&view, r, cmax_blocks, None, &mut inst);

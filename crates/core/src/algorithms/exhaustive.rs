@@ -6,6 +6,7 @@
 //! and therefore anchors all correctness tests.
 
 use super::Solution;
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::params::ParamEval;
 use crate::problem::ProblemSpec;
@@ -21,6 +22,21 @@ pub const MAX_EXHAUSTIVE_K: usize = 25;
 /// # Panics
 /// Panics if `K` exceeds [`MAX_EXHAUSTIVE_K`].
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
+    solve_bounded(space, conj, problem, &CancelToken::unlimited())
+}
+
+/// [`solve`] polling `token` once per enumerated subset; on a trip the scan
+/// stops and the best incumbent so far is returned (the caller tags it
+/// degraded).
+///
+/// # Panics
+/// Panics if `K` exceeds [`MAX_EXHAUSTIVE_K`].
+pub fn solve_bounded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    token: &CancelToken,
+) -> Solution {
     let eval = ParamEval::new(space, conj);
     let k = space.k();
     assert!(
@@ -33,6 +49,9 @@ pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) ->
     // Subset 0 is the empty personalization; skipped as a "solution" (the
     // paper's algorithms return PU = {} only when nothing is feasible).
     for mask in 1u64..(1u64 << k) {
+        if token.should_stop() {
+            break;
+        }
         inst.states_examined += 1;
         let prefs: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
         let params = eval.params_of(&prefs);
@@ -80,6 +99,21 @@ pub fn solve_partitioned(
     problem: &ProblemSpec,
     pool: &ThreadPool,
 ) -> Solution {
+    solve_partitioned_bounded(space, conj, problem, pool, &CancelToken::unlimited())
+}
+
+/// [`solve_partitioned`] sharing one [`CancelToken`] across all workers:
+/// each range scan polls it per subset, so the whole pool stops within one
+/// state of the trip. A degraded partitioned scan keeps bit-identical
+/// *merging* but may have covered a different prefix of the mask space than
+/// the sequential scan at the same trip point.
+pub fn solve_partitioned_bounded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    pool: &ThreadPool,
+    token: &CancelToken,
+) -> Solution {
     let k = space.k();
     assert!(
         k <= MAX_EXHAUSTIVE_K,
@@ -103,6 +137,9 @@ pub fn solve_partitioned(
         let mut inst = Instrument::new();
         let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
         for mask in lo..hi {
+            if token.should_stop() {
+                break;
+            }
             inst.states_examined += 1;
             let prefs: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
             let params = eval.params_of(&prefs);

@@ -15,6 +15,7 @@
 //! the noisy-or model, maximizing doi is equivalent to maximizing
 //! `Σ −ln(1−doi_i)`, an additive weight.
 
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::spaces::SpaceView;
 use crate::state::State;
@@ -25,11 +26,13 @@ use cqp_prefs::Doi;
 /// Returns the best preference set (as P-indices) and its doi. Boundaries
 /// are examined in decreasing group size with the `BestExpectedDoi` early
 /// exit: once the best doi found exceeds what the largest remaining group
-/// could possibly reach, scanning stops.
+/// could possibly reach, scanning stops. `token` is polled per boundary;
+/// on a trip the best refinement so far is returned.
 pub fn c_find_max_doi(
     view: &SpaceView<'_>,
     boundaries: &[State],
     inst: &mut Instrument,
+    token: &CancelToken,
 ) -> (Vec<usize>, Doi) {
     let k_total = view.k();
     let mut sorted: Vec<&State> = boundaries.iter().collect();
@@ -40,6 +43,9 @@ pub fn c_find_max_doi(
     let mut group = k_total; // current group size being examined
 
     for r in sorted {
+        if token.should_stop() {
+            break;
+        }
         if r.len() < group {
             group = r.len();
             let best_expected = view.eval().best_doi_for_group(group);
@@ -154,7 +160,7 @@ mod tests {
             State::from_indices(vec![3]),
             State::from_indices(vec![1, 2]),
         ];
-        let (best, doi) = c_find_max_doi(&view, &boundaries, &mut inst);
+        let (best, doi) = c_find_max_doi(&view, &boundaries, &mut inst, &CancelToken::unlimited());
         assert_eq!(best, vec![0, 2]);
         // doi = 1 - 0.1*0.3 = 0.97
         assert!((doi.value() - 0.97).abs() < 1e-12);
@@ -171,7 +177,7 @@ mod tests {
             State::from_indices(vec![0, 1, 2]),
             State::from_indices(vec![3]),
         ];
-        let (best, doi) = c_find_max_doi(&view, &boundaries, &mut inst);
+        let (best, doi) = c_find_max_doi(&view, &boundaries, &mut inst, &CancelToken::unlimited());
         assert_eq!(best.len(), 3);
         assert!(doi > view.eval().best_doi_for_group(1));
     }
@@ -181,7 +187,7 @@ mod tests {
         let space = mixed_space();
         let view = SpaceView::cost(&space, ConjModel::NoisyOr);
         let mut inst = Instrument::new();
-        let (best, doi) = c_find_max_doi(&view, &[], &mut inst);
+        let (best, doi) = c_find_max_doi(&view, &[], &mut inst, &CancelToken::unlimited());
         assert!(best.is_empty());
         assert_eq!(doi, Doi::ZERO);
     }

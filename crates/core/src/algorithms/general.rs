@@ -31,6 +31,7 @@
 
 use super::prune::Pruner;
 use super::{c_boundaries, Solution};
+use crate::budget::CancelToken;
 use crate::instrument::Instrument;
 use crate::problem::{Constraints, Objective, ProblemKind, ProblemSpec};
 use crate::spaces::SpaceView;
@@ -47,23 +48,47 @@ use std::collections::VecDeque;
 /// exact answer on Problems 1, 3, 5, 6 use
 /// [`super::branch_bound::solve`].
 pub fn solve(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
-    match problem.kind() {
-        Some(ProblemKind::P2) => {
-            let cmax = problem
-                .constraints
-                .cost_max_blocks
-                .expect("P2 has a cost bound by construction");
-            c_boundaries::solve(space, conj, cmax)
+    solve_bounded(space, conj, problem, &CancelToken::unlimited())
+}
+
+/// [`solve`] polling `token` in every search loop; on a trip the best
+/// feasible candidate found so far is returned (the caller tags it
+/// degraded).
+pub fn solve_bounded(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    token: &CancelToken,
+) -> Solution {
+    // P2 dispatches to the exact C-BOUNDARIES when its cost bound is
+    // present (always true for specs built via `ProblemSpec::p2`, but a
+    // hand-rolled spec without one falls through to the band search
+    // instead of panicking).
+    if problem.kind() == Some(ProblemKind::P2) {
+        if let Some(cmax) = problem.constraints.cost_max_blocks {
+            return c_boundaries::solve_budgeted(
+                space,
+                conj,
+                cmax,
+                &cqp_obs::NoopRecorder,
+                None,
+                token,
+            );
         }
-        _ => match problem.objective {
-            Objective::MaxDoi => max_doi_band(space, conj, problem),
-            Objective::MinCost => min_cost_mirror(space, conj, problem),
-        },
+    }
+    match problem.objective {
+        Objective::MaxDoi => max_doi_band(space, conj, problem, token),
+        Objective::MinCost => min_cost_mirror(space, conj, problem, token),
     }
 }
 
 /// MaxDoi under a constraint band (Problems 1 and 3).
-fn max_doi_band(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
+fn max_doi_band(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    token: &CancelToken,
+) -> Solution {
     // Primary space: cost when a cost bound exists (P3), else size (P1).
     let view = if problem.constraints.cost_max_blocks.is_some() {
         SpaceView::cost(space, conj)
@@ -72,11 +97,14 @@ fn max_doi_band(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec)
     };
     let eval = view.eval();
     let mut inst = Instrument::new();
-    let boundaries = find_band_boundaries(&view, &problem.constraints, &mut inst);
+    let boundaries = find_band_boundaries_bounded(&view, &problem.constraints, &mut inst, token);
     inst.boundaries_found = boundaries.len() as u64;
 
     let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
     for b in &boundaries {
+        if token.should_stop() {
+            break;
+        }
         // Candidate 1: the boundary itself.
         // Candidate 2: suffix-refined for max doi (keeps down-closed).
         // Candidate 3: suffix-refined for min size (helps reach smax).
@@ -107,7 +135,12 @@ fn max_doi_band(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec)
 }
 
 /// MinCost with up-closed requirements (Problems 4, 5, 6).
-fn min_cost_mirror(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSpec) -> Solution {
+fn min_cost_mirror(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    token: &CancelToken,
+) -> Solution {
     // Primary space: doi when a doi bound exists (P4/P5), else size (P6).
     let view = if problem.constraints.doi_min.is_some() {
         SpaceView::doi(space, conj)
@@ -116,11 +149,14 @@ fn min_cost_mirror(space: &PreferenceSpace, conj: ConjModel, problem: &ProblemSp
     };
     let eval = view.eval();
     let mut inst = Instrument::new();
-    let minimal = find_minimal_up(&view, &problem.constraints, &mut inst);
+    let minimal = find_minimal_up_bounded(&view, &problem.constraints, &mut inst, token);
     inst.boundaries_found = minimal.len() as u64;
 
     let mut best: Option<(Vec<usize>, crate::params::QueryParams)> = None;
     for m in &minimal {
+        if token.should_stop() {
+            break;
+        }
         let refined = refine_prefix(&view, m, |p| eval.space().cost_blocks(p) as f64, false);
         for cand in [m.to_pref_indices(view.order()), refined] {
             let params = eval.params_of(&cand);
@@ -154,6 +190,17 @@ pub fn find_band_boundaries(
     constraints: &Constraints,
     inst: &mut Instrument,
 ) -> Vec<State> {
+    find_band_boundaries_bounded(view, constraints, inst, &CancelToken::unlimited())
+}
+
+/// [`find_band_boundaries`] polling `token` once per dequeued state; on a
+/// trip the boundaries recorded so far are returned.
+pub fn find_band_boundaries_bounded(
+    view: &SpaceView<'_>,
+    constraints: &Constraints,
+    inst: &mut Instrument,
+    token: &CancelToken,
+) -> Vec<State> {
     let mut boundaries: Vec<State> = Vec::new();
     if view.k() == 0 {
         return boundaries;
@@ -166,6 +213,9 @@ pub fn find_band_boundaries(
     rq.push_back(start);
 
     while let Some(r) = rq.pop_front() {
+        if token.should_stop() {
+            break;
+        }
         rq_bytes -= r.heap_bytes();
         inst.states_examined += 1;
         let params = view.state_params(&r);
@@ -203,6 +253,17 @@ pub fn find_minimal_up(
     constraints: &Constraints,
     inst: &mut Instrument,
 ) -> Vec<State> {
+    find_minimal_up_bounded(view, constraints, inst, &CancelToken::unlimited())
+}
+
+/// [`find_minimal_up`] polling `token` once per dequeued state; on a trip
+/// the minimal feasible nodes recorded so far are returned.
+pub fn find_minimal_up_bounded(
+    view: &SpaceView<'_>,
+    constraints: &Constraints,
+    inst: &mut Instrument,
+    token: &CancelToken,
+) -> Vec<State> {
     let mut minimal: Vec<State> = Vec::new();
     if view.k() == 0 {
         return minimal;
@@ -215,6 +276,9 @@ pub fn find_minimal_up(
     rq.push_back(start);
 
     while let Some(mut r) = rq.pop_front() {
+        if token.should_stop() {
+            break;
+        }
         rq_bytes -= r.heap_bytes();
         inst.states_examined += 1;
         // Climb until the up-closed constraints hold.

@@ -78,7 +78,7 @@ pub fn solve_p2_with(
             if is_tabu && !improves_best {
                 continue;
             }
-            if best_move.is_none() || e < best_move.unwrap().1 {
+            if best_move.is_none_or(|(_, be)| e < be) {
                 best_move = Some((i, e));
             }
         }

@@ -28,6 +28,7 @@ pub mod generic;
 pub mod pareto;
 pub mod prune;
 
+use crate::budget::{CancelToken, DegradedInfo};
 use crate::instrument::Instrument;
 use crate::params::{ParamEval, QueryParams};
 use cqp_obs::record::span_guard;
@@ -56,6 +57,12 @@ pub struct Solution {
     /// single-phase ones). `instrument` remains the merged total; this
     /// preserves the attribution that `Instrument::merge` erases.
     pub phases: Vec<(&'static str, Instrument)>,
+    /// `Some` when the search gave up before completion (deadline, state
+    /// budget, or external cancellation) and this is the best-so-far
+    /// incumbent rather than the algorithm's full answer. Incumbents are
+    /// feasible by construction, so a degraded solution with `found == true`
+    /// still satisfies the problem's hard range constraints.
+    pub degraded: Option<DegradedInfo>,
 }
 
 impl Solution {
@@ -69,6 +76,7 @@ impl Solution {
             found: false,
             instrument: Instrument::default(),
             phases: Vec::new(),
+            degraded: None,
         }
     }
 
@@ -84,6 +92,7 @@ impl Solution {
             size_rows: params.size_rows,
             instrument,
             phases: Vec::new(),
+            degraded: None,
         }
     }
 
@@ -208,27 +217,74 @@ pub fn solve_p2_cached(
     recorder: &dyn Recorder,
     shared: Option<&crate::cost_cache::SharedCostCache>,
 ) -> Solution {
+    solve_p2_budgeted(
+        space,
+        conj,
+        cmax_blocks,
+        algorithm,
+        recorder,
+        shared,
+        &CancelToken::unlimited(),
+    )
+}
+
+/// [`solve_p2_cached`] under a [`CancelToken`]: every state-space loop polls
+/// the token, and if it trips the solution returned is the best-so-far
+/// incumbent tagged [`Solution::degraded`]. The generic baselines
+/// (annealing/tabu/genetic) run a fixed iteration budget of their own and
+/// ignore the token.
+pub fn solve_p2_budgeted(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    cmax_blocks: u64,
+    algorithm: Algorithm,
+    recorder: &dyn Recorder,
+    shared: Option<&crate::cost_cache::SharedCostCache>,
+    token: &CancelToken,
+) -> Solution {
     let span = span_guard(recorder, algorithm.name());
-    let sol = match algorithm {
-        Algorithm::Exhaustive => exhaustive::solve_p2(space, conj, cmax_blocks),
+    let mut sol = match algorithm {
+        Algorithm::Exhaustive => exhaustive::solve_bounded(
+            space,
+            conj,
+            &crate::problem::ProblemSpec::p2(cmax_blocks),
+            token,
+        ),
         Algorithm::CBoundaries => {
-            c_boundaries::solve_cached(space, conj, cmax_blocks, recorder, shared)
+            c_boundaries::solve_budgeted(space, conj, cmax_blocks, recorder, shared, token)
         }
-        Algorithm::CMaxBounds => c_maxbounds::solve_recorded(space, conj, cmax_blocks, recorder),
-        Algorithm::DMaxDoi => d_maxdoi::solve_recorded(space, conj, cmax_blocks, recorder),
-        Algorithm::DSingleMaxDoi => d_singlemaxdoi::solve(space, conj, cmax_blocks),
-        Algorithm::DHeurDoi => d_heurdoi::solve(space, conj, cmax_blocks),
-        Algorithm::BranchBound => {
-            branch_bound::solve(space, conj, &crate::problem::ProblemSpec::p2(cmax_blocks))
+        Algorithm::CMaxBounds => {
+            c_maxbounds::solve_budgeted(space, conj, cmax_blocks, recorder, token)
         }
+        Algorithm::DMaxDoi => d_maxdoi::solve_budgeted(space, conj, cmax_blocks, recorder, token),
+        Algorithm::DSingleMaxDoi => d_singlemaxdoi::solve_budgeted(space, conj, cmax_blocks, token),
+        Algorithm::DHeurDoi => d_heurdoi::solve_budgeted(space, conj, cmax_blocks, token),
+        Algorithm::BranchBound => branch_bound::solve_bounded(
+            space,
+            conj,
+            &crate::problem::ProblemSpec::p2(cmax_blocks),
+            token,
+        ),
         Algorithm::Annealing => generic::annealing::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
         Algorithm::Tabu => generic::tabu::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
         Algorithm::Genetic => generic::genetic::solve_p2(space, conj, cmax_blocks, 0xC0FFEE),
     };
+    sol.degraded = token.degraded_info();
     // Two-phase algorithms flush per phase; everything else flushes its
     // blended total here, inside the algorithm span.
     if sol.phases.is_empty() {
         sol.instrument.flush_to(recorder);
+    }
+    if let Some(d) = &sol.degraded {
+        recorder.add("solver.degraded", 1);
+        if recorder.is_enabled() {
+            recorder.event(&format!(
+                "{}: degraded ({}) after {} states",
+                algorithm.name(),
+                d.reason.name(),
+                d.states_visited,
+            ));
+        }
     }
     if recorder.is_enabled() {
         recorder.event(&format!(

@@ -22,20 +22,55 @@
 //! the cost a private evaluation would compute — so `threads = N` is
 //! bit-identical to `threads = 1` (verified in `tests/parallel.rs`).
 
-use crate::algorithms::{solve_p2_cached, Algorithm, Solution};
+use crate::algorithms::{exhaustive, solve_p2_budgeted, Algorithm, Solution};
+use crate::budget::CancelToken;
 use crate::construct::construct;
 use crate::cost_cache::SharedCostCache;
+use crate::error::CqpError;
 use crate::problem::{ProblemKind, ProblemSpec};
 use crate::solver::{CqpSystem, SolverConfig, SolverError};
-use cqp_engine::ConjunctiveQuery;
+use cqp_engine::{execute_personalized, ConjunctiveQuery};
 use cqp_obs::metrics::Histogram;
 use cqp_obs::record::span_guard;
 use cqp_obs::{NoopRecorder, Recorder};
 use cqp_par::ThreadPool;
 use cqp_prefs::Profile;
-use cqp_storage::{Database, DbStats};
+use cqp_storage::{Database, DbStats, FaultPlan, IoMeter};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Retry behavior for transient (injected I/O) execution failures.
+///
+/// The default retries nothing; `backoff` doubles per attempt
+/// (`backoff << attempt`), so `backoff = 0` retries immediately —
+/// deterministic and fast, the right setting for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional execution attempts after the first failure.
+    pub max_retries: u32,
+    /// Sleep before retry `i` is `backoff * 2^i`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retry up to `max_retries` times with no backoff.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// One personalization request in a batch.
 #[derive(Debug, Clone)]
@@ -63,6 +98,13 @@ pub struct BatchItemResult {
     pub space_k: usize,
     /// Wall-clock latency of this request, microseconds.
     pub latency_us: u64,
+    /// Result rows when the driver executed the query
+    /// ([`BatchDriver::with_execution`]); `None` when the batch stops at
+    /// construction.
+    pub exec_rows: Option<usize>,
+    /// Execution attempts that failed transiently before this request
+    /// succeeded (0 when execution is off or succeeded first try).
+    pub exec_retries: u32,
 }
 
 /// Aggregate figures for one batch run.
@@ -88,6 +130,16 @@ pub struct BatchStats {
     pub cache_misses: u64,
     /// Tasks migrated between workers by stealing.
     pub steals: u64,
+    /// Execution retries across the batch (transient failures that were
+    /// retried under the [`RetryPolicy`]).
+    pub retries: u64,
+    /// Requests whose search hit its budget and returned a degraded
+    /// incumbent.
+    pub degraded: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Worker panics converted to [`CqpError::Internal`] results.
+    pub panics_caught: u64,
 }
 
 /// Serves batches of personalization requests over one shared database.
@@ -97,6 +149,13 @@ pub struct BatchDriver {
     stats: Arc<DbStats>,
     threads: usize,
     cache_shards: usize,
+    /// `Some(ms_per_block)` executes each personalized query after
+    /// construction, metering its I/O.
+    execution_ms_per_block: Option<f64>,
+    /// Fault injection applied to execution reads (shared across the batch
+    /// so its schedule is global, like a flaky disk would be).
+    fault_plan: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl BatchDriver {
@@ -114,7 +173,32 @@ impl BatchDriver {
             stats,
             threads: threads.max(1),
             cache_shards: crate::cost_cache::DEFAULT_SHARDS,
+            execution_ms_per_block: None,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Execute each personalized query after construction, metering I/O at
+    /// `ms_per_block` simulated milliseconds per block.
+    pub fn with_execution(mut self, ms_per_block: f64) -> Self {
+        self.execution_ms_per_block = Some(ms_per_block);
+        self
+    }
+
+    /// Inject faults into execution reads according to `plan`. The plan is
+    /// shared batch-wide: its read counter advances across all requests and
+    /// workers, so the fault schedule is a property of the batch, not of
+    /// any one request.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Retry transient execution failures under `policy`.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// The worker count this driver fans out to.
@@ -146,27 +230,55 @@ impl BatchDriver {
         let cache = SharedCostCache::new(self.cache_shards);
         let db = &self.db;
         let stats = &self.stats;
+        let retries = AtomicU64::new(0);
+        let panics = AtomicU64::new(0);
 
         let t0 = Instant::now();
         let results = pool.run(requests, |ctx, _i, req| {
             let t = Instant::now();
             let _worker = span_guard(recorder, ctx.span_name);
-            let r = serve_one(db, stats, &cache, &req, recorder);
+            // A panicking request must not take the batch down: convert it
+            // to an Internal error and keep serving. The pipeline holds no
+            // locks or shared mutable state across the catch boundary (the
+            // cost cache recovers poisoned shards itself), so resuming is
+            // sound.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_one(db, stats, &cache, &req, recorder, self, &retries)
+            }))
+            .unwrap_or_else(|payload| {
+                panics.fetch_add(1, Ordering::Relaxed);
+                recorder.add("batch.panics_caught", 1);
+                Err(CqpError::Internal(panic_message(payload.as_ref())))
+            });
             let latency_us = t.elapsed().as_micros() as u64;
             recorder.observe("batch.latency_us", latency_us);
-            r.map(|(solution, query, sql, space_k)| BatchItemResult {
-                solution,
-                query,
-                sql,
-                space_k,
-                latency_us,
-            })
+            r.map(
+                |(solution, query, sql, space_k, exec_rows, exec_retries)| BatchItemResult {
+                    solution,
+                    query,
+                    sql,
+                    space_k,
+                    latency_us,
+                    exec_rows,
+                    exec_retries,
+                },
+            )
         });
         let wall_secs = t0.elapsed().as_secs_f64();
 
         let mut latencies = Histogram::default();
-        for r in results.iter().flatten() {
-            latencies.observe(r.latency_us);
+        let mut degraded = 0u64;
+        let mut errors = 0u64;
+        for r in &results {
+            match r {
+                Ok(item) => {
+                    latencies.observe(item.latency_us);
+                    if item.solution.degraded.is_some() {
+                        degraded += 1;
+                    }
+                }
+                Err(_) => errors += 1,
+            }
         }
         let stats = BatchStats {
             requests: n,
@@ -183,51 +295,135 @@ impl BatchDriver {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             steals: pool.steals(),
+            retries: retries.load(Ordering::Relaxed),
+            degraded,
+            errors,
+            panics_caught: panics.load(Ordering::Relaxed),
         };
         recorder.add("batch.requests", n as u64);
         recorder.add("batch.cache_hits", stats.cache_hits);
         recorder.add("batch.cache_misses", stats.cache_misses);
         recorder.add("batch.steals", stats.steals);
+        recorder.add("batch.degraded", stats.degraded);
+        recorder.add("batch.errors", stats.errors);
         recorder.set_gauge("batch.requests_per_sec", stats.requests_per_sec);
         (results, stats)
     }
 }
 
+/// Renders a panic payload into the human-readable part of
+/// [`CqpError::Internal`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_owned()
+    }
+}
+
+type ServedItem = (
+    Solution,
+    cqp_engine::PersonalizedQuery,
+    String,
+    usize,
+    Option<usize>,
+    u32,
+);
+
 /// One request's pipeline: preference space → search (through the shared
-/// cost cache where the algorithm supports it) → query construction.
+/// cost cache where the algorithm supports it, under the request's budget)
+/// → query construction → optional metered execution with
+/// retry-on-transient-failure.
 fn serve_one(
     db: &Database,
     stats: &DbStats,
     cache: &SharedCostCache,
     req: &BatchRequest,
     recorder: &dyn Recorder,
-) -> Result<(Solution, cqp_engine::PersonalizedQuery, String, usize), SolverError> {
+    driver: &BatchDriver,
+    batch_retries: &AtomicU64,
+) -> Result<ServedItem, SolverError> {
     let _span = span_guard(recorder, "personalize");
     let system = CqpSystem::from_parts(db, stats.clone());
     let space = {
         let _s = span_guard(recorder, "prefspace");
         system.preference_space(&req.query, &req.profile, &req.config)
     };
+    if req.config.algorithm == Algorithm::Exhaustive && space.k() > exhaustive::MAX_EXHAUSTIVE_K {
+        return Err(CqpError::SpaceTooLarge {
+            k: space.k(),
+            max: exhaustive::MAX_EXHAUSTIVE_K,
+        });
+    }
     let solution = {
         let _s = span_guard(recorder, "search");
-        match (req.problem.kind(), req.config.algorithm) {
-            // P2 through the cache-aware dispatcher: C-BOUNDARIES shares
-            // cost evaluations batch-wide, everything else is unchanged.
-            (Some(ProblemKind::P2), algo) if algo != Algorithm::BranchBound => {
-                let cmax = req
-                    .problem
-                    .constraints
-                    .cost_max_blocks
-                    .expect("P2 carries a cost bound");
-                solve_p2_cached(&space, req.config.conj, cmax, algo, recorder, Some(cache))
+        // P2 through the cache-aware dispatcher: C-BOUNDARIES shares cost
+        // evaluations batch-wide, everything else is unchanged. A P2-shaped
+        // spec missing its cost bound takes the facade path like any other
+        // problem.
+        let cached_p2 = (req.problem.kind() == Some(ProblemKind::P2)
+            && req.config.algorithm != Algorithm::BranchBound)
+            .then_some(req.problem.constraints.cost_max_blocks)
+            .flatten();
+        match cached_p2 {
+            Some(cmax) => {
+                let token = CancelToken::for_budget(&req.config.budget);
+                solve_p2_budgeted(
+                    &space,
+                    req.config.conj,
+                    cmax,
+                    req.config.algorithm,
+                    recorder,
+                    Some(cache),
+                    &token,
+                )
             }
-            _ => system.search_recorded(&space, &req.problem, &req.config, recorder),
+            None => system.search_recorded(&space, &req.problem, &req.config, recorder),
         }
     };
-    let _s = span_guard(recorder, "construct");
-    let pq = construct(&req.query, &space, &solution.prefs)?;
+    let pq = {
+        let _s = span_guard(recorder, "construct");
+        construct(&req.query, &space, &solution.prefs)?
+    };
     let sql = cqp_engine::sql::personalized_sql(db.catalog(), &pq);
-    Ok((solution, pq, sql, space.k()))
+
+    let mut exec_rows = None;
+    let mut exec_retries = 0u32;
+    if let Some(ms_per_block) = driver.execution_ms_per_block {
+        let _s = span_guard(recorder, "execute");
+        loop {
+            let mut meter = IoMeter::new(ms_per_block);
+            if let Some(plan) = &driver.fault_plan {
+                meter = meter.with_fault_plan(Arc::clone(plan));
+            }
+            match execute_personalized(db, &pq, &meter) {
+                Ok(out) => {
+                    exec_rows = Some(out.len());
+                    break;
+                }
+                Err(e) => {
+                    let e = CqpError::from(e);
+                    if e.is_transient() {
+                        recorder.add(cqp_storage::FAULTS_INJECTED_COUNTER, 1);
+                    }
+                    if e.is_transient() && exec_retries < driver.retry.max_retries {
+                        recorder.add("batch.retries", 1);
+                        batch_retries.fetch_add(1, Ordering::Relaxed);
+                        let backoff = driver.retry.backoff * 2u32.saturating_pow(exec_retries);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        exec_retries += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok((solution, pq, sql, space.k(), exec_rows, exec_retries))
 }
 
 #[cfg(test)]

@@ -1,0 +1,298 @@
+//! Search budgets and cooperative cancellation.
+//!
+//! The paper's heuristics exist because exact search can blow past an
+//! interactive latency budget (Section 6, Figures 12–13). This module makes
+//! that tradeoff explicit at serving time: a [`Budget`] on
+//! [`SolverConfig`](crate::solver::SolverConfig) bounds wall-clock time and
+//! states visited, and a [`CancelToken`] threads those bounds cooperatively
+//! through every state-space loop. When a bound trips, the algorithm stops
+//! expanding and returns its best-so-far incumbent tagged with
+//! [`DegradedInfo`] instead of running on (or aborting). Incumbents are
+//! feasible by construction, so a degraded solution still satisfies the
+//! problem's hard range constraints whenever one was found at all.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resource bounds for a single personalization request.
+///
+/// `Budget::default()` is unlimited: searches run to completion exactly as
+/// before. Both bounds may be combined; whichever trips first wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock deadline, measured from the moment the search starts.
+    pub deadline: Option<Duration>,
+    /// Maximum number of search states to visit.
+    pub max_states: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A wall-clock deadline in milliseconds.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        Budget {
+            deadline: Some(Duration::from_millis(ms)),
+            max_states: None,
+        }
+    }
+
+    /// A bound on visited search states.
+    pub fn with_max_states(n: u64) -> Self {
+        Budget {
+            deadline: None,
+            max_states: Some(n),
+        }
+    }
+
+    /// Whether this budget imposes no bound at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_states.is_none()
+    }
+}
+
+/// Why a search degraded to its incumbent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The visited-state budget ran out.
+    StateLimit,
+    /// An external cancellation flag was raised.
+    Cancelled,
+}
+
+impl DegradeReason {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeReason::DeadlineExceeded => "deadline_exceeded",
+            DegradeReason::StateLimit => "state_limit",
+            DegradeReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// How and when a search gave up, attached to the returned
+/// [`Solution`](crate::algorithms::Solution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedInfo {
+    /// What tripped.
+    pub reason: DegradeReason,
+    /// Wall-clock time from search start to the trip.
+    pub elapsed: Duration,
+    /// States visited (token polls) up to the trip.
+    pub states_visited: u64,
+}
+
+const FIRED_NONE: u8 = 0;
+const FIRED_DEADLINE: u8 = 1;
+const FIRED_STATES: u8 = 2;
+const FIRED_FLAG: u8 = 3;
+
+/// Cooperative cancellation token polled once per visited search state.
+///
+/// All interior state is atomic, so partitioned searches can share one token
+/// by reference across worker threads; the first worker to observe a tripped
+/// bound latches the reason for everyone. The deadline is only checked every
+/// 64th poll (starting with the very first, so a zero deadline degrades
+/// immediately) to keep `Instant::now()` out of the hot loop.
+#[derive(Debug)]
+pub struct CancelToken {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_states: Option<u64>,
+    flag: Option<Arc<AtomicBool>>,
+    states: AtomicU64,
+    fired: AtomicU8,
+    /// Precomputed: no bound of any kind, polls are a single load.
+    passive: bool,
+}
+
+impl CancelToken {
+    /// A token that never cancels.
+    pub fn unlimited() -> Self {
+        CancelToken::for_budget(&Budget::unlimited())
+    }
+
+    /// A token enforcing `budget`, with the clock starting now.
+    pub fn for_budget(budget: &Budget) -> Self {
+        let start = Instant::now();
+        CancelToken {
+            start,
+            deadline: budget.deadline.map(|d| start + d),
+            max_states: budget.max_states,
+            flag: None,
+            states: AtomicU64::new(0),
+            fired: AtomicU8::new(FIRED_NONE),
+            passive: budget.is_unlimited(),
+        }
+    }
+
+    /// Attaches an external cancellation flag (e.g. a batch-wide shutdown).
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.passive = false;
+        self.flag = Some(flag);
+        self
+    }
+
+    /// Records one visited state and reports whether the search must stop.
+    ///
+    /// Once tripped, every subsequent call returns `true` immediately, so
+    /// deep recursions unwind quickly.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        if self.passive {
+            return false;
+        }
+        if self.fired.load(Ordering::Relaxed) != FIRED_NONE {
+            return true;
+        }
+        let n = self.states.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(max) = self.max_states {
+            if n > max {
+                self.trip(FIRED_STATES);
+                return true;
+            }
+        }
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                self.trip(FIRED_FLAG);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            // First poll (n == 1) always checks, so a ~0 deadline degrades
+            // before any real work happens; after that, every 64th.
+            if (n & 63) == 1 && Instant::now() >= deadline {
+                self.trip(FIRED_DEADLINE);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn trip(&self, why: u8) {
+        let _ = self
+            .fired
+            .compare_exchange(FIRED_NONE, why, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Whether the token has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Relaxed) != FIRED_NONE
+    }
+
+    /// States visited so far (token polls).
+    pub fn states_visited(&self) -> u64 {
+        self.states.load(Ordering::Relaxed)
+    }
+
+    /// If tripped, the reason/elapsed/states snapshot to tag the solution
+    /// with; `None` while the search is still within budget.
+    pub fn degraded_info(&self) -> Option<DegradedInfo> {
+        let reason = match self.fired.load(Ordering::Relaxed) {
+            FIRED_DEADLINE => DegradeReason::DeadlineExceeded,
+            FIRED_STATES => DegradeReason::StateLimit,
+            FIRED_FLAG => DegradeReason::Cancelled,
+            _ => return None,
+        };
+        Some(DegradedInfo {
+            reason,
+            elapsed: self.start.elapsed(),
+            states_visited: self.states_visited(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let t = CancelToken::unlimited();
+        for _ in 0..10_000 {
+            assert!(!t.should_stop());
+        }
+        assert!(!t.is_cancelled());
+        assert!(t.degraded_info().is_none());
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_poll() {
+        let t = CancelToken::for_budget(&Budget::with_deadline_ms(0));
+        assert!(t.should_stop());
+        assert!(t.is_cancelled());
+        let info = t.degraded_info().unwrap();
+        assert_eq!(info.reason, DegradeReason::DeadlineExceeded);
+        assert_eq!(info.states_visited, 1);
+    }
+
+    #[test]
+    fn state_limit_trips_exactly() {
+        let t = CancelToken::for_budget(&Budget::with_max_states(5));
+        for _ in 0..5 {
+            assert!(!t.should_stop());
+        }
+        assert!(t.should_stop());
+        let info = t.degraded_info().unwrap();
+        assert_eq!(info.reason, DegradeReason::StateLimit);
+    }
+
+    #[test]
+    fn flag_trips() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::unlimited().with_flag(flag.clone());
+        assert!(!t.should_stop());
+        flag.store(true, Ordering::Relaxed);
+        assert!(t.should_stop());
+        assert_eq!(t.degraded_info().unwrap().reason, DegradeReason::Cancelled);
+    }
+
+    #[test]
+    fn once_tripped_stays_tripped() {
+        let t = CancelToken::for_budget(&Budget::with_max_states(1));
+        assert!(!t.should_stop());
+        assert!(t.should_stop());
+        for _ in 0..100 {
+            assert!(t.should_stop());
+        }
+        // The reason does not change after the first trip.
+        assert_eq!(t.degraded_info().unwrap().reason, DegradeReason::StateLimit);
+    }
+
+    #[test]
+    fn token_is_shareable_across_threads() {
+        let t = CancelToken::for_budget(&Budget::with_max_states(1000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| while !t.should_stop() {});
+            }
+        });
+        assert!(t.is_cancelled());
+        assert_eq!(t.degraded_info().unwrap().reason, DegradeReason::StateLimit);
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::with_deadline_ms(10).is_unlimited());
+        assert!(!Budget::with_max_states(10).is_unlimited());
+        assert_eq!(
+            Budget::with_deadline_ms(10).deadline,
+            Some(Duration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        assert_eq!(DegradeReason::DeadlineExceeded.name(), "deadline_exceeded");
+        assert_eq!(DegradeReason::StateLimit.name(), "state_limit");
+        assert_eq!(DegradeReason::Cancelled.name(), "cancelled");
+    }
+}

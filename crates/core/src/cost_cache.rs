@@ -215,14 +215,19 @@ impl SharedCostCache {
     pub fn cost(&self, fingerprint: u64, view: &SpaceView<'_>, s: &State) -> u64 {
         let key = (fingerprint, s.bitkey());
         let shard = self.shard_of(&key);
-        if let Some(&c) = shard.lock().unwrap().map.get(&key) {
+        if let Some(&c) = shard
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .map
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return c;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock: evaluation is the expensive part.
         let c = view.state_cost(s);
-        let mut guard = shard.lock().unwrap();
+        let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
         if !guard.map.contains_key(&key) {
             if guard.map.len() >= self.capacity_per_shard {
                 if let Some(victim) = guard.order.pop_front() {
@@ -260,7 +265,7 @@ impl SharedCostCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().map.len())
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).map.len())
             .sum()
     }
 

@@ -1,0 +1,171 @@
+//! The unified error taxonomy for the CQP pipeline.
+//!
+//! [`CqpError`] folds the layer-specific errors — storage
+//! ([`StorageError`]), engine ([`EngineError`]), and query construction
+//! ([`ConstructError`]) — into one type the serving facade and batch driver
+//! return, plus request-validation and internal-fault variants of their own.
+//! The design goal is that a single bad request can never take down a batch:
+//! every failure mode in the hot path maps to a variant here instead of a
+//! `panic!`/`unwrap()`, and [`CqpError::is_transient`] tells the batch
+//! driver's retry loop which failures are worth retrying (injected I/O
+//! faults) versus permanent (schema errors, malformed requests).
+
+use crate::construct::ConstructError;
+use cqp_engine::EngineError;
+use cqp_storage::StorageError;
+use std::fmt;
+
+/// Any error the CQP pipeline can surface.
+#[derive(Debug)]
+pub enum CqpError {
+    /// Query construction failed.
+    Construct(ConstructError),
+    /// Query execution failed.
+    Engine(EngineError),
+    /// A storage operation failed outside the engine (e.g. loading data).
+    Storage(StorageError),
+    /// The request itself is malformed (caught before any search runs).
+    InvalidRequest(String),
+    /// The preference space is too large for the selected algorithm
+    /// (exhaustive enumeration is capped at
+    /// [`MAX_EXHAUSTIVE_K`](crate::algorithms::exhaustive::MAX_EXHAUSTIVE_K)).
+    SpaceTooLarge {
+        /// Preferences in the extracted space.
+        k: usize,
+        /// Algorithm's hard cap.
+        max: usize,
+    },
+    /// A caught panic or other invariant violation; carries the panic
+    /// payload's message when one was available.
+    Internal(String),
+}
+
+impl fmt::Display for CqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqpError::Construct(e) => write!(f, "construction failed: {e}"),
+            CqpError::Engine(e) => write!(f, "execution failed: {e}"),
+            CqpError::Storage(e) => write!(f, "storage failed: {e}"),
+            CqpError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            CqpError::SpaceTooLarge { k, max } => {
+                write!(f, "preference space too large: K={k} exceeds cap {max}")
+            }
+            CqpError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqpError {}
+
+impl From<ConstructError> for CqpError {
+    fn from(e: ConstructError) -> Self {
+        CqpError::Construct(e)
+    }
+}
+
+impl From<EngineError> for CqpError {
+    fn from(e: EngineError) -> Self {
+        CqpError::Engine(e)
+    }
+}
+
+impl From<StorageError> for CqpError {
+    fn from(e: StorageError) -> Self {
+        CqpError::Storage(e)
+    }
+}
+
+impl CqpError {
+    /// Whether a retry of the failed request could plausibly succeed.
+    /// Only injected I/O faults qualify; everything else is a property of
+    /// the request or the catalog and will fail identically on retry.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CqpError::Engine(EngineError::Storage(s)) => s.is_transient(),
+            CqpError::Storage(s) => s.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// Stable lowercase tag for counters and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CqpError::Construct(_) => "construct",
+            CqpError::Engine(_) => "engine",
+            CqpError::Storage(_) => "storage",
+            CqpError::InvalidRequest(_) => "invalid_request",
+            CqpError::SpaceTooLarge { .. } => "space_too_large",
+            CqpError::Internal(_) => "internal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_only_for_injected_io() {
+        let t = CqpError::Engine(EngineError::Storage(StorageError::InjectedIo {
+            read_index: 5,
+        }));
+        assert!(t.is_transient());
+        let t = CqpError::Storage(StorageError::InjectedIo { read_index: 0 });
+        assert!(t.is_transient());
+        assert!(!CqpError::Engine(EngineError::EmptyFrom).is_transient());
+        assert!(!CqpError::Construct(ConstructError::NoPreferencePaths).is_transient());
+        assert!(!CqpError::InvalidRequest("x".into()).is_transient());
+        assert!(!CqpError::SpaceTooLarge { k: 30, max: 25 }.is_transient());
+        assert!(!CqpError::Internal("boom".into()).is_transient());
+    }
+
+    #[test]
+    fn display_and_kind_cover_all_variants() {
+        let cases: Vec<(CqpError, &str, &str)> = vec![
+            (
+                CqpError::Construct(ConstructError::PrefIndexOutOfRange(9)),
+                "construct",
+                "construction failed",
+            ),
+            (
+                CqpError::Engine(EngineError::EmptyFrom),
+                "engine",
+                "execution failed",
+            ),
+            (
+                CqpError::Storage(StorageError::UnknownRelation("X".into())),
+                "storage",
+                "storage failed",
+            ),
+            (
+                CqpError::InvalidRequest("no profile".into()),
+                "invalid_request",
+                "invalid request",
+            ),
+            (
+                CqpError::SpaceTooLarge { k: 30, max: 25 },
+                "space_too_large",
+                "too large",
+            ),
+            (
+                CqpError::Internal("boom".into()),
+                "internal",
+                "internal error",
+            ),
+        ];
+        for (e, kind, needle) in cases {
+            assert_eq!(e.kind(), kind);
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn from_impls_wrap_layer_errors() {
+        let e: CqpError = ConstructError::NoPreferencePaths.into();
+        assert!(matches!(e, CqpError::Construct(_)));
+        let e: CqpError = EngineError::EmptyFrom.into();
+        assert!(matches!(e, CqpError::Engine(_)));
+        let e: CqpError = StorageError::RelationIdOutOfRange(3).into();
+        assert!(matches!(e, CqpError::Storage(_)));
+    }
+}

@@ -5,11 +5,13 @@
 //! Query Execution`. [`CqpSystem`] wires the modules of this workspace into
 //! that pipeline.
 
-use crate::algorithms::{self, general, solve_p2_recorded, Algorithm, Solution};
-use crate::construct::{construct, ConstructError};
+use crate::algorithms::{self, general, solve_p2_budgeted, Algorithm, Solution};
+use crate::budget::{Budget, CancelToken};
+use crate::construct::construct;
+use crate::error::CqpError;
 use crate::problem::{ProblemKind, ProblemSpec};
 use cqp_engine::{
-    execute_personalized, execute_personalized_recorded, ConjunctiveQuery, EngineError, ExecOutput,
+    execute_personalized, execute_personalized_recorded, ConjunctiveQuery, ExecOutput,
     PersonalizedQuery,
 };
 use cqp_obs::record::span_guard;
@@ -18,7 +20,6 @@ use cqp_par::ThreadPool;
 use cqp_prefs::{ConjModel, Profile};
 use cqp_prefspace::{extract, ExtractConfig, PreferenceSpace};
 use cqp_storage::{Database, DbStats, IoMeter};
-use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -73,6 +74,11 @@ pub struct SolverConfig {
     /// paper's graph searches are sequential and ignore this — batch-level
     /// parallelism across requests is [`crate::batch`]'s job).
     pub parallelism: Parallelism,
+    /// Wall-clock / state budget for the search phase. When exceeded the
+    /// search returns its best-so-far incumbent tagged
+    /// [`Solution::degraded`] instead of running to completion. Unlimited
+    /// by default.
+    pub budget: Budget,
 }
 
 impl Default for SolverConfig {
@@ -82,41 +88,17 @@ impl Default for SolverConfig {
             extract: ExtractConfig::default(),
             algorithm: Algorithm::CMaxBounds,
             parallelism: Parallelism::default(),
+            budget: Budget::unlimited(),
         }
     }
 }
 
-/// Errors surfaced by the system facade.
-#[derive(Debug)]
-pub enum SolverError {
-    /// Query construction failed.
-    Construct(ConstructError),
-    /// Query execution failed.
-    Engine(EngineError),
-}
-
-impl fmt::Display for SolverError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SolverError::Construct(e) => write!(f, "construction failed: {e}"),
-            SolverError::Engine(e) => write!(f, "execution failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SolverError {}
-
-impl From<ConstructError> for SolverError {
-    fn from(e: ConstructError) -> Self {
-        SolverError::Construct(e)
-    }
-}
-
-impl From<EngineError> for SolverError {
-    fn from(e: EngineError) -> Self {
-        SolverError::Engine(e)
-    }
-}
+/// Errors surfaced by the system facade — the unified [`CqpError`].
+///
+/// Historical alias: earlier revisions had a facade-local two-variant enum;
+/// the taxonomy now lives in [`crate::error`] so storage faults and request
+/// validation share one type with construction and execution failures.
+pub type SolverError = CqpError;
 
 /// The result of a personalization request.
 #[derive(Debug, Clone)]
@@ -198,7 +180,7 @@ impl<'a> CqpSystem<'a> {
         problem: &ProblemSpec,
         config: &SolverConfig,
     ) -> Result<PersonalizationOutcome, SolverError> {
-        self.personalize_recorded(query, profile, problem, config, &NoopRecorder)
+        self.run_recorded(query, profile, problem, config, &NoopRecorder)
     }
 
     /// [`CqpSystem::personalize`] under a `personalize` span with nested
@@ -213,6 +195,33 @@ impl<'a> CqpSystem<'a> {
         config: &SolverConfig,
         recorder: &dyn Recorder,
     ) -> Result<PersonalizationOutcome, SolverError> {
+        self.run_recorded(query, profile, problem, config, recorder)
+    }
+
+    /// Runs the full pipeline for one CQP problem, returning a typed
+    /// [`CqpError`] for every failure mode: infeasible request shapes are
+    /// rejected up front ([`CqpError::SpaceTooLarge`]), construction and
+    /// execution errors propagate, and budget overruns degrade the solution
+    /// ([`Solution::degraded`]) instead of failing the request.
+    pub fn run(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+    ) -> Result<PersonalizationOutcome, CqpError> {
+        self.run_recorded(query, profile, problem, config, &NoopRecorder)
+    }
+
+    /// [`CqpSystem::run`] with spans and `solver.*` counters.
+    pub fn run_recorded(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+        recorder: &dyn Recorder,
+    ) -> Result<PersonalizationOutcome, CqpError> {
         let _run = span_guard(recorder, "personalize");
 
         let t0 = Instant::now();
@@ -223,6 +232,18 @@ impl<'a> CqpSystem<'a> {
             space
         };
         let prefspace_secs = t0.elapsed().as_secs_f64();
+
+        // The exhaustive oracle enumerates 2^K subsets and asserts on
+        // oversized spaces; turn that into a typed rejection so one
+        // oversized request cannot abort a batch.
+        if config.algorithm == Algorithm::Exhaustive
+            && space.k() > algorithms::exhaustive::MAX_EXHAUSTIVE_K
+        {
+            return Err(CqpError::SpaceTooLarge {
+                k: space.k(),
+                max: algorithms::exhaustive::MAX_EXHAUSTIVE_K,
+            });
+        }
 
         let t1 = Instant::now();
         let solution = {
@@ -254,7 +275,10 @@ impl<'a> CqpSystem<'a> {
         self.search_recorded(space, problem, config, &NoopRecorder)
     }
 
-    /// [`CqpSystem::search`] with spans and `solver.*` counters.
+    /// [`CqpSystem::search`] with spans and `solver.*` counters. One
+    /// [`CancelToken`] derived from `config.budget` is shared by every
+    /// search path (and every pool worker in the partitioned ones); a
+    /// tripped token tags the returned incumbent [`Solution::degraded`].
     pub fn search_recorded(
         &self,
         space: &PreferenceSpace,
@@ -262,48 +286,60 @@ impl<'a> CqpSystem<'a> {
         config: &SolverConfig,
         recorder: &dyn Recorder,
     ) -> Solution {
-        match (problem.kind(), config.algorithm) {
-            (_, Algorithm::BranchBound) => {
-                let _span = span_guard(recorder, "BranchBound");
-                let sol = if config.parallelism.threads > 1 {
-                    let pool = config.parallelism.pool();
-                    algorithms::branch_bound::solve_partitioned(space, config.conj, problem, &pool)
-                } else {
-                    algorithms::branch_bound::solve(space, config.conj, problem)
-                };
-                sol.instrument.flush_to(recorder);
-                sol
-            }
-            (Some(ProblemKind::P2), Algorithm::Exhaustive) if config.parallelism.threads > 1 => {
-                let _span = span_guard(recorder, "Exhaustive");
-                let cmax = problem
-                    .constraints
-                    .cost_max_blocks
-                    .expect("P2 carries a cost bound");
+        let token = CancelToken::for_budget(&config.budget);
+        if config.algorithm == Algorithm::BranchBound {
+            let _span = span_guard(recorder, "BranchBound");
+            let mut sol = if config.parallelism.threads > 1 {
                 let pool = config.parallelism.pool();
-                let sol = algorithms::exhaustive::solve_partitioned(
+                algorithms::branch_bound::solve_partitioned_bounded(
                     space,
                     config.conj,
-                    &ProblemSpec::p2(cmax),
+                    problem,
                     &pool,
+                    &token,
+                )
+            } else {
+                algorithms::branch_bound::solve_bounded(space, config.conj, problem, &token)
+            };
+            sol.degraded = token.degraded_info();
+            sol.instrument.flush_to(recorder);
+            return sol;
+        }
+        if problem.kind() == Some(ProblemKind::P2) {
+            // P2 specs built via `ProblemSpec::p2` always carry their cost
+            // bound; a hand-rolled spec without one falls through to the
+            // general search instead of panicking.
+            if let Some(cmax) = problem.constraints.cost_max_blocks {
+                if config.algorithm == Algorithm::Exhaustive && config.parallelism.threads > 1 {
+                    let _span = span_guard(recorder, "Exhaustive");
+                    let pool = config.parallelism.pool();
+                    let mut sol = algorithms::exhaustive::solve_partitioned_bounded(
+                        space,
+                        config.conj,
+                        &ProblemSpec::p2(cmax),
+                        &pool,
+                        &token,
+                    );
+                    sol.degraded = token.degraded_info();
+                    sol.instrument.flush_to(recorder);
+                    return sol;
+                }
+                return solve_p2_budgeted(
+                    space,
+                    config.conj,
+                    cmax,
+                    config.algorithm,
+                    recorder,
+                    None,
+                    &token,
                 );
-                sol.instrument.flush_to(recorder);
-                sol
-            }
-            (Some(ProblemKind::P2), algo) => {
-                let cmax = problem
-                    .constraints
-                    .cost_max_blocks
-                    .expect("P2 carries a cost bound");
-                solve_p2_recorded(space, config.conj, cmax, algo, recorder)
-            }
-            _ => {
-                let _span = span_guard(recorder, "general");
-                let sol = general::solve(space, config.conj, problem);
-                sol.instrument.flush_to(recorder);
-                sol
             }
         }
+        let _span = span_guard(recorder, "general");
+        let mut sol = general::solve_bounded(space, config.conj, problem, &token);
+        sol.degraded = token.degraded_info();
+        sol.instrument.flush_to(recorder);
+        sol
     }
 
     /// Executes a personalized query on the database, returning the rows

@@ -50,11 +50,7 @@ pub fn vertical(view: &SpaceView<'_>, s: &State) -> Vec<State> {
             out.push((view.primary(&n), i, n));
         }
     }
-    out.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("primary values are finite")
-            .then_with(|| a.1.cmp(&b.1))
-    });
+    out.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
     out.into_iter().map(|(_, _, n)| n).collect()
 }
 

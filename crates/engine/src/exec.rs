@@ -64,7 +64,7 @@ fn scan_filtered(
     let mut blocks = 0u64;
     let mut scanned = 0u64;
     for block in table.blocks() {
-        meter.charge(1);
+        meter.try_charge(1)?;
         blocks += 1;
         for row in block.rows() {
             scanned += 1;

@@ -98,12 +98,7 @@ pub fn execute_ranked(
             }
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.doi
-            .partial_cmp(&a.doi)
-            .expect("dois are finite")
-            .then_with(|| a.row.cmp(&b.row))
-    });
+    ranked.sort_by(|a, b| b.doi.total_cmp(&a.doi).then_with(|| a.row.cmp(&b.row)));
     Ok(ranked)
 }
 

@@ -45,6 +45,22 @@ pub enum StorageError {
     },
     /// A relation with this name already exists.
     DuplicateRelation(String),
+    /// An I/O error injected by a [`FaultPlan`](crate::fault::FaultPlan).
+    /// Transient by construction: a retry re-reads under a later read index
+    /// and (unless the plan says otherwise) succeeds.
+    InjectedIo {
+        /// Zero-based global read index at which the fault fired.
+        read_index: u64,
+    },
+}
+
+impl StorageError {
+    /// Whether a retry of the failed operation could plausibly succeed.
+    /// Catalog and schema errors are permanent; only injected I/O faults
+    /// (standing in for the flaky-disk regime) are transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::InjectedIo { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -89,6 +105,9 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` already exists")
             }
+            StorageError::InjectedIo { read_index } => {
+                write!(f, "injected I/O error at block read {read_index}")
+            }
         }
     }
 }
@@ -127,5 +146,12 @@ mod tests {
     fn error_is_std_error() {
         fn takes_error(_: &dyn std::error::Error) {}
         takes_error(&StorageError::RelationIdOutOfRange(7));
+    }
+
+    #[test]
+    fn only_injected_io_is_transient() {
+        assert!(StorageError::InjectedIo { read_index: 3 }.is_transient());
+        assert!(!StorageError::UnknownRelation("X".into()).is_transient());
+        assert!(!StorageError::RelationIdOutOfRange(7).is_transient());
     }
 }

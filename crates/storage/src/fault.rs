@@ -1,0 +1,321 @@
+//! Deterministic fault injection for the simulated disk.
+//!
+//! A [`FaultPlan`] sits between the executor and the [`IoMeter`]: every
+//! metered block read first consults the plan, which may turn the read into
+//! an injected I/O error or tax it with a simulated latency spike. All
+//! decisions are pure functions of `(seed, global read index, mode)`, so a
+//! plan replays identically for a fixed sequence of reads — the property the
+//! fault-injection test suite relies on to assert bit-identical results once
+//! retries succeed.
+//!
+//! Under concurrency the *global read order* is whatever interleaving the
+//! scheduler produced, so per-index decisions remain deterministic but fault
+//! *positions* can move between runs. Tests that need an exact injected-fault
+//! count either run single-threaded, use [`FaultMode::FirstK`] (position
+//! independent), or cap the plan with [`FaultPlan::with_max_faults`] so the
+//! total number of injected errors is fixed regardless of interleaving.
+//!
+//! [`IoMeter`]: crate::disk::IoMeter
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a [`FaultPlan`] does to metered reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultMode {
+    /// Inject an I/O error on every `n`-th read (reads `n-1`, `2n-1`, … in
+    /// zero-based order). `n == 0` never fires.
+    EveryNth {
+        /// Period of the injected errors.
+        n: u64,
+    },
+    /// Inject an I/O error on the first `k` reads, then run clean. This is
+    /// the "first-access failure" regime: position independent, hence fully
+    /// deterministic even under concurrency.
+    FirstK {
+        /// Number of leading reads that fail.
+        k: u64,
+    },
+    /// Inject an I/O error on each read independently with probability
+    /// `rate`, hashed from `(seed, read index)`.
+    Random {
+        /// Per-read failure probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Never error; instead add `spike_ms` of simulated latency to every
+    /// `every`-th read. `every == 0` never fires.
+    LatencySpike {
+        /// Period of the spikes.
+        every: u64,
+        /// Extra simulated milliseconds charged on a spiking read.
+        spike_ms: f64,
+    },
+}
+
+/// Outcome of consulting a plan for one block read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadOutcome {
+    /// The read proceeds normally.
+    Ok,
+    /// The read fails with an injected I/O error at this global index.
+    Fail {
+        /// Zero-based global read index that failed.
+        read_index: u64,
+    },
+    /// The read succeeds but costs this many extra simulated milliseconds.
+    Spike {
+        /// Extra simulated milliseconds.
+        extra_ms: f64,
+    },
+}
+
+/// A seeded, shareable schedule of injected storage faults.
+///
+/// The plan keeps a global read counter; each consulted read claims the next
+/// index and the decision for that index is deterministic. Counters for
+/// injected errors and latency spikes are exposed so tests and the batch
+/// driver can assert on them.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    mode: FaultMode,
+    /// Injection budget: once this many errors have been injected the plan
+    /// runs clean. `u64::MAX` means unlimited.
+    max_faults: u64,
+    reads: AtomicU64,
+    injected: AtomicU64,
+    spikes: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates a plan with an unlimited injection budget.
+    pub fn new(seed: u64, mode: FaultMode) -> Self {
+        if let FaultMode::Random { rate } = mode {
+            assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        }
+        FaultPlan {
+            seed,
+            mode,
+            max_faults: u64::MAX,
+            reads: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            spikes: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps the total number of injected errors at `n`. With a cap, the
+    /// injected-error count is deterministic even when thread interleaving
+    /// moves the fault positions around.
+    pub fn with_max_faults(mut self, n: u64) -> Self {
+        self.max_faults = n;
+        self
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    /// Total reads consulted so far.
+    pub fn reads_seen(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total I/O errors injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total latency spikes applied so far.
+    pub fn spikes_applied(&self) -> u64 {
+        self.spikes.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next global read index and decides its fate.
+    pub fn on_read(&self) -> ReadOutcome {
+        let i = self.reads.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            FaultMode::EveryNth { n } => {
+                if n > 0 && (i + 1) % n == 0 && self.try_take_budget() {
+                    ReadOutcome::Fail { read_index: i }
+                } else {
+                    ReadOutcome::Ok
+                }
+            }
+            FaultMode::FirstK { k } => {
+                if i < k && self.try_take_budget() {
+                    ReadOutcome::Fail { read_index: i }
+                } else {
+                    ReadOutcome::Ok
+                }
+            }
+            FaultMode::Random { rate } => {
+                if unit_f64(splitmix64(
+                    self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )) < rate
+                    && self.try_take_budget()
+                {
+                    ReadOutcome::Fail { read_index: i }
+                } else {
+                    ReadOutcome::Ok
+                }
+            }
+            FaultMode::LatencySpike { every, spike_ms } => {
+                if every > 0 && (i + 1) % every == 0 {
+                    self.spikes.fetch_add(1, Ordering::Relaxed);
+                    ReadOutcome::Spike { extra_ms: spike_ms }
+                } else {
+                    ReadOutcome::Ok
+                }
+            }
+        }
+    }
+
+    /// Atomically claims one unit of injection budget; `false` once the cap
+    /// is exhausted (the read then proceeds normally).
+    fn try_take_budget(&self) -> bool {
+        loop {
+            let cur = self.injected.load(Ordering::Relaxed);
+            if cur >= self.max_faults {
+                return false;
+            }
+            if self
+                .injected
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+}
+
+/// SplitMix64 — the same generator the proptest shim uses; good enough to
+/// decorrelate per-read coin flips from the seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a u64 to a uniform float in `[0, 1)`.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_nth_fires_on_schedule() {
+        let plan = FaultPlan::new(1, FaultMode::EveryNth { n: 3 });
+        let outcomes: Vec<_> = (0..9).map(|_| plan.on_read()).collect();
+        for (i, o) in outcomes.iter().enumerate() {
+            if (i + 1) % 3 == 0 {
+                assert_eq!(
+                    *o,
+                    ReadOutcome::Fail {
+                        read_index: i as u64
+                    }
+                );
+            } else {
+                assert_eq!(*o, ReadOutcome::Ok);
+            }
+        }
+        assert_eq!(plan.faults_injected(), 3);
+        assert_eq!(plan.reads_seen(), 9);
+    }
+
+    #[test]
+    fn every_nth_zero_never_fires() {
+        let plan = FaultPlan::new(1, FaultMode::EveryNth { n: 0 });
+        for _ in 0..16 {
+            assert_eq!(plan.on_read(), ReadOutcome::Ok);
+        }
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn first_k_fails_then_clean() {
+        let plan = FaultPlan::new(7, FaultMode::FirstK { k: 2 });
+        assert_eq!(plan.on_read(), ReadOutcome::Fail { read_index: 0 });
+        assert_eq!(plan.on_read(), ReadOutcome::Fail { read_index: 1 });
+        for _ in 0..10 {
+            assert_eq!(plan.on_read(), ReadOutcome::Ok);
+        }
+        assert_eq!(plan.faults_injected(), 2);
+    }
+
+    #[test]
+    fn max_faults_caps_injections() {
+        let plan = FaultPlan::new(1, FaultMode::EveryNth { n: 2 }).with_max_faults(3);
+        for _ in 0..100 {
+            plan.on_read();
+        }
+        assert_eq!(plan.faults_injected(), 3);
+    }
+
+    #[test]
+    fn random_is_deterministic_for_a_seed() {
+        let a = FaultPlan::new(42, FaultMode::Random { rate: 0.25 });
+        let b = FaultPlan::new(42, FaultMode::Random { rate: 0.25 });
+        let oa: Vec<_> = (0..64).map(|_| a.on_read()).collect();
+        let ob: Vec<_> = (0..64).map(|_| b.on_read()).collect();
+        assert_eq!(oa, ob);
+        assert!(
+            a.faults_injected() > 0,
+            "rate 0.25 over 64 reads should fire"
+        );
+        assert!(a.faults_injected() < 64);
+    }
+
+    #[test]
+    fn random_rate_extremes() {
+        let never = FaultPlan::new(9, FaultMode::Random { rate: 0.0 });
+        for _ in 0..32 {
+            assert_eq!(never.on_read(), ReadOutcome::Ok);
+        }
+        let always = FaultPlan::new(9, FaultMode::Random { rate: 1.0 });
+        for i in 0..32u64 {
+            assert_eq!(always.on_read(), ReadOutcome::Fail { read_index: i });
+        }
+    }
+
+    #[test]
+    fn latency_spikes_never_error() {
+        let plan = FaultPlan::new(
+            1,
+            FaultMode::LatencySpike {
+                every: 4,
+                spike_ms: 10.0,
+            },
+        );
+        let mut spikes = 0;
+        for _ in 0..16 {
+            match plan.on_read() {
+                ReadOutcome::Spike { extra_ms } => {
+                    assert!((extra_ms - 10.0).abs() < 1e-12);
+                    spikes += 1;
+                }
+                ReadOutcome::Ok => {}
+                ReadOutcome::Fail { .. } => panic!("latency mode must not error"),
+            }
+        }
+        assert_eq!(spikes, 4);
+        assert_eq!(plan.spikes_applied(), 4);
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn random_rate_out_of_range_rejected() {
+        let _ = FaultPlan::new(1, FaultMode::Random { rate: 1.5 });
+    }
+}

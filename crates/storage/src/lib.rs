@@ -54,6 +54,7 @@ pub mod csv;
 pub mod database;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -62,8 +63,9 @@ pub mod value;
 pub use catalog::Catalog;
 pub use csv::{dump_table, load_table, load_table_recorded, CsvError};
 pub use database::Database;
-pub use disk::{IoMeter, BLOCKS_READ_COUNTER};
+pub use disk::{IoMeter, BLOCKS_READ_COUNTER, FAULTS_INJECTED_COUNTER, LATENCY_SPIKES_COUNTER};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultMode, FaultPlan, ReadOutcome};
 pub use schema::{AttrId, AttributeDef, QualifiedAttr, RelationId, RelationSchema};
 pub use stats::{ColumnStats, DbStats, TableStats};
 pub use table::Table;

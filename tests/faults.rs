@@ -1,0 +1,299 @@
+//! End-to-end fault injection: seeded [`FaultPlan`]s drive injected I/O
+//! errors and latency spikes through a full batch pipeline (preference
+//! space → search → construction → metered execution) and the suite
+//! asserts the resilience contract — zero panics, exact retry counters,
+//! and bit-identical results once retries succeed — at one worker and at
+//! four.
+
+use cqp_core::prelude::*;
+use cqp_engine::QueryBuilder;
+use cqp_prefs::Profile;
+use cqp_storage::{DataType, Database, FaultMode, FaultPlan, RelationSchema, Value};
+use std::sync::Arc;
+
+fn movie_db() -> Database {
+    let mut db = Database::with_block_capacity(4);
+    db.create_relation(RelationSchema::new(
+        "MOVIE",
+        vec![
+            ("mid", DataType::Int),
+            ("title", DataType::Str),
+            ("year", DataType::Int),
+            ("duration", DataType::Int),
+            ("did", DataType::Int),
+        ],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new(
+        "DIRECTOR",
+        vec![("did", DataType::Int), ("name", DataType::Str)],
+    ))
+    .unwrap();
+    db.create_relation(RelationSchema::new(
+        "GENRE",
+        vec![("mid", DataType::Int), ("genre", DataType::Str)],
+    ))
+    .unwrap();
+    for i in 0..60i64 {
+        db.insert_into(
+            "MOVIE",
+            vec![
+                Value::Int(i),
+                Value::str(format!("m{i}")),
+                Value::Int(1980 + i % 25),
+                Value::Int(90 + (i % 5) * 10),
+                Value::Int(i % 4),
+            ],
+        )
+        .unwrap();
+        db.insert_into(
+            "GENRE",
+            vec![
+                Value::Int(i),
+                Value::str(if i % 2 == 0 { "musical" } else { "drama" }),
+            ],
+        )
+        .unwrap();
+    }
+    for d in 0..4i64 {
+        let name = if d == 0 {
+            "W. Allen".to_owned()
+        } else {
+            format!("dir{d}")
+        };
+        db.insert_into("DIRECTOR", vec![Value::Int(d), Value::str(name)])
+            .unwrap();
+    }
+    db
+}
+
+/// 64 requests mixing the paper's five algorithms over two cost widths.
+fn batch_requests(db: &Database, n: usize) -> Vec<BatchRequest> {
+    let base = QueryBuilder::from(db.catalog(), "MOVIE")
+        .unwrap()
+        .select("MOVIE", "title")
+        .unwrap()
+        .build();
+    let profile = Profile::paper_figure1(db.catalog()).unwrap();
+    (0..n)
+        .map(|i| BatchRequest {
+            query: base.clone(),
+            profile: profile.clone(),
+            problem: ProblemSpec::p2(if i % 2 == 0 { 100 } else { 40 }),
+            config: SolverConfig {
+                algorithm: Algorithm::PAPER[i % Algorithm::PAPER.len()],
+                ..Default::default()
+            },
+        })
+        .collect()
+}
+
+/// The fault-free baseline every injected run is compared against.
+fn clean_run(db: &Arc<Database>, n: usize) -> Vec<BatchItemResultLite> {
+    let driver = BatchDriver::new(Arc::clone(db), 1).with_execution(1.0);
+    let (results, stats) = driver.run(batch_requests(db, n));
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.retries, 0);
+    results
+        .into_iter()
+        .map(|r| BatchItemResultLite::from(&r.unwrap()))
+        .collect()
+}
+
+/// The deterministic slice of a result: everything except `latency_us` and
+/// `exec_retries` (retry attribution moves with thread interleaving even
+/// when the total is capped).
+#[derive(Debug, PartialEq)]
+struct BatchItemResultLite {
+    prefs: Vec<usize>,
+    doi: cqp_prefs::Doi,
+    cost_blocks: u64,
+    sql: String,
+    exec_rows: Option<usize>,
+}
+
+impl From<&cqp_core::batch::BatchItemResult> for BatchItemResultLite {
+    fn from(r: &cqp_core::batch::BatchItemResult) -> Self {
+        BatchItemResultLite {
+            prefs: r.solution.prefs.clone(),
+            doi: r.solution.doi,
+            cost_blocks: r.solution.cost_blocks,
+            sql: r.sql.clone(),
+            exec_rows: r.exec_rows,
+        }
+    }
+}
+
+/// Acceptance gate: a seeded 64-request batch under an error-injecting
+/// plan completes with zero panics, the capped number of retries, and
+/// results bit-identical to the fault-free run — at 1 worker and at 4.
+#[test]
+fn capped_every_nth_plan_retries_exactly_and_matches_clean_run() {
+    let db = Arc::new(movie_db());
+    let baseline = clean_run(&db, 64);
+    for threads in [1usize, 4] {
+        let plan =
+            Arc::new(FaultPlan::new(0xC0FFEE, FaultMode::EveryNth { n: 7 }).with_max_faults(3));
+        let driver = BatchDriver::new(Arc::clone(&db), threads)
+            .with_execution(1.0)
+            .with_fault_plan(Arc::clone(&plan))
+            .with_retry_policy(RetryPolicy::retries(4));
+        let (results, stats) = driver.run(batch_requests(&db, 64));
+
+        assert_eq!(stats.panics_caught, 0, "threads={threads}");
+        assert_eq!(stats.errors, 0, "threads={threads}");
+        // The cap makes the injected-error total exact under any
+        // interleaving; each injection costs exactly one retry.
+        assert_eq!(plan.faults_injected(), 3, "threads={threads}");
+        assert_eq!(stats.retries, 3, "threads={threads}");
+        assert!(plan.reads_seen() > 0);
+
+        let lite: Vec<BatchItemResultLite> = results
+            .iter()
+            .map(|r| BatchItemResultLite::from(r.as_ref().unwrap()))
+            .collect();
+        assert_eq!(lite, baseline, "threads={threads}");
+    }
+}
+
+/// First-access failures land on the first request at one worker: its
+/// `exec_retries` carries the whole fault budget.
+#[test]
+fn first_access_failures_are_attributed_to_the_first_request() {
+    let db = Arc::new(movie_db());
+    let plan = Arc::new(FaultPlan::new(7, FaultMode::FirstK { k: 2 }));
+    let driver = BatchDriver::new(Arc::clone(&db), 1)
+        .with_execution(1.0)
+        .with_fault_plan(Arc::clone(&plan))
+        .with_retry_policy(RetryPolicy::retries(3));
+    let (results, stats) = driver.run(batch_requests(&db, 16));
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.retries, 2);
+    assert_eq!(plan.faults_injected(), 2);
+    let first = results[0].as_ref().unwrap();
+    assert_eq!(first.exec_retries, 2);
+    assert!(results[1..]
+        .iter()
+        .all(|r| r.as_ref().unwrap().exec_retries == 0));
+}
+
+/// Latency spikes tax reads but never error: zero retries, nonzero spike
+/// counter, results equal to the fault-free run.
+#[test]
+fn latency_spikes_slow_but_never_fail() {
+    let db = Arc::new(movie_db());
+    let baseline = clean_run(&db, 32);
+    for threads in [1usize, 4] {
+        let plan = Arc::new(FaultPlan::new(
+            3,
+            FaultMode::LatencySpike {
+                every: 5,
+                spike_ms: 25.0,
+            },
+        ));
+        let driver = BatchDriver::new(Arc::clone(&db), threads)
+            .with_execution(1.0)
+            .with_fault_plan(Arc::clone(&plan));
+        let (results, stats) = driver.run(batch_requests(&db, 32));
+        assert_eq!(stats.errors, 0, "threads={threads}");
+        assert_eq!(stats.retries, 0, "threads={threads}");
+        assert_eq!(plan.faults_injected(), 0);
+        assert!(plan.spikes_applied() > 0, "threads={threads}");
+        let lite: Vec<BatchItemResultLite> = results
+            .iter()
+            .map(|r| BatchItemResultLite::from(r.as_ref().unwrap()))
+            .collect();
+        assert_eq!(lite, baseline, "threads={threads}");
+    }
+}
+
+/// Without a retry budget, injected faults surface as typed transient
+/// errors on the affected requests — never as panics — and the rest of the
+/// batch is still served.
+#[test]
+fn unretried_faults_fail_only_their_own_request() {
+    let db = Arc::new(movie_db());
+    let plan = Arc::new(FaultPlan::new(11, FaultMode::FirstK { k: 2 }));
+    let driver = BatchDriver::new(Arc::clone(&db), 1)
+        .with_execution(1.0)
+        .with_fault_plan(Arc::clone(&plan));
+    let (results, stats) = driver.run(batch_requests(&db, 16));
+    assert_eq!(stats.panics_caught, 0);
+    assert_eq!(stats.retries, 0);
+    assert!(stats.errors >= 1);
+    let first_err = results[0].as_ref().unwrap_err();
+    assert!(
+        first_err.is_transient(),
+        "expected injected-I/O error: {first_err}"
+    );
+    // Everything the faults did not reach was served normally.
+    assert!(results.iter().filter(|r| r.is_ok()).count() >= 14);
+}
+
+/// A deterministic seeded `Random` plan replays identically: two runs with
+/// the same seed inject the same faults and produce the same outcome.
+#[test]
+fn random_plans_replay_identically_for_a_seed() {
+    let db = Arc::new(movie_db());
+    let run = |seed: u64| {
+        let plan = Arc::new(FaultPlan::new(seed, FaultMode::Random { rate: 0.02 }));
+        let driver = BatchDriver::new(Arc::clone(&db), 1)
+            .with_execution(1.0)
+            .with_fault_plan(Arc::clone(&plan))
+            .with_retry_policy(RetryPolicy::retries(8));
+        let (results, stats) = driver.run(batch_requests(&db, 32));
+        let lite: Vec<BatchItemResultLite> = results
+            .iter()
+            .map(|r| BatchItemResultLite::from(r.as_ref().unwrap()))
+            .collect();
+        (lite, stats.retries, plan.faults_injected())
+    };
+    let (a, a_retries, a_faults) = run(0xFEED);
+    let (b, b_retries, b_faults) = run(0xFEED);
+    assert_eq!(a, b);
+    assert_eq!(a_retries, b_retries);
+    assert_eq!(a_faults, b_faults);
+    // And the retried run still matches the clean baseline.
+    assert_eq!(a, clean_run(&db, 32));
+}
+
+/// The obs pipeline sees the resilience counters: `batch.retries` matches
+/// the driver's tally, and 0-ms-deadline requests surface in
+/// `batch.degraded`.
+#[test]
+fn obs_counters_track_retries_and_degradation() {
+    let db = Arc::new(movie_db());
+    let obs = cqp_obs::Obs::new();
+    let plan = Arc::new(FaultPlan::new(5, FaultMode::EveryNth { n: 9 }).with_max_faults(2));
+    let driver = BatchDriver::new(Arc::clone(&db), 2)
+        .with_execution(1.0)
+        .with_fault_plan(Arc::clone(&plan))
+        .with_retry_policy(RetryPolicy::retries(4));
+
+    // Half the batch runs under an impossible deadline: those requests
+    // must degrade (cheaply — no execution faults hit them since a
+    // degraded empty solution still executes) rather than hang or panic.
+    let mut requests = batch_requests(&db, 32);
+    for req in requests.iter_mut().skip(16) {
+        req.config.budget = Budget::with_deadline_ms(0);
+    }
+    let (results, stats) = driver.run_recorded(requests, &obs);
+
+    assert_eq!(stats.panics_caught, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.retries, 2);
+    assert!(stats.degraded >= 16, "all zero-deadline requests degrade");
+
+    let reg = obs.registry();
+    assert_eq!(reg.counter("batch.retries"), stats.retries);
+    assert_eq!(reg.counter("batch.degraded"), stats.degraded);
+    assert_eq!(reg.counter("batch.errors"), 0);
+    assert!(reg.counter("storage.faults_injected") >= 1);
+
+    for (i, r) in results.iter().enumerate() {
+        let item = r.as_ref().unwrap();
+        if i >= 16 {
+            assert!(item.solution.degraded.is_some(), "request {i}");
+        }
+    }
+}

@@ -25,6 +25,8 @@
 //! * `\explain <query>` — show the personalized execution plan
 //! * `\trace <query>` — personalize + execute under the tracer, then print
 //!   the nested span tree and the metrics registry
+//! * `\serve [n]` — start the HTTP serving layer on an ephemeral port and
+//!   drive `n` requests through the closed-loop load generator
 //! * `\help`, `\quit`
 //!
 //! Reads stdin; suitable for piping scripts in tests.
@@ -188,6 +190,13 @@ fn main() {
                     let rest: String = parts.collect::<Vec<_>>().join(" ");
                     trace_query(&db, &profile, &problem, &config, &rest);
                 }
+                "serve" => {
+                    let n = parts
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or(8);
+                    serve_demo(&db, &profile, n);
+                }
                 other => println!("unknown command \\{other}; try \\help"),
             }
         } else {
@@ -198,16 +207,41 @@ fn main() {
 }
 
 fn parse_algo(s: &str) -> Option<Algorithm> {
-    match s.to_ascii_lowercase().as_str() {
-        "exhaustive" => Some(Algorithm::Exhaustive),
-        "c_boundaries" => Some(Algorithm::CBoundaries),
-        "c_maxbounds" => Some(Algorithm::CMaxBounds),
-        "d_maxdoi" => Some(Algorithm::DMaxDoi),
-        "d_singlemaxdoi" => Some(Algorithm::DSingleMaxDoi),
-        "d_heurdoi" => Some(Algorithm::DHeurDoi),
-        "branch_bound" => Some(Algorithm::BranchBound),
-        _ => None,
+    // Same tokens the serving API accepts — one vocabulary everywhere.
+    Algorithm::by_name(s)
+}
+
+/// `\serve [n]` — spins up the HTTP serving layer on an ephemeral port
+/// over a copy of the shell's database, stores the current profile as user
+/// `me`, drives `n` personalize requests through the closed-loop load
+/// generator, and prints what the clients saw.
+fn serve_demo(db: &cqp_storage::Database, profile: &Profile, requests: usize) {
+    let mut handle =
+        match cqp_server::start(Arc::new(db.clone()), cqp_server::ServerConfig::default()) {
+            Ok(h) => h,
+            Err(e) => {
+                println!("serve error: {e}");
+                return;
+            }
+        };
+    handle.state().store.put("me", profile.clone());
+    let clients = 2usize;
+    let load = cqp_server::LoadConfig {
+        clients,
+        requests_per_client: requests.div_ceil(clients).max(1),
+        users: vec!["me".to_string()],
+        queries: vec!["SELECT title FROM MOVIE".to_string()],
+        ..Default::default()
+    };
+    println!(
+        "serving on http://{} — driving {requests} request(s)",
+        handle.addr()
+    );
+    match cqp_server::run_load(handle.addr(), &load) {
+        Ok(report) => println!("{}", report.to_json().render()),
+        Err(e) => println!("load error: {e}"),
     }
+    handle.stop();
 }
 
 fn parse_problem<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Option<ProblemSpec> {
@@ -394,6 +428,7 @@ fn help() {
          \\soft <query>     personalize, then rank rows matching any preference\n\
          \\threads <n>      worker pool width for exact searches and \\trace\n\
          \\trace <query>    personalize + execute, print span tree and metrics\n\
+         \\serve [n]        start the HTTP serving layer, drive n requests, report\n\
          <query>           personalize and execute (strict conjunction)\n\
          \\quit"
     );

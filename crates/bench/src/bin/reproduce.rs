@@ -21,6 +21,7 @@
 //!   ablate    generic baselines, doi-model, annealing-budget ablations
 //!   bench_par 1-thread vs N-thread batch driver + fig12 grid (BENCH_parallel.json)
 //!   resilience seeded fault-injection batch + deadline sweep (degradation rates)
+//!   serve     closed-loop socket load against cqp-server (BENCH_serve.json)
 //!
 //! --threads N fans the fig12 grid cells and the batch driver across N
 //! work-stealing workers (default 1 = sequential).
@@ -163,6 +164,10 @@ fn main() {
     }
     if run_all || experiment == "resilience" {
         resilience(&w, threads, &out);
+        ran = true;
+    }
+    if run_all || experiment == "serve" {
+        serve(&w, threads, &out);
         ran = true;
     }
     if !ran {
@@ -848,6 +853,145 @@ fn resilience(w: &Workload, threads: usize, out: &Path) {
     write_reports(out, "resilience", &reports);
     println!(
         "\nresilience.report.jsonl written under {}\n",
+        out.display()
+    );
+}
+
+/// Serving experiment: starts `cqp-server` over the workload's database on
+/// an ephemeral port, stores the workload profiles, drives a deterministic
+/// seeded closed-loop load over real sockets, then runs the overload probe
+/// (every execution slot held, zero-length queue) so the admission-reject
+/// measurement is exact, not timing-dependent. Written as
+/// `BENCH_serve.json` in `out` and at the repo root.
+fn serve(w: &Workload, threads: usize, out: &Path) {
+    let clients = threads.max(2);
+    let server_config = cqp_server::ServerConfig {
+        max_inflight: clients,
+        // Zero queue: under the closed loop (clients == slots) nothing
+        // needs to wait, and the overload probe's 429s are deterministic.
+        queue_cap: 0,
+        seed_users: 0,
+        ..cqp_server::ServerConfig::default()
+    };
+    let mut handle =
+        cqp_server::start(Arc::new(w.db.clone()), server_config).expect("server start");
+    let users: Vec<String> = w
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let user = format!("user{:04}", i + 1);
+            handle.state().store.put(&user, p.clone());
+            user
+        })
+        .collect();
+    let queries: Vec<String> = w
+        .queries
+        .iter()
+        .map(|q| cqp_engine::sql::conjunctive_sql(w.db.catalog(), q))
+        .collect();
+    let cmax = w.scale.cmax_blocks;
+    let load = cqp_server::LoadConfig {
+        clients,
+        requests_per_client: 40,
+        seed: 42,
+        users,
+        queries: queries.clone(),
+        // c_boundaries routes its cost evaluations through the driver's
+        // persistent submit cache, so the cache counters in the report
+        // carry signal.
+        algorithms: vec![
+            "c_boundaries".to_string(),
+            "c_maxbounds".to_string(),
+            "d_heurdoi".to_string(),
+        ],
+        problems: vec![
+            format!("{{\"kind\":\"p2\",\"cmax\":{cmax}}}"),
+            "{\"kind\":\"p6\",\"smin\":0,\"smax\":1000000}".to_string(),
+        ],
+        zero_deadline_permille: 150,
+        top_k_choices: vec![-1, 2, 4],
+    };
+    println!(
+        "--- serve: {} closed-loop client(s) x {} requests against {} ---",
+        load.clients,
+        load.requests_per_client,
+        handle.addr()
+    );
+    let report = cqp_server::run_load(handle.addr(), &load).expect("load run");
+    println!(
+        "{:>8.1} req/s  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us  \
+         ok {}  degraded {}  rejected {}  unavailable {}  errors {}",
+        report.requests_per_sec,
+        report.p50_us,
+        report.p95_us,
+        report.p99_us,
+        report.ok,
+        report.degraded,
+        report.rejected,
+        report.unavailable,
+        report.client_errors + report.server_errors + report.io_errors,
+    );
+    assert_eq!(report.io_errors, 0, "serve load hit socket errors");
+    assert_eq!(report.server_errors, 0, "serve load hit 5xx responses");
+    assert!(report.ok > 0, "serve load produced no 200s");
+    assert!(
+        report.degraded > 0,
+        "zero-deadline mix produced no degraded responses"
+    );
+
+    let probe_body = format!(
+        "{{\"user\":\"user0001\",\"sql\":{},\"problem\":{{\"kind\":\"p2\",\"cmax\":{cmax}}}}}",
+        Json::Str(queries[0].clone()).render(),
+    );
+    let probe = cqp_server::overload_probe(&handle, 16, &probe_body).expect("overload probe");
+    println!(
+        "overload probe: {}/{} rejected with 429 (retry-after {:?})",
+        probe.rejected, probe.attempts, probe.retry_after
+    );
+    assert_eq!(
+        probe.rejected, probe.attempts,
+        "held slots + zero queue must shed every probe request"
+    );
+
+    let state = handle.state();
+    let (admitted, rejected, timed_out) = state.gate.counters();
+    let (cache_hits, cache_misses, cache_evictions) = state.driver.submit_cache_counters();
+    let panics_caught = state.driver.submit_panics();
+    assert_eq!(panics_caught, 0, "serving path caught panics");
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("serve".into())),
+        ("scale", Json::Str(w.scale.name.to_string())),
+        ("clients", Json::from(load.clients as u64)),
+        ("seed", Json::from(load.seed)),
+        ("load", report.to_json()),
+        ("overload_probe", probe.to_json()),
+        (
+            "server",
+            Json::obj(vec![
+                ("admitted", Json::from(admitted)),
+                ("rejected", Json::from(rejected)),
+                ("queue_timeouts", Json::from(timed_out)),
+                ("cache_hits", Json::from(cache_hits)),
+                ("cache_misses", Json::from(cache_misses)),
+                ("cache_evictions", Json::from(cache_evictions)),
+                ("panics_caught", Json::from(panics_caught)),
+            ]),
+        ),
+    ]);
+    let obs_report = cqp_obs::RunReport::from_obs("serve", "load", &state.obs)
+        .with_field("requests", report.requests)
+        .with_field("ok", report.ok)
+        .with_field("degraded", report.degraded)
+        .with_field("probe_rejected", probe.rejected);
+    handle.stop();
+    let rendered = doc.render();
+    std::fs::create_dir_all(out).expect("results dir");
+    std::fs::write(out.join("BENCH_serve.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_serve.json", &rendered).expect("bench write");
+    write_reports(out, "serve", &[obs_report]);
+    println!(
+        "BENCH_serve.json written ({} and repo root)\n",
         out.display()
     );
 }

@@ -157,6 +157,25 @@ impl Algorithm {
         }
     }
 
+    /// Parses an algorithm name: the display form ([`Algorithm::name`])
+    /// or its lowercase token (`c_maxbounds`, `branch_bound`, …), case
+    /// insensitively. The single parser the shell and the HTTP API share.
+    pub fn by_name(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "exhaustive" => Some(Algorithm::Exhaustive),
+            "c_boundaries" => Some(Algorithm::CBoundaries),
+            "c_maxbounds" => Some(Algorithm::CMaxBounds),
+            "d_maxdoi" => Some(Algorithm::DMaxDoi),
+            "d_singlemaxdoi" => Some(Algorithm::DSingleMaxDoi),
+            "d_heurdoi" => Some(Algorithm::DHeurDoi),
+            "branch_bound" | "branchbound" => Some(Algorithm::BranchBound),
+            "annealing" | "simannealing" => Some(Algorithm::Annealing),
+            "tabu" | "tabusearch" => Some(Algorithm::Tabu),
+            "genetic" => Some(Algorithm::Genetic),
+            _ => None,
+        }
+    }
+
     /// True for algorithms that provably return the optimum of Problem 2.
     pub fn is_exact(&self) -> bool {
         matches!(

@@ -25,7 +25,7 @@
 use crate::algorithms::{exhaustive, solve_p2_budgeted, Algorithm, Solution};
 use crate::budget::CancelToken;
 use crate::construct::construct;
-use crate::cost_cache::SharedCostCache;
+use crate::cost_cache::{EvictionPolicy, SharedCostCache};
 use crate::error::CqpError;
 use crate::problem::{ProblemKind, ProblemSpec};
 use crate::solver::{CqpSystem, SolverConfig, SolverError};
@@ -96,6 +96,10 @@ pub struct BatchItemResult {
     pub sql: String,
     /// `K` of the extracted preference space.
     pub space_k: usize,
+    /// Dois of the selected preferences, in [`Solution::prefs`] order —
+    /// what ranked execution (`execute_ranked`) scores rows against, kept
+    /// here so callers need not re-extract the preference space.
+    pub pref_dois: Vec<f64>,
     /// Wall-clock latency of this request, microseconds.
     pub latency_us: u64,
     /// Result rows when the driver executed the query
@@ -156,7 +160,21 @@ pub struct BatchDriver {
     /// so its schedule is global, like a flaky disk would be).
     fault_plan: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
+    /// The cache [`BatchDriver::submit`] routes cost evaluations through.
+    /// Unlike `run`'s per-batch cache this one is *persistent*: a serving
+    /// front-end submits requests one at a time over a long lifetime, and
+    /// hot preference spaces should stay warm across them. LRU-bounded so
+    /// the footprint cannot grow without bound.
+    submit_cache: SharedCostCache,
+    /// Panics caught (and converted to [`CqpError::Internal`]) on the
+    /// `submit` path, across the driver's lifetime.
+    submit_panics: AtomicU64,
+    /// Transient-failure retries performed on the `submit` path.
+    submit_retries: AtomicU64,
 }
+
+/// Default total capacity of the persistent `submit` cost cache.
+pub const SUBMIT_CACHE_CAPACITY: usize = 64 * 1024;
 
 impl BatchDriver {
     /// A driver over `db` with `threads` workers; analyzes the database
@@ -168,15 +186,31 @@ impl BatchDriver {
 
     /// [`BatchDriver::new`] with precomputed statistics.
     pub fn with_stats(db: Arc<Database>, stats: Arc<DbStats>, threads: usize) -> Self {
+        let shards = crate::cost_cache::DEFAULT_SHARDS;
         BatchDriver {
             db,
             stats,
             threads: threads.max(1),
-            cache_shards: crate::cost_cache::DEFAULT_SHARDS,
+            cache_shards: shards,
             execution_ms_per_block: None,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            submit_cache: SharedCostCache::with_capacity_policy(
+                shards,
+                SUBMIT_CACHE_CAPACITY,
+                EvictionPolicy::Lru,
+            ),
+            submit_panics: AtomicU64::new(0),
+            submit_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the persistent `submit`-path cost cache with one of
+    /// `capacity` total entries under `policy`.
+    pub fn with_submit_cache(mut self, policy: EvictionPolicy, capacity: usize) -> Self {
+        self.submit_cache =
+            SharedCostCache::with_capacity_policy(self.cache_shards, capacity, policy);
+        self
     }
 
     /// Execute each personalized query after construction, metering I/O at
@@ -252,17 +286,10 @@ impl BatchDriver {
             });
             let latency_us = t.elapsed().as_micros() as u64;
             recorder.observe("batch.latency_us", latency_us);
-            r.map(
-                |(solution, query, sql, space_k, exec_rows, exec_retries)| BatchItemResult {
-                    solution,
-                    query,
-                    sql,
-                    space_k,
-                    latency_us,
-                    exec_rows,
-                    exec_retries,
-                },
-            )
+            r.map(|mut item| {
+                item.latency_us = latency_us;
+                item
+            })
         });
         let wall_secs = t0.elapsed().as_secs_f64();
 
@@ -311,6 +338,78 @@ impl BatchDriver {
     }
 }
 
+impl BatchDriver {
+    /// Serves a single request on the calling thread — the serving
+    /// front-end's path. Reuses the whole-batch resilience machinery:
+    /// the request's [`Budget`](crate::budget::Budget) (deadline /
+    /// state cap) bounds the search, panics are caught and converted to
+    /// [`CqpError::Internal`], and transient execution failures retry
+    /// under the driver's [`RetryPolicy`]. Cost evaluations flow through
+    /// the driver's *persistent* submit cache (LRU by default), so a
+    /// stream of requests over hot preference spaces keeps reusing work.
+    pub fn submit(&self, req: BatchRequest) -> Result<BatchItemResult, SolverError> {
+        self.submit_recorded(req, &NoopRecorder)
+    }
+
+    /// [`BatchDriver::submit`] with observability: pipeline spans nest
+    /// under the caller's current span and the request lands in the
+    /// `batch.latency_us` histogram like batch-served requests do.
+    pub fn submit_recorded(
+        &self,
+        req: BatchRequest,
+        recorder: &dyn Recorder,
+    ) -> Result<BatchItemResult, SolverError> {
+        let t = Instant::now();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_one(
+                &self.db,
+                &self.stats,
+                &self.submit_cache,
+                &req,
+                recorder,
+                self,
+                &self.submit_retries,
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            self.submit_panics.fetch_add(1, Ordering::Relaxed);
+            recorder.add("batch.panics_caught", 1);
+            Err(CqpError::Internal(panic_message(payload.as_ref())))
+        });
+        let latency_us = t.elapsed().as_micros() as u64;
+        recorder.observe("batch.latency_us", latency_us);
+        if r.is_err() {
+            recorder.add("batch.errors", 1);
+        }
+        r.map(|mut item| {
+            item.latency_us = latency_us;
+            if item.solution.degraded.is_some() {
+                recorder.add("batch.degraded", 1);
+            }
+            item
+        })
+    }
+
+    /// Panics caught on the `submit` path over the driver's lifetime.
+    pub fn submit_panics(&self) -> u64 {
+        self.submit_panics.load(Ordering::Relaxed)
+    }
+
+    /// Transient-failure retries performed on the `submit` path.
+    pub fn submit_retries(&self) -> u64 {
+        self.submit_retries.load(Ordering::Relaxed)
+    }
+
+    /// Hit/miss/eviction totals of the persistent `submit` cache.
+    pub fn submit_cache_counters(&self) -> (u64, u64, u64) {
+        (
+            self.submit_cache.hits(),
+            self.submit_cache.misses(),
+            self.submit_cache.evictions(),
+        )
+    }
+}
+
 /// Renders a panic payload into the human-readable part of
 /// [`CqpError::Internal`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -323,19 +422,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-type ServedItem = (
-    Solution,
-    cqp_engine::PersonalizedQuery,
-    String,
-    usize,
-    Option<usize>,
-    u32,
-);
-
 /// One request's pipeline: preference space → search (through the shared
 /// cost cache where the algorithm supports it, under the request's budget)
 /// → query construction → optional metered execution with
-/// retry-on-transient-failure.
+/// retry-on-transient-failure. The returned item's `latency_us` is 0; the
+/// caller stamps it (latency includes the catch_unwind wrapper).
 fn serve_one(
     db: &Database,
     stats: &DbStats,
@@ -344,7 +435,7 @@ fn serve_one(
     recorder: &dyn Recorder,
     driver: &BatchDriver,
     batch_retries: &AtomicU64,
-) -> Result<ServedItem, SolverError> {
+) -> Result<BatchItemResult, SolverError> {
     let _span = span_guard(recorder, "personalize");
     let system = CqpSystem::from_parts(db, stats.clone());
     let space = {
@@ -423,7 +514,21 @@ fn serve_one(
             }
         }
     }
-    Ok((solution, pq, sql, space.k(), exec_rows, exec_retries))
+    let pref_dois = solution
+        .prefs
+        .iter()
+        .map(|&i| space.doi(i).value())
+        .collect();
+    Ok(BatchItemResult {
+        solution,
+        query: pq,
+        sql,
+        space_k: space.k(),
+        pref_dois,
+        latency_us: 0,
+        exec_rows,
+        exec_retries,
+    })
 }
 
 #[cfg(test)]
@@ -541,6 +646,44 @@ mod tests {
             assert_eq!(s.solution.size_rows, p.solution.size_rows);
             assert_eq!(s.sql, p.sql);
         }
+    }
+
+    #[test]
+    fn submit_matches_batch_run_bit_for_bit() {
+        let db = Arc::new(movie_db());
+        let reqs = paper_requests(&db, 6);
+        let driver = BatchDriver::new(Arc::clone(&db), 2);
+        let batch = BatchDriver::new(Arc::clone(&db), 1).run(reqs.clone()).0;
+        for (req, expected) in reqs.into_iter().zip(batch) {
+            let expected = expected.unwrap();
+            let got = driver.submit(req).unwrap();
+            assert_eq!(got.solution.prefs, expected.solution.prefs);
+            assert_eq!(got.solution.doi, expected.solution.doi);
+            assert_eq!(got.solution.cost_blocks, expected.solution.cost_blocks);
+            assert_eq!(got.sql, expected.sql);
+            assert_eq!(got.pref_dois, expected.pref_dois);
+            assert_eq!(got.pref_dois.len(), got.solution.prefs.len());
+        }
+        // The persistent submit cache saw traffic; the repeated spaces of
+        // the paper workload must produce hits across submits.
+        let (hits, misses, _) = driver.submit_cache_counters();
+        assert!(hits + misses > 0);
+        assert_eq!(driver.submit_panics(), 0);
+    }
+
+    #[test]
+    fn submit_respects_deadline_budget() {
+        use crate::budget::Budget;
+        let db = Arc::new(movie_db());
+        let driver = BatchDriver::new(Arc::clone(&db), 1);
+        let mut reqs = paper_requests(&db, 1);
+        let mut req = reqs.remove(0);
+        req.config.budget = Budget::with_deadline_ms(0);
+        let item = driver.submit(req).unwrap();
+        let degraded = item.solution.degraded.expect("0 ms deadline must degrade");
+        assert_eq!(degraded.reason.name(), "deadline_exceeded");
+        // The incumbent is still feasible for the request's constraint.
+        assert!(item.solution.cost_blocks <= 100);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! Two implementations share the key type ([`StateKey`]):
 //!
 //! * [`CostCache`] — the per-run, single-threaded memo with deterministic
-//!   FIFO eviction;
+//!   eviction ([`EvictionPolicy`]: FIFO by default, LRU for serving);
 //! * [`SharedCostCache`] — the N-way sharded, `Mutex`-per-shard cache a
 //!   batch personalization run shares across workers, so concurrent
 //!   boundary searches over the *same* space reuse each other's cost
@@ -30,18 +30,61 @@ use std::sync::Mutex;
 /// Approximate per-entry heap footprint (key + value) in bytes.
 const ENTRY_BYTES: usize = std::mem::size_of::<StateKey>() + std::mem::size_of::<u64>();
 
+/// Which resident entry a full cache evicts.
+///
+/// Both policies are deterministic — a bounded run's hit/miss/eviction
+/// trace is a pure function of the lookup sequence — so either choice
+/// preserves the bit-for-bit reproducibility the batch tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the oldest *insertion*. Hits never reorder the ring, so the
+    /// victim sequence depends only on the miss sequence. The historical
+    /// default for offline batch runs.
+    #[default]
+    Fifo,
+    /// Evict the least recently *used* entry: a hit moves the entry to the
+    /// back of the ring. The right policy for long-lived serving caches,
+    /// where hot spaces should stay resident across request streams.
+    Lru,
+}
+
+impl EvictionPolicy {
+    /// Stable lowercase tag for reports and config parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvictionPolicy::Fifo => "fifo",
+            EvictionPolicy::Lru => "lru",
+        }
+    }
+}
+
+/// Moves `key` to the back of the recency ring (LRU touch). `O(n)` in
+/// resident entries — acceptable because bounded caches are small by
+/// construction and unbounded caches never call this.
+fn touch<K: PartialEq + Copy>(order: &mut VecDeque<K>, key: K) {
+    if order.back() == Some(&key) {
+        return;
+    }
+    if let Some(pos) = order.iter().position(|k| *k == key) {
+        order.remove(pos);
+        order.push_back(key);
+    }
+}
+
 /// A per-run memo of `state → cost` keyed by the state's bit key.
 ///
 /// Unbounded by default (per-run caches die with the search); a capacity
-/// can be set to bound the footprint, in which case a full cache evicts the
-/// **oldest inserted** entry (FIFO, via an insertion-order ring), so
+/// can be set to bound the footprint, in which case a full cache evicts
+/// per its [`EvictionPolicy`] (FIFO unless configured otherwise), so
 /// bounded runs are bit-for-bit reproducible.
 #[derive(Debug)]
 pub struct CostCache {
     map: HashMap<StateKey, u64>,
-    /// Insertion-order ring of resident keys; front = oldest = next victim.
+    /// Eviction ring of resident keys; front = next victim. Insertion
+    /// order under FIFO, recency order under LRU.
     order: VecDeque<StateKey>,
     capacity: usize,
+    policy: EvictionPolicy,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -59,16 +102,28 @@ impl CostCache {
         CostCache::with_capacity(usize::MAX)
     }
 
-    /// Creates an empty cache holding at most `capacity` entries.
+    /// Creates an empty cache holding at most `capacity` entries (FIFO).
     pub fn with_capacity(capacity: usize) -> Self {
+        CostCache::with_capacity_policy(capacity, EvictionPolicy::Fifo)
+    }
+
+    /// Creates an empty cache holding at most `capacity` entries, evicting
+    /// per `policy` when full.
+    pub fn with_capacity_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         CostCache {
             map: HashMap::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
+            policy,
             hits: 0,
             misses: 0,
             evictions: 0,
         }
+    }
+
+    /// The eviction policy this cache was built with.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// The cost of `s` in `view`, computed at most once per resident state.
@@ -77,14 +132,21 @@ impl CostCache {
         match self.map.get(&key) {
             Some(&c) => {
                 self.hits += 1;
+                // Under LRU a hit refreshes recency; skip the O(n) touch
+                // when the cache can never fill (unbounded caches never
+                // evict, so the ring order is irrelevant).
+                if self.policy == EvictionPolicy::Lru && self.capacity < usize::MAX {
+                    touch(&mut self.order, key);
+                }
                 c
             }
             None => {
                 self.misses += 1;
                 let c = view.state_cost(s);
                 if self.map.len() >= self.capacity {
-                    // FIFO: evict the oldest insertion. Deterministic, so a
-                    // bounded run's hit/miss trace is reproducible.
+                    // Evict the ring's front: oldest insertion under FIFO,
+                    // least recently used under LRU. Deterministic either
+                    // way, so a bounded run's trace is reproducible.
                     if let Some(victim) = self.order.pop_front() {
                         self.map.remove(&victim);
                         self.evictions += 1;
@@ -150,7 +212,8 @@ pub fn cost_fingerprint(view: &SpaceView<'_>) -> u64 {
     h
 }
 
-/// One shard: a FIFO-bounded map keyed by `(cost fingerprint, state key)`.
+/// One shard: a bounded map keyed by `(cost fingerprint, state key)` with
+/// a policy-ordered eviction ring.
 #[derive(Debug, Default)]
 struct Shard {
     map: HashMap<(u64, StateKey), u64>,
@@ -171,6 +234,7 @@ struct Shard {
 pub struct SharedCostCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    policy: EvictionPolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -194,14 +258,31 @@ impl SharedCostCache {
     /// A cache with `shards` shards holding at most `total_capacity`
     /// entries overall (split evenly; FIFO eviction per shard).
     pub fn with_capacity(shards: usize, total_capacity: usize) -> Self {
+        SharedCostCache::with_capacity_policy(shards, total_capacity, EvictionPolicy::Fifo)
+    }
+
+    /// [`SharedCostCache::with_capacity`] with an explicit per-shard
+    /// eviction policy. The serving path uses LRU so hot preference spaces
+    /// stay resident across a request stream.
+    pub fn with_capacity_policy(
+        shards: usize,
+        total_capacity: usize,
+        policy: EvictionPolicy,
+    ) -> Self {
         let shards = shards.max(1);
         SharedCostCache {
             capacity_per_shard: (total_capacity / shards).max(1),
+            policy,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The eviction policy applied per shard.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     fn shard_of(&self, key: &(u64, StateKey)) -> &Mutex<Shard> {
@@ -215,14 +296,15 @@ impl SharedCostCache {
     pub fn cost(&self, fingerprint: u64, view: &SpaceView<'_>, s: &State) -> u64 {
         let key = (fingerprint, s.bitkey());
         let shard = self.shard_of(&key);
-        if let Some(&c) = shard
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .map
-            .get(&key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return c;
+            let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(&c) = guard.map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.policy == EvictionPolicy::Lru && self.capacity_per_shard < usize::MAX {
+                    touch(&mut guard.order, key);
+                }
+                return c;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock: evaluation is the expensive part.
@@ -419,6 +501,75 @@ mod tests {
         for st in &states {
             assert_eq!(cache.cost(&view, st), view.state_cost(st));
         }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_counts_exactly() {
+        let s = wide_space(4);
+        let view = SpaceView::cost(&s, ConjModel::NoisyOr);
+        let mut cache = CostCache::with_capacity_policy(2, EvictionPolicy::Lru);
+        assert_eq!(cache.policy(), EvictionPolicy::Lru);
+        let states: Vec<State> = (0..4u16).map(State::singleton).collect();
+
+        cache.cost(&view, &states[0]); // resident: [0]
+        cache.cost(&view, &states[1]); // resident: [0, 1]
+        cache.cost(&view, &states[0]); // hit — refreshes 0 → ring [1, 0]
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (1, 2, 0));
+
+        // Under LRU the victim is 1 (least recently used), NOT 0 (oldest
+        // inserted) — this is exactly where the two policies diverge.
+        cache.cost(&view, &states[2]); // evicts 1 → [0, 2]
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (1, 3, 1));
+        cache.cost(&view, &states[0]); // hit: 0 survived its FIFO slot
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (2, 3, 1));
+        cache.cost(&view, &states[1]); // miss: 1 was evicted; evicts 2
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (2, 4, 2));
+        assert_eq!(cache.len(), 2);
+
+        // Costs stay correct throughout.
+        for st in &states {
+            assert_eq!(cache.cost(&view, st), view.state_cost(st));
+        }
+    }
+
+    #[test]
+    fn fifo_and_lru_policies_diverge_on_the_same_trace() {
+        let s = wide_space(3);
+        let view = SpaceView::cost(&s, ConjModel::NoisyOr);
+        let trace: Vec<State> = [0u16, 1, 0, 2, 0]
+            .iter()
+            .map(|&i| State::singleton(i))
+            .collect();
+        let mut fifo = CostCache::with_capacity_policy(2, EvictionPolicy::Fifo);
+        let mut lru = CostCache::with_capacity_policy(2, EvictionPolicy::Lru);
+        for st in &trace {
+            assert_eq!(fifo.cost(&view, st), lru.cost(&view, st));
+        }
+        // FIFO evicted 0 when 2 arrived → final lookup of 0 misses.
+        assert_eq!((fifo.hits(), fifo.misses()), (1, 4));
+        // LRU refreshed 0 on its hit → evicted 1 instead → final 0 hits.
+        assert_eq!((lru.hits(), lru.misses()), (2, 3));
+    }
+
+    #[test]
+    fn shared_cache_bounded_lru_keeps_hot_entries() {
+        let s = wide_space(4);
+        let view = SpaceView::cost(&s, ConjModel::NoisyOr);
+        let fp = cost_fingerprint(&view);
+        // One shard, two entries, LRU.
+        let cache = SharedCostCache::with_capacity_policy(1, 2, EvictionPolicy::Lru);
+        assert_eq!(cache.policy(), EvictionPolicy::Lru);
+        let st: Vec<State> = (0..4u16).map(State::singleton).collect();
+        cache.cost(fp, &view, &st[0]);
+        cache.cost(fp, &view, &st[1]);
+        cache.cost(fp, &view, &st[0]); // hit refreshes 0
+        cache.cost(fp, &view, &st[2]); // evicts 1, not 0
+        cache.cost(fp, &view, &st[0]); // still a hit
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (2, 3, 1));
+        cache.cost(fp, &view, &st[1]); // 1 was the LRU victim → miss
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

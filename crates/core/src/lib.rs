@@ -64,9 +64,10 @@ pub mod prelude {
     pub use crate::algorithms::general::solve as general_solve;
     pub use crate::algorithms::pareto::{pareto_frontier, ParetoPoint};
     pub use crate::algorithms::{solve_p2, solve_p2_recorded, Algorithm, Solution};
-    pub use crate::batch::{BatchDriver, BatchRequest, RetryPolicy};
+    pub use crate::batch::{BatchDriver, BatchItemResult, BatchRequest, RetryPolicy};
     pub use crate::budget::{Budget, CancelToken, DegradeReason, DegradedInfo};
     pub use crate::context::{Connection, Device, Intent, PolicyConfig, SearchContext};
+    pub use crate::cost_cache::{EvictionPolicy, SharedCostCache};
     pub use crate::error::CqpError;
     pub use crate::instrument::Instrument;
     pub use crate::params::QueryParams;

@@ -40,6 +40,63 @@ impl Json {
         )
     }
 
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer (rejects negatives and
+    /// fractional values — the strictness request validation wants).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Arr`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an `Obj`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// Serializes to compact JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -267,6 +324,31 @@ mod tests {
             j.render(),
             r#"{"s":"a\"b\\c\nd","i":42,"f":1.5,"bad":null,"arr":[null,true]}"#
         );
+    }
+
+    #[test]
+    fn json_accessors_navigate_values() {
+        let j = Json::obj(vec![
+            ("n", Json::from(3.0)),
+            ("frac", Json::from(1.5)),
+            ("neg", Json::Num(-2.0)),
+            ("s", Json::from("hi")),
+            ("b", Json::Bool(true)),
+            ("a", Json::Arr(vec![Json::from(1u64)])),
+        ]);
+        assert_eq!(j.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("frac").and_then(Json::as_u64), None);
+        assert_eq!(j.get("frac").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(j.get("neg").and_then(Json::as_u64), None);
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(j.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            j.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(j.get("missing"), None);
+        assert!(j.as_object().is_some());
+        assert_eq!(Json::Null.get("x"), None);
     }
 
     #[test]

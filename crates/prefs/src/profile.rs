@@ -28,6 +28,13 @@ impl Profile {
         &self.graph
     }
 
+    /// Mutable access to the personalization graph — the incremental
+    /// upsert path of a session store appends already-resolved edges
+    /// directly (names were resolved when the edge was first built).
+    pub fn graph_mut(&mut self) -> &mut PersonalizationGraph {
+        &mut self.graph
+    }
+
     /// Adds an atomic selection preference `REL.attr = value` with a doi,
     /// resolving names through the catalog.
     pub fn add_selection(
@@ -89,6 +96,49 @@ impl Profile {
     /// Number of atomic preferences stored.
     pub fn num_preferences(&self) -> usize {
         self.graph.num_edges()
+    }
+
+    /// The `k` highest-doi selection preferences as
+    /// `(preference id, edge)` pairs, sorted by doi descending.
+    ///
+    /// The preference id is the edge's insertion index into the profile's
+    /// selection list; ties on doi break toward the *lower* id (earlier
+    /// insertion). Because the order is a total order independent of `k`,
+    /// `top_k(k)` is always a prefix of `top_k(k + 1)` — the property the
+    /// server's progressive personalization-depth knob relies on.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, &SelectionEdge)> {
+        let mut ranked: Vec<(usize, &SelectionEdge)> =
+            self.graph.selections().iter().enumerate().collect();
+        ranked.sort_by(|(ia, a), (ib, b)| {
+            b.doi
+                .value()
+                .partial_cmp(&a.doi.value())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ia.cmp(ib))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// A copy of this profile restricted to its `top_k(k)` selection
+    /// preferences (all join preferences are kept — they carry the schema
+    /// paths implicit preferences are discovered through, not result
+    /// conditions of their own). Selections keep their original relative
+    /// order so preference-space extraction stays deterministic.
+    pub fn with_top_k_selections(&self, k: usize) -> Profile {
+        let mut keep: Vec<usize> = self.top_k(k).into_iter().map(|(id, _)| id).collect();
+        keep.sort_unstable();
+        let mut graph = PersonalizationGraph::new();
+        for id in keep {
+            graph.add_selection(self.graph.selections()[id].clone());
+        }
+        for j in self.graph.joins() {
+            graph.add_join(j.clone());
+        }
+        Profile {
+            name: self.name.clone(),
+            graph,
+        }
     }
 
     /// Builds the paper's Figure 1 example profile over the movie catalog
@@ -154,6 +204,47 @@ mod tests {
             .add_selection_op(&c, "MOVIE", "year", CmpOp::Ge, 1990i64, Doi::new(0.4))
             .unwrap();
         assert_eq!(p.num_preferences(), 2);
+    }
+
+    #[test]
+    fn top_k_orders_by_doi_then_insertion_id() {
+        let c = catalog();
+        let mut p = Profile::new("al");
+        p.add_selection(&c, "GENRE", "genre", "comedy", Doi::new(0.7))
+            .unwrap() // id 0
+            .add_selection(&c, "GENRE", "genre", "drama", Doi::new(0.9))
+            .unwrap() // id 1
+            .add_selection(&c, "GENRE", "genre", "noir", Doi::new(0.7))
+            .unwrap() // id 2 — ties with id 0: id 0 must win
+            .add_join(&c, "MOVIE", "mid", "GENRE", "mid", Doi::new(1.0))
+            .unwrap();
+        let ids: Vec<usize> = p.top_k(3).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 0, 2]);
+        // Prefix property at every depth, including past the end.
+        for k in 0..4 {
+            let shorter: Vec<usize> = p.top_k(k).into_iter().map(|(id, _)| id).collect();
+            let longer: Vec<usize> = p.top_k(k + 1).into_iter().map(|(id, _)| id).collect();
+            assert_eq!(&longer[..shorter.len()], &shorter[..]);
+        }
+        assert_eq!(p.top_k(0).len(), 0);
+        assert_eq!(p.top_k(99).len(), 3);
+    }
+
+    #[test]
+    fn with_top_k_selections_keeps_joins_and_insertion_order() {
+        let c = catalog();
+        let p = Profile::paper_figure1(&c).unwrap();
+        let restricted = p.with_top_k_selections(1);
+        // figure 1: selections are (genre=musical, 0.5) then
+        // (name=W. Allen, 0.8) — top-1 keeps only the director selection.
+        assert_eq!(restricted.graph().selections().len(), 1);
+        assert_eq!(restricted.graph().selections()[0].doi, Doi::new(0.8));
+        assert_eq!(restricted.graph().joins().len(), 2);
+        assert_eq!(restricted.name, p.name);
+        // Depth >= total selections reproduces the full profile.
+        let full = p.with_top_k_selections(10);
+        assert_eq!(full.graph().selections(), p.graph().selections());
+        assert_eq!(full.graph().joins(), p.graph().joins());
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! A minimal HTTP/1.1 codec over blocking streams.
+//!
+//! Only what the serving layer needs: request-line + headers +
+//! `Content-Length` bodies (no chunked encoding, no TLS, no HTTP/2), with
+//! hard limits on header and body size so a misbehaving client cannot make
+//! the server allocate unboundedly. Every malformed input maps to a typed
+//! [`HttpError`] the router turns into a 4xx — parsing never panics.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parse-level failure; each maps to one 4xx response.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before a full request arrived (a
+    /// clean close between keep-alive requests surfaces as this with
+    /// zero bytes consumed).
+    ConnectionClosed,
+    /// Malformed request line (wanted `METHOD PATH HTTP/1.x`).
+    BadRequestLine(String),
+    /// A header line without a `:` separator.
+    BadHeader(String),
+    /// `Content-Length` missing on a method that requires a body, or not
+    /// a number.
+    BadContentLength,
+    /// Head grew past [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Declared body length exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// Underlying socket error.
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "malformed header: {l:?}"),
+            HttpError::BadContentLength => write!(f, "missing or invalid content-length"),
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            HttpError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e.kind())
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/personalize` (query strings are kept).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (`Content-Length`-delimited; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path split into `/`-separated segments, query string dropped.
+    pub fn segments(&self) -> Vec<&str> {
+        let path = self.path.split('?').next().unwrap_or("");
+        path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Value of `key` in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let qs = self.path.split_once('?')?.1;
+        qs.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Reads one line terminated by `\n`, stripping `\r\n`/`\n`. Returns
+/// `None` on a clean EOF before any byte.
+fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::ConnectionClosed);
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map_or(buf.len(), |i| i + 1);
+        if take > *budget {
+            return Err(HttpError::HeadTooLarge);
+        }
+        *budget -= take;
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if nl.is_some() {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    // Lossy is fine: header values the router cares about are ASCII, and
+    // a garbled line fails its downstream parse with a typed error.
+    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+}
+
+/// Parses one request from `reader`. Blocks until a full head (and body,
+/// when declared) arrives or the connection closes.
+pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut budget)? {
+        None => return Err(HttpError::ConnectionClosed),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if v.starts_with("HTTP/1.") && p.starts_with('/') => {
+            (m.to_ascii_uppercase(), p.to_string(), v)
+        }
+        _ => return Err(HttpError::BadRequestLine(request_line)),
+    };
+    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget)? {
+            None => return Err(HttpError::ConnectionClosed),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "connection" {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+        headers.push((name, value));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::BadContentLength))
+        .transpose()?;
+    let body = match content_length {
+        None if method == "POST" || method == "PUT" => return Err(HttpError::BadContentLength),
+        None | Some(0) => Vec::new(),
+        Some(n) if n > MAX_BODY_BYTES => return Err(HttpError::BodyTooLarge(n)),
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Length`/`Content-Type`.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &cqp_obs::Json) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.render().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain",
+        }
+    }
+
+    /// Adds a header (builder-style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+
+    /// Serializes the response onto `writer` (one flat write + flush).
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        writer.write_all(&out)?;
+        writer.flush()
+    }
+}
+
+/// A client-side view of one response (used by the load generator and the
+/// socket tests; not a general client).
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response off `reader`.
+pub fn parse_response<R: BufRead>(reader: &mut R) -> Result<ClientResponse, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = match read_line(reader, &mut budget)? {
+        None => return Err(HttpError::ConnectionClosed),
+        Some(l) => l,
+    };
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::BadRequestLine(status_line.clone()))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget)? {
+            None => return Err(HttpError::ConnectionClosed),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let n = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; n];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        parse_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_headers_and_query() {
+        let req = parse(
+            "GET /profiles/al?merge=true HTTP/1.1\r\nHost: x\r\nX-Cqp-Deadline-Ms: 25\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.segments(), vec!["profiles", "al"]);
+        assert_eq!(req.query_param("merge"), Some("true"));
+        assert_eq!(req.query_param("nope"), None);
+        assert_eq!(req.header("x-cqp-deadline-ms"), Some("25"));
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse("POST /personalize HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}ab").unwrap();
+        assert_eq!(req.body, b"{}ab");
+    }
+
+    #[test]
+    fn post_without_content_length_is_typed_error() {
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\n\r\n").unwrap_err(),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        assert!(matches!(
+            parse("BLARG\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse("GET x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine(_))
+        ));
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_allocating() {
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&head), Err(HttpError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn response_round_trips_through_client_parser() {
+        let body = cqp_obs::Json::obj(vec![("ok", cqp_obs::Json::Bool(true))]);
+        let resp = Response::json(429, &body).with_header("retry-after", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = parse_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.body_text(), r#"{"ok":true}"#);
+    }
+}

@@ -1,0 +1,39 @@
+//! `cqp-server` — a zero-dependency personalization serving layer.
+//!
+//! The paper evaluates constrained query personalization as an offline
+//! pipeline: profile in, personalized query out. This crate puts that
+//! pipeline behind a socket, which is where its *constrained* framing
+//! earns its keep — a serving deployment has exactly the resources the
+//! paper's Table 1 constrains (execution cost, result size, personalization
+//! depth), plus two of its own: concurrency and time.
+//!
+//! Layers, bottom up:
+//!
+//! * [`http`] — a minimal HTTP/1.1 codec over `std::net` (no TLS, no
+//!   chunking), with hard head/body limits and typed parse errors.
+//! * [`json`] — a bounded recursive-descent parser producing the same
+//!   [`Json`](cqp_obs::Json) tree `cqp-obs` renders, so the server reads
+//!   and writes one JSON dialect.
+//! * [`session`] — the sharded, versioned profile store; profiles arrive
+//!   via the `# cqp-profile v1` wire format and live across requests.
+//! * [`admission`] — bounded-queue admission control: predictable 429/503
+//!   shedding instead of unbounded queueing.
+//! * [`server`] — the router and request lifecycle, mapping HTTP requests
+//!   onto [`BatchDriver::submit`](cqp_core::prelude::BatchDriver) with
+//!   per-request deadlines ([`Budget`](cqp_core::prelude::Budget)).
+//! * [`loadgen`] — a deterministic closed-loop load generator over real
+//!   sockets, feeding `BENCH_serve.json`.
+//!
+//! Everything is `std`-only, same as the rest of the workspace.
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod server;
+pub mod session;
+
+pub use admission::{AdmissionController, AdmissionError, Permit};
+pub use loadgen::{overload_probe, run_load, LoadConfig, LoadReport, ProbeReport};
+pub use server::{start, ServerConfig, ServerHandle, ServerState};
+pub use session::{SessionStore, StoredProfile, UpsertMode};

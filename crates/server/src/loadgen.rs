@@ -1,0 +1,480 @@
+//! A deterministic closed-loop load generator driving real sockets.
+//!
+//! Closed loop: each client thread keeps exactly one request in flight
+//! over one keep-alive connection, so offered load adapts to observed
+//! latency (the classic benchmarking discipline that avoids coordinated
+//! omission *on the offered side* — we measure what a well-behaved client
+//! sees, not queue blow-up of an open firehose).
+//!
+//! Determinism: the request *mix* is a pure function of `(seed, client,
+//! request index)` through a splitmix64 generator — same config, same
+//! sequence of users/queries/algorithms/deadlines, every run. Latencies
+//! are wall-clock and vary; the mix does not.
+
+use crate::http::{parse_response, ClientResponse, HttpError};
+use crate::json;
+use crate::server::ServerHandle;
+use cqp_obs::{Histogram, Json};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Shape of the generated load.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Mix seed.
+    pub seed: u64,
+    /// User ids to draw from (must exist on the server).
+    pub users: Vec<String>,
+    /// Base SQL texts to draw from.
+    pub queries: Vec<String>,
+    /// Algorithm tokens to draw from (as accepted by the API).
+    pub algorithms: Vec<String>,
+    /// Problem objects to draw from, each rendered as a JSON fragment
+    /// (e.g. `{"kind":"p2","cmax":500}`).
+    pub problems: Vec<String>,
+    /// Per-mille of requests sent with a 0-ms deadline — these must come
+    /// back 200 but *degraded* (the resilience path under load).
+    pub zero_deadline_permille: u32,
+    /// Personalization depths to draw from; a negative entry means the
+    /// full profile.
+    pub top_k_choices: Vec<i64>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 25,
+            seed: 42,
+            users: Vec::new(),
+            queries: Vec::new(),
+            algorithms: vec!["c_maxbounds".to_string(), "d_maxdoi".to_string()],
+            problems: vec!["{\"kind\":\"p2\",\"cmax\":2000}".to_string()],
+            zero_deadline_permille: 100,
+            top_k_choices: vec![-1, 2, 4],
+        }
+    }
+}
+
+/// What the generated load observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// 200s.
+    pub ok: u64,
+    /// 200s whose solution was budget-degraded.
+    pub degraded: u64,
+    /// 429s (admission shed).
+    pub rejected: u64,
+    /// 503s (queue timeout / transient backend).
+    pub unavailable: u64,
+    /// Other 4xx.
+    pub client_errors: u64,
+    /// 5xx other than 503.
+    pub server_errors: u64,
+    /// Requests lost to socket-level failures.
+    pub io_errors: u64,
+    /// End-to-end latency quantiles over 200 responses, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Wall-clock of the whole run, seconds.
+    pub wall_secs: f64,
+    /// Completed requests per wall-clock second.
+    pub requests_per_sec: f64,
+}
+
+impl LoadReport {
+    /// The report as a JSON object (for `BENCH_serve.json`).
+    pub fn to_json(&self) -> Json {
+        let rate = |n: u64| {
+            if self.requests == 0 {
+                0.0
+            } else {
+                n as f64 / self.requests as f64
+            }
+        };
+        Json::obj(vec![
+            ("requests", Json::from(self.requests)),
+            ("ok", Json::from(self.ok)),
+            ("degraded", Json::from(self.degraded)),
+            ("rejected", Json::from(self.rejected)),
+            ("unavailable", Json::from(self.unavailable)),
+            ("client_errors", Json::from(self.client_errors)),
+            ("server_errors", Json::from(self.server_errors)),
+            ("io_errors", Json::from(self.io_errors)),
+            ("degraded_rate", Json::from(rate(self.degraded))),
+            ("reject_rate", Json::from(rate(self.rejected))),
+            ("p50_us", Json::from(self.p50_us)),
+            ("p95_us", Json::from(self.p95_us)),
+            ("p99_us", Json::from(self.p99_us)),
+            ("wall_secs", Json::from(self.wall_secs)),
+            ("requests_per_sec", Json::from(self.requests_per_sec)),
+        ])
+    }
+}
+
+/// splitmix64 — the mix stream is a pure function of the seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pick<'a, T>(items: &'a [T], state: &mut u64) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[(splitmix64(state) % items.len() as u64) as usize])
+    }
+}
+
+/// One HTTP client over one keep-alive connection, reconnecting when the
+/// server closes it.
+struct Client {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            addr,
+            stream,
+            reader,
+        })
+    }
+
+    fn post(
+        &mut self,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &str,
+    ) -> Result<ClientResponse, HttpError> {
+        let mut attempt = 0;
+        loop {
+            let r = self.post_once(path, headers, body);
+            match r {
+                // One reconnect per request: a keep-alive close between
+                // requests is normal, a second failure is a real error.
+                Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) if attempt == 0 => {
+                    attempt = 1;
+                    match Client::connect(self.addr) {
+                        Ok(fresh) => *self = fresh,
+                        Err(e) => return Err(HttpError::from(e)),
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn post_once(
+        &mut self,
+        path: &str,
+        headers: &[(&str, String)],
+        body: &str,
+    ) -> Result<ClientResponse, HttpError> {
+        let mut head = format!(
+            "POST {path} HTTP/1.1\r\nhost: cqp\r\ncontent-length: {}\r\n",
+            body.len()
+        );
+        for (k, v) in headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        parse_response(&mut self.reader)
+    }
+}
+
+/// Renders the personalize body for `(client, index)` of the mix.
+fn render_request(config: &LoadConfig, client: usize, index: usize) -> Option<(String, bool)> {
+    let mut state = config
+        .seed
+        .wrapping_mul(0x5851_f42d_4c95_7f2d)
+        .wrapping_add((client as u64) << 32)
+        .wrapping_add(index as u64);
+    // Warm the stream so nearby (client, index) pairs decorrelate.
+    splitmix64(&mut state);
+    let user = pick(&config.users, &mut state)?;
+    let sql = pick(&config.queries, &mut state)?;
+    let problem = pick(&config.problems, &mut state)?;
+    let algorithm = pick(&config.algorithms, &mut state);
+    let top_k = pick(&config.top_k_choices, &mut state).copied();
+    let zero_deadline = splitmix64(&mut state) % 1000 < u64::from(config.zero_deadline_permille);
+    let mut body = format!(
+        "{{\"user\":{},\"sql\":{},\"problem\":{problem}",
+        Json::from(user.as_str()).render(),
+        Json::from(sql.as_str()).render(),
+    );
+    if let Some(a) = algorithm {
+        body.push_str(&format!(
+            ",\"algorithm\":{}",
+            Json::from(a.as_str()).render()
+        ));
+    }
+    if let Some(k) = top_k {
+        if k >= 0 {
+            body.push_str(&format!(",\"top_k\":{k}"));
+        }
+    }
+    if zero_deadline {
+        body.push_str(",\"deadline_ms\":0");
+    }
+    body.push('}');
+    Some((body, zero_deadline))
+}
+
+/// Runs the configured load against a server and aggregates what the
+/// clients saw. Returns an `io::Error` only when a client cannot connect
+/// at all; per-request socket failures are counted in the report.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadReport> {
+    if config.users.is_empty() || config.queries.is_empty() || config.problems.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "load config needs at least one user, query, and problem",
+        ));
+    }
+    let t0 = Instant::now();
+    let per_client: Vec<(Vec<u64>, LoadReport)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|c| s.spawn(move || client_loop(addr, config, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(Ok(r)) => r,
+                // A client that died whole-sale: count its planned
+                // requests as io errors.
+                _ => (
+                    Vec::new(),
+                    LoadReport {
+                        requests: config.requests_per_client as u64,
+                        io_errors: config.requests_per_client as u64,
+                        ..LoadReport::default()
+                    },
+                ),
+            })
+            .collect()
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut report = LoadReport::default();
+    let mut latencies = Histogram::default();
+    let mut completed = 0u64;
+    for (lats, partial) in per_client {
+        report.requests += partial.requests;
+        report.ok += partial.ok;
+        report.degraded += partial.degraded;
+        report.rejected += partial.rejected;
+        report.unavailable += partial.unavailable;
+        report.client_errors += partial.client_errors;
+        report.server_errors += partial.server_errors;
+        report.io_errors += partial.io_errors;
+        completed += partial.requests - partial.io_errors;
+        for l in lats {
+            latencies.observe(l);
+        }
+    }
+    report.p50_us = latencies.quantile(0.50);
+    report.p95_us = latencies.quantile(0.95);
+    report.p99_us = latencies.quantile(0.99);
+    report.wall_secs = wall_secs;
+    report.requests_per_sec = if wall_secs > 0.0 {
+        completed as f64 / wall_secs
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    client_id: usize,
+) -> std::io::Result<(Vec<u64>, LoadReport)> {
+    let mut client = Client::connect(addr)?;
+    let mut report = LoadReport::default();
+    let mut latencies = Vec::with_capacity(config.requests_per_client);
+    for i in 0..config.requests_per_client {
+        let (body, _) = match render_request(config, client_id, i) {
+            Some(r) => r,
+            None => break,
+        };
+        report.requests += 1;
+        let t = Instant::now();
+        match client.post("/personalize", &[], &body) {
+            Err(_) => report.io_errors += 1,
+            Ok(resp) => {
+                let us = t.elapsed().as_micros() as u64;
+                match resp.status {
+                    200 => {
+                        report.ok += 1;
+                        latencies.push(us);
+                        if response_is_degraded(&resp) {
+                            report.degraded += 1;
+                        }
+                    }
+                    429 => report.rejected += 1,
+                    503 => report.unavailable += 1,
+                    400..=499 => report.client_errors += 1,
+                    _ => report.server_errors += 1,
+                }
+            }
+        }
+    }
+    Ok((latencies, report))
+}
+
+/// Whether a 200 body reports a degraded solution.
+fn response_is_degraded(resp: &ClientResponse) -> bool {
+    json::parse(&resp.body_text())
+        .ok()
+        .and_then(|j| {
+            j.get("solution")
+                .and_then(|s| s.get("degraded"))
+                .map(|d| !matches!(d, Json::Null))
+        })
+        .unwrap_or(false)
+}
+
+/// What a deliberate overload burst observed.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeReport {
+    /// Requests fired while every execution slot was held.
+    pub attempts: u64,
+    /// 429s received.
+    pub rejected: u64,
+    /// 503s received.
+    pub unavailable: u64,
+    /// First `Retry-After` header seen on a 429 (milliseconds as sent).
+    pub retry_after: Option<String>,
+}
+
+impl ProbeReport {
+    /// The probe as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("attempts", Json::from(self.attempts)),
+            ("rejected", Json::from(self.rejected)),
+            ("unavailable", Json::from(self.unavailable)),
+            (
+                "retry_after",
+                self.retry_after.as_deref().map_or(Json::Null, Json::from),
+            ),
+        ])
+    }
+}
+
+/// Deterministic overload: holds *every* execution slot through the
+/// server handle, fires `attempts` personalize requests (`body` must be a
+/// valid request), and reports how the admission controller shed them.
+/// With a zero-length queue every attempt is a 429 — the deterministic
+/// admission-reject measurement `BENCH_serve.json` carries.
+pub fn overload_probe(
+    handle: &ServerHandle,
+    attempts: usize,
+    body: &str,
+) -> std::io::Result<ProbeReport> {
+    let gate = &handle.state().gate;
+    let mut permits = Vec::with_capacity(gate.max_inflight());
+    while permits.len() < gate.max_inflight() {
+        match gate.admit(Duration::ZERO) {
+            Ok(p) => permits.push(p),
+            Err(_) => break,
+        }
+    }
+    let mut client = Client::connect(handle.addr())?;
+    let mut report = ProbeReport::default();
+    for _ in 0..attempts {
+        report.attempts += 1;
+        match client.post("/personalize", &[], body) {
+            Ok(resp) if resp.status == 429 => {
+                report.rejected += 1;
+                if report.retry_after.is_none() {
+                    report.retry_after = resp.header("retry-after").map(str::to_string);
+                }
+            }
+            Ok(resp) if resp.status == 503 => report.unavailable += 1,
+            _ => {}
+        }
+    }
+    drop(permits);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_is_deterministic_in_the_seed() {
+        let config = LoadConfig {
+            users: vec!["a".into(), "b".into(), "c".into()],
+            queries: vec![
+                "SELECT title FROM MOVIE".into(),
+                "SELECT name FROM DIRECTOR".into(),
+            ],
+            ..LoadConfig::default()
+        };
+        for client in 0..3 {
+            for i in 0..10 {
+                assert_eq!(
+                    render_request(&config, client, i),
+                    render_request(&config, client, i)
+                );
+            }
+        }
+        // Different seeds really change the mix somewhere in the stream.
+        let reseeded = LoadConfig {
+            seed: 43,
+            ..config.clone()
+        };
+        let differs =
+            (0..50).any(|i| render_request(&config, 0, i) != render_request(&reseeded, 0, i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn rendered_body_is_valid_json_with_required_fields() {
+        let config = LoadConfig {
+            users: vec!["al\"ice".into()], // a user id that needs escaping
+            queries: vec!["SELECT title FROM MOVIE".into()],
+            zero_deadline_permille: 1000,
+            ..LoadConfig::default()
+        };
+        let (body, zero_deadline) = render_request(&config, 0, 0).unwrap();
+        assert!(zero_deadline);
+        let parsed = json::parse(&body).unwrap();
+        assert_eq!(parsed.get("user").and_then(Json::as_str), Some("al\"ice"));
+        assert!(parsed.get("sql").is_some());
+        assert!(parsed.get("problem").and_then(|p| p.get("kind")).is_some());
+        assert_eq!(parsed.get("deadline_ms").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn empty_mix_is_rejected() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(run_load(addr, &LoadConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,733 @@
+//! The HTTP front-end: routing, request validation, and lifecycle.
+//!
+//! One accept loop, one thread per connection (bounded in practice by the
+//! admission gate: connections are cheap, *solver slots* are the scarce
+//! resource). Every handler failure maps to a typed JSON error — the
+//! personalization pipeline's own taxonomy ([`CqpError`]) decides between
+//! 4xx and 5xx, and malformed requests can never surface as a 500.
+
+use crate::admission::{AdmissionController, AdmissionError};
+use crate::http::{parse_request, HttpError, Request, Response};
+use crate::json;
+use crate::session::{SessionStore, UpsertMode};
+use cqp_core::budget::Budget;
+use cqp_core::prelude::*;
+use cqp_engine::{execute_personalized, execute_ranked, parse_query, Matching};
+use cqp_obs::report::snapshot_to_json;
+use cqp_obs::{Json, Obs, Recorder};
+use cqp_prefs::Doi;
+use cqp_storage::{Database, IoMeter};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Concurrent personalization executions admitted.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for an execution slot; beyond this → 429.
+    pub queue_cap: usize,
+    /// `Retry-After` hint on 429 responses, milliseconds.
+    pub retry_after_ms: u64,
+    /// Longest a queued request waits for a slot before a 503.
+    pub queue_wait_ms: u64,
+    /// Session-store shards.
+    pub store_shards: usize,
+    /// Users to pre-seed from `cqp-datagen` (0 = none).
+    pub seed_users: usize,
+    /// Base seed for profile seeding.
+    pub seed: u64,
+    /// Cost-cache eviction policy for the submit path.
+    pub cache_policy: EvictionPolicy,
+    /// Cost-cache total capacity (entries).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request specifies none (ms; `None` = no
+    /// default deadline).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: std::thread::available_parallelism().map_or(2, usize::from),
+            queue_cap: 32,
+            retry_after_ms: 250,
+            queue_wait_ms: 1_000,
+            store_shards: 8,
+            seed_users: 0,
+            seed: 42,
+            // LRU: a serving cache lives across requests, so recency —
+            // not insertion age — predicts reuse.
+            cache_policy: EvictionPolicy::Lru,
+            cache_capacity: cqp_core::batch::SUBMIT_CACHE_CAPACITY,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Shared server state, visible to handlers and (via the handle) tests.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The shared database.
+    pub db: Arc<Database>,
+    /// The solver driver (persistent LRU submit cache).
+    pub driver: BatchDriver,
+    /// Per-user profiles.
+    pub store: SessionStore,
+    /// The admission gate.
+    pub gate: AdmissionController,
+    /// Metrics + tracing sink.
+    pub obs: Arc<Obs>,
+    config: ServerConfig,
+    started: Instant,
+}
+
+/// A running server; stops (and joins its threads) on [`ServerHandle::stop`]
+/// or drop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state — the tests' window into counters and the gate.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting, severs open connections, and joins the accept
+    /// loop. Idempotent.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` by connecting once; sever live connections so
+        // keep-alive handlers observe EOF instead of blocking forever.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts a server over `db` per `config`; returns once the socket is
+/// bound and accepting.
+pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let driver = BatchDriver::new(Arc::clone(&db), 1)
+        .with_submit_cache(config.cache_policy, config.cache_capacity);
+    let store = SessionStore::new(config.store_shards);
+    if config.seed_users > 0 {
+        store.seed_from_datagen(db.catalog(), config.seed_users, config.seed);
+    }
+    let state = Arc::new(ServerState {
+        gate: AdmissionController::new(
+            config.max_inflight,
+            config.queue_cap,
+            config.retry_after_ms,
+        ),
+        driver,
+        store,
+        obs: Arc::new(Obs::new()),
+        db,
+        config,
+        started: Instant::now(),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_state = Arc::clone(&state);
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_conns = Arc::clone(&conns);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                accept_conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(clone);
+            }
+            let state = Arc::clone(&accept_state);
+            let shutdown = Arc::clone(&accept_shutdown);
+            // Connection handlers are detached: shutdown severs their
+            // sockets, which ends their read loops promptly.
+            std::thread::spawn(move || serve_connection(stream, &state, &shutdown));
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        conns,
+    })
+}
+
+/// Keep-alive request loop over one connection.
+fn serve_connection(stream: TcpStream, state: &ServerState, shutdown: &AtomicBool) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        let (response, keep_alive) = match parse_request(&mut reader) {
+            Ok(req) => {
+                let keep = req.keep_alive;
+                (route(state, &req), keep)
+            }
+            Err(HttpError::ConnectionClosed) => return,
+            Err(e) => {
+                state.obs.add("server.http_errors", 1);
+                (http_error_response(&e), false)
+            }
+        };
+        if response.write_to(&mut write_half, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// A typed API failure: status + stable code + message, plus the
+/// `Retry-After` hint 429s carry.
+struct ApiError {
+    status: u16,
+    code: &'static str,
+    message: String,
+    retry_after_ms: Option<u64>,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    fn with_retry_after_ms(mut self, ms: u64) -> ApiError {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    fn response(&self) -> Response {
+        let resp = Response::json(
+            self.status,
+            &Json::obj(vec![(
+                "error",
+                Json::obj(vec![
+                    ("code", Json::from(self.code)),
+                    ("message", Json::from(self.message.as_str())),
+                ]),
+            )]),
+        );
+        match self.retry_after_ms {
+            // Retry-After is whole seconds on the wire; round up so the
+            // hint never tells a client to come back too early.
+            Some(ms) => resp.with_header("retry-after", ms.div_ceil(1000).max(1).to_string()),
+            None => resp,
+        }
+    }
+}
+
+/// Maps an HTTP parse failure onto a 4xx.
+fn http_error_response(e: &HttpError) -> Response {
+    let (status, code) = match e {
+        HttpError::BodyTooLarge(_) => (413, "body_too_large"),
+        HttpError::HeadTooLarge => (431, "head_too_large"),
+        _ => (400, "bad_request"),
+    };
+    ApiError::new(status, code, e.to_string()).response()
+}
+
+/// Dispatches one parsed request.
+fn route(state: &ServerState, req: &Request) -> Response {
+    state.obs.add("server.requests", 1);
+    let segments = req.segments();
+    let result = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(healthz(state)),
+        ("GET", ["metrics"]) => Ok(metrics(state)),
+        ("POST", ["profiles", user]) => upsert_profile(state, req, user),
+        ("GET", ["profiles", user]) => get_profile(state, user),
+        ("POST", ["personalize"]) => personalize(state, req),
+        (_, ["healthz" | "metrics"]) | (_, ["profiles", _]) | (_, ["personalize"]) => Err(
+            ApiError::new(405, "method_not_allowed", "wrong method for this path"),
+        ),
+        _ => Err(ApiError::new(
+            404,
+            "not_found",
+            format!("no route for {}", req.path),
+        )),
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => {
+            state.obs.add("server.request_errors", 1);
+            e.response()
+        }
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("status", Json::from("ok")),
+            (
+                "uptime_secs",
+                Json::from(state.started.elapsed().as_secs_f64()),
+            ),
+            ("profiles", Json::from(state.store.len() as u64)),
+            ("inflight", Json::from(state.gate.inflight() as u64)),
+        ]),
+    )
+}
+
+fn metrics(state: &ServerState) -> Response {
+    let (admitted, rejected, timed_out) = state.gate.counters();
+    let (upserts, lookups, misses) = state.store.counters();
+    let (cache_hits, cache_misses, cache_evictions) = state.driver.submit_cache_counters();
+    let server = Json::obj(vec![
+        ("admitted", Json::from(admitted)),
+        ("rejected", Json::from(rejected)),
+        ("queue_timeouts", Json::from(timed_out)),
+        ("profiles", Json::from(state.store.len() as u64)),
+        ("profile_upserts", Json::from(upserts)),
+        ("profile_lookups", Json::from(lookups)),
+        ("profile_misses", Json::from(misses)),
+        ("cache_hits", Json::from(cache_hits)),
+        ("cache_misses", Json::from(cache_misses)),
+        ("cache_evictions", Json::from(cache_evictions)),
+        ("cache_policy", Json::from(state.driver_cache_policy())),
+        ("submit_panics", Json::from(state.driver.submit_panics())),
+        ("submit_retries", Json::from(state.driver.submit_retries())),
+    ]);
+    let mut metrics = match snapshot_to_json(&state.obs.snapshot()) {
+        Json::Obj(members) => members,
+        other => vec![("metrics".to_string(), other)],
+    };
+    metrics.push(("server".to_string(), server));
+    Response::json(200, &Json::Obj(metrics))
+}
+
+impl ServerState {
+    fn driver_cache_policy(&self) -> &'static str {
+        self.config.cache_policy.name()
+    }
+}
+
+fn upsert_profile(state: &ServerState, req: &Request, user: &str) -> Result<Response, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::new(400, "bad_encoding", "profile body must be utf-8"))?;
+    let mode = if req.query_param("merge") == Some("true") {
+        UpsertMode::Merge
+    } else {
+        UpsertMode::Replace
+    };
+    let (version, preferences) = state
+        .store
+        .upsert_text(user, text, state.db.catalog(), mode)
+        .map_err(|e| ApiError::new(400, "bad_profile", e.to_string()))?;
+    state.obs.add("server.profile_upserts", 1);
+    Ok(Response::json(
+        200,
+        &Json::obj(vec![
+            ("user", Json::from(user)),
+            ("version", Json::from(version)),
+            ("preferences", Json::from(preferences as u64)),
+        ]),
+    ))
+}
+
+fn get_profile(state: &ServerState, user: &str) -> Result<Response, ApiError> {
+    match state.store.render_text(user, state.db.catalog()) {
+        Some(text) => Ok(Response::text(200, text)),
+        None => Err(ApiError::new(
+            404,
+            "unknown_user",
+            format!("no profile for {user:?}"),
+        )),
+    }
+}
+
+/// Parsed personalize-request parameters.
+struct PersonalizeParams {
+    user: String,
+    query: cqp_engine::ConjunctiveQuery,
+    problem: ProblemSpec,
+    algorithm: Algorithm,
+    top_k: Option<usize>,
+    deadline_ms: Option<u64>,
+    want_rows: bool,
+    rank_min_match: Option<usize>,
+}
+
+/// Validates the request body; every failure is a 4xx.
+fn parse_personalize(state: &ServerState, req: &Request) -> Result<PersonalizeParams, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::new(400, "bad_encoding", "body must be utf-8"))?;
+    let body = json::parse(text).map_err(|e| ApiError::new(400, "bad_json", e.to_string()))?;
+    let user = body
+        .get("user")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new(400, "missing_field", "`user` (string) is required"))?
+        .to_string();
+    let sql = body
+        .get("sql")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new(400, "missing_field", "`sql` (string) is required"))?;
+    let query = parse_query(sql, state.db.catalog())
+        .map_err(|e| ApiError::new(400, "bad_query", e.to_string()))?;
+    let problem =
+        parse_problem(body.get("problem").ok_or_else(|| {
+            ApiError::new(400, "missing_field", "`problem` (object) is required")
+        })?)?;
+    let algorithm = match body.get("algorithm") {
+        None => SolverConfig::default().algorithm,
+        Some(a) => a
+            .as_str()
+            .and_then(Algorithm::by_name)
+            .ok_or_else(|| ApiError::new(400, "bad_algorithm", "unknown algorithm"))?,
+    };
+    let top_k = match body.get("top_k") {
+        None => None,
+        Some(k) => Some(k.as_u64().ok_or_else(|| {
+            ApiError::new(400, "bad_top_k", "`top_k` must be a non-negative integer")
+        })? as usize),
+    };
+    // The header wins over the body field (operators can cap a deployment
+    // at the proxy without touching clients).
+    let deadline_ms = match (req.header("x-cqp-deadline-ms"), body.get("deadline_ms")) {
+        (Some(h), _) => Some(h.parse::<u64>().map_err(|_| {
+            ApiError::new(400, "bad_deadline", "x-cqp-deadline-ms must be an integer")
+        })?),
+        (None, Some(d)) => Some(d.as_u64().ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_deadline",
+                "`deadline_ms` must be a non-negative integer",
+            )
+        })?),
+        (None, None) => state.config.default_deadline_ms,
+    };
+    let want_rows = body.get("rows").and_then(Json::as_bool).unwrap_or(false);
+    let rank_min_match = match body.get("rank") {
+        None => None,
+        Some(r) => Some(
+            r.get("min_match")
+                .map(|m| {
+                    m.as_u64().ok_or_else(|| {
+                        ApiError::new(
+                            400,
+                            "bad_rank",
+                            "`rank.min_match` must be a non-negative integer",
+                        )
+                    })
+                })
+                .transpose()?
+                .unwrap_or(1) as usize,
+        ),
+    };
+    Ok(PersonalizeParams {
+        user,
+        query,
+        problem,
+        algorithm,
+        top_k,
+        deadline_ms,
+        want_rows,
+        rank_min_match,
+    })
+}
+
+/// Builds the Table 1 problem spec from `{"kind": "p2", ...}`.
+fn parse_problem(spec: &Json) -> Result<ProblemSpec, ApiError> {
+    let bad = |msg: &str| ApiError::new(400, "bad_problem", msg);
+    let kind = spec
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("`problem.kind` (p1..p6) is required"))?;
+    let num = |key: &str| -> Result<Option<f64>, ApiError> {
+        match spec.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+                ApiError::new(
+                    400,
+                    "bad_problem",
+                    format!("`problem.{key}` must be a number"),
+                )
+            }),
+        }
+    };
+    let require = |key: &str| -> Result<f64, ApiError> {
+        num(key)?.ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_problem",
+                format!("`problem.{key}` is required for this kind"),
+            )
+        })
+    };
+    let doi = |v: f64| -> Result<Doi, ApiError> {
+        if (0.0..=1.0).contains(&v) {
+            Ok(Doi::new(v))
+        } else {
+            Err(bad("`problem.dmin` must be within [0, 1]"))
+        }
+    };
+    let blocks = |v: f64| -> Result<u64, ApiError> {
+        if v >= 0.0 && v.fract() == 0.0 {
+            Ok(v as u64)
+        } else {
+            Err(bad("`problem.cmax` must be a non-negative integer"))
+        }
+    };
+    match kind.to_ascii_lowercase().as_str() {
+        "p1" => Ok(ProblemSpec::p1(require("smin")?, require("smax")?)),
+        "p2" => Ok(ProblemSpec::p2(blocks(require("cmax")?)?)),
+        "p3" => Ok(ProblemSpec::p3(
+            blocks(require("cmax")?)?,
+            require("smin")?,
+            require("smax")?,
+        )),
+        "p4" => Ok(ProblemSpec::p4(doi(require("dmin")?)?)),
+        "p5" => Ok(ProblemSpec::p5(
+            doi(require("dmin")?)?,
+            require("smin")?,
+            require("smax")?,
+        )),
+        "p6" => Ok(ProblemSpec::p6(require("smin")?, require("smax")?)),
+        other => Err(bad(&format!(
+            "unknown problem kind {other:?} (want p1..p6)"
+        ))),
+    }
+}
+
+/// Maps a pipeline error onto a status: request-shaped failures are 4xx,
+/// transient storage trouble is 503, and only genuine internal faults
+/// (caught panics) surface as 500.
+fn cqp_error_response(e: &CqpError) -> ApiError {
+    let status = match e {
+        CqpError::InvalidRequest(_) => 400,
+        CqpError::SpaceTooLarge { .. } | CqpError::Construct(_) => 422,
+        CqpError::Engine(_) | CqpError::Storage(_) => {
+            if e.is_transient() {
+                503
+            } else {
+                422
+            }
+        }
+        CqpError::Internal(_) => 500,
+    };
+    ApiError::new(status, e.kind(), e.to_string())
+}
+
+fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+    let t0 = Instant::now();
+    let params = parse_personalize(state, req)?;
+    let stored = state
+        .store
+        .select(&params.user, params.top_k)
+        .ok_or_else(|| {
+            ApiError::new(
+                404,
+                "unknown_user",
+                format!("no profile for {:?}", params.user),
+            )
+        })?;
+
+    // Admission: hold a permit for the whole solve + execute.
+    let _permit = state
+        .gate
+        .admit(Duration::from_millis(state.config.queue_wait_ms))
+        .map_err(|e| match e {
+            AdmissionError::Overloaded { retry_after_ms } => {
+                state.obs.add("server.rejected", 1);
+                ApiError::new(
+                    429,
+                    "overloaded",
+                    format!("retry after {retry_after_ms} ms"),
+                )
+                .with_retry_after_ms(retry_after_ms)
+            }
+            AdmissionError::QueueTimeout => {
+                state.obs.add("server.queue_timeouts", 1);
+                ApiError::new(503, "queue_timeout", "no execution slot freed in time")
+            }
+        })?;
+
+    let mut config = SolverConfig {
+        algorithm: params.algorithm,
+        ..Default::default()
+    };
+    if let Some(ms) = params.deadline_ms {
+        config.budget = Budget::with_deadline_ms(ms);
+    }
+    let batch_req = BatchRequest {
+        query: params.query,
+        profile: stored.profile,
+        problem: params.problem,
+        config,
+    };
+    let item = state
+        .driver
+        .submit_recorded(batch_req, state.obs.as_ref())
+        .map_err(|e| {
+            state.obs.add("server.solver_errors", 1);
+            let api = cqp_error_response(&e);
+            if api.status == 429 || api.status == 503 {
+                state.obs.add("server.unavailable", 1);
+            }
+            api
+        })?;
+
+    // Result materialization (zero simulated I/O latency: the serving
+    // layer measures real wall-clock, not the paper's block model).
+    let meter = IoMeter::new(0.0);
+    let rows_json = if params.want_rows {
+        let out = execute_personalized(&state.db, &item.query, &meter)
+            .map_err(|e| cqp_error_response(&CqpError::from(e)))?;
+        Some(Json::Arr(out.rows.iter().map(|r| row_to_json(r)).collect()))
+    } else {
+        None
+    };
+    let ranked_json = match params.rank_min_match {
+        None => None,
+        Some(min_match) => {
+            let ranked = execute_ranked(
+                &state.db,
+                &item.query,
+                &item.pref_dois,
+                Matching::AtLeast(min_match.max(1)),
+                &meter,
+            )
+            .map_err(|e| cqp_error_response(&CqpError::from(e)))?;
+            Some(Json::Arr(
+                ranked
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("doi", Json::from(r.doi)),
+                            ("row", row_to_json(&r.row)),
+                        ])
+                    })
+                    .collect(),
+            ))
+        }
+    };
+
+    let degraded = match &item.solution.degraded {
+        None => Json::Null,
+        Some(d) => Json::obj(vec![
+            ("reason", Json::from(d.reason.name())),
+            ("states_visited", Json::from(d.states_visited)),
+            ("elapsed_us", Json::from(d.elapsed.as_micros() as u64)),
+        ]),
+    };
+    if item.solution.degraded.is_some() {
+        state.obs.add("server.degraded", 1);
+    }
+    state.obs.add("server.personalized", 1);
+    let latency_us = t0.elapsed().as_micros() as u64;
+    state.obs.observe("server.latency_us", latency_us);
+
+    let mut members = vec![
+        ("user".to_string(), Json::from(params.user.as_str())),
+        ("profile_version".to_string(), Json::from(stored.version)),
+        (
+            "problem".to_string(),
+            Json::from(
+                params
+                    .problem
+                    .kind()
+                    .map_or("custom".to_string(), |k| format!("{k:?}").to_lowercase()),
+            ),
+        ),
+        ("algorithm".to_string(), Json::from(params.algorithm.name())),
+        ("space_k".to_string(), Json::from(item.space_k as u64)),
+        (
+            "solution".to_string(),
+            Json::obj(vec![
+                (
+                    "prefs",
+                    Json::Arr(
+                        item.solution
+                            .prefs
+                            .iter()
+                            .map(|&p| Json::from(p as u64))
+                            .collect(),
+                    ),
+                ),
+                ("doi", Json::from(item.solution.doi.value())),
+                ("cost_blocks", Json::from(item.solution.cost_blocks)),
+                ("size_rows", Json::from(item.solution.size_rows)),
+                ("found", Json::Bool(item.solution.found)),
+                ("degraded", degraded),
+            ]),
+        ),
+        (
+            "pref_dois".to_string(),
+            Json::Arr(item.pref_dois.iter().map(|&d| Json::from(d)).collect()),
+        ),
+        ("sql".to_string(), Json::from(item.sql.as_str())),
+        ("latency_us".to_string(), Json::from(latency_us)),
+    ];
+    if let Some(rows) = rows_json {
+        members.push(("rows".to_string(), rows));
+    }
+    if let Some(ranked) = ranked_json {
+        members.push(("ranked".to_string(), ranked));
+    }
+    Ok(Response::json(200, &Json::Obj(members)))
+}
+
+/// Renders a tuple as an array of display strings (stable, type-agnostic —
+/// the bit-identity tests compare these exact strings).
+fn row_to_json(row: &[cqp_storage::Value]) -> Json {
+    Json::Arr(row.iter().map(|v| Json::from(v.to_string())).collect())
+}

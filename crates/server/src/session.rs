@@ -1,0 +1,303 @@
+//! The session profile store: per-user personalization state.
+//!
+//! The paper treats the profile as an input handed to the personalization
+//! step; a serving deployment needs somewhere for those profiles to *live*
+//! between requests. [`SessionStore`] is that place: a sharded, versioned,
+//! in-memory map from user id to [`Profile`], seeded from `cqp-datagen`
+//! generators and updated through the wire-format upserts the
+//! `POST /profiles/{user}` endpoint accepts.
+//!
+//! Versions are per-user monotone counters bumped on every upsert, so a
+//! response can state which profile version produced it — the closest
+//! zero-dependency analog of an MVCC read timestamp.
+
+use cqp_prefs::{from_text, to_text, Profile, ProfileParseError};
+use cqp_storage::Catalog;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A profile plus its monotone version.
+#[derive(Debug, Clone)]
+pub struct StoredProfile {
+    /// The user's personalization graph.
+    pub profile: Profile,
+    /// Bumped on every upsert; starts at 1 for seeded/first-write entries.
+    pub version: u64,
+}
+
+/// How an upsert combines with an existing profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsertMode {
+    /// The posted profile replaces the stored one.
+    Replace,
+    /// The posted preferences are appended to the stored graph — the
+    /// incremental "my tastes grew" path.
+    Merge,
+}
+
+/// Sharded, versioned in-memory profile store.
+#[derive(Debug)]
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<String, StoredProfile>>>,
+    upserts: AtomicU64,
+    lookups: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// FNV-1a over the user id — stable across runs, so shard placement is
+/// deterministic.
+fn hash_user(user: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in user.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SessionStore {
+    /// An empty store with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        SessionStore {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            upserts: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, user: &str) -> &Mutex<HashMap<String, StoredProfile>> {
+        &self.shards[(hash_user(user) % self.shards.len() as u64) as usize]
+    }
+
+    /// Seeds `count` users (`user0001`, `user0002`, …) with deterministic
+    /// `cqp-datagen` movie profiles derived from `base_seed`.
+    pub fn seed_from_datagen(&self, catalog: &Catalog, count: usize, base_seed: u64) {
+        for i in 0..count {
+            let cfg = cqp_datagen::ProfileGenConfig::tiny(base_seed.wrapping_add(i as u64));
+            let profile = cqp_datagen::generate_movie_profile(catalog, &cfg);
+            self.put(&format!("user{:04}", i + 1), profile);
+        }
+    }
+
+    /// Inserts or replaces `user`'s profile directly (version-bumping).
+    pub fn put(&self, user: &str, profile: Profile) -> u64 {
+        self.upserts.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
+        let entry = shard
+            .entry(user.to_string())
+            .and_modify(|e| e.version += 1)
+            .or_insert(StoredProfile {
+                profile: Profile::new(user),
+                version: 1,
+            });
+        entry.profile = profile;
+        entry.version
+    }
+
+    /// Applies a `# cqp-profile v1` wire-format upsert for `user`.
+    /// Returns the new `(version, total preferences)` on success.
+    pub fn upsert_text(
+        &self,
+        user: &str,
+        text: &str,
+        catalog: &Catalog,
+        mode: UpsertMode,
+    ) -> Result<(u64, usize), ProfileParseError> {
+        let incoming = from_text(text, catalog)?;
+        let merged = match mode {
+            UpsertMode::Replace => incoming,
+            UpsertMode::Merge => match self.get(user) {
+                None => incoming,
+                Some(existing) => {
+                    let mut base = existing.profile;
+                    for s in incoming.graph().selections() {
+                        base.graph_mut().add_selection(s.clone());
+                    }
+                    for j in incoming.graph().joins() {
+                        base.graph_mut().add_join(j.clone());
+                    }
+                    base
+                }
+            },
+        };
+        let prefs = merged.num_preferences();
+        let version = self.put(user, merged);
+        Ok((version, prefs))
+    }
+
+    /// The stored profile (cloned) and version for `user`.
+    pub fn get(&self, user: &str) -> Option<StoredProfile> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
+        let found = shard.get(user).cloned();
+        if found.is_none() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// The profile for `user` restricted to its `top_k` highest-doi
+    /// selection preferences (the paper's progressive personalization
+    /// depth); `None` depth returns the full profile.
+    pub fn select(&self, user: &str, top_k: Option<usize>) -> Option<StoredProfile> {
+        let stored = self.get(user)?;
+        Some(match top_k {
+            None => stored,
+            Some(k) => StoredProfile {
+                profile: stored.profile.with_top_k_selections(k),
+                version: stored.version,
+            },
+        })
+    }
+
+    /// Renders `user`'s stored profile in the wire format.
+    pub fn render_text(&self, user: &str, catalog: &Catalog) -> Option<String> {
+        self.get(user).map(|s| to_text(&s.profile, catalog))
+    }
+
+    /// Users stored, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// True when no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(upserts, lookups, misses)` counter snapshot.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.upserts.load(Ordering::Relaxed),
+            self.lookups.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("duration", DataType::Int),
+                ("did", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "DIRECTOR",
+            vec![("did", DataType::Int), ("name", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    const WIRE: &str = "# cqp-profile v1\nprofile al\nselect 0.7 GENRE.genre eq \"comedy\"\njoin 0.9 MOVIE.mid GENRE.mid\n";
+
+    #[test]
+    fn upserts_bump_versions_per_user() {
+        let c = catalog();
+        let store = SessionStore::new(4);
+        let (v1, n1) = store
+            .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        assert_eq!((v1, n1), (1, 2));
+        let (v2, _) = store
+            .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        assert_eq!(v2, 2);
+        // Another user's version counter is independent.
+        let (v1b, _) = store
+            .upsert_text("bo", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        assert_eq!(v1b, 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("al").unwrap().version, 2);
+        assert!(store.get("nobody").is_none());
+        let (ups, looks, misses) = store.counters();
+        assert_eq!(ups, 3);
+        assert!(looks >= 2 && misses >= 1);
+    }
+
+    #[test]
+    fn merge_mode_appends_preferences() {
+        let c = catalog();
+        let store = SessionStore::new(2);
+        store
+            .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        let more = "# cqp-profile v1\nprofile al\nselect 0.4 MOVIE.year ge 1990\n";
+        let (v, prefs) = store
+            .upsert_text("al", more, &c, UpsertMode::Merge)
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(prefs, 3);
+        // Merge into an absent user behaves like a plain insert.
+        let (v, prefs) = store
+            .upsert_text("cy", more, &c, UpsertMode::Merge)
+            .unwrap();
+        assert_eq!((v, prefs), (1, 1));
+    }
+
+    #[test]
+    fn malformed_wire_text_is_a_typed_error_and_no_write() {
+        let c = catalog();
+        let store = SessionStore::new(2);
+        assert!(store
+            .upsert_text("al", "select nonsense", &c, UpsertMode::Replace)
+            .is_err());
+        assert!(store.get("al").is_none());
+    }
+
+    #[test]
+    fn select_applies_top_k_depth() {
+        let c = catalog();
+        let store = SessionStore::new(2);
+        let wire = "# cqp-profile v1\nprofile al\nselect 0.3 GENRE.genre eq \"noir\"\nselect 0.9 GENRE.genre eq \"comedy\"\njoin 1.0 MOVIE.mid GENRE.mid\n";
+        store
+            .upsert_text("al", wire, &c, UpsertMode::Replace)
+            .unwrap();
+        let full = store.select("al", None).unwrap();
+        assert_eq!(full.profile.graph().selections().len(), 2);
+        let top1 = store.select("al", Some(1)).unwrap();
+        assert_eq!(top1.profile.graph().selections().len(), 1);
+        assert_eq!(top1.profile.graph().joins().len(), 1);
+        assert_eq!(top1.version, full.version);
+        // The surviving selection is the highest-doi one.
+        assert_eq!(top1.profile.graph().selections()[0].doi.value(), 0.9);
+    }
+
+    #[test]
+    fn seeding_populates_deterministic_users() {
+        // The datagen generator needs the full movie schema (CASTS/ACTOR).
+        let db = cqp_datagen::generate_movie_db(&cqp_datagen::MovieDbConfig::tiny(1));
+        let c = db.catalog().clone();
+        let a = SessionStore::new(4);
+        a.seed_from_datagen(&c, 5, 42);
+        assert_eq!(a.len(), 5);
+        let b = SessionStore::new(4);
+        b.seed_from_datagen(&c, 5, 42);
+        let (pa, pb) = (a.get("user0003").unwrap(), b.get("user0003").unwrap());
+        assert_eq!(to_text(&pa.profile, &c), to_text(&pb.profile, &c));
+        assert_eq!(pa.version, 1);
+    }
+}

@@ -238,3 +238,56 @@ proptest! {
         prop_assert!(space.check_invariants().is_ok());
     }
 }
+
+/// Strategy: selection dois drawn from a coarse grid so ties are common —
+/// the tie-breaking rule is exactly what the prefix property stresses.
+fn arb_selection_dois() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1u64..=10, 1..=12)
+        .prop_map(|raw| raw.into_iter().map(|d| d as f64 * 0.1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Profile::top_k(k)` is a prefix of `top_k(k + 1)` at every depth —
+    /// the serving layer's personalization-depth knob never reorders
+    /// preferences as the depth grows, it only extends them.
+    #[test]
+    fn top_k_is_a_prefix_of_top_k_plus_one(dois in arb_selection_dois()) {
+        let mut catalog = cqp_storage::Catalog::new();
+        catalog
+            .add_relation(cqp_storage::RelationSchema::new(
+                "GENRE",
+                vec![
+                    ("mid", cqp_storage::DataType::Int),
+                    ("genre", cqp_storage::DataType::Str),
+                ],
+            ))
+            .unwrap();
+        let mut profile = cqp_prefs::Profile::new("prop");
+        for (i, d) in dois.iter().enumerate() {
+            profile
+                .add_selection(&catalog, "GENRE", "genre", format!("g{i}"), Doi::new(*d))
+                .unwrap();
+        }
+        let n = dois.len();
+        for k in 0..=n {
+            let shorter: Vec<usize> =
+                profile.top_k(k).into_iter().map(|(id, _)| id).collect();
+            let longer: Vec<usize> =
+                profile.top_k(k + 1).into_iter().map(|(id, _)| id).collect();
+            prop_assert!(shorter.len() == k.min(n));
+            prop_assert_eq!(&longer[..shorter.len()], &shorter[..]);
+            // Ranking is by doi descending with ties broken toward the
+            // earlier insertion id.
+            for w in profile.top_k(k).windows(2) {
+                let (ia, a) = (w[0].0, w[0].1);
+                let (ib, b) = (w[1].0, w[1].1);
+                prop_assert!(
+                    a.doi > b.doi || (a.doi == b.doi && ia < ib),
+                    "rank order violated at ids {} and {}", ia, ib
+                );
+            }
+        }
+    }
+}

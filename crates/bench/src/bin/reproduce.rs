@@ -22,6 +22,8 @@
 //!   bench_par 1-thread vs N-thread batch driver + fig12 grid (BENCH_parallel.json)
 //!   resilience seeded fault-injection batch + deadline sweep (degradation rates)
 //!   serve     closed-loop socket load against cqp-server (BENCH_serve.json)
+//!   recovery  WAL crash differential + drain quantiles + breaker trips
+//!             (BENCH_recovery.json)
 //!
 //! --threads N fans the fig12 grid cells and the batch driver across N
 //! work-stealing workers (default 1 = sequential).
@@ -168,6 +170,10 @@ fn main() {
     }
     if run_all || experiment == "serve" {
         serve(&w, threads, &out);
+        ran = true;
+    }
+    if run_all || experiment == "recovery" {
+        recovery(&w, &out);
         ran = true;
     }
     if !ran {
@@ -992,6 +998,309 @@ fn serve(w: &Workload, threads: usize, out: &Path) {
     write_reports(out, "serve", &[obs_report]);
     println!(
         "BENCH_serve.json written ({} and repo root)\n",
+        out.display()
+    );
+}
+
+/// Recovery experiment: the crash-safety face of the serving layer.
+///
+/// Four measurements: (1) a crash differential — a WAL-backed session
+/// store is killed mid-write-burst at seeded byte offsets and every
+/// replayed store must equal the reference store holding exactly the
+/// records that were fully on disk; (2) cold replay throughput over the
+/// full log; (3) graceful-drain latency quantiles over repeated
+/// boot/drain cycles, each with an idle connection and a request that
+/// finishes its arrival mid-drain (answered `503 + Connection: close`);
+/// (4) deterministic circuit-breaker trip/half-open/close counts under
+/// first-K injected faults. Emits `BENCH_recovery.json` in `out` and at
+/// the repo root plus a `recovery.report.jsonl` run report.
+fn recovery(w: &Workload, out: &Path) {
+    use cqp_core::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+    use cqp_server::http::parse_response;
+    use cqp_server::server::Phase;
+    use cqp_server::SessionStore;
+    use std::io::{BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let catalog = w.db.catalog();
+    let seed: u64 = 0x5E55_10F5;
+    let n_ops = 240usize;
+    let n_users = w.profiles.len().max(1);
+    let op = |i: usize| {
+        (
+            format!("user{:04}", i % n_users + 1),
+            &w.profiles[(i * 7 + 3) % n_users],
+        )
+    };
+    let reference_dump = |k: usize| {
+        let store = SessionStore::new(8);
+        for i in 0..k {
+            let (user, profile) = op(i);
+            store.put(&user, profile.clone());
+        }
+        store.dump(catalog)
+    };
+
+    // (1) Write burst through the durable store, then crash replicas of
+    // its log at seeded offsets and diff each replay.
+    std::fs::create_dir_all(out).expect("results dir");
+    let wal_root = out.join("recovery-wal");
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let burst_dir = wal_root.join("burst");
+    let (store, fresh) = SessionStore::recover(8, &burst_dir, catalog).expect("fresh store");
+    assert_eq!(fresh.records_replayed(), 0);
+    for i in 0..n_ops {
+        let (user, profile) = op(i);
+        store.put(&user, profile.clone());
+    }
+    let uncrashed = store.dump(catalog);
+    drop(store);
+    let log = std::fs::read(burst_dir.join("log.wal")).expect("read log");
+    // Every frame is newline-terminated and payloads escape raw
+    // newlines, so each `\n` ends one record.
+    let mut bounds = vec![0usize];
+    bounds.extend(
+        log.iter()
+            .enumerate()
+            .filter(|(_, c)| **c == b'\n')
+            .map(|(i, _)| i + 1),
+    );
+    assert_eq!(bounds.len(), n_ops + 1, "one WAL record per put");
+
+    let crash_points = 8usize;
+    let mut replays_exact = 0usize;
+    for p in 0..crash_points {
+        let mut r = seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        r ^= r >> 30;
+        r = r.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        r ^= r >> 27;
+        let cut = (r as usize) % (log.len() + 1);
+        let complete = bounds.iter().filter(|b| **b <= cut).count() - 1;
+        let dir = wal_root.join(format!("crash{p}"));
+        std::fs::create_dir_all(&dir).expect("crash dir");
+        std::fs::write(dir.join("log.wal"), &log[..cut]).expect("crash image");
+        let (replayed, report) = SessionStore::recover(8, &dir, catalog).expect("replay");
+        assert_eq!(report.records_replayed(), complete as u64, "cut {cut}");
+        assert_eq!(
+            replayed.dump(catalog),
+            reference_dump(complete),
+            "crash point {p} (cut {cut}, {complete} records) must replay exactly"
+        );
+        replays_exact += 1;
+    }
+
+    // (2) Cold replay throughput over the intact log.
+    let (full, replay) = SessionStore::recover(8, &burst_dir, catalog).expect("full replay");
+    assert_eq!(full.dump(catalog), uncrashed, "uncrashed differential");
+    assert_eq!(replay.records_replayed(), n_ops as u64);
+    assert_eq!(replay.torn_tail_bytes, 0);
+    let replay_secs = replay.replay_secs.max(1e-9);
+    let records_per_sec = replay.records_replayed() as f64 / replay_secs;
+    let bytes_per_sec = replay.bytes_replayed as f64 / replay_secs;
+    drop(full);
+    println!(
+        "--- recovery: {} records, {} crash points replayed exactly; \
+         cold replay {:.0} rec/s ({:.1} MB/s) ---",
+        n_ops,
+        replays_exact,
+        records_per_sec,
+        bytes_per_sec / 1e6,
+    );
+
+    // (3) Drain latency: boot, open an idle connection plus a request
+    // whose body arrives only after the drain begins, then shut down.
+    let db = Arc::new(w.db.clone());
+    let drain_iters = 20usize;
+    let mut drain_hist = cqp_obs::Histogram::default();
+    let mut graceful = 0usize;
+    let mut forced_total = 0usize;
+    let mut rejected_503 = 0usize;
+    for _ in 0..drain_iters {
+        let handle = cqp_server::start(
+            Arc::clone(&db),
+            cqp_server::ServerConfig {
+                seed_users: 0,
+                read_timeout_ms: 5_000,
+                drain_deadline_ms: 5_000,
+                ..cqp_server::ServerConfig::default()
+            },
+        )
+        .expect("server start");
+        let addr = handle.addr();
+        let state = Arc::clone(handle.state());
+        let mut conn_mid = TcpStream::connect(addr).expect("conn_mid");
+        conn_mid
+            .write_all(b"POST /profiles/u1 HTTP/1.1\r\nhost: t\r\ncontent-length: 4\r\n\r\n")
+            .expect("head");
+        let mut conn_idle = TcpStream::connect(addr).expect("conn_idle");
+        conn_idle
+            .set_read_timeout(Some(std::time::Duration::from_millis(3_000)))
+            .expect("idle timeout");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let t0 = Instant::now();
+        let drainer = std::thread::spawn(move || {
+            let mut handle = handle;
+            handle.shutdown(std::time::Duration::from_millis(5_000))
+        });
+        while state.phase() == Phase::Live {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        conn_mid.write_all(b"body").expect("body");
+        let resp = parse_response(&mut BufReader::new(&mut conn_mid)).expect("mid response");
+        if resp.status == 503 {
+            rejected_503 += 1;
+        }
+        let stats = drainer.join().expect("drainer");
+        drain_hist.observe(t0.elapsed().as_micros() as u64);
+        if stats.graceful {
+            graceful += 1;
+        }
+        forced_total += stats.forced;
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            conn_idle.read(&mut buf).expect("idle EOF"),
+            0,
+            "idle connection must be closed by the drain"
+        );
+        assert_eq!(state.active_connections(), 0);
+    }
+    assert_eq!(graceful, drain_iters, "every drain must finish in time");
+    assert_eq!(forced_total, 0, "no connection may be force-severed");
+    assert_eq!(
+        rejected_503, drain_iters,
+        "mid-drain arrivals get their 503"
+    );
+    println!(
+        "drain ({} cycles): p50 {} us  p95 {} us  max {} us  graceful {}/{}  503s {}",
+        drain_iters,
+        drain_hist.quantile(0.5),
+        drain_hist.quantile(0.95),
+        drain_hist.max(),
+        graceful,
+        drain_iters,
+        rejected_503,
+    );
+
+    // (4) Breaker trips under first-K faults, with retries off so every
+    // injected fault is one transient failure: two failures trip the
+    // breaker, sheds follow, and each cooldown's half-open probe either
+    // re-trips (faults remain) or closes (faults exhausted).
+    let obs = Obs::new();
+    let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+        window: 8,
+        failure_threshold: 0.5,
+        min_samples: 2,
+        cooldown_ms: 50,
+        half_open_probes: 1,
+    }));
+    let driver = BatchDriver::new(Arc::clone(&db), 1)
+        .with_execution(0.0)
+        .with_fault_plan(Arc::new(FaultPlan::new(seed, FaultMode::FirstK { k: 4 })))
+        .with_breaker(Arc::clone(&breaker));
+    let (profile, query) = w.pairs().next().expect("workload pair");
+    let req = || BatchRequest {
+        query: query.clone(),
+        profile: profile.clone(),
+        problem: ProblemSpec::p2(w.scale.cmax_blocks),
+        config: SolverConfig::default(),
+    };
+    let mut shed = 0usize;
+    let mut transient = 0usize;
+    let mut ok = 0usize;
+    for i in 0..8 {
+        if i >= 5 {
+            // Let the cooldown lapse so the next submit is the probe.
+            std::thread::sleep(std::time::Duration::from_millis(70));
+        }
+        match driver.submit_recorded(req(), &obs) {
+            Ok(_) => ok += 1,
+            Err(e) if matches!(e.kind(), "circuit_open") => shed += 1,
+            Err(e) => {
+                assert!(e.is_transient(), "unexpected breaker-path error: {e}");
+                transient += 1;
+            }
+        }
+    }
+    let (opened, half_opened, closed, shed_count) = breaker.counters();
+    assert_eq!(
+        (transient, shed, ok),
+        (4, 3, 1),
+        "first-K fault schedule is deterministic"
+    );
+    assert_eq!((opened, half_opened, closed), (3, 3, 1));
+    assert_eq!(shed_count, shed as u64);
+    assert_eq!(breaker.state(), BreakerState::Closed);
+    println!(
+        "breaker: opened {opened}  half-open {half_opened}  closed {closed}  shed {shed_count}  final {}",
+        breaker.state().as_str()
+    );
+
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("recovery".into())),
+        ("scale", Json::Str(w.scale.name.to_string())),
+        ("seed", Json::from(seed)),
+        (
+            "crash_differential",
+            Json::obj(vec![
+                ("records_written", Json::from(n_ops as u64)),
+                ("log_bytes", Json::from(log.len() as u64)),
+                ("crash_points", Json::from(crash_points as u64)),
+                ("replays_exact", Json::from(replays_exact as u64)),
+            ]),
+        ),
+        (
+            "replay",
+            Json::obj(vec![
+                ("records_recovered", Json::from(replay.records_replayed())),
+                ("bytes_replayed", Json::from(replay.bytes_replayed)),
+                ("torn_tail_bytes", Json::from(replay.torn_tail_bytes)),
+                ("replay_secs", Json::from(replay_secs)),
+                ("records_per_sec", Json::from(records_per_sec)),
+                ("bytes_per_sec", Json::from(bytes_per_sec)),
+            ]),
+        ),
+        (
+            "drain",
+            Json::obj(vec![
+                ("iterations", Json::from(drain_iters as u64)),
+                ("graceful", Json::from(graceful as u64)),
+                ("forced", Json::from(forced_total as u64)),
+                ("rejected_503", Json::from(rejected_503 as u64)),
+                (
+                    "latency_us",
+                    Json::obj(vec![
+                        ("p50", Json::from(drain_hist.quantile(0.5))),
+                        ("p95", Json::from(drain_hist.quantile(0.95))),
+                        ("max", Json::from(drain_hist.max())),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "breaker",
+            Json::obj(vec![
+                ("submits", Json::from(8u64)),
+                ("transient_failures", Json::from(transient as u64)),
+                ("shed", Json::from(shed_count)),
+                ("opened", Json::from(opened)),
+                ("half_opened", Json::from(half_opened)),
+                ("closed", Json::from(closed)),
+                ("final_state", Json::Str(breaker.state().as_str().into())),
+            ]),
+        ),
+    ]);
+    let report = RunReport::from_obs("recovery", "summary", &obs)
+        .with_field("records_written", n_ops as u64)
+        .with_field("replays_exact", replays_exact as u64)
+        .with_field("drain_graceful", graceful as u64)
+        .with_field("breaker_opened", opened);
+    let rendered = doc.render();
+    std::fs::write(out.join("BENCH_recovery.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_recovery.json", &rendered).expect("bench write");
+    write_reports(out, "recovery", &[report]);
+    let _ = std::fs::remove_dir_all(&wal_root);
+    println!(
+        "BENCH_recovery.json written ({} and repo root)\n",
         out.display()
     );
 }

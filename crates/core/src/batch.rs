@@ -160,6 +160,10 @@ pub struct BatchDriver {
     /// so its schedule is global, like a flaky disk would be).
     fault_plan: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
+    /// Breaker guarding the `submit` path; `None` admits everything.
+    /// Shared with the serving layer so `/metrics` and readiness can see
+    /// the same state the driver sheds on.
+    breaker: Option<Arc<crate::breaker::CircuitBreaker>>,
     /// The cache [`BatchDriver::submit`] routes cost evaluations through.
     /// Unlike `run`'s per-batch cache this one is *persistent*: a serving
     /// front-end submits requests one at a time over a long lifetime, and
@@ -195,6 +199,7 @@ impl BatchDriver {
             execution_ms_per_block: None,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            breaker: None,
             submit_cache: SharedCostCache::with_capacity_policy(
                 shards,
                 SUBMIT_CACHE_CAPACITY,
@@ -233,6 +238,22 @@ impl BatchDriver {
     pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
         self
+    }
+
+    /// Guard the `submit` path with `breaker`: requests arriving while it
+    /// is open are shed as [`CqpError::CircuitOpen`] before any search
+    /// work, and every admitted request's outcome (transient failure vs.
+    /// anything else) feeds the breaker's failure window. Composes with
+    /// the retry policy — a request only counts as a failure after its
+    /// retries are exhausted.
+    pub fn with_breaker(mut self, breaker: Arc<crate::breaker::CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// The breaker guarding `submit`, when one is installed.
+    pub fn breaker(&self) -> Option<&Arc<crate::breaker::CircuitBreaker>> {
+        self.breaker.as_ref()
     }
 
     /// The worker count this driver fans out to.
@@ -359,6 +380,12 @@ impl BatchDriver {
         req: BatchRequest,
         recorder: &dyn Recorder,
     ) -> Result<BatchItemResult, SolverError> {
+        if let Some(breaker) = &self.breaker {
+            if let Err(retry_after_ms) = breaker.try_acquire() {
+                recorder.add("batch.breaker_shed", 1);
+                return Err(CqpError::CircuitOpen { retry_after_ms });
+            }
+        }
         let t = Instant::now();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             serve_one(
@@ -380,6 +407,12 @@ impl BatchDriver {
         recorder.observe("batch.latency_us", latency_us);
         if r.is_err() {
             recorder.add("batch.errors", 1);
+        }
+        if let Some(breaker) = &self.breaker {
+            // Only transient faults indict downstream health; client
+            // faults and successes both count as "healthy".
+            let failed_transiently = matches!(&r, Err(e) if e.is_transient());
+            breaker.record(!failed_transiently, recorder);
         }
         r.map(|mut item| {
             item.latency_us = latency_us;
@@ -684,6 +717,42 @@ mod tests {
         assert_eq!(degraded.reason.name(), "deadline_exceeded");
         // The incumbent is still feasible for the request's constraint.
         assert!(item.solution.cost_blocks <= 100);
+    }
+
+    #[test]
+    fn breaker_trips_on_transient_failures_and_sheds_submits() {
+        use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+        use cqp_storage::{FaultMode, FaultPlan};
+        let db = Arc::new(movie_db());
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            failure_threshold: 0.5,
+            min_samples: 2,
+            cooldown_ms: 60_000,
+            half_open_probes: 1,
+        }));
+        // Every execution read fails and retries are off: each submit is a
+        // transient failure that feeds the breaker.
+        let driver = BatchDriver::new(Arc::clone(&db), 1)
+            .with_execution(0.0)
+            .with_fault_plan(Arc::new(FaultPlan::new(7, FaultMode::FirstK { k: 1_000 })))
+            .with_breaker(Arc::clone(&breaker));
+        let mut shed = 0;
+        for req in paper_requests(&db, 6) {
+            match driver.submit(req) {
+                Err(CqpError::CircuitOpen { retry_after_ms }) => {
+                    assert!(retry_after_ms > 0);
+                    shed += 1;
+                }
+                Err(e) => assert!(e.is_transient(), "unexpected error: {e}"),
+                Ok(_) => panic!("every execution read is faulted"),
+            }
+        }
+        // Two transient failures trip the breaker; the remaining submits
+        // are shed without touching the database.
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(shed, 4);
+        assert_eq!(breaker.counters().0, 1);
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub enum CqpError {
     /// A caught panic or other invariant violation; carries the panic
     /// payload's message when one was available.
     Internal(String),
+    /// The circuit breaker guarding the dispatch path is open: the request
+    /// was shed before any search work ran. Callers should back off for at
+    /// least `retry_after_ms` before retrying.
+    CircuitOpen {
+        /// Suggested client back-off before the next attempt.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for CqpError {
@@ -51,6 +58,9 @@ impl fmt::Display for CqpError {
                 write!(f, "preference space too large: K={k} exceeds cap {max}")
             }
             CqpError::Internal(msg) => write!(f, "internal error: {msg}"),
+            CqpError::CircuitOpen { retry_after_ms } => {
+                write!(f, "circuit breaker open; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -83,6 +93,9 @@ impl CqpError {
         match self {
             CqpError::Engine(EngineError::Storage(s)) => s.is_transient(),
             CqpError::Storage(s) => s.is_transient(),
+            // Shed-by-breaker is transient by definition: the breaker
+            // re-admits traffic once its cooldown elapses.
+            CqpError::CircuitOpen { .. } => true,
             _ => false,
         }
     }
@@ -96,6 +109,7 @@ impl CqpError {
             CqpError::InvalidRequest(_) => "invalid_request",
             CqpError::SpaceTooLarge { .. } => "space_too_large",
             CqpError::Internal(_) => "internal",
+            CqpError::CircuitOpen { .. } => "circuit_open",
         }
     }
 }
@@ -117,6 +131,10 @@ mod tests {
         assert!(!CqpError::InvalidRequest("x".into()).is_transient());
         assert!(!CqpError::SpaceTooLarge { k: 30, max: 25 }.is_transient());
         assert!(!CqpError::Internal("boom".into()).is_transient());
+        assert!(CqpError::CircuitOpen {
+            retry_after_ms: 100
+        }
+        .is_transient());
     }
 
     #[test]
@@ -151,6 +169,13 @@ mod tests {
                 CqpError::Internal("boom".into()),
                 "internal",
                 "internal error",
+            ),
+            (
+                CqpError::CircuitOpen {
+                    retry_after_ms: 250,
+                },
+                "circuit_open",
+                "circuit breaker open",
             ),
         ];
         for (e, kind, needle) in cases {

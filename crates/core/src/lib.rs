@@ -46,6 +46,7 @@
 
 pub mod algorithms;
 pub mod batch;
+pub mod breaker;
 pub mod budget;
 pub mod construct;
 pub mod context;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::algorithms::pareto::{pareto_frontier, ParetoPoint};
     pub use crate::algorithms::{solve_p2, solve_p2_recorded, Algorithm, Solution};
     pub use crate::batch::{BatchDriver, BatchItemResult, BatchRequest, RetryPolicy};
+    pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
     pub use crate::budget::{Budget, CancelToken, DegradeReason, DegradedInfo};
     pub use crate::context::{Connection, Device, Intent, PolicyConfig, SearchContext};
     pub use crate::cost_cache::{EvictionPolicy, SharedCostCache};

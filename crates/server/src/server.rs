@@ -5,11 +5,30 @@
 //! resource). Every handler failure maps to a typed JSON error — the
 //! personalization pipeline's own taxonomy ([`CqpError`]) decides between
 //! 4xx and 5xx, and malformed requests can never surface as a 500.
+//!
+//! ## Lifecycle
+//!
+//! The server moves through three phases: **live** (accepting and
+//! serving), **draining** (socket closed to new connections, in-flight
+//! requests finishing, new work answered `503 + Connection: close`), and
+//! **stopped**. [`ServerHandle::shutdown`] drives the transition: flip to
+//! draining, join the accept loop, give handlers a drain deadline to
+//! finish, then sever and join the stragglers — every handler thread is
+//! *joined*, never detached-and-abandoned, so nothing outlives the handle.
+//!
+//! ## Hostile-client defenses
+//!
+//! Each connection gets a read deadline (a slowloris head answers `408`),
+//! a write timeout (a client that stops reading cannot wedge a handler),
+//! and a request-count cap. A connection that never produces a parseable
+//! request is reaped, not answered.
 
 use crate::admission::{AdmissionController, AdmissionError};
 use crate::http::{parse_request, HttpError, Request, Response};
 use crate::json;
 use crate::session::{SessionStore, UpsertMode};
+use crate::wal::RecoveryReport;
+use cqp_core::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use cqp_core::budget::Budget;
 use cqp_core::prelude::*;
 use cqp_engine::{execute_personalized, execute_ranked, parse_query, Matching};
@@ -17,11 +36,16 @@ use cqp_obs::report::snapshot_to_json;
 use cqp_obs::{Json, Obs, Recorder};
 use cqp_prefs::Doi;
 use cqp_storage::{Database, IoMeter};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{BufRead, BufReader, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to re-check lifecycle and deadlines.
+const POLL_MS: u64 = 25;
 
 /// Tunables for [`start`].
 #[derive(Debug, Clone)]
@@ -49,6 +73,24 @@ pub struct ServerConfig {
     /// Deadline applied when a request specifies none (ms; `None` = no
     /// default deadline).
     pub default_deadline_ms: Option<u64>,
+    /// How long [`ServerHandle::stop`] lets in-flight requests finish
+    /// before severing their connections, milliseconds.
+    pub drain_deadline_ms: u64,
+    /// Longest a connection may take to deliver one complete request
+    /// (also the keep-alive idle timeout). Slowloris heads answer `408`.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout — a client that stops reading cannot hold a
+    /// handler thread forever.
+    pub write_timeout_ms: u64,
+    /// Requests served per connection before it is closed (keep-alive
+    /// recycling cap).
+    pub max_requests_per_conn: usize,
+    /// When set, the session store journals to a WAL in this directory
+    /// and recovers from it on startup (seeding only applies to an empty
+    /// recovered store).
+    pub wal_dir: Option<PathBuf>,
+    /// Circuit-breaker tuning for the dispatch path.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +109,42 @@ impl Default for ServerConfig {
             cache_policy: EvictionPolicy::Lru,
             cache_capacity: cqp_core::batch::SUBMIT_CACHE_CAPACITY,
             default_deadline_ms: None,
+            drain_deadline_ms: 5_000,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            max_requests_per_conn: 1_024,
+            wal_dir: None,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Lifecycle phases, stored as an atomic in [`ServerState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accepting and serving.
+    Live = 0,
+    /// No new work; in-flight requests finishing under the drain deadline.
+    Draining = 1,
+    /// All threads joined.
+    Stopped = 2,
+}
+
+impl Phase {
+    fn from_u8(v: u8) -> Phase {
+        match v {
+            0 => Phase::Live,
+            1 => Phase::Draining,
+            _ => Phase::Stopped,
+        }
+    }
+
+    /// Stable lowercase tag for `/metrics` and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Live => "live",
+            Phase::Draining => "draining",
+            Phase::Stopped => "stopped",
         }
     }
 }
@@ -78,25 +156,139 @@ pub struct ServerState {
     pub db: Arc<Database>,
     /// The solver driver (persistent LRU submit cache).
     pub driver: BatchDriver,
-    /// Per-user profiles.
+    /// Per-user profiles (WAL-backed when `config.wal_dir` is set).
     pub store: SessionStore,
     /// The admission gate.
     pub gate: AdmissionController,
+    /// The dispatch circuit breaker (shared with the driver).
+    pub breaker: Arc<CircuitBreaker>,
     /// Metrics + tracing sink.
     pub obs: Arc<Obs>,
+    /// What startup recovery replayed, when the store is durable.
+    pub recovery: Option<RecoveryReport>,
     config: ServerConfig,
     started: Instant,
+    phase: AtomicU8,
+    active_conns: AtomicUsize,
+    drain_rejected: AtomicU64,
 }
 
-/// A running server; stops (and joins its threads) on [`ServerHandle::stop`]
-/// or drop.
+impl ServerState {
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        Phase::from_u8(self.phase.load(Ordering::SeqCst))
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.active_conns.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered `503 + Connection: close` during drain.
+    pub fn drain_rejected(&self) -> u64 {
+        self.drain_rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII active-connection counter.
+struct ConnGuard<'a>(&'a ServerState);
+
+impl<'a> ConnGuard<'a> {
+    fn new(state: &'a ServerState) -> Self {
+        state.active_conns.fetch_add(1, Ordering::SeqCst);
+        ConnGuard(state)
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A [`Read`] wrapper that converts the socket's short poll timeout into
+/// either an indefinite poll (no deadline: `WouldBlock` surfaces to the
+/// caller) or a hard per-request deadline (`TimedOut` once it passes).
+/// Living *below* the `BufReader` means a deadline can span many reads of
+/// one request without losing buffered progress.
+struct TimedStream {
+    inner: TcpStream,
+    deadline: Arc<Mutex<Option<Instant>>>,
+}
+
+/// The socket-level poll timeout surfaces as `WouldBlock` or `TimedOut`
+/// depending on platform; treat them alike.
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl Read for TimedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e) if is_poll_timeout(&e) => {
+                    let deadline = *self.deadline.lock().unwrap_or_else(|p| p.into_inner());
+                    match deadline {
+                        // No deadline set: the caller is idle-polling and
+                        // wants the WouldBlock tick back.
+                        None => return Err(e),
+                        Some(d) if Instant::now() >= d => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "read deadline exceeded",
+                            ))
+                        }
+                        // Deadline pending: keep polling (the 25 ms socket
+                        // timeout paces this loop).
+                        Some(_) => {}
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+/// What one graceful shutdown did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainStats {
+    /// Wall-clock the drain took, milliseconds.
+    pub drain_ms: u64,
+    /// Connections still busy at the deadline, severed forcibly.
+    pub forced: usize,
+    /// True when every handler finished inside the deadline.
+    pub graceful: bool,
+}
+
+/// A running server; drains (and joins every thread) on
+/// [`ServerHandle::stop`] or drop.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnRegistry,
+}
+
+/// Live connections with their handler threads, pruned as they finish.
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Joins and removes every finished handler; returns how many remain.
+fn prune_finished(conns: &ConnRegistry) -> usize {
+    let mut reg = conns.lock().unwrap_or_else(|p| p.into_inner());
+    let mut i = 0;
+    while i < reg.len() {
+        if reg[i].1.is_finished() {
+            let (_, handle) = reg.swap_remove(i);
+            let _ = handle.join();
+        } else {
+            i += 1;
+        }
+    }
+    reg.len()
 }
 
 impl ServerHandle {
@@ -110,26 +302,89 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Stops accepting, severs open connections, and joins the accept
-    /// loop. Idempotent.
+    /// Graceful shutdown with the configured drain deadline. Idempotent.
     pub fn stop(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock `accept` by connecting once; sever live connections so
-        // keep-alive handlers observe EOF instead of blocking forever.
-        let _ = TcpStream::connect(self.addr);
-        for conn in self
-            .conns
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .drain(..)
+        let deadline = Duration::from_millis(self.state.config.drain_deadline_ms);
+        self.shutdown(deadline);
+    }
+
+    /// Stops accepting, lets in-flight requests finish for up to
+    /// `drain_deadline`, then severs and joins any stragglers. On return
+    /// no handler thread is running. Idempotent — later calls are no-ops.
+    pub fn shutdown(&mut self, drain_deadline: Duration) -> DrainStats {
+        let t0 = Instant::now();
+        if self
+            .state
+            .phase
+            .compare_exchange(
+                Phase::Live as u8,
+                Phase::Draining as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
         {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            // Already draining or stopped; just make sure the accept
+            // thread is gone.
+            if let Some(t) = self.accept_thread.take() {
+                let _ = TcpStream::connect(self.addr);
+                let _ = t.join();
+            }
+            return DrainStats {
+                drain_ms: 0,
+                forced: 0,
+                graceful: true,
+            };
         }
+        self.state.obs.set_gauge("server.phase", 1.0);
+        // Unblock `accept` by connecting once; the loop re-checks the
+        // phase and exits.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Drain: handlers finish their in-flight request, answer new work
+        // with 503 + close, and exit; idle connections close within one
+        // poll tick.
+        let deadline = t0 + drain_deadline;
+        loop {
+            if prune_finished(&self.conns) == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Sever whatever outlived the deadline, then join uncondition-
+        // ally: a severed socket errors the handler's next read/write.
+        prune_finished(&self.conns);
+        let stragglers: Vec<(TcpStream, JoinHandle<()>)> = {
+            let mut reg = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+            reg.drain(..).collect()
+        };
+        let mut forced = 0;
+        for (sock, _) in &stragglers {
+            if sock.shutdown(Shutdown::Both).is_ok() {
+                forced += 1;
+            }
+        }
+        for (_, handle) in stragglers {
+            let _ = handle.join();
+        }
+        self.state
+            .phase
+            .store(Phase::Stopped as u8, Ordering::SeqCst);
+        self.state.obs.set_gauge("server.phase", 2.0);
+        let stats = DrainStats {
+            drain_ms: t0.elapsed().as_millis() as u64,
+            forced,
+            graceful: forced == 0,
+        };
+        self.state
+            .obs
+            .add("server.drain_forced", stats.forced as u64);
+        stats
     }
 }
 
@@ -140,15 +395,30 @@ impl Drop for ServerHandle {
 }
 
 /// Starts a server over `db` per `config`; returns once the socket is
-/// bound and accepting.
+/// bound and accepting. With `config.wal_dir` set the session store is
+/// recovered from (and from then on journaled to) that directory;
+/// seeding only applies when recovery produced an empty store.
 pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let breaker = Arc::new(CircuitBreaker::new(config.breaker));
     let driver = BatchDriver::new(Arc::clone(&db), 1)
-        .with_submit_cache(config.cache_policy, config.cache_capacity);
-    let store = SessionStore::new(config.store_shards);
-    if config.seed_users > 0 {
+        .with_submit_cache(config.cache_policy, config.cache_capacity)
+        .with_breaker(Arc::clone(&breaker));
+    let (store, recovery) = match &config.wal_dir {
+        Some(dir) => {
+            let (store, report) = SessionStore::recover(config.store_shards, dir, db.catalog())?;
+            (store, Some(report))
+        }
+        None => (SessionStore::new(config.store_shards), None),
+    };
+    if config.seed_users > 0 && store.is_empty() {
         store.seed_from_datagen(db.catalog(), config.seed_users, config.seed);
+    }
+    let obs = Arc::new(Obs::new());
+    if let Some(r) = &recovery {
+        obs.add("server.wal_records_recovered", r.records_replayed());
+        obs.add("server.wal_torn_tail_bytes", r.torn_tail_bytes);
     }
     let state = Arc::new(ServerState {
         gate: AdmissionController::new(
@@ -158,20 +428,23 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         ),
         driver,
         store,
-        obs: Arc::new(Obs::new()),
+        breaker,
+        obs,
+        recovery,
         db,
         config,
         started: Instant::now(),
+        phase: AtomicU8::new(Phase::Live as u8),
+        active_conns: AtomicUsize::new(0),
+        drain_rejected: AtomicU64::new(0),
     });
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
 
     let accept_state = Arc::clone(&state);
-    let accept_shutdown = Arc::clone(&shutdown);
     let accept_conns = Arc::clone(&conns);
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
-            if accept_shutdown.load(Ordering::SeqCst) {
+            if accept_state.phase() != Phase::Live {
                 break;
             }
             let stream = match stream {
@@ -179,56 +452,190 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
                 Err(_) => continue,
             };
             let _ = stream.set_nodelay(true);
-            if let Ok(clone) = stream.try_clone() {
-                accept_conns
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .push(clone);
-            }
+            let clone = match stream.try_clone() {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
             let state = Arc::clone(&accept_state);
-            let shutdown = Arc::clone(&accept_shutdown);
-            // Connection handlers are detached: shutdown severs their
-            // sockets, which ends their read loops promptly.
-            std::thread::spawn(move || serve_connection(stream, &state, &shutdown));
+            let handle = std::thread::spawn(move || serve_connection(stream, &state));
+            // Register the handler so shutdown can join it; pruning here
+            // keeps the registry proportional to *live* connections.
+            let mut reg = accept_conns.lock().unwrap_or_else(|p| p.into_inner());
+            let mut i = 0;
+            while i < reg.len() {
+                if reg[i].1.is_finished() {
+                    let (_, h) = reg.swap_remove(i);
+                    let _ = h.join();
+                } else {
+                    i += 1;
+                }
+            }
+            reg.push((clone, handle));
         }
     });
 
     Ok(ServerHandle {
         addr,
         state,
-        shutdown,
         accept_thread: Some(accept_thread),
         conns,
     })
 }
 
-/// Keep-alive request loop over one connection.
-fn serve_connection(stream: TcpStream, state: &ServerState, shutdown: &AtomicBool) {
-    let write_half = match stream.try_clone() {
+/// Closes the connection for real when the handler exits.
+struct SocketCloser(TcpStream);
+
+impl Drop for SocketCloser {
+    fn drop(&mut self) {
+        let _ = self.0.shutdown(Shutdown::Both);
+    }
+}
+
+/// Outcome of waiting for the next request's first byte.
+enum IdleWait {
+    /// Bytes are buffered; parse them.
+    RequestArriving,
+    /// Close the connection (EOF, drain, idle timeout, stop, or error).
+    Close,
+}
+
+/// Keep-alive request loop over one connection, hardened against
+/// hostile clients: per-request read deadline, write timeout, request
+/// cap, and drain awareness.
+fn serve_connection(stream: TcpStream, state: &ServerState) {
+    let _guard = ConnGuard::new(state);
+    // The short socket timeout is the poll tick every blocking read
+    // wakes on; TimedStream turns it into per-request deadlines.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(POLL_MS)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(
+        state.config.write_timeout_ms.max(1),
+    )));
+    let mut write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut write_half = write_half;
-    let mut reader = BufReader::new(stream);
-    while !shutdown.load(Ordering::SeqCst) {
-        let (response, keep_alive) = match parse_request(&mut reader) {
+    // The drain registry holds a cloned fd for this connection, so the
+    // handler's own streams dropping would not send FIN — `shutdown`
+    // reaches the socket itself, past every clone. Without it, a
+    // finished connection looks open to the peer until the next prune.
+    let _closer = match write_half.try_clone() {
+        Ok(s) => SocketCloser(s),
+        Err(_) => return,
+    };
+    let deadline = Arc::new(Mutex::new(None));
+    let mut reader = BufReader::new(TimedStream {
+        inner: stream,
+        deadline: Arc::clone(&deadline),
+    });
+    let set_deadline = |d: Option<Instant>| {
+        *deadline.lock().unwrap_or_else(|p| p.into_inner()) = d;
+    };
+    let mut served = 0usize;
+    loop {
+        match wait_for_request(&mut reader, state) {
+            IdleWait::Close => return,
+            IdleWait::RequestArriving => {}
+        }
+        // A request is arriving: it must complete within the read
+        // deadline, however slowly its bytes drip.
+        set_deadline(Some(
+            Instant::now() + Duration::from_millis(state.config.read_timeout_ms.max(1)),
+        ));
+        let parsed = parse_request(&mut reader);
+        set_deadline(None);
+        served += 1;
+        let (response, keep_alive) = match parsed {
             Ok(req) => {
-                let keep = req.keep_alive;
-                (route(state, &req), keep)
+                if state.phase() != Phase::Live
+                    && !matches!(req.segments().first(), Some(&"healthz") | Some(&"metrics"))
+                {
+                    // Draining: answer new work with 503 + close. Health
+                    // and metrics stay reachable so pollers see the
+                    // transition.
+                    state.drain_rejected.fetch_add(1, Ordering::Relaxed);
+                    state.obs.add("server.drain_rejected", 1);
+                    (draining_response(), false)
+                } else {
+                    let keep = req.keep_alive
+                        && served < state.config.max_requests_per_conn
+                        && state.phase() == Phase::Live;
+                    (route(state, &req), keep)
+                }
             }
             Err(HttpError::ConnectionClosed) => return,
+            Err(HttpError::Io(std::io::ErrorKind::TimedOut)) => {
+                // The read deadline expired mid-request: a slowloris (or
+                // a genuinely glacial client) — answer 408 and close.
+                state.obs.add("server.read_timeouts", 1);
+                (
+                    ApiError::new(
+                        408,
+                        "request_timeout",
+                        "request did not complete within the read deadline",
+                    )
+                    .response(),
+                    false,
+                )
+            }
+            Err(HttpError::Io(_)) => return,
             Err(e) => {
                 state.obs.add("server.http_errors", 1);
                 (http_error_response(&e), false)
             }
         };
-        if response.write_to(&mut write_half, keep_alive).is_err() {
+        if let Err(e) = response.write_to(&mut write_half, keep_alive) {
+            if is_poll_timeout(&e) {
+                state.obs.add("server.write_timeouts", 1);
+            }
             return;
         }
         if !keep_alive {
             return;
         }
     }
+}
+
+/// Waits (in poll ticks) until the next request's first byte is buffered,
+/// the peer closes, the server drains/stops, or the idle timeout passes.
+fn wait_for_request(reader: &mut BufReader<TimedStream>, state: &ServerState) -> IdleWait {
+    let idle_start = Instant::now();
+    let idle_limit = Duration::from_millis(state.config.read_timeout_ms.max(1));
+    loop {
+        match state.phase() {
+            Phase::Live => {}
+            // Between requests nothing is in flight: close immediately.
+            Phase::Draining | Phase::Stopped => {
+                // Unless bytes are already buffered — then a request is
+                // arriving and deserves its 503.
+                if reader.buffer().is_empty() {
+                    return IdleWait::Close;
+                }
+                return IdleWait::RequestArriving;
+            }
+        }
+        match reader.fill_buf() {
+            Ok([]) => return IdleWait::Close, // EOF
+            Ok(_) => return IdleWait::RequestArriving,
+            Err(e) if is_poll_timeout(&e) => {
+                if idle_start.elapsed() >= idle_limit {
+                    state.obs.add("server.idle_reaped", 1);
+                    return IdleWait::Close;
+                }
+            }
+            Err(_) => return IdleWait::Close,
+        }
+    }
+}
+
+/// The `503 Connection: close` everything but health/metrics gets while
+/// draining.
+fn draining_response() -> Response {
+    ApiError::new(503, "draining", "server is draining; connection closing").response()
 }
 
 /// A typed API failure: status + stable code + message, plus the
@@ -291,13 +698,20 @@ fn route(state: &ServerState, req: &Request) -> Response {
     let segments = req.segments();
     let result = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(healthz(state)),
+        ("GET", ["healthz", "live"]) => Ok(liveness()),
+        ("GET", ["healthz", "ready"]) => Ok(readiness(state)),
         ("GET", ["metrics"]) => Ok(metrics(state)),
         ("POST", ["profiles", user]) => upsert_profile(state, req, user),
         ("GET", ["profiles", user]) => get_profile(state, user),
         ("POST", ["personalize"]) => personalize(state, req),
-        (_, ["healthz" | "metrics"]) | (_, ["profiles", _]) | (_, ["personalize"]) => Err(
-            ApiError::new(405, "method_not_allowed", "wrong method for this path"),
-        ),
+        (_, ["healthz" | "metrics"])
+        | (_, ["healthz", "live" | "ready"])
+        | (_, ["profiles", _])
+        | (_, ["personalize"]) => Err(ApiError::new(
+            405,
+            "method_not_allowed",
+            "wrong method for this path",
+        )),
         _ => Err(ApiError::new(
             404,
             "not_found",
@@ -313,17 +727,54 @@ fn route(state: &ServerState, req: &Request) -> Response {
     }
 }
 
+/// Overview endpoint: always 200, reports the lifecycle phase (`ready`
+/// while live, `draining` during shutdown) alongside basic gauges.
 fn healthz(state: &ServerState) -> Response {
+    let status = match state.phase() {
+        Phase::Live => "ready",
+        Phase::Draining | Phase::Stopped => "draining",
+    };
     Response::json(
         200,
         &Json::obj(vec![
-            ("status", Json::from("ok")),
+            ("status", Json::from(status)),
             (
                 "uptime_secs",
                 Json::from(state.started.elapsed().as_secs_f64()),
             ),
             ("profiles", Json::from(state.store.len() as u64)),
             ("inflight", Json::from(state.gate.inflight() as u64)),
+            (
+                "active_connections",
+                Json::from(state.active_connections() as u64),
+            ),
+            ("breaker", Json::from(state.breaker.state().as_str())),
+        ]),
+    )
+}
+
+/// Liveness: 200 as long as the process can answer at all.
+fn liveness() -> Response {
+    Response::json(200, &Json::obj(vec![("status", Json::from("live"))]))
+}
+
+/// Readiness: 200 `ready` when live and the breaker admits traffic;
+/// 503 while draining or while the breaker is open, so pollers and load
+/// balancers take the instance out of rotation before it stops.
+fn readiness(state: &ServerState) -> Response {
+    let draining = state.phase() != Phase::Live;
+    let breaker = state.breaker.state();
+    let status = if draining { "draining" } else { "ready" };
+    let code = if draining || breaker == BreakerState::Open {
+        503
+    } else {
+        200
+    };
+    Response::json(
+        code,
+        &Json::obj(vec![
+            ("status", Json::from(status)),
+            ("breaker", Json::from(breaker.as_str())),
         ]),
     )
 }
@@ -332,7 +783,8 @@ fn metrics(state: &ServerState) -> Response {
     let (admitted, rejected, timed_out) = state.gate.counters();
     let (upserts, lookups, misses) = state.store.counters();
     let (cache_hits, cache_misses, cache_evictions) = state.driver.submit_cache_counters();
-    let server = Json::obj(vec![
+    let (br_opened, br_half, br_closed, br_shed) = state.breaker.counters();
+    let mut server_members = vec![
         ("admitted", Json::from(admitted)),
         ("rejected", Json::from(rejected)),
         ("queue_timeouts", Json::from(timed_out)),
@@ -346,7 +798,38 @@ fn metrics(state: &ServerState) -> Response {
         ("cache_policy", Json::from(state.driver_cache_policy())),
         ("submit_panics", Json::from(state.driver.submit_panics())),
         ("submit_retries", Json::from(state.driver.submit_retries())),
-    ]);
+        ("phase", Json::from(state.phase().as_str())),
+        (
+            "active_connections",
+            Json::from(state.active_connections() as u64),
+        ),
+        ("drain_rejected", Json::from(state.drain_rejected())),
+        (
+            "breaker",
+            Json::obj(vec![
+                ("state", Json::from(state.breaker.state().as_str())),
+                ("opened", Json::from(br_opened)),
+                ("half_opened", Json::from(br_half)),
+                ("closed", Json::from(br_closed)),
+                ("shed", Json::from(br_shed)),
+            ]),
+        ),
+    ];
+    if let Some(wal) = state.store.wal() {
+        let (appends, append_errors, bytes_appended, compactions) = wal.counters();
+        let mut wal_members = vec![
+            ("appends", Json::from(appends)),
+            ("append_errors", Json::from(append_errors)),
+            ("bytes_appended", Json::from(bytes_appended)),
+            ("compactions", Json::from(compactions)),
+        ];
+        if let Some(r) = &state.recovery {
+            wal_members.push(("records_recovered", Json::from(r.records_replayed())));
+            wal_members.push(("torn_tail_bytes", Json::from(r.torn_tail_bytes)));
+        }
+        server_members.push(("wal", Json::obj(wal_members)));
+    }
+    let server = Json::obj(server_members);
     let mut metrics = match snapshot_to_json(&state.obs.snapshot()) {
         Json::Obj(members) => members,
         other => vec![("metrics".to_string(), other)],
@@ -563,6 +1046,9 @@ fn cqp_error_response(e: &CqpError) -> ApiError {
             }
         }
         CqpError::Internal(_) => 500,
+        CqpError::CircuitOpen { retry_after_ms } => {
+            return ApiError::new(503, e.kind(), e.to_string()).with_retry_after_ms(*retry_after_ms)
+        }
     };
     ApiError::new(status, e.kind(), e.to_string())
 }

@@ -11,11 +11,13 @@
 //! response can state which profile version produced it — the closest
 //! zero-dependency analog of an MVCC read timestamp.
 
+use crate::wal::{RecoveryReport, Wal};
 use cqp_prefs::{from_text, to_text, Profile, ProfileParseError};
 use cqp_storage::Catalog;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A profile plus its monotone version.
 #[derive(Debug, Clone)]
@@ -36,10 +38,21 @@ pub enum UpsertMode {
     Merge,
 }
 
-/// Sharded, versioned in-memory profile store.
+/// The durability half of a [`SessionStore`]: the WAL every upsert is
+/// logged to before it is applied, plus the catalog needed to render
+/// profiles into the wire format the log stores.
+#[derive(Debug)]
+struct Durable {
+    wal: Arc<Wal>,
+    catalog: Catalog,
+}
+
+/// Sharded, versioned in-memory profile store, optionally backed by a
+/// write-ahead log (see [`SessionStore::recover`]).
 #[derive(Debug)]
 pub struct SessionStore {
     shards: Vec<Mutex<HashMap<String, StoredProfile>>>,
+    durable: Option<Durable>,
     upserts: AtomicU64,
     lookups: AtomicU64,
     misses: AtomicU64,
@@ -61,10 +74,52 @@ impl SessionStore {
         let shards = shards.max(1);
         SessionStore {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            durable: None,
             upserts: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Opens (or creates) the WAL in `dir`, replays it, and returns the
+    /// reconstructed store — durably backed from here on — plus what
+    /// recovery found. Replay is idempotent (records carry post-upsert
+    /// state) and version-exact (records carry the version counter), so
+    /// the recovered store is identical to the pre-crash one up to the
+    /// last intact record.
+    pub fn recover(
+        shards: usize,
+        dir: &Path,
+        catalog: &Catalog,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let opened = Wal::open(dir)?;
+        let mut store = SessionStore::new(shards);
+        let mut report = opened.report;
+        for rec in &opened.records {
+            match from_text(&rec.profile_text, catalog) {
+                Ok(profile) => store.restore(&rec.user, profile, rec.version),
+                // A checksummed record whose profile no longer parses can
+                // only mean the catalog changed shape under the store;
+                // dropping the record is the availability-preserving move.
+                Err(_) => report.parse_skipped += 1,
+            }
+        }
+        store.durable = Some(Durable {
+            wal: Arc::new(opened.wal),
+            catalog: catalog.clone(),
+        });
+        Ok((store, report))
+    }
+
+    /// The WAL backing this store, when durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.durable.as_ref().map(|d| &d.wal)
+    }
+
+    /// Applies a replayed record: no version bump, no WAL append.
+    fn restore(&self, user: &str, profile: Profile, version: u64) {
+        let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
+        shard.insert(user.to_string(), StoredProfile { profile, version });
     }
 
     fn shard(&self, user: &str) -> &Mutex<HashMap<String, StoredProfile>> {
@@ -82,18 +137,52 @@ impl SessionStore {
     }
 
     /// Inserts or replaces `user`'s profile directly (version-bumping).
+    /// On a durable store the upsert is logged write-ahead under the
+    /// shard lock; if the append fails (disk full, injected torn write)
+    /// the in-memory apply still proceeds — availability over durability,
+    /// with the failure visible in [`Wal::counters`].
     pub fn put(&self, user: &str, profile: Profile) -> u64 {
         self.upserts.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
-        let entry = shard
-            .entry(user.to_string())
-            .and_modify(|e| e.version += 1)
-            .or_insert(StoredProfile {
-                profile: Profile::new(user),
-                version: 1,
-            });
-        entry.profile = profile;
-        entry.version
+        let version = shard.get(user).map_or(1, |e| e.version + 1);
+        if let Some(d) = &self.durable {
+            // Write-ahead, while the shard lock serializes same-user
+            // appends so log order matches version order.
+            let _ = d
+                .wal
+                .append_put(user, version, &to_text(&profile, &d.catalog));
+        }
+        shard.insert(user.to_string(), StoredProfile { profile, version });
+        version
+    }
+
+    /// Every `(user, (version, wire text))` pair, sorted by user — the
+    /// canonical representation differential tests compare.
+    pub fn dump(&self, catalog: &Catalog) -> BTreeMap<String, (u64, String)> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (user, stored) in shard.iter() {
+                out.insert(
+                    user.clone(),
+                    (stored.version, to_text(&stored.profile, catalog)),
+                );
+            }
+        }
+        out
+    }
+
+    /// Compacts the WAL: snapshots the current contents and truncates the
+    /// log. No-op on a non-durable store.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let dump = self.dump(&d.catalog);
+        d.wal.compact(
+            dump.iter()
+                .map(|(user, (version, text))| (user.as_str(), *version, text.as_str())),
+        )
     }
 
     /// Applies a `# cqp-profile v1` wire-format upsert for `user`.
@@ -284,6 +373,97 @@ mod tests {
         assert_eq!(top1.version, full.version);
         // The surviving selection is the highest-doi one.
         assert_eq!(top1.profile.graph().selections()[0].doi.value(), 0.9);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cqp-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_store_recovers_contents_and_versions() {
+        let c = catalog();
+        let dir = tmpdir("recover");
+        {
+            let (store, report) = SessionStore::recover(4, &dir, &c).unwrap();
+            assert_eq!(report.records_replayed(), 0);
+            store
+                .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+            store
+                .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+            store
+                .upsert_text("bo", WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+        }
+        let (recovered, report) = SessionStore::recover(4, &dir, &c).unwrap();
+        assert_eq!(report.records_replayed(), 3);
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered.get("al").unwrap().version, 2);
+        assert_eq!(recovered.get("bo").unwrap().version, 1);
+        // The recovered store keeps logging: the next upsert bumps to 3
+        // and survives another restart.
+        recovered
+            .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        let (again, _) = SessionStore::recover(4, &dir, &c).unwrap();
+        assert_eq!(again.get("al").unwrap().version, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dump_is_identical_across_recovery() {
+        let c = catalog();
+        let dir = tmpdir("dump");
+        let (store, _) = SessionStore::recover(2, &dir, &c).unwrap();
+        store
+            .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        let more = "# cqp-profile v1\nprofile al\nselect 0.4 MOVIE.year ge 1990\n";
+        store
+            .upsert_text("al", more, &c, UpsertMode::Merge)
+            .unwrap();
+        store
+            .upsert_text("cy", more, &c, UpsertMode::Replace)
+            .unwrap();
+        let before = store.dump(&c);
+        drop(store);
+        let (recovered, _) = SessionStore::recover(8, &dir, &c).unwrap();
+        assert_eq!(recovered.dump(&c), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_dump_and_resets_log() {
+        let c = catalog();
+        let dir = tmpdir("compact");
+        let (store, _) = SessionStore::recover(2, &dir, &c).unwrap();
+        for i in 0..6 {
+            store
+                .upsert_text(&format!("u{i}"), WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+            store
+                .upsert_text(&format!("u{i}"), WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+        }
+        let before = store.dump(&c);
+        store.compact().unwrap();
+        drop(store);
+        let (recovered, report) = SessionStore::recover(2, &dir, &c).unwrap();
+        // All state now comes from the snapshot; the log is empty.
+        assert_eq!(report.snapshot_records, 6);
+        assert_eq!(report.log_records, 0);
+        assert_eq!(recovered.dump(&c), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_durable_store_compact_is_a_noop() {
+        let store = SessionStore::new(2);
+        assert!(store.wal().is_none());
+        store.compact().unwrap();
     }
 
     #[test]

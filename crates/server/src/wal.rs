@@ -1,0 +1,498 @@
+//! Write-ahead log for the session profile store.
+//!
+//! The paper treats profiles as given inputs; a serving deployment must
+//! make them *survive restarts*. This module is the durability half of
+//! [`SessionStore`](crate::session::SessionStore): an append-only,
+//! length-prefixed, checksummed log of profile upserts plus a snapshot
+//! file for compaction, in the ARIES spirit of "log first, apply second,
+//! replay on recovery" — reduced to the state-based records this store
+//! needs (each record carries the *post-upsert* profile, so replay is
+//! trivially idempotent: applying a record twice yields the same store).
+//!
+//! ## On-disk format
+//!
+//! Two files in the WAL directory, both sequences of identical records:
+//!
+//! * `snapshot.wal` — one record per user at the last compaction;
+//! * `log.wal` — records appended since.
+//!
+//! Each record is a single line:
+//!
+//! ```text
+//! W1 <payload_len> <fnv1a64_hex16> <payload>\n
+//! ```
+//!
+//! where `<payload>` is exactly `payload_len` bytes of single-line JSON
+//! (`{"op":"put","user":…,"version":…,"profile":…}` — the JSON renderer
+//! escapes newlines, so a raw `\n` always terminates a record) and the
+//! checksum is FNV-1a 64 over the payload bytes. The length prefix
+//! detects torn tails cheaply; the checksum catches corruption within a
+//! frame of plausible length.
+//!
+//! ## Crash model
+//!
+//! A crash can tear the *last* record (partial write). Recovery replays
+//! each file and stops at the first record that fails framing, length,
+//! checksum, or JSON validation — then **truncates the file at that
+//! offset** so the next append starts from a clean boundary. Everything
+//! before the torn tail is intact by construction (appends are a single
+//! `write_all` + flush). By default the log is flushed to the OS on every
+//! append but not fsync'd: the crash model is process death (SIGKILL),
+//! not power loss; [`Wal::sync`] is available when the stronger guarantee
+//! is worth the latency.
+//!
+//! Torn writes are *injectable* for tests via
+//! [`FaultPlan`](cqp_storage::FaultPlan) in
+//! [`FaultMode::TornWrite`](cqp_storage::FaultMode) mode: the nth append
+//! writes only a prefix of its frame and returns an error, exactly what a
+//! mid-write crash leaves behind.
+
+use cqp_obs::Json;
+use cqp_storage::{FaultPlan, WriteOutcome};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Record magic: bump on incompatible format changes.
+const MAGIC: &str = "W1";
+/// Snapshot file name inside the WAL directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.wal";
+/// Log file name inside the WAL directory.
+pub const LOG_FILE: &str = "log.wal";
+
+/// One replayed upsert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PutRecord {
+    /// User id the profile belongs to.
+    pub user: String,
+    /// The user's version *after* this upsert.
+    pub version: u64,
+    /// The profile in `# cqp-profile v1` wire format.
+    pub profile_text: String,
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Records replayed from `snapshot.wal`.
+    pub snapshot_records: u64,
+    /// Records replayed from `log.wal`.
+    pub log_records: u64,
+    /// Total payload + framing bytes of valid records replayed.
+    pub bytes_replayed: u64,
+    /// Bytes truncated off torn/corrupt tails (both files).
+    pub torn_tail_bytes: u64,
+    /// Checksummed records whose profile text failed to parse later —
+    /// skipped, never fatal (counted by the caller, not here).
+    pub parse_skipped: u64,
+    /// Wall-clock spent replaying, seconds.
+    pub replay_secs: f64,
+}
+
+impl RecoveryReport {
+    /// Total records replayed across snapshot and log.
+    pub fn records_replayed(&self) -> u64 {
+        self.snapshot_records + self.log_records
+    }
+}
+
+/// A healed, appendable write-ahead log plus everything it replayed.
+#[derive(Debug)]
+pub struct OpenedWal {
+    /// The log, positioned for appending.
+    pub wal: Wal,
+    /// Replayed records in apply order (snapshot first, then log).
+    pub records: Vec<PutRecord>,
+    /// Replay statistics.
+    pub report: RecoveryReport,
+}
+
+/// Append handle over the WAL directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    log: Mutex<File>,
+    fault: Option<Arc<FaultPlan>>,
+    appends: AtomicU64,
+    append_errors: AtomicU64,
+    bytes_appended: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the WAL in `dir`, heals torn tails, and
+    /// returns the replayed records alongside the appendable log.
+    pub fn open(dir: &Path) -> io::Result<OpenedWal> {
+        std::fs::create_dir_all(dir)?;
+        let t = Instant::now();
+        let mut report = RecoveryReport::default();
+        let mut records = Vec::new();
+        for (file, is_snapshot) in [(SNAPSHOT_FILE, true), (LOG_FILE, false)] {
+            let path = dir.join(file);
+            if !path.exists() {
+                continue;
+            }
+            let (recs, valid_bytes, total_bytes) = replay_file(&path)?;
+            if valid_bytes < total_bytes {
+                // Torn or corrupt tail: truncate to the last clean record
+                // boundary so future appends start from a healthy file.
+                report.torn_tail_bytes += total_bytes - valid_bytes;
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(valid_bytes)?;
+            }
+            report.bytes_replayed += valid_bytes;
+            if is_snapshot {
+                report.snapshot_records += recs.len() as u64;
+            } else {
+                report.log_records += recs.len() as u64;
+            }
+            records.extend(recs);
+        }
+        report.replay_secs = t.elapsed().as_secs_f64();
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(LOG_FILE))?;
+        Ok(OpenedWal {
+            wal: Wal {
+                dir: dir.to_path_buf(),
+                log: Mutex::new(log),
+                fault: None,
+                appends: AtomicU64::new(0),
+                append_errors: AtomicU64::new(0),
+                bytes_appended: AtomicU64::new(0),
+                compactions: AtomicU64::new(0),
+            },
+            records,
+            report,
+        })
+    }
+
+    /// Injects write faults from `plan` (see [`cqp_storage::FaultMode::TornWrite`]).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The directory this WAL lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one upsert record. On success the record is fully written
+    /// and flushed to the OS. A torn write (injected, or a genuine short
+    /// write) leaves a partial frame behind and returns an error — the
+    /// same state a crash mid-append produces, which recovery heals.
+    pub fn append_put(&self, user: &str, version: u64, profile_text: &str) -> io::Result<()> {
+        let frame = encode_put(user, version, profile_text);
+        let r = self.append_frame(&frame);
+        match &r {
+            Ok(()) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.bytes_appended
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        r
+    }
+
+    fn append_frame(&self, frame: &[u8]) -> io::Result<()> {
+        let mut log = self.lock_log();
+        if let Some(plan) = &self.fault {
+            if let WriteOutcome::Torn { keep_bytes } = plan.on_write(frame.len() as u64) {
+                let keep = keep_bytes as usize;
+                log.write_all(&frame[..keep])?;
+                log.flush()?;
+                return Err(io::Error::other(format!(
+                    "injected torn write: {keep} of {} bytes landed",
+                    frame.len()
+                )));
+            }
+        }
+        log.write_all(frame)?;
+        log.flush()
+    }
+
+    /// Fsyncs the log file — upgrade from "survives process death" to
+    /// "survives power loss" when a caller needs it.
+    pub fn sync(&self) -> io::Result<()> {
+        self.lock_log().sync_data()
+    }
+
+    /// Replaces the snapshot with `entries` (user → (version, profile
+    /// text)) and truncates the log. The snapshot is written to a temp
+    /// file, synced, and atomically renamed, so a crash during compaction
+    /// loses nothing: either the old snapshot+log or the new snapshot is
+    /// on disk.
+    pub fn compact<'a>(
+        &self,
+        entries: impl Iterator<Item = (&'a str, u64, &'a str)>,
+    ) -> io::Result<()> {
+        let mut log = self.lock_log();
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for (user, version, text) in entries {
+                f.write_all(&encode_put(user, version, text))?;
+            }
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // The snapshot now covers everything: restart the log.
+        log.set_len(0)?;
+        log.seek(SeekFrom::Start(0))?;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `(appends, append_errors, bytes_appended, compactions)` counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.appends.load(Ordering::Relaxed),
+            self.append_errors.load(Ordering::Relaxed),
+            self.bytes_appended.load(Ordering::Relaxed),
+            self.compactions.load(Ordering::Relaxed),
+        )
+    }
+
+    fn lock_log(&self) -> std::sync::MutexGuard<'_, File> {
+        self.log.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// FNV-1a 64 — the same stable hash the session store shards with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes one put record as a full frame (including the trailing `\n`).
+fn encode_put(user: &str, version: u64, profile_text: &str) -> Vec<u8> {
+    let payload = Json::obj(vec![
+        ("op", Json::Str("put".into())),
+        ("user", Json::Str(user.into())),
+        ("version", Json::Num(version as f64)),
+        ("profile", Json::Str(profile_text.into())),
+    ])
+    .render();
+    let mut frame = format!(
+        "{MAGIC} {} {:016x} ",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    )
+    .into_bytes();
+    frame.extend_from_slice(payload.as_bytes());
+    frame.push(b'\n');
+    frame
+}
+
+/// Parses one frame starting at `buf[offset..]`. Returns the record and
+/// the offset just past its trailing newline, or `None` if the bytes at
+/// `offset` are not a complete valid record (torn tail / corruption).
+fn decode_frame(buf: &[u8], offset: usize) -> Option<(PutRecord, usize)> {
+    let rest = &buf[offset..];
+    let nl = rest.iter().position(|b| *b == b'\n')?;
+    let line = std::str::from_utf8(&rest[..nl]).ok()?;
+    let mut parts = line.splitn(4, ' ');
+    if parts.next()? != MAGIC {
+        return None;
+    }
+    let len: usize = parts.next()?.parse().ok()?;
+    let checksum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let payload = parts.next()?;
+    if payload.len() != len || fnv1a(payload.as_bytes()) != checksum {
+        return None;
+    }
+    let json = crate::json::parse(payload).ok()?;
+    if json.get("op")?.as_str()? != "put" {
+        return None;
+    }
+    Some((
+        PutRecord {
+            user: json.get("user")?.as_str()?.to_string(),
+            version: json.get("version")?.as_u64()?,
+            profile_text: json.get("profile")?.as_str()?.to_string(),
+        },
+        offset + nl + 1,
+    ))
+}
+
+/// Replays `path`, returning `(records, valid_bytes, total_bytes)` where
+/// `valid_bytes` is the clean prefix length (everything past it is torn
+/// tail or corruption the caller should truncate).
+fn replay_file(path: &Path) -> io::Result<(Vec<PutRecord>, u64, u64)> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < buf.len() {
+        match decode_frame(&buf, offset) {
+            Some((rec, next)) => {
+                records.push(rec);
+                offset = next;
+            }
+            None => break,
+        }
+    }
+    Ok((records, offset as u64, buf.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_storage::FaultMode;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cqp-wal-{tag}-{}-{}",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-")
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    const PROFILE: &str = "# cqp-profile v1\nprofile al\nselect 0.7 GENRE.genre eq \"comedy\"\n";
+
+    #[test]
+    fn roundtrip_append_and_replay() {
+        let dir = tmpdir("roundtrip");
+        {
+            let opened = Wal::open(&dir).unwrap();
+            assert!(opened.records.is_empty());
+            opened.wal.append_put("al", 1, PROFILE).unwrap();
+            opened.wal.append_put("bo", 1, PROFILE).unwrap();
+            opened.wal.append_put("al", 2, PROFILE).unwrap();
+            assert_eq!(opened.wal.counters().0, 3);
+        }
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.records.len(), 3);
+        assert_eq!(opened.report.log_records, 3);
+        assert_eq!(opened.report.torn_tail_bytes, 0);
+        assert_eq!(opened.records[2].user, "al");
+        assert_eq!(opened.records[2].version, 2);
+        assert_eq!(opened.records[2].profile_text, PROFILE);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmpdir("torn");
+        {
+            let opened = Wal::open(&dir).unwrap();
+            opened.wal.append_put("al", 1, PROFILE).unwrap();
+            opened.wal.append_put("bo", 1, PROFILE).unwrap();
+        }
+        // Tear the tail at every byte boundary inside the last record.
+        let log_path = dir.join(LOG_FILE);
+        let full = std::fs::read(&log_path).unwrap();
+        let first_len = decode_frame(&full, 0).unwrap().1;
+        for cut in first_len..full.len() - 1 {
+            std::fs::write(&log_path, &full[..cut]).unwrap();
+            let opened = Wal::open(&dir).unwrap();
+            assert_eq!(opened.records.len(), 1, "cut at {cut}");
+            assert_eq!(opened.report.torn_tail_bytes, (cut - first_len) as u64);
+            // The file was healed: appending after recovery yields a
+            // clean two-record log again.
+            opened.wal.append_put("cy", 1, PROFILE).unwrap();
+            let reopened = Wal::open(&dir).unwrap();
+            assert_eq!(reopened.records.len(), 2, "cut at {cut}");
+            assert_eq!(reopened.records[1].user, "cy");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_matches_crash_shape() {
+        let dir = tmpdir("inject");
+        let opened = Wal::open(&dir).unwrap();
+        let plan = Arc::new(FaultPlan::new(
+            1,
+            FaultMode::TornWrite {
+                nth: 1,
+                keep_bytes: 7,
+            },
+        ));
+        let wal = opened.wal.with_fault_plan(Arc::clone(&plan));
+        wal.append_put("al", 1, PROFILE).unwrap();
+        let err = wal.append_put("bo", 1, PROFILE);
+        assert!(err.is_err());
+        assert_eq!(plan.writes_torn(), 1);
+        assert_eq!(wal.counters().1, 1); // one append error
+        drop(wal);
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.report.torn_tail_bytes, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_mid_tail_truncates_from_there() {
+        let dir = tmpdir("corrupt");
+        {
+            let opened = Wal::open(&dir).unwrap();
+            opened.wal.append_put("al", 1, PROFILE).unwrap();
+            opened.wal.append_put("bo", 1, PROFILE).unwrap();
+        }
+        let log_path = dir.join(LOG_FILE);
+        let mut bytes = std::fs::read(&log_path).unwrap();
+        let second_start = decode_frame(&bytes, 0).unwrap().1;
+        // Flip a payload byte of the second record: its checksum fails.
+        let n = bytes.len();
+        bytes[second_start + 25] ^= 0xFF;
+        std::fs::write(&log_path, &bytes).unwrap();
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.report.torn_tail_bytes, (n - second_start) as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_truncates_log() {
+        let dir = tmpdir("compact");
+        let opened = Wal::open(&dir).unwrap();
+        let wal = opened.wal;
+        for v in 1..=5 {
+            wal.append_put("al", v, PROFILE).unwrap();
+        }
+        wal.compact([("al", 5u64, PROFILE)].into_iter()).unwrap();
+        // Log restarted; appends land after the snapshot.
+        wal.append_put("bo", 1, PROFILE).unwrap();
+        drop(wal);
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.report.snapshot_records, 1);
+        assert_eq!(opened.report.log_records, 1);
+        let users: Vec<_> = opened.records.iter().map(|r| r.user.as_str()).collect();
+        assert_eq!(users, ["al", "bo"]);
+        assert_eq!(opened.records[0].version, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn frame_survives_newlines_and_quotes_in_profile_text() {
+        let dir = tmpdir("escape");
+        let tricky = "# cqp-profile v1\nprofile q\nselect 0.5 GENRE.genre eq \"a\\\"b\"\n";
+        let opened = Wal::open(&dir).unwrap();
+        opened.wal.append_put("q\"user\"", 1, tricky).unwrap();
+        drop(opened);
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.records[0].user, "q\"user\"");
+        assert_eq!(opened.records[0].profile_text, tricky);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -49,6 +49,30 @@ pub enum FaultMode {
         /// Extra simulated milliseconds charged on a spiking read.
         spike_ms: f64,
     },
+    /// A *write*-side fault: the `nth` consulted write (zero-based) is
+    /// torn — only `keep_bytes` of its payload reach the disk before the
+    /// simulated crash. Reads are never affected. This is the crash model
+    /// the WAL recovery tests exercise: an append interrupted mid-record
+    /// must be healed by truncate-at-first-bad-record on replay.
+    TornWrite {
+        /// Zero-based index of the write that tears.
+        nth: u64,
+        /// Bytes of the torn write's payload that survive.
+        keep_bytes: u64,
+    },
+}
+
+/// Outcome of consulting a plan for one appended write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write proceeds in full.
+    Ok,
+    /// The write is torn: only the first `keep_bytes` bytes land, then the
+    /// writer must behave as if the process crashed (return an error).
+    Torn {
+        /// Bytes of the payload that reach storage.
+        keep_bytes: u64,
+    },
 }
 
 /// Outcome of consulting a plan for one block read.
@@ -82,8 +106,10 @@ pub struct FaultPlan {
     /// runs clean. `u64::MAX` means unlimited.
     max_faults: u64,
     reads: AtomicU64,
+    writes: AtomicU64,
     injected: AtomicU64,
     spikes: AtomicU64,
+    torn: AtomicU64,
 }
 
 impl FaultPlan {
@@ -97,8 +123,10 @@ impl FaultPlan {
             mode,
             max_faults: u64::MAX,
             reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             spikes: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
         }
     }
 
@@ -133,6 +161,16 @@ impl FaultPlan {
     /// Total latency spikes applied so far.
     pub fn spikes_applied(&self) -> u64 {
         self.spikes.load(Ordering::Relaxed)
+    }
+
+    /// Total writes consulted so far.
+    pub fn writes_seen(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total writes torn so far.
+    pub fn writes_torn(&self) -> u64 {
+        self.torn.load(Ordering::Relaxed)
     }
 
     /// Claims the next global read index and decides its fate.
@@ -172,6 +210,25 @@ impl FaultPlan {
                     ReadOutcome::Ok
                 }
             }
+            // Write-side mode: reads always proceed.
+            FaultMode::TornWrite { .. } => ReadOutcome::Ok,
+        }
+    }
+
+    /// Claims the next global write index and decides its fate. `len` is
+    /// the payload length of the write being attempted; a torn outcome
+    /// never keeps more than `len` bytes. Read-side modes leave writes
+    /// untouched.
+    pub fn on_write(&self, len: u64) -> WriteOutcome {
+        let i = self.writes.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            FaultMode::TornWrite { nth, keep_bytes } if i == nth => {
+                self.torn.fetch_add(1, Ordering::Relaxed);
+                WriteOutcome::Torn {
+                    keep_bytes: keep_bytes.min(len),
+                }
+            }
+            _ => WriteOutcome::Ok,
         }
     }
 
@@ -317,5 +374,61 @@ mod tests {
     #[should_panic]
     fn random_rate_out_of_range_rejected() {
         let _ = FaultPlan::new(1, FaultMode::Random { rate: 1.5 });
+    }
+
+    #[test]
+    fn torn_write_fires_exactly_once_at_nth() {
+        let plan = FaultPlan::new(
+            1,
+            FaultMode::TornWrite {
+                nth: 2,
+                keep_bytes: 5,
+            },
+        );
+        assert_eq!(plan.on_write(100), WriteOutcome::Ok);
+        assert_eq!(plan.on_write(100), WriteOutcome::Ok);
+        assert_eq!(plan.on_write(100), WriteOutcome::Torn { keep_bytes: 5 });
+        for _ in 0..8 {
+            assert_eq!(plan.on_write(100), WriteOutcome::Ok);
+        }
+        assert_eq!(plan.writes_seen(), 11);
+        assert_eq!(plan.writes_torn(), 1);
+    }
+
+    #[test]
+    fn torn_write_keeps_at_most_payload_len() {
+        let plan = FaultPlan::new(
+            1,
+            FaultMode::TornWrite {
+                nth: 0,
+                keep_bytes: 1_000,
+            },
+        );
+        assert_eq!(plan.on_write(7), WriteOutcome::Torn { keep_bytes: 7 });
+    }
+
+    #[test]
+    fn torn_write_mode_leaves_reads_alone() {
+        let plan = FaultPlan::new(
+            1,
+            FaultMode::TornWrite {
+                nth: 0,
+                keep_bytes: 0,
+            },
+        );
+        for _ in 0..16 {
+            assert_eq!(plan.on_read(), ReadOutcome::Ok);
+        }
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn read_modes_leave_writes_alone() {
+        let plan = FaultPlan::new(1, FaultMode::FirstK { k: 8 });
+        for _ in 0..16 {
+            assert_eq!(plan.on_write(64), WriteOutcome::Ok);
+        }
+        assert_eq!(plan.writes_torn(), 0);
+        assert_eq!(plan.writes_seen(), 16);
     }
 }

@@ -65,7 +65,7 @@ pub use csv::{dump_table, load_table, load_table_recorded, CsvError};
 pub use database::Database;
 pub use disk::{IoMeter, BLOCKS_READ_COUNTER, FAULTS_INJECTED_COUNTER, LATENCY_SPIKES_COUNTER};
 pub use error::{StorageError, StorageResult};
-pub use fault::{FaultMode, FaultPlan, ReadOutcome};
+pub use fault::{FaultMode, FaultPlan, ReadOutcome, WriteOutcome};
 pub use schema::{AttrId, AttributeDef, QualifiedAttr, RelationId, RelationSchema};
 pub use stats::{ColumnStats, DbStats, TableStats};
 pub use table::Table;

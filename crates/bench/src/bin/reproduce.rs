@@ -22,6 +22,8 @@
 //!   bench_par 1-thread vs N-thread batch driver + fig12 grid (BENCH_parallel.json)
 //!   resilience seeded fault-injection batch + deadline sweep (degradation rates)
 //!   serve     closed-loop socket load against cqp-server (BENCH_serve.json)
+//!   obs       tracing overhead off/sampled/100% + captured degraded trace +
+//!             Chrome trace dump (BENCH_obs.json, trace_chrome.json)
 //!   recovery  WAL crash differential + drain quantiles + breaker trips
 //!             (BENCH_recovery.json)
 //!
@@ -170,6 +172,10 @@ fn main() {
     }
     if run_all || experiment == "serve" {
         serve(&w, threads, &out);
+        ran = true;
+    }
+    if run_all || experiment == "obs" {
+        obs_experiment(&w, threads, &out);
         ran = true;
     }
     if run_all || experiment == "recovery" {
@@ -917,6 +923,7 @@ fn serve(w: &Workload, threads: usize, out: &Path) {
         ],
         zero_deadline_permille: 150,
         top_k_choices: vec![-1, 2, 4],
+        trace_every: 0,
     };
     println!(
         "--- serve: {} closed-loop client(s) x {} requests against {} ---",
@@ -999,6 +1006,311 @@ fn serve(w: &Workload, threads: usize, out: &Path) {
     println!(
         "BENCH_serve.json written ({} and repo root)\n",
         out.display()
+    );
+}
+
+/// Observability experiment: what does tracing cost, and what does a
+/// captured trace actually show?
+///
+/// Boots the PR-4 serve workload three times — tracing off, default
+/// deterministic sampling (1/16), and 100% capture — and measures
+/// closed-loop throughput for each (best of two runs after a warmup, so
+/// the overhead numbers measure tracing, not allocator warmup or CI
+/// scheduling noise). Then, on the 100% server, sends one explicit-
+/// trace-ID request with a 0-ms deadline and pulls its span tree back out
+/// of `/debug/traces?id=` — the captured degraded trace embedded in
+/// `BENCH_obs.json` — plus the whole ring as a Chrome trace-event file
+/// (`trace_chrome.json`, loadable in `chrome://tracing` / Perfetto).
+fn obs_experiment(w: &Workload, threads: usize, out: &Path) {
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+
+    let clients = threads.max(2);
+    let cmax = w.scale.cmax_blocks;
+    let queries: Vec<String> = w
+        .queries
+        .iter()
+        .map(|q| cqp_engine::sql::conjunctive_sql(w.db.catalog(), q))
+        .collect();
+    let boot = |sample_every: u64| {
+        let config = cqp_server::ServerConfig {
+            max_inflight: clients,
+            queue_cap: 0,
+            seed_users: 0,
+            trace_sample_every: sample_every,
+            ..cqp_server::ServerConfig::default()
+        };
+        let handle = cqp_server::start(Arc::new(w.db.clone()), config).expect("server start");
+        let users: Vec<String> = w
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let user = format!("user{:04}", i + 1);
+                handle.state().store.put(&user, p.clone());
+                user
+            })
+            .collect();
+        (handle, users)
+    };
+    let load_config =
+        |users: Vec<String>, trace_every: u64, requests: usize| cqp_server::LoadConfig {
+            clients,
+            requests_per_client: requests,
+            seed: 42,
+            users,
+            queries: queries.clone(),
+            algorithms: vec![
+                "c_boundaries".to_string(),
+                "c_maxbounds".to_string(),
+                "d_heurdoi".to_string(),
+            ],
+            problems: vec![
+                format!("{{\"kind\":\"p2\",\"cmax\":{cmax}}}"),
+                "{\"kind\":\"p6\",\"smin\":0,\"smax\":1000000}".to_string(),
+            ],
+            zero_deadline_permille: 150,
+            top_k_choices: vec![-1, 2, 4],
+            trace_every,
+        };
+
+    // Best-of-N with the modes *interleaved*: closed-loop throughput in a
+    // shared container jitters by far more than tracing costs, and the
+    // jitter is time-correlated — a slow minute would punish whichever
+    // mode happened to run then. Booting all three servers up front and
+    // round-robining the measured runs exposes every mode to the same
+    // noise, and the per-mode max is the statistic that isolates the
+    // instrumentation overhead.
+    const MEASURED_RUNS: usize = 5;
+    println!(
+        "--- obs: tracing overhead, {} client(s) x 40 requests x {MEASURED_RUNS} interleaved runs per mode ---",
+        clients
+    );
+    // (mode label, sample_every, explicit-header period for the loadgen).
+    let modes: [(&str, u64, u64); 3] = [("off", 0, 0), ("sampled", 16, 0), ("full", 1, 8)];
+    let servers: Vec<(cqp_server::ServerHandle, Vec<String>)> = modes
+        .iter()
+        .map(|(_, sample_every, _)| boot(*sample_every))
+        .collect();
+    // Warmup each: populate the submit cache and the allocator.
+    for (handle, users) in &servers {
+        cqp_server::run_load(handle.addr(), &load_config(users.clone(), 0, 5)).expect("warmup");
+    }
+    let mut best: [Option<cqp_server::LoadReport>; 3] = [None, None, None];
+    for _round in 0..MEASURED_RUNS {
+        for (mi, (mode, _, trace_every)) in modes.iter().enumerate() {
+            let (handle, users) = &servers[mi];
+            let report =
+                cqp_server::run_load(handle.addr(), &load_config(users.clone(), *trace_every, 40))
+                    .expect("load run");
+            assert_eq!(report.io_errors, 0, "{mode}: load hit socket errors");
+            assert_eq!(report.server_errors, 0, "{mode}: load hit 5xx responses");
+            assert_eq!(
+                report.trace_mismatches, 0,
+                "{mode}: server echoed a wrong trace ID"
+            );
+            if best[mi]
+                .as_ref()
+                .is_none_or(|b| report.requests_per_sec > b.requests_per_sec)
+            {
+                best[mi] = Some(report);
+            }
+        }
+    }
+    let mut mode_docs: Vec<(&str, Json)> = Vec::new();
+    let mut mode_rps = [0.0f64; 3];
+    let mut reports = Vec::new();
+    for (mi, (mode, sample_every, _)) in modes.iter().enumerate() {
+        let best = best[mi].as_ref().expect("at least one run");
+        let state = servers[mi].0.state();
+        let (captured, evicted) = state.telemetry.ring.counters();
+        println!(
+            "{mode:>8}: {:>8.1} req/s  p50 {:>6} us  p99 {:>6} us  captured {captured} traces",
+            best.requests_per_sec, best.p50_us, best.p99_us
+        );
+        match *sample_every {
+            0 => assert_eq!(captured, 0, "tracing off must capture nothing"),
+            1 => assert!(
+                captured >= best.requests,
+                "100% sampling missed requests: {captured} < {}",
+                best.requests
+            ),
+            _ => assert!(captured > 0, "default sampling captured nothing"),
+        }
+        mode_rps[mi] = best.requests_per_sec;
+        mode_docs.push((
+            mode,
+            Json::obj(vec![
+                ("sample_every", Json::from(*sample_every)),
+                ("load", best.to_json()),
+                ("traces_captured", Json::from(captured)),
+                ("traces_evicted", Json::from(evicted)),
+            ]),
+        ));
+        reports.push(
+            RunReport::from_obs("obs", mode, &state.obs)
+                .with_field("requests", best.requests)
+                .with_field("traces_captured", captured),
+        );
+    }
+    let mut servers = servers;
+    let (mut off_handle, _) = servers.remove(0);
+    let (mut sampled_handle, _) = servers.remove(0);
+    let (mut handle, _) = servers.remove(0); // full sampling, kept for probes
+    off_handle.stop();
+    sampled_handle.stop();
+    let addr = handle.addr();
+
+    // One deadline-tripped request with a client-chosen trace ID, then its
+    // span tree back out of the debug endpoint.
+    let http_get = |path: &str| -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let head = format!("GET {path} HTTP/1.1\r\nhost: b\r\nconnection: close\r\n\r\n");
+        stream.write_all(head.as_bytes()).expect("write");
+        let resp = cqp_server::http::parse_response(&mut BufReader::new(stream)).expect("response");
+        assert_eq!(resp.status, 200, "GET {path}: {}", resp.body_text());
+        resp.body_text()
+    };
+    let trace_id = "deadbeef";
+    let body = format!(
+        "{{\"user\":\"user0001\",\"sql\":{},\"problem\":{{\"kind\":\"p2\",\"cmax\":{cmax}}},\
+         \"deadline_ms\":0}}",
+        Json::Str(queries[0].clone()).render(),
+    );
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let head = format!(
+            "POST /personalize HTTP/1.1\r\nhost: b\r\nconnection: close\r\n\
+             x-cqp-trace-id: {trace_id}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.write_all(body.as_bytes()).expect("write body");
+        let resp = cqp_server::http::parse_response(&mut BufReader::new(stream)).expect("response");
+        assert_eq!(resp.status, 200, "probe: {}", resp.body_text());
+        assert_eq!(
+            resp.header("x-cqp-trace-id").map(str::to_string),
+            Some(format!("{:0>16}", trace_id)),
+            "probe response must echo the trace ID"
+        );
+    }
+    let padded = format!("{:0>16}", trace_id);
+    let trace_doc = cqp_server::json::parse(&http_get(&format!("/debug/traces?id={trace_id}")))
+        .expect("trace JSON");
+    let span_paths: Vec<Json> = trace_doc
+        .get("spans")
+        .and_then(Json::as_array)
+        .expect("spans")
+        .iter()
+        .filter_map(|s| s.get("path").cloned())
+        .collect();
+    let path_strs: Vec<&str> = span_paths.iter().filter_map(Json::as_str).collect();
+    for required in [
+        "parse",
+        "session",
+        "admission",
+        "dispatch.personalize.search",
+    ] {
+        assert!(
+            path_strs.contains(&required),
+            "degraded trace missing span {required:?}: {path_strs:?}"
+        );
+    }
+    assert_eq!(
+        trace_doc
+            .get("meta")
+            .and_then(|m| m.get("outcome"))
+            .and_then(Json::as_str),
+        Some("degraded"),
+        "0-ms deadline probe must be captured as degraded"
+    );
+    let degraded_trace = Json::obj(vec![
+        ("trace_id", Json::Str(padded)),
+        (
+            "outcome",
+            trace_doc
+                .get("meta")
+                .and_then(|m| m.get("outcome"))
+                .cloned()
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "total_us",
+            trace_doc.get("total_us").cloned().unwrap_or(Json::Null),
+        ),
+        ("span_paths", Json::Arr(span_paths)),
+    ]);
+
+    // The whole ring as a Chrome trace-event artifact.
+    let chrome = http_get("/debug/traces?format=chrome");
+    std::fs::create_dir_all(out).expect("results dir");
+    std::fs::write(out.join("trace_chrome.json"), &chrome).expect("chrome write");
+    let slo = handle.state().telemetry.slo.snapshot();
+    handle.stop();
+
+    // Overhead relative to tracing-off, clamped at 0 (a negative sampled
+    // overhead is measurement noise, not a speedup).
+    let overhead = |rps: f64| {
+        if mode_rps[0] > 0.0 {
+            ((mode_rps[0] - rps) / mode_rps[0]).max(0.0)
+        } else {
+            0.0
+        }
+    };
+    let sampled_overhead = overhead(mode_rps[1]);
+    let full_overhead = overhead(mode_rps[2]);
+    println!(
+        "overhead vs off: sampled {:.1}%  full {:.1}%",
+        sampled_overhead * 100.0,
+        full_overhead * 100.0
+    );
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("obs".into())),
+        ("scale", Json::Str(w.scale.name.to_string())),
+        ("clients", Json::from(clients as u64)),
+        ("seed", Json::from(42u64)),
+        (
+            "modes",
+            Json::Obj(
+                mode_docs
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            ),
+        ),
+        (
+            "overhead",
+            Json::obj(vec![
+                ("sampled_vs_off", Json::from(sampled_overhead)),
+                ("full_vs_off", Json::from(full_overhead)),
+                ("objective", Json::from(0.05)),
+                (
+                    "sampled_within_objective",
+                    Json::Bool(sampled_overhead <= 0.05),
+                ),
+            ]),
+        ),
+        (
+            "slo",
+            Json::obj(vec![
+                ("objective_us", Json::from(slo.objective_us)),
+                ("window_secs", Json::from(slo.window_secs)),
+                ("requests", Json::from(slo.requests)),
+                ("over_objective", Json::from(slo.over_objective)),
+                ("burn_ratio", Json::from(slo.burn_ratio)),
+                ("rate_per_sec", Json::from(slo.rate_per_sec)),
+            ]),
+        ),
+        ("degraded_trace", degraded_trace),
+    ]);
+    let rendered = doc.render();
+    std::fs::write(out.join("BENCH_obs.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_obs.json", &rendered).expect("bench write");
+    write_reports(out, "obs", &reports);
+    println!(
+        "BENCH_obs.json written ({} and repo root); Chrome trace at {}\n",
+        out.display(),
+        out.join("trace_chrome.json").display()
     );
 }
 

@@ -160,6 +160,24 @@ impl Algorithm {
     /// Parses an algorithm name: the display form ([`Algorithm::name`])
     /// or its lowercase token (`c_maxbounds`, `branch_bound`, …), case
     /// insensitively. The single parser the shell and the HTTP API share.
+    /// The canonical lowercase wire spelling, as accepted by
+    /// [`by_name`](Self::by_name). Used wherever the algorithm becomes a
+    /// machine-read label (metrics, trace metadata) rather than prose.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Algorithm::Exhaustive => "exhaustive",
+            Algorithm::CBoundaries => "c_boundaries",
+            Algorithm::CMaxBounds => "c_maxbounds",
+            Algorithm::DMaxDoi => "d_maxdoi",
+            Algorithm::DSingleMaxDoi => "d_singlemaxdoi",
+            Algorithm::DHeurDoi => "d_heurdoi",
+            Algorithm::BranchBound => "branch_bound",
+            Algorithm::Annealing => "annealing",
+            Algorithm::Tabu => "tabu",
+            Algorithm::Genetic => "genetic",
+        }
+    }
+
     pub fn by_name(s: &str) -> Option<Algorithm> {
         match s.to_ascii_lowercase().as_str() {
             "exhaustive" => Some(Algorithm::Exhaustive),

@@ -380,9 +380,18 @@ impl BatchDriver {
         req: BatchRequest,
         recorder: &dyn Recorder,
     ) -> Result<BatchItemResult, SolverError> {
+        // The dispatch span covers breaker gating plus pipeline execution,
+        // so a per-request trace can separate "time inside the driver" from
+        // the serving tier's own queueing and session work.
+        let _dispatch = span_guard(recorder, "dispatch");
         if let Some(breaker) = &self.breaker {
             if let Err(retry_after_ms) = breaker.try_acquire() {
                 recorder.add("batch.breaker_shed", 1);
+                if recorder.is_enabled() {
+                    recorder.event(&format!(
+                        "breaker open: shed before dispatch (retry after {retry_after_ms} ms)"
+                    ));
+                }
                 return Err(CqpError::CircuitOpen { retry_after_ms });
             }
         }
@@ -416,8 +425,16 @@ impl BatchDriver {
         }
         r.map(|mut item| {
             item.latency_us = latency_us;
-            if item.solution.degraded.is_some() {
+            if let Some(d) = &item.solution.degraded {
                 recorder.add("batch.degraded", 1);
+                if recorder.is_enabled() {
+                    recorder.event(&format!(
+                        "degraded: {} after {} states in {:?}",
+                        d.reason.name(),
+                        d.states_visited,
+                        d.elapsed
+                    ));
+                }
             }
             item
         })

@@ -1,14 +1,14 @@
 //! Observability for the CQP workspace.
 //!
-//! Three pieces, all `std`-only and thread-safe (one `Obs` can be shared —
-//! by reference or `Arc` — across the workers of a parallel search or a
-//! batch personalization run):
+//! All `std`-only and thread-safe (one `Obs` can be shared — by reference
+//! or `Arc` — across the workers of a parallel search or a batch
+//! personalization run):
 //!
 //! * [`metrics`] — a [`Registry`] of named monotonic counters, gauges, and
 //!   log-linear histograms, with point-in-time [`Snapshot`]s and
 //!   [`Snapshot::diff`] for attributing counter deltas to a region of work.
 //!   Counters and gauges are atomics; histograms sit behind a mutex.
-//! * [`trace`] — a hierarchical span [`Tracer`]: per-span wall-clock time,
+//! * [`trace`] — the *aggregate* span [`Tracer`]: per-span wall-clock time,
 //!   counter deltas captured at span boundaries, and a ring-buffered event
 //!   log. Nesting is tracked per thread, so concurrent workers build
 //!   disjoint subtrees. Renders as a flame-style text tree for `cqp_shell`.
@@ -16,16 +16,30 @@
 //!   against. [`NoopRecorder`] keeps the hot path free when observability
 //!   is off; [`Obs`] (registry + tracer behind one handle) records
 //!   everything.
+//! * [`reqtrace`] — *per-request* tracing: [`RequestRecorder`] captures an
+//!   exact-timestamped span tree for one request (forwarding metrics to a
+//!   base recorder), retained in a lock-sharded [`TraceRing`] and a
+//!   worst-N [`SlowLog`], exportable as JSON or Chrome trace events.
+//! * [`timeseries`] — [`SloSeries`], windowed 1-second-bucket aggregation
+//!   for request rates and SLO burn.
+//! * [`prometheus`] — text-exposition (0.0.4) rendering of a registry plus
+//!   [`CounterVec`] labeled counter families.
 //!
 //! [`report`] turns a finished [`Obs`] into a JSONL run-report line
 //! (hand-rolled JSON encoder; no serde in this environment).
 
 pub mod metrics;
+pub mod prometheus;
 pub mod record;
 pub mod report;
+pub mod reqtrace;
+pub mod timeseries;
 pub mod trace;
 
 pub use metrics::{Histogram, HistogramSummary, Registry, Snapshot};
+pub use prometheus::{CounterVec, PromWriter};
 pub use record::{NoopRecorder, Obs, Recorder, SpanGuard};
 pub use report::{Json, RunReport};
+pub use reqtrace::{RequestRecorder, RequestTrace, SlowLog, SpanRecord, TraceId, TraceRing};
+pub use timeseries::{SloSeries, SloSnapshot};
 pub use trace::{SpanView, Tracer};

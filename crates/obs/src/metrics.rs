@@ -113,9 +113,14 @@ impl Histogram {
 
     /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the bucket counts.
     ///
-    /// Resolution is the bucket width (≤ 25% relative error); the estimate
-    /// is the floor of the bucket holding the target rank, clamped to
-    /// `[min, max]`. Returns 0 for an empty histogram.
+    /// The target rank's observations are assumed uniformly spread across
+    /// the holding bucket's value range, so the estimate interpolates
+    /// linearly within the bucket (midpoint convention: the k-th of c
+    /// observations sits at `(k - 0.5) / c` of the bucket width) instead of
+    /// reporting a bucket edge. The extreme ranks are exact: rank 1 returns
+    /// `min`, rank `count` returns `max` — in particular `p99` of a small
+    /// sample can no longer over-report past the largest observation.
+    /// Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -123,14 +128,44 @@ impl Histogram {
         let q = q.clamp(0.0, 1.0);
         // Rank of the target observation, 1-based: ceil(q * count).
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        if rank == 1 {
+            return self.min;
+        }
         let mut seen = 0u64;
         for (&i, &c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                return bucket_floor(i).clamp(self.min, self.max);
+            if seen + c >= rank {
+                // Bucket value range, tightened to the observed extrema.
+                let lo = bucket_floor(i).clamp(self.min, self.max);
+                let hi = bucket_floor(i + 1)
+                    .saturating_sub(1)
+                    .clamp(self.min, self.max);
+                if hi <= lo {
+                    return lo;
+                }
+                let into = (rank - seen) as f64 - 0.5;
+                let frac = (into / c as f64).clamp(0.0, 1.0);
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
             }
+            seen += c;
         }
         self.max
+    }
+
+    /// Cumulative bucket counts as `(inclusive upper bound, cumulative)`
+    /// pairs, ascending — the shape Prometheus `le` bucket rendering needs.
+    /// The final implicit `+Inf` bucket is `count()`, not included here.
+    pub fn le_buckets(&self) -> Vec<(u64, u64)> {
+        let mut cumulative = 0u64;
+        self.buckets
+            .iter()
+            .map(|(&i, &c)| {
+                cumulative += c;
+                (bucket_floor(i + 1).saturating_sub(1), cumulative)
+            })
+            .collect()
     }
 
     /// Condensed view for snapshots and reports.
@@ -414,22 +449,79 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_track_bucket_resolution() {
+    fn quantiles_are_exact_on_a_known_uniform_distribution() {
+        // 1..=1000 is uniform, so within-bucket interpolation recovers the
+        // true rank values exactly: the k-th observation in a bucket sits at
+        // (k - 0.5)/c of the bucket width and rounding lands on the integer.
         let mut h = Histogram::default();
         for v in 1..=1000u64 {
             h.observe(v);
         }
-        let p50 = h.quantile(0.5);
-        let p95 = h.quantile(0.95);
-        let p99 = h.quantile(0.99);
-        // Bucket width is ≤ 25%, so estimates land within one bucket of the
-        // true rank value.
-        assert!((375..=500).contains(&p50), "p50={p50}");
-        assert!((712..=950).contains(&p95), "p95={p95}");
-        assert!((742..=990).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(0.5), 500);
+        assert_eq!(h.quantile(0.95), 950);
+        assert_eq!(h.quantile(0.99), 990);
         assert_eq!(h.quantile(0.0), 1);
-        assert!(h.quantile(1.0) >= p99 && h.quantile(1.0) <= 1000);
+        assert_eq!(h.quantile(1.0), 1000);
         assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_sample_p99_is_not_biased_to_the_bucket_edge() {
+        // Four observations: p99 targets rank 4, which IS the max — the old
+        // floor-of-bucket estimate returned 896 (the lower edge of 1000's
+        // bucket); the fix returns the observation itself.
+        let mut h = Histogram::default();
+        for v in [1u64, 1, 1, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.99), 1000);
+        assert_eq!(h.quantile(0.5), 1);
+        // A single observation reports itself at every quantile.
+        let mut one = Histogram::default();
+        one.observe(777);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range() {
+        let mut h = Histogram::default();
+        for v in [3u64, 90, 91, 92, 93, 94, 2000] {
+            h.observe(v);
+        }
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!((3..=2000).contains(&v), "q={q} v={v}");
+        }
+        // Monotone in q.
+        let mut last = 0;
+        for i in 0..=100 {
+            let v = h.quantile(i as f64 / 100.0);
+            assert!(v >= last, "quantile regressed at q={}", i as f64 / 100.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn le_buckets_are_cumulative_and_cover_count() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 70, 70, 1000] {
+            h.observe(v);
+        }
+        let le = h.le_buckets();
+        let mut last_le = 0;
+        let mut last_cum = 0;
+        for &(le_bound, cum) in &le {
+            assert!(le_bound >= last_le);
+            assert!(cum > last_cum);
+            last_le = le_bound;
+            last_cum = cum;
+        }
+        assert_eq!(le.last().map(|&(_, c)| c), Some(h.count()));
+        // Every observation is ≤ the final bucket's upper bound.
+        assert!(le.last().map(|&(b, _)| b).unwrap_or(0) >= h.max());
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Prometheus text-exposition (format version 0.0.4) rendering.
+//!
+//! Turns a [`Registry`] snapshot — dotted-path counters, gauges, and
+//! log-linear histograms — into the `# HELP` / `# TYPE` / sample-line
+//! format every Prometheus-compatible scraper (and `promtool`) parses,
+//! plus [`CounterVec`], a small labeled-counter family for the
+//! per-`{endpoint, problem, algorithm, outcome}` request accounting the
+//! registry's flat static names cannot express.
+//!
+//! Conventions applied: metric names are the dotted registry paths with
+//! `.` mangled to `_` under a caller-supplied prefix; counters gain the
+//! `_total` suffix; histograms render cumulative `le` buckets from the
+//! log-linear bucket bounds with the implicit `+Inf`, `_sum`, `_count`
+//! triple.
+
+use crate::metrics::{Histogram, Registry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// The `Content-Type` a `/metrics` endpoint must declare for this format.
+pub const TEXT_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Mangles an arbitrary metric path into a legal Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_value(out: &mut String, value: f64) {
+    if value.is_finite() && value.fract() == 0.0 && value.abs() < 9e15 {
+        let _ = write!(out, "{}", value as i64);
+    } else if value.is_infinite() && value > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        let _ = write!(out, "{value}");
+    }
+}
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is one of `counter`, `gauge`, `histogram`.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label_value(v));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        write_value(&mut self.out, value);
+        self.out.push('\n');
+    }
+
+    /// Header plus single unlabeled sample for a counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Header plus single unlabeled sample for a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// Full histogram family: cumulative `le` buckets from the log-linear
+    /// bucket bounds, the implicit `+Inf` bucket, `_sum`, and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.family(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        let mut le_buf = String::new();
+        for (le, cumulative) in h.le_buckets() {
+            le_buf.clear();
+            let _ = write!(le_buf, "{le}");
+            self.sample(&bucket, &[("le", le_buf.as_str())], cumulative as f64);
+        }
+        self.sample(&bucket, &[("le", "+Inf")], h.count() as f64);
+        self.sample(&format!("{name}_sum"), &[], h.sum() as f64);
+        self.sample(&format!("{name}_count"), &[], h.count() as f64);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Renders every metric in `registry` under `prefix` (e.g. `cqp_`):
+/// counters as `{prefix}{path}_total`, gauges as `{prefix}{path}`,
+/// histograms as full `le`-bucket families.
+pub fn render_registry(registry: &Registry, prefix: &str, w: &mut PromWriter) {
+    let snap = registry.snapshot();
+    for (name, value) in &snap.counters {
+        let mangled = format!("{prefix}{}_total", sanitize_name(name));
+        w.counter(&mangled, &format!("Counter {name}"), *value);
+    }
+    for (name, value) in &snap.gauges {
+        let mangled = format!("{prefix}{}", sanitize_name(name));
+        w.gauge(&mangled, &format!("Gauge {name}"), *value);
+    }
+    for name in snap.histograms.keys() {
+        if let Some(h) = registry.histogram(name) {
+            let mangled = format!("{prefix}{}", sanitize_name(name));
+            w.histogram(&mangled, &format!("Histogram {name}"), &h);
+        }
+    }
+}
+
+/// A labeled counter family: one monotonic cell per label-value tuple.
+///
+/// Cells live in a mutex-guarded map — the write path is one short
+/// critical section per request, far below the serving tier's lock
+/// budget, and reads snapshot for rendering.
+#[derive(Debug)]
+pub struct CounterVec {
+    name: &'static str,
+    help: &'static str,
+    labels: &'static [&'static str],
+    cells: Mutex<BTreeMap<Vec<String>, u64>>,
+}
+
+impl CounterVec {
+    /// A family named `name` with the given label names.
+    pub fn new(name: &'static str, help: &'static str, labels: &'static [&'static str]) -> Self {
+        CounterVec {
+            name,
+            help,
+            labels,
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Increments the cell for `values` (must match the label arity;
+    /// mismatched calls are ignored rather than panicking).
+    pub fn inc(&self, values: &[&str]) {
+        self.add(values, 1);
+    }
+
+    /// Adds `delta` to the cell for `values`.
+    pub fn add(&self, values: &[&str], delta: u64) {
+        if values.len() != self.labels.len() {
+            // Arity mismatch is a programming error, but observability must
+            // never take the serving path down — drop the sample.
+            return;
+        }
+        let key: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        let mut cells = self.cells.lock().unwrap_or_else(|p| p.into_inner());
+        *cells.entry(key).or_insert(0) += delta;
+    }
+
+    /// Current value of one cell (0 if never incremented).
+    pub fn get(&self, values: &[&str]) -> u64 {
+        let key: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.cells
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> u64 {
+        self.cells
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .sum()
+    }
+
+    /// Emits the family header and every cell.
+    pub fn render(&self, w: &mut PromWriter) {
+        w.family(self.name, self.help, "counter");
+        let cells = self.cells.lock().unwrap_or_else(|p| p.into_inner());
+        for (key, value) in cells.iter() {
+            let labels: Vec<(&str, &str)> = self
+                .labels
+                .iter()
+                .zip(key.iter())
+                .map(|(&k, v)| (k, v.as_str()))
+                .collect();
+            w.sample(self.name, &labels, *value as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("server.latency_us"), "server_latency_us");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms_from_a_registry() {
+        let r = Registry::new();
+        r.add("server.admitted", 12);
+        r.set_gauge("server.queue_depth", 3.0);
+        for v in [10u64, 20, 4000] {
+            r.observe("server.latency_us", v);
+        }
+        let mut w = PromWriter::new();
+        render_registry(&r, "cqp_", &mut w);
+        let text = w.finish();
+        assert!(text.contains("# TYPE cqp_server_admitted_total counter"));
+        assert!(text.contains("cqp_server_admitted_total 12"));
+        assert!(text.contains("# TYPE cqp_server_queue_depth gauge"));
+        assert!(text.contains("cqp_server_queue_depth 3"));
+        assert!(text.contains("# TYPE cqp_server_latency_us histogram"));
+        assert!(text.contains("cqp_server_latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cqp_server_latency_us_sum 4030"));
+        assert!(text.contains("cqp_server_latency_us_count 3"));
+        // Every sample line parses as `name{labels} value` with a numeric
+        // value — the lightweight well-formedness check CI repeats.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_le_buckets_are_cumulative_in_output() {
+        let r = Registry::new();
+        for v in [1u64, 2, 3, 100, 200] {
+            r.observe("h", v);
+        }
+        let mut w = PromWriter::new();
+        render_registry(&r, "t_", &mut w);
+        let text = w.finish();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("t_h_bucket{le=\"") {
+                let value: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(value >= last, "non-cumulative at {line}");
+                last = value;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines >= 2);
+        assert_eq!(last, 5); // +Inf bucket equals count
+    }
+
+    #[test]
+    fn counter_vec_tracks_labeled_cells() {
+        let v = CounterVec::new(
+            "cqp_requests_total",
+            "Requests by endpoint and outcome.",
+            &["endpoint", "outcome"],
+        );
+        v.inc(&["personalize", "ok"]);
+        v.inc(&["personalize", "ok"]);
+        v.inc(&["personalize", "shed"]);
+        v.inc(&["metrics", "ok"]);
+        assert_eq!(v.get(&["personalize", "ok"]), 2);
+        assert_eq!(v.total(), 4);
+        let mut w = PromWriter::new();
+        v.render(&mut w);
+        let text = w.finish();
+        assert!(text.contains("# TYPE cqp_requests_total counter"));
+        assert!(text.contains("cqp_requests_total{endpoint=\"personalize\",outcome=\"ok\"} 2"));
+        assert!(text.contains("cqp_requests_total{endpoint=\"metrics\",outcome=\"ok\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(w.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn arity_mismatch_is_ignored_not_fatal() {
+        let v = CounterVec::new("x_total", "x", &["a"]);
+        v.inc(&["ok"]);
+        v.inc(&["too", "many"]);
+        v.inc(&[]);
+        assert_eq!(v.total(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Windowed time-series aggregation: 1-second buckets over a sliding
+//! window, for request rates and SLO burn.
+//!
+//! A point-in-time counter snapshot (what `/metrics` exported before this
+//! module) cannot answer "what is the request rate *right now*" or "what
+//! fraction of the last minute's requests missed the latency objective" —
+//! both need bucketed recent history. [`SloSeries`] keeps a fixed ring of
+//! per-second buckets indexed by `second % window`; a bucket whose stamp
+//! is stale is reset in place on the next write, so the ring never grows
+//! and never needs a background sweeper.
+//!
+//! Observations are microsecond latencies; the objective is configured at
+//! construction. `observe_at` takes an explicit second index so tests (and
+//! replay tooling) can drive the clock deterministically.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Stamp value marking a bucket that has never been written.
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct SecondBucket {
+    /// Absolute second index since the series epoch, or [`EMPTY`].
+    stamp: u64,
+    total: u64,
+    over: u64,
+    sum_us: u64,
+}
+
+impl SecondBucket {
+    const fn empty() -> Self {
+        SecondBucket {
+            stamp: EMPTY,
+            total: 0,
+            over: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+/// Sliding-window latency series with a fixed objective.
+///
+/// Shared behind `Arc`; one short critical section per observation.
+#[derive(Debug)]
+pub struct SloSeries {
+    epoch: Instant,
+    objective_us: u64,
+    window_secs: u64,
+    buckets: Mutex<Vec<SecondBucket>>,
+}
+
+/// Aggregates over the live window of a [`SloSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSnapshot {
+    /// Window length, seconds.
+    pub window_secs: u64,
+    /// The latency objective observations are judged against.
+    pub objective_us: u64,
+    /// Requests observed inside the window.
+    pub requests: u64,
+    /// Requests over the objective inside the window.
+    pub over_objective: u64,
+    /// Requests per second, averaged over the active part of the window.
+    pub rate_per_sec: f64,
+    /// `over_objective / requests` (0.0 when idle) — the SLO burn.
+    pub burn_ratio: f64,
+    /// Mean latency inside the window, microseconds.
+    pub mean_us: f64,
+}
+
+impl SloSeries {
+    /// A series covering the trailing `window_secs` (clamped to ≥ 1) with
+    /// the given latency objective in microseconds.
+    pub fn new(window_secs: u64, objective_us: u64) -> Self {
+        let window_secs = window_secs.max(1);
+        SloSeries {
+            epoch: Instant::now(),
+            objective_us,
+            window_secs,
+            buckets: Mutex::new(vec![SecondBucket::empty(); window_secs as usize]),
+        }
+    }
+
+    /// The configured latency objective, microseconds.
+    pub fn objective_us(&self) -> u64 {
+        self.objective_us
+    }
+
+    /// Window length, seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Records one request latency against the current wall second.
+    pub fn observe(&self, latency_us: u64) {
+        self.observe_at(self.now_second(), latency_us);
+    }
+
+    /// Records one request latency against an explicit second index.
+    /// Exposed so tests can pin the clock; production callers use
+    /// [`SloSeries::observe`].
+    pub fn observe_at(&self, second: u64, latency_us: u64) {
+        let idx = (second % self.window_secs) as usize;
+        let mut buckets = self.buckets.lock().unwrap_or_else(|p| p.into_inner());
+        let b = &mut buckets[idx];
+        if b.stamp != second {
+            *b = SecondBucket::empty();
+            b.stamp = second;
+        }
+        b.total += 1;
+        b.sum_us = b.sum_us.saturating_add(latency_us);
+        if latency_us > self.objective_us {
+            b.over += 1;
+        }
+    }
+
+    /// Aggregates over buckets whose stamp falls inside the trailing
+    /// window, ending at the current wall second (inclusive).
+    pub fn snapshot(&self) -> SloSnapshot {
+        self.snapshot_at(self.now_second())
+    }
+
+    /// [`SloSeries::snapshot`] with an explicit "now" second, for tests.
+    pub fn snapshot_at(&self, now_second: u64) -> SloSnapshot {
+        let oldest = (now_second + 1).saturating_sub(self.window_secs);
+        let mut requests = 0u64;
+        let mut over = 0u64;
+        let mut sum_us = 0u64;
+        {
+            let buckets = self.buckets.lock().unwrap_or_else(|p| p.into_inner());
+            for b in buckets.iter() {
+                if b.stamp != EMPTY && b.stamp >= oldest && b.stamp <= now_second {
+                    requests += b.total;
+                    over += b.over;
+                    sum_us = sum_us.saturating_add(b.sum_us);
+                }
+            }
+        }
+        // Early in the series' life the window is not yet full; average over
+        // the seconds that have actually elapsed so the rate is not diluted.
+        let active_secs = (now_second + 1).min(self.window_secs).max(1);
+        SloSnapshot {
+            window_secs: self.window_secs,
+            objective_us: self.objective_us,
+            requests,
+            over_objective: over,
+            rate_per_sec: requests as f64 / active_secs as f64,
+            burn_ratio: if requests == 0 {
+                0.0
+            } else {
+                over as f64 / requests as f64
+            },
+            mean_us: if requests == 0 {
+                0.0
+            } else {
+                sum_us as f64 / requests as f64
+            },
+        }
+    }
+
+    fn now_second(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_rate_and_burn_within_window() {
+        let s = SloSeries::new(10, 1_000);
+        for sec in 0..5u64 {
+            s.observe_at(sec, 500); // under objective
+            s.observe_at(sec, 2_000); // over
+        }
+        let snap = s.snapshot_at(4);
+        assert_eq!(snap.requests, 10);
+        assert_eq!(snap.over_objective, 5);
+        assert!((snap.burn_ratio - 0.5).abs() < 1e-9);
+        // 10 requests over 5 active seconds.
+        assert!((snap.rate_per_sec - 2.0).abs() < 1e-9);
+        assert!((snap.mean_us - 1250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_buckets_fall_out_of_the_window() {
+        let s = SloSeries::new(3, 100);
+        s.observe_at(0, 50);
+        s.observe_at(1, 50);
+        s.observe_at(2, 50);
+        assert_eq!(s.snapshot_at(2).requests, 3);
+        // Second 3 reuses second 0's slot; second 0 leaves the window.
+        s.observe_at(3, 500);
+        let snap = s.snapshot_at(3);
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.over_objective, 1);
+        // Far future: everything expired except what we write then.
+        s.observe_at(100, 50);
+        assert_eq!(s.snapshot_at(100).requests, 1);
+    }
+
+    #[test]
+    fn exact_objective_is_not_a_violation() {
+        let s = SloSeries::new(5, 1_000);
+        s.observe_at(0, 1_000);
+        let snap = s.snapshot_at(0);
+        assert_eq!(snap.over_objective, 0);
+        assert!((snap.burn_ratio - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_series_snapshots_cleanly() {
+        let s = SloSeries::new(60, 250_000);
+        let snap = s.snapshot_at(30);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.burn_ratio, 0.0);
+        assert_eq!(snap.rate_per_sec, 0.0);
+        assert_eq!(snap.mean_us, 0.0);
+    }
+
+    #[test]
+    fn is_sync_under_concurrent_observers() {
+        let s = std::sync::Arc::new(SloSeries::new(4, 10));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        s.observe_at(1, if i % 2 == 0 { 5 } else { 50 });
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot_at(1);
+        assert_eq!(snap.requests, 4000);
+        assert_eq!(snap.over_objective, 2000);
+    }
+}

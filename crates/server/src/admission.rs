@@ -123,6 +123,12 @@ impl AdmissionController {
             .inflight
     }
 
+    /// Requests currently parked in the waiting queue — the admission
+    /// queue depth gauge `/metrics` exports.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).waiting
+    }
+
     /// Execution slots.
     pub fn max_inflight(&self) -> usize {
         self.max_inflight

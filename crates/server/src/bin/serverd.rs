@@ -8,10 +8,26 @@
 //!
 //! ```text
 //! serverd --addr 127.0.0.1:9142 --wal-dir /tmp/cqp-wal --seed 42 [--seed-users 8]
+//!         [--trace-sample N] [--slo-ms N] [--chrome-trace PATH]
 //! ```
+//!
+//! `--chrome-trace PATH` periodically dumps the trace retention ring as a
+//! Chrome trace-event document (loadable in `chrome://tracing` or
+//! Perfetto), written atomically via tmp-file + rename so a reader never
+//! sees a torn JSON file.
 
+use cqp_obs::reqtrace::traces_to_chrome;
 use cqp_server::{start, ServerConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Writes `content` to `path` atomically (tmp + rename).
+fn write_atomic(path: &PathBuf, content: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
 
 fn main() {
     let mut config = ServerConfig {
@@ -19,6 +35,7 @@ fn main() {
         ..Default::default()
     };
     let mut db_seed = 7u64;
+    let mut chrome_trace: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -42,9 +59,23 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--trace-sample" => {
+                config.trace_sample_every = value("--trace-sample").parse().unwrap_or_else(|_| {
+                    eprintln!("serverd: --trace-sample must be an integer (0 = off)");
+                    std::process::exit(2);
+                })
+            }
+            "--slo-ms" => {
+                config.slo_objective_ms = value("--slo-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("serverd: --slo-ms must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--chrome-trace" => chrome_trace = Some(value("--chrome-trace").into()),
             "--help" | "-h" => {
                 println!(
-                    "usage: serverd [--addr HOST:PORT] [--wal-dir DIR] [--seed N] [--seed-users N]"
+                    "usage: serverd [--addr HOST:PORT] [--wal-dir DIR] [--seed N] \
+                     [--seed-users N] [--trace-sample N] [--slo-ms N] [--chrome-trace PATH]"
                 );
                 return;
             }
@@ -65,6 +96,17 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(path) = chrome_trace {
+        let state = Arc::clone(handle.state());
+        std::thread::spawn(move || loop {
+            let traces = state.telemetry.ring.recent(usize::MAX);
+            let doc = traces_to_chrome(&traces).render();
+            if let Err(e) = write_atomic(&path, &doc) {
+                eprintln!("serverd: chrome trace dump failed: {e}");
+            }
+            std::thread::sleep(Duration::from_secs(2));
+        });
+    }
     let recovered = handle
         .state()
         .recovery

@@ -225,6 +225,21 @@ impl Response {
         }
     }
 
+    /// A text response with an explicit `Content-Type` — the Prometheus
+    /// exposition endpoint needs `text/plain; version=0.0.4; charset=utf-8`.
+    pub fn text_with_type(
+        status: u16,
+        body: impl Into<String>,
+        content_type: &'static str,
+    ) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type,
+        }
+    }
+
     /// Adds a header (builder-style).
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
         self.headers.push((name.to_string(), value.into()));

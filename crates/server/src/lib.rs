@@ -23,6 +23,9 @@
 //!   per-request deadlines ([`Budget`](cqp_core::prelude::Budget)).
 //! * [`wal`] — the append-only, checksummed write-ahead log that makes
 //!   the session store survive crashes (torn tails healed on replay).
+//! * [`telemetry`] — per-server trace identity and sampling, trace
+//!   retention (ring + slow-query log), SLO time series, and the labeled
+//!   request counters behind the Prometheus `/metrics` endpoint.
 //! * [`loadgen`] — a deterministic closed-loop load generator over real
 //!   sockets, feeding `BENCH_serve.json`.
 //! * [`chaos`] — a seeded connection-level chaos client (truncated heads,
@@ -37,6 +40,7 @@ pub mod json;
 pub mod loadgen;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 pub mod wal;
 
 pub use admission::{AdmissionController, AdmissionError, Permit};
@@ -44,4 +48,5 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosOutcome, ChaosReport};
 pub use loadgen::{overload_probe, run_load, LoadConfig, LoadReport, ProbeReport};
 pub use server::{start, ServerConfig, ServerHandle, ServerState};
 pub use session::{SessionStore, StoredProfile, UpsertMode};
+pub use telemetry::{Telemetry, DEADLINE_REMAINING_HEADER, TRACE_ID_HEADER};
 pub use wal::{OpenedWal, PutRecord, RecoveryReport, Wal};

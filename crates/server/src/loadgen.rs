@@ -43,6 +43,10 @@ pub struct LoadConfig {
     /// Personalization depths to draw from; a negative entry means the
     /// full profile.
     pub top_k_choices: Vec<i64>,
+    /// Send an explicit `x-cqp-trace-id` header on every Nth request per
+    /// client (0 = never). The ID is a pure function of `(seed, client,
+    /// index)`, and the client verifies the server echoes it back.
+    pub trace_every: u64,
 }
 
 impl Default for LoadConfig {
@@ -57,6 +61,7 @@ impl Default for LoadConfig {
             problems: vec!["{\"kind\":\"p2\",\"cmax\":2000}".to_string()],
             zero_deadline_permille: 100,
             top_k_choices: vec![-1, 2, 4],
+            trace_every: 0,
         }
     }
 }
@@ -90,6 +95,10 @@ pub struct LoadReport {
     pub wall_secs: f64,
     /// Completed requests per wall-clock second.
     pub requests_per_sec: f64,
+    /// Requests sent with an explicit trace-ID header.
+    pub traced: u64,
+    /// Traced responses whose `x-cqp-trace-id` echo did not match.
+    pub trace_mismatches: u64,
 }
 
 impl LoadReport {
@@ -118,6 +127,8 @@ impl LoadReport {
             ("p99_us", Json::from(self.p99_us)),
             ("wall_secs", Json::from(self.wall_secs)),
             ("requests_per_sec", Json::from(self.requests_per_sec)),
+            ("traced", Json::from(self.traced)),
+            ("trace_mismatches", Json::from(self.trace_mismatches)),
         ])
     }
 }
@@ -245,6 +256,17 @@ fn render_request(config: &LoadConfig, client: usize, index: usize) -> Option<(S
     Some((body, zero_deadline))
 }
 
+/// The deterministic trace ID for `(seed, client, index)` — a distinct
+/// stream from the body mix so adding tracing never perturbs the mix.
+fn trace_id_for(config: &LoadConfig, client: usize, index: usize) -> String {
+    let mut state = config
+        .seed
+        .wrapping_mul(0xa076_1d64_78bd_642f)
+        .wrapping_add((client as u64) << 32)
+        .wrapping_add(index as u64);
+    format!("{:016x}", splitmix64(&mut state))
+}
+
 /// Runs the configured load against a server and aggregates what the
 /// clients saw. Returns an `io::Error` only when a client cannot connect
 /// at all; per-request socket failures are counted in the report.
@@ -291,6 +313,8 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadRe
         report.client_errors += partial.client_errors;
         report.server_errors += partial.server_errors;
         report.io_errors += partial.io_errors;
+        report.traced += partial.traced;
+        report.trace_mismatches += partial.trace_mismatches;
         completed += partial.requests - partial.io_errors;
         for l in lats {
             latencies.observe(l);
@@ -322,11 +346,23 @@ fn client_loop(
             None => break,
         };
         report.requests += 1;
+        let trace_id = (config.trace_every > 0 && (i as u64) % config.trace_every == 0)
+            .then(|| trace_id_for(config, client_id, i));
+        let headers: Vec<(&str, String)> = match &trace_id {
+            Some(id) => vec![(crate::telemetry::TRACE_ID_HEADER, id.clone())],
+            None => Vec::new(),
+        };
         let t = Instant::now();
-        match client.post("/personalize", &[], &body) {
+        match client.post("/personalize", &headers, &body) {
             Err(_) => report.io_errors += 1,
             Ok(resp) => {
                 let us = t.elapsed().as_micros() as u64;
+                if let Some(id) = &trace_id {
+                    report.traced += 1;
+                    if resp.header(crate::telemetry::TRACE_ID_HEADER) != Some(id.as_str()) {
+                        report.trace_mismatches += 1;
+                    }
+                }
                 match resp.status {
                     200 => {
                         report.ok += 1;

@@ -27,12 +27,15 @@ use crate::admission::{AdmissionController, AdmissionError};
 use crate::http::{parse_request, HttpError, Request, Response};
 use crate::json;
 use crate::session::{SessionStore, UpsertMode};
+use crate::telemetry::{Telemetry, DEADLINE_REMAINING_HEADER, TRACE_ID_HEADER};
 use crate::wal::RecoveryReport;
 use cqp_core::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use cqp_core::budget::Budget;
 use cqp_core::prelude::*;
 use cqp_engine::{execute_personalized, execute_ranked, parse_query, Matching};
-use cqp_obs::report::snapshot_to_json;
+use cqp_obs::prometheus::{render_registry, PromWriter, TEXT_CONTENT_TYPE};
+use cqp_obs::record::span_guard;
+use cqp_obs::reqtrace::{traces_to_chrome, traces_to_json, RequestRecorder, TraceId};
 use cqp_obs::{Json, Obs, Recorder};
 use cqp_prefs::Doi;
 use cqp_storage::{Database, IoMeter};
@@ -91,6 +94,21 @@ pub struct ServerConfig {
     pub wal_dir: Option<PathBuf>,
     /// Circuit-breaker tuning for the dispatch path.
     pub breaker: BreakerConfig,
+    /// Capture one request's span tree every N personalize requests
+    /// (0 = tracing off, 1 = every request). A client that sends an
+    /// explicit `x-cqp-trace-id` header is always captured while tracing
+    /// is enabled.
+    pub trace_sample_every: u64,
+    /// Lock shards in the trace retention ring.
+    pub trace_ring_shards: usize,
+    /// Recent traces retained across all ring shards.
+    pub trace_ring_capacity: usize,
+    /// Worst-N requests kept in the slow-query log.
+    pub slow_log_capacity: usize,
+    /// Latency objective for SLO burn accounting, milliseconds.
+    pub slo_objective_ms: u64,
+    /// Sliding window for the request-rate and burn-ratio gauges, seconds.
+    pub slo_window_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +133,12 @@ impl Default for ServerConfig {
             max_requests_per_conn: 1_024,
             wal_dir: None,
             breaker: BreakerConfig::default(),
+            trace_sample_every: 16,
+            trace_ring_shards: 8,
+            trace_ring_capacity: 256,
+            slow_log_capacity: 16,
+            slo_objective_ms: 250,
+            slo_window_secs: 60,
         }
     }
 }
@@ -164,6 +188,8 @@ pub struct ServerState {
     pub breaker: Arc<CircuitBreaker>,
     /// Metrics + tracing sink.
     pub obs: Arc<Obs>,
+    /// Trace identity/sampling, retention, SLO series, labeled counters.
+    pub telemetry: Telemetry,
     /// What startup recovery replayed, when the store is durable.
     pub recovery: Option<RecoveryReport>,
     config: ServerConfig,
@@ -420,6 +446,14 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         obs.add("server.wal_records_recovered", r.records_replayed());
         obs.add("server.wal_torn_tail_bytes", r.torn_tail_bytes);
     }
+    let telemetry = Telemetry::new(
+        config.trace_sample_every,
+        config.trace_ring_shards,
+        config.trace_ring_capacity,
+        config.slow_log_capacity,
+        config.slo_window_secs,
+        config.slo_objective_ms,
+    );
     let state = Arc::new(ServerState {
         gate: AdmissionController::new(
             config.max_inflight,
@@ -430,6 +464,7 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         store,
         breaker,
         obs,
+        telemetry,
         recovery,
         db,
         config,
@@ -543,20 +578,27 @@ fn serve_connection(stream: TcpStream, state: &ServerState) {
         }
         // A request is arriving: it must complete within the read
         // deadline, however slowly its bytes drip.
+        // The request clock starts at its first buffered byte; HTTP parse
+        // is the first span of a captured trace.
+        let req_t0 = Instant::now();
         set_deadline(Some(
-            Instant::now() + Duration::from_millis(state.config.read_timeout_ms.max(1)),
+            req_t0 + Duration::from_millis(state.config.read_timeout_ms.max(1)),
         ));
         let parsed = parse_request(&mut reader);
+        let parse_us = req_t0.elapsed().as_micros() as u64;
         set_deadline(None);
         served += 1;
         let (response, keep_alive) = match parsed {
             Ok(req) => {
                 if state.phase() != Phase::Live
-                    && !matches!(req.segments().first(), Some(&"healthz") | Some(&"metrics"))
+                    && !matches!(
+                        req.segments().first(),
+                        Some(&"healthz") | Some(&"metrics") | Some(&"debug")
+                    )
                 {
-                    // Draining: answer new work with 503 + close. Health
-                    // and metrics stay reachable so pollers see the
-                    // transition.
+                    // Draining: answer new work with 503 + close. Health,
+                    // metrics, and debug stay reachable so pollers (and
+                    // an operator pulling traces) see the transition.
                     state.drain_rejected.fetch_add(1, Ordering::Relaxed);
                     state.obs.add("server.drain_rejected", 1);
                     (draining_response(), false)
@@ -564,7 +606,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState) {
                     let keep = req.keep_alive
                         && served < state.config.max_requests_per_conn
                         && state.phase() == Phase::Live;
-                    (route(state, &req), keep)
+                    (route(state, &req, req_t0, parse_us), keep)
                 }
             }
             Err(HttpError::ConnectionClosed) => return,
@@ -692,20 +734,50 @@ fn http_error_response(e: &HttpError) -> Response {
     ApiError::new(status, code, e.to_string()).response()
 }
 
-/// Dispatches one parsed request.
-fn route(state: &ServerState, req: &Request) -> Response {
+/// Stable endpoint label for the `cqp_requests_total` counter family.
+fn endpoint_label(segments: &[&str]) -> &'static str {
+    match segments {
+        ["healthz", ..] => "healthz",
+        ["metrics"] => "metrics",
+        ["debug", ..] => "debug",
+        ["profiles", ..] => "profiles",
+        ["personalize"] => "personalize",
+        _ => "other",
+    }
+}
+
+/// Maps a response status onto the `outcome` label vocabulary. Degraded
+/// 200s are re-labeled by the personalize path, which knows.
+fn outcome_for_status(status: u16) -> &'static str {
+    match status {
+        200..=299 => "ok",
+        429 | 503 => "shed",
+        _ => "error",
+    }
+}
+
+/// Dispatches one parsed request. `t0` is when the request's bytes began
+/// arriving; `parse_us` is how long HTTP parsing took (the first span of
+/// a captured trace).
+fn route(state: &ServerState, req: &Request, t0: Instant, parse_us: u64) -> Response {
     state.obs.add("server.requests", 1);
     let segments = req.segments();
+    let endpoint = endpoint_label(segments.as_slice());
     let result = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(healthz(state)),
         ("GET", ["healthz", "live"]) => Ok(liveness()),
         ("GET", ["healthz", "ready"]) => Ok(readiness(state)),
         ("GET", ["metrics"]) => Ok(metrics(state)),
+        ("GET", ["debug", "traces"]) => debug_traces(state, req),
+        ("GET", ["debug", "slow"]) => Ok(debug_slow(state)),
         ("POST", ["profiles", user]) => upsert_profile(state, req, user),
         ("GET", ["profiles", user]) => get_profile(state, user),
-        ("POST", ["personalize"]) => personalize(state, req),
+        ("POST", ["personalize"]) => {
+            return personalize_route(state, req, t0, parse_us);
+        }
         (_, ["healthz" | "metrics"])
         | (_, ["healthz", "live" | "ready"])
+        | (_, ["debug", "traces" | "slow"])
         | (_, ["profiles", _])
         | (_, ["personalize"]) => Err(ApiError::new(
             405,
@@ -718,13 +790,157 @@ fn route(state: &ServerState, req: &Request) -> Response {
             format!("no route for {}", req.path),
         )),
     };
-    match result {
+    let response = match result {
         Ok(resp) => resp,
         Err(e) => {
             state.obs.add("server.request_errors", 1);
             e.response()
         }
+    };
+    state
+        .telemetry
+        .requests
+        .inc(&[endpoint, outcome_for_status(response.status)]);
+    response
+}
+
+/// What the traced personalize path learned about its request — the
+/// labels and trace metadata the wrapper stamps after the handler
+/// returns, whichever exit path it took.
+struct PersonalizeCtx {
+    outcome: &'static str,
+    problem: String,
+    algorithm: &'static str,
+    user: String,
+    deadline_ms: Option<u64>,
+}
+
+impl Default for PersonalizeCtx {
+    fn default() -> Self {
+        PersonalizeCtx {
+            // Until the handler proves otherwise, the request is an error.
+            outcome: "error",
+            problem: "unknown".to_string(),
+            algorithm: "unknown",
+            user: String::new(),
+            deadline_ms: None,
+        }
     }
+}
+
+/// The traced wrapper around [`personalize`]: draws trace identity,
+/// decides capture, runs the handler with the right recorder, accounts
+/// the request in the SLO series and labeled counters, stamps the
+/// response headers, and retains the finished trace.
+fn personalize_route(state: &ServerState, req: &Request, t0: Instant, parse_us: u64) -> Response {
+    let tel = &state.telemetry;
+    let seq = tel.next_seq();
+    let explicit = req.header(TRACE_ID_HEADER).and_then(TraceId::parse);
+    let trace_id = tel.assign_id(seq, explicit);
+    let capture = tel.should_capture(seq, explicit.is_some());
+    let recorder = capture.then(|| RequestRecorder::new(state.obs.as_ref(), t0));
+    if let Some(rec) = &recorder {
+        rec.record_span("parse", 0, parse_us);
+    }
+    let mut ctx = PersonalizeCtx::default();
+    let result = {
+        let rec: &dyn Recorder = match &recorder {
+            Some(r) => r,
+            None => state.obs.as_ref(),
+        };
+        personalize(state, req, rec, &mut ctx)
+    };
+    let mut response = match result {
+        Ok(resp) => resp,
+        Err(e) => {
+            state.obs.add("server.request_errors", 1);
+            e.response()
+        }
+    };
+    let latency_us = t0.elapsed().as_micros() as u64;
+    tel.slo.observe(latency_us);
+    tel.requests.inc(&["personalize", ctx.outcome]);
+    tel.personalize
+        .inc(&[ctx.problem.as_str(), ctx.algorithm, ctx.outcome]);
+    // Every personalize response echoes the trace ID, captured or not, so
+    // clients can always correlate their logs with the server's.
+    response = response.with_header(TRACE_ID_HEADER, trace_id.to_string());
+    if let Some(deadline_ms) = ctx.deadline_ms {
+        let remaining = deadline_ms.saturating_sub(latency_us / 1_000);
+        response = response.with_header(DEADLINE_REMAINING_HEADER, remaining.to_string());
+    }
+    if let Some(rec) = recorder {
+        let meta = vec![
+            ("user", ctx.user),
+            ("problem", ctx.problem),
+            ("algorithm", ctx.algorithm.to_string()),
+            ("outcome", ctx.outcome.to_string()),
+            ("status", response.status.to_string()),
+            ("latency_us", latency_us.to_string()),
+        ];
+        let trace = rec.finish(
+            trace_id,
+            seq,
+            "POST /personalize".to_string(),
+            tel.offset_us(t0),
+            meta,
+        );
+        tel.retain(Arc::new(trace));
+    }
+    response
+}
+
+/// `GET /debug/traces` — recent traces as JSON, one trace by `?id=`, or
+/// the whole ring as a Chrome trace-event document with `?format=chrome`.
+fn debug_traces(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+    let tel = &state.telemetry;
+    if let Some(raw) = req.query_param("id") {
+        let id = TraceId::parse(raw)
+            .ok_or_else(|| ApiError::new(400, "bad_trace_id", "`id` must be 1-16 hex digits"))?;
+        let trace = tel.ring.find(id).ok_or_else(|| {
+            ApiError::new(404, "unknown_trace", format!("no retained trace {id}"))
+        })?;
+        return Ok(Response::json(
+            200,
+            &cqp_obs::reqtrace::trace_to_json(&trace),
+        ));
+    }
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .min(1024);
+    let traces = tel.ring.recent(n);
+    if req.query_param("format") == Some("chrome") {
+        return Ok(Response::json(200, &traces_to_chrome(&traces)));
+    }
+    let (pushed, evicted) = tel.ring.counters();
+    Ok(Response::json(
+        200,
+        &Json::obj(vec![
+            ("count", Json::from(traces.len() as u64)),
+            ("capacity", Json::from(tel.ring.capacity() as u64)),
+            ("captured", Json::from(pushed)),
+            ("evicted", Json::from(evicted)),
+            ("sample_every", Json::from(tel.sample_every())),
+            ("traces", traces_to_json(&traces)),
+        ]),
+    ))
+}
+
+/// `GET /debug/slow` — the worst-N slow-query log, slowest first, with
+/// full span trees.
+fn debug_slow(state: &ServerState) -> Response {
+    let tel = &state.telemetry;
+    let worst = tel.slow.worst();
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("count", Json::from(worst.len() as u64)),
+            ("threshold_us", Json::from(tel.slow.threshold_us())),
+            ("traces", traces_to_json(&worst)),
+        ]),
+    )
 }
 
 /// Overview endpoint: always 200, reports the lifecycle phase (`ready`
@@ -779,63 +995,241 @@ fn readiness(state: &ServerState) -> Response {
     )
 }
 
+/// `GET /metrics` — Prometheus text exposition (format 0.0.4).
+///
+/// Three layers share the document: hand-named serving-tier families
+/// (`cqp_admission_*`, `cqp_wal_*`, `cqp_slo_*`, …), the labeled request
+/// counters from [`Telemetry`], and the whole aggregate [`Obs`] registry
+/// mangled under `cqp_` (`server.latency_us` → `cqp_server_latency_us`,
+/// a full histogram family). The name sets are disjoint by construction:
+/// registry paths all start with a subsystem segment (`server.`,
+/// `batch.`, `solver.`…), while hand-named families never reuse those
+/// prefixes after `cqp_`.
 fn metrics(state: &ServerState) -> Response {
+    let mut w = PromWriter::new();
     let (admitted, rejected, timed_out) = state.gate.counters();
+    w.counter(
+        "cqp_admission_admitted_total",
+        "Requests granted an execution slot.",
+        admitted,
+    );
+    w.counter(
+        "cqp_admission_rejected_total",
+        "Requests shed because slots and queue were full (429).",
+        rejected,
+    );
+    w.counter(
+        "cqp_admission_queue_timeouts_total",
+        "Queued requests whose deadline passed before a slot freed (503).",
+        timed_out,
+    );
+    w.gauge(
+        "cqp_admission_queue_depth",
+        "Requests currently waiting for an execution slot.",
+        state.gate.queue_depth() as f64,
+    );
+    w.gauge(
+        "cqp_admission_inflight",
+        "Requests currently executing the personalization pipeline.",
+        state.gate.inflight() as f64,
+    );
+    w.gauge(
+        "cqp_connections_active",
+        "Connections currently being served.",
+        state.active_connections() as f64,
+    );
+    w.counter(
+        "cqp_drain_rejected_total",
+        "Requests answered 503 + close while draining.",
+        state.drain_rejected(),
+    );
+    w.gauge(
+        "cqp_phase",
+        "Lifecycle phase: 0 live, 1 draining, 2 stopped.",
+        state.phase() as u8 as f64,
+    );
+    w.gauge(
+        "cqp_profiles",
+        "User profiles resident in the session store.",
+        state.store.len() as f64,
+    );
     let (upserts, lookups, misses) = state.store.counters();
+    w.counter("cqp_profile_upserts_total", "Profile writes.", upserts);
+    w.counter("cqp_profile_lookups_total", "Profile reads.", lookups);
+    w.counter(
+        "cqp_profile_misses_total",
+        "Profile reads for unknown users.",
+        misses,
+    );
     let (cache_hits, cache_misses, cache_evictions) = state.driver.submit_cache_counters();
+    w.family(
+        "cqp_cache_events_total",
+        "Submit cost-cache events by kind.",
+        "counter",
+    );
+    w.sample(
+        "cqp_cache_events_total",
+        &[("kind", "hit")],
+        cache_hits as f64,
+    );
+    w.sample(
+        "cqp_cache_events_total",
+        &[("kind", "miss")],
+        cache_misses as f64,
+    );
+    w.sample(
+        "cqp_cache_events_total",
+        &[("kind", "eviction")],
+        cache_evictions as f64,
+    );
+    w.family(
+        "cqp_cache_policy",
+        "Active submit-cache eviction policy (info-style, value is 1).",
+        "gauge",
+    );
+    w.sample(
+        "cqp_cache_policy",
+        &[("policy", state.driver_cache_policy())],
+        1.0,
+    );
+    w.counter(
+        "cqp_submit_panics_total",
+        "Solver panics caught by the dispatch supervisor.",
+        state.driver.submit_panics(),
+    );
+    w.counter(
+        "cqp_submit_retries_total",
+        "Dispatch retries after a caught panic.",
+        state.driver.submit_retries(),
+    );
+    let breaker_state = state.breaker.state();
     let (br_opened, br_half, br_closed, br_shed) = state.breaker.counters();
-    let mut server_members = vec![
-        ("admitted", Json::from(admitted)),
-        ("rejected", Json::from(rejected)),
-        ("queue_timeouts", Json::from(timed_out)),
-        ("profiles", Json::from(state.store.len() as u64)),
-        ("profile_upserts", Json::from(upserts)),
-        ("profile_lookups", Json::from(lookups)),
-        ("profile_misses", Json::from(misses)),
-        ("cache_hits", Json::from(cache_hits)),
-        ("cache_misses", Json::from(cache_misses)),
-        ("cache_evictions", Json::from(cache_evictions)),
-        ("cache_policy", Json::from(state.driver_cache_policy())),
-        ("submit_panics", Json::from(state.driver.submit_panics())),
-        ("submit_retries", Json::from(state.driver.submit_retries())),
-        ("phase", Json::from(state.phase().as_str())),
-        (
-            "active_connections",
-            Json::from(state.active_connections() as u64),
-        ),
-        ("drain_rejected", Json::from(state.drain_rejected())),
-        (
-            "breaker",
-            Json::obj(vec![
-                ("state", Json::from(state.breaker.state().as_str())),
-                ("opened", Json::from(br_opened)),
-                ("half_opened", Json::from(br_half)),
-                ("closed", Json::from(br_closed)),
-                ("shed", Json::from(br_shed)),
-            ]),
-        ),
-    ];
+    w.gauge(
+        "cqp_breaker_state",
+        "Circuit breaker: 0 closed, 1 half-open, 2 open.",
+        match breaker_state {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        },
+    );
+    w.family(
+        "cqp_breaker_transitions_total",
+        "Circuit-breaker transitions by target state.",
+        "counter",
+    );
+    w.sample(
+        "cqp_breaker_transitions_total",
+        &[("to", "open")],
+        br_opened as f64,
+    );
+    w.sample(
+        "cqp_breaker_transitions_total",
+        &[("to", "half_open")],
+        br_half as f64,
+    );
+    w.sample(
+        "cqp_breaker_transitions_total",
+        &[("to", "closed")],
+        br_closed as f64,
+    );
+    w.counter(
+        "cqp_breaker_shed_total",
+        "Requests shed while the breaker was open.",
+        br_shed,
+    );
     if let Some(wal) = state.store.wal() {
         let (appends, append_errors, bytes_appended, compactions) = wal.counters();
-        let mut wal_members = vec![
-            ("appends", Json::from(appends)),
-            ("append_errors", Json::from(append_errors)),
-            ("bytes_appended", Json::from(bytes_appended)),
-            ("compactions", Json::from(compactions)),
-        ];
+        w.counter("cqp_wal_appends_total", "WAL records appended.", appends);
+        w.counter(
+            "cqp_wal_append_errors_total",
+            "WAL append failures.",
+            append_errors,
+        );
+        w.counter(
+            "cqp_wal_bytes_appended_total",
+            "Bytes appended to the WAL.",
+            bytes_appended,
+        );
+        w.counter(
+            "cqp_wal_compactions_total",
+            "WAL snapshot compactions.",
+            compactions,
+        );
+        w.gauge(
+            "cqp_wal_bytes_since_compaction",
+            "Live WAL log size: bytes appended since the last compaction.",
+            wal.bytes_since_compaction() as f64,
+        );
         if let Some(r) = &state.recovery {
-            wal_members.push(("records_recovered", Json::from(r.records_replayed())));
-            wal_members.push(("torn_tail_bytes", Json::from(r.torn_tail_bytes)));
+            w.gauge(
+                "cqp_wal_records_recovered",
+                "Records replayed by startup recovery.",
+                r.records_replayed() as f64,
+            );
+            w.gauge(
+                "cqp_wal_torn_tail_bytes",
+                "Bytes discarded from a torn WAL tail at recovery.",
+                r.torn_tail_bytes as f64,
+            );
         }
-        server_members.push(("wal", Json::obj(wal_members)));
     }
-    let server = Json::obj(server_members);
-    let mut metrics = match snapshot_to_json(&state.obs.snapshot()) {
-        Json::Obj(members) => members,
-        other => vec![("metrics".to_string(), other)],
-    };
-    metrics.push(("server".to_string(), server));
-    Response::json(200, &Json::Obj(metrics))
+    // SLO: windowed rate and burn over per-second buckets.
+    let tel = &state.telemetry;
+    let slo = tel.slo.snapshot();
+    w.gauge(
+        "cqp_slo_objective_us",
+        "Configured latency objective, microseconds.",
+        slo.objective_us as f64,
+    );
+    w.gauge(
+        "cqp_slo_window_seconds",
+        "Sliding window the rate/burn gauges cover.",
+        slo.window_secs as f64,
+    );
+    w.gauge(
+        "cqp_request_rate_per_sec",
+        "Personalize request rate over the SLO window.",
+        slo.rate_per_sec,
+    );
+    w.gauge(
+        "cqp_slo_burn_ratio",
+        "Fraction of windowed requests over the latency objective.",
+        slo.burn_ratio,
+    );
+    w.gauge(
+        "cqp_slo_window_requests",
+        "Personalize requests inside the SLO window.",
+        slo.requests as f64,
+    );
+    w.gauge(
+        "cqp_slo_window_over_objective",
+        "Windowed requests that exceeded the latency objective.",
+        slo.over_objective as f64,
+    );
+    // Tracing retention.
+    let (pushed, evicted) = tel.ring.counters();
+    w.gauge(
+        "cqp_traces_retained",
+        "Traces currently held in the retention ring.",
+        tel.ring.len() as f64,
+    );
+    w.counter("cqp_traces_captured_total", "Traces captured.", pushed);
+    w.counter(
+        "cqp_traces_evicted_total",
+        "Traces evicted from the retention ring.",
+        evicted,
+    );
+    w.gauge(
+        "cqp_slow_log_threshold_us",
+        "Latency a request must exceed to enter the full slow-query log.",
+        tel.slow.threshold_us() as f64,
+    );
+    tel.requests.render(&mut w);
+    tel.personalize.render(&mut w);
+    // Everything the solver/engine recorded through Obs, under `cqp_`.
+    render_registry(state.obs.registry(), "cqp_", &mut w);
+    Response::text_with_type(200, w.finish(), TEXT_CONTENT_TYPE)
 }
 
 impl ServerState {
@@ -1053,25 +1447,49 @@ fn cqp_error_response(e: &CqpError) -> ApiError {
     ApiError::new(status, e.kind(), e.to_string())
 }
 
-fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+/// The personalize handler proper. `rec` is either the per-request
+/// [`RequestRecorder`] (sampled) or the global [`Obs`] directly, so the
+/// span vocabulary here — `session`, `admission`, `dispatch` (inside the
+/// driver), `materialize` — lands in the aggregate tracer either way.
+/// `ctx` carries labels out to [`personalize_route`] on every exit path.
+fn personalize(
+    state: &ServerState,
+    req: &Request,
+    rec: &dyn Recorder,
+    ctx: &mut PersonalizeCtx,
+) -> Result<Response, ApiError> {
     let t0 = Instant::now();
     let params = parse_personalize(state, req)?;
-    let stored = state
-        .store
-        .select(&params.user, params.top_k)
-        .ok_or_else(|| {
-            ApiError::new(
-                404,
-                "unknown_user",
-                format!("no profile for {:?}", params.user),
-            )
-        })?;
+    ctx.user.clone_from(&params.user);
+    ctx.problem = params
+        .problem
+        .kind()
+        .map_or("custom".to_string(), |k| format!("{k:?}").to_lowercase());
+    ctx.algorithm = params.algorithm.wire_name();
+    ctx.deadline_ms = params.deadline_ms;
+    let stored = {
+        let _span = span_guard(rec, "session");
+        state.store.select(&params.user, params.top_k)
+    }
+    .ok_or_else(|| {
+        ApiError::new(
+            404,
+            "unknown_user",
+            format!("no profile for {:?}", params.user),
+        )
+    })?;
 
-    // Admission: hold a permit for the whole solve + execute.
-    let _permit = state
-        .gate
-        .admit(Duration::from_millis(state.config.queue_wait_ms))
-        .map_err(|e| match e {
+    // Admission: hold a permit for the whole solve + execute. The span
+    // measures time spent *waiting* for a slot.
+    let permit = {
+        let _span = span_guard(rec, "admission");
+        state
+            .gate
+            .admit(Duration::from_millis(state.config.queue_wait_ms))
+    };
+    let _permit = permit.map_err(|e| {
+        ctx.outcome = "shed";
+        match e {
             AdmissionError::Overloaded { retry_after_ms } => {
                 state.obs.add("server.rejected", 1);
                 ApiError::new(
@@ -1085,7 +1503,8 @@ fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError>
                 state.obs.add("server.queue_timeouts", 1);
                 ApiError::new(503, "queue_timeout", "no execution slot freed in time")
             }
-        })?;
+        }
+    })?;
 
     let mut config = SolverConfig {
         algorithm: params.algorithm,
@@ -1100,21 +1519,20 @@ fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError>
         problem: params.problem,
         config,
     };
-    let item = state
-        .driver
-        .submit_recorded(batch_req, state.obs.as_ref())
-        .map_err(|e| {
-            state.obs.add("server.solver_errors", 1);
-            let api = cqp_error_response(&e);
-            if api.status == 429 || api.status == 503 {
-                state.obs.add("server.unavailable", 1);
-            }
-            api
-        })?;
+    let item = state.driver.submit_recorded(batch_req, rec).map_err(|e| {
+        state.obs.add("server.solver_errors", 1);
+        let api = cqp_error_response(&e);
+        if api.status == 429 || api.status == 503 {
+            state.obs.add("server.unavailable", 1);
+            ctx.outcome = "shed";
+        }
+        api
+    })?;
 
     // Result materialization (zero simulated I/O latency: the serving
     // layer measures real wall-clock, not the paper's block model).
     let meter = IoMeter::new(0.0);
+    let materialize_span = span_guard(rec, "materialize");
     let rows_json = if params.want_rows {
         let out = execute_personalized(&state.db, &item.query, &meter)
             .map_err(|e| cqp_error_response(&CqpError::from(e)))?;
@@ -1146,6 +1564,7 @@ fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError>
             ))
         }
     };
+    drop(materialize_span);
 
     let degraded = match &item.solution.degraded {
         None => Json::Null,
@@ -1157,6 +1576,9 @@ fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError>
     };
     if item.solution.degraded.is_some() {
         state.obs.add("server.degraded", 1);
+        ctx.outcome = "degraded";
+    } else {
+        ctx.outcome = "ok";
     }
     state.obs.add("server.personalized", 1);
     let latency_us = t0.elapsed().as_micros() as u64;
@@ -1165,15 +1587,7 @@ fn personalize(state: &ServerState, req: &Request) -> Result<Response, ApiError>
     let mut members = vec![
         ("user".to_string(), Json::from(params.user.as_str())),
         ("profile_version".to_string(), Json::from(stored.version)),
-        (
-            "problem".to_string(),
-            Json::from(
-                params
-                    .problem
-                    .kind()
-                    .map_or("custom".to_string(), |k| format!("{k:?}").to_lowercase()),
-            ),
-        ),
+        ("problem".to_string(), Json::from(ctx.problem.as_str())),
         ("algorithm".to_string(), Json::from(params.algorithm.name())),
         ("space_k".to_string(), Json::from(item.space_k as u64)),
         (

@@ -1,0 +1,195 @@
+//! Serving-tier telemetry: trace identity and sampling, retention (ring +
+//! slow-query log), SLO time series, and the labeled request counters the
+//! Prometheus endpoint exports.
+//!
+//! One [`Telemetry`] lives in `ServerState`. Each request draws a
+//! monotonic sequence number; deterministic sampling (`seq %
+//! sample_every == 0`) decides whether the request gets a
+//! [`RequestRecorder`] span tree, with one override: a client that sends
+//! an explicit `x-cqp-trace-id` header is *always* captured while tracing
+//! is enabled — that is what makes "trace this exact request" (and the
+//! end-to-end propagation tests) deterministic. `sample_every == 0`
+//! disables capture entirely, including explicit IDs; the header is still
+//! echoed so clients can correlate logs even when the server keeps
+//! nothing.
+
+use cqp_obs::prometheus::CounterVec;
+use cqp_obs::reqtrace::{RequestTrace, SlowLog, TraceId, TraceRing};
+use cqp_obs::timeseries::SloSeries;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Request/response header carrying the trace ID (16 hex digits).
+pub const TRACE_ID_HEADER: &str = "x-cqp-trace-id";
+/// Response header reporting unconsumed deadline budget, milliseconds.
+pub const DEADLINE_REMAINING_HEADER: &str = "x-cqp-deadline-remaining-ms";
+
+/// splitmix64 — scrambles sequence numbers into well-spread trace IDs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shared telemetry state for one server instance.
+#[derive(Debug)]
+pub struct Telemetry {
+    epoch: Instant,
+    /// Recent captured traces, lock-sharded.
+    pub ring: TraceRing,
+    /// Worst-N requests by end-to-end latency.
+    pub slow: SlowLog,
+    /// Windowed request rate + SLO burn.
+    pub slo: SloSeries,
+    /// `cqp_requests_total{endpoint, outcome}`.
+    pub requests: CounterVec,
+    /// `cqp_personalize_requests_total{problem, algorithm, outcome}`.
+    pub personalize: CounterVec,
+    sample_every: u64,
+    seq: AtomicU64,
+    id_salt: u64,
+}
+
+impl Telemetry {
+    /// Builds telemetry from the server config knobs.
+    pub fn new(
+        sample_every: u64,
+        ring_shards: usize,
+        ring_capacity: usize,
+        slow_capacity: usize,
+        slo_window_secs: u64,
+        slo_objective_ms: u64,
+    ) -> Self {
+        // Salt server-assigned IDs with wall-clock entropy so IDs from
+        // different server lifetimes don't collide in shared dashboards;
+        // within one lifetime assignment stays a pure function of `seq`.
+        let id_salt = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        Telemetry {
+            epoch: Instant::now(),
+            ring: TraceRing::new(ring_shards, ring_capacity),
+            slow: SlowLog::new(slow_capacity),
+            slo: SloSeries::new(slo_window_secs, slo_objective_ms.saturating_mul(1_000)),
+            requests: CounterVec::new(
+                "cqp_requests_total",
+                "Requests by endpoint and outcome (ok/degraded/shed/error).",
+                &["endpoint", "outcome"],
+            ),
+            personalize: CounterVec::new(
+                "cqp_personalize_requests_total",
+                "Personalize requests by problem (p1-p6), algorithm, and outcome.",
+                &["problem", "algorithm", "outcome"],
+            ),
+            sample_every,
+            seq: AtomicU64::new(0),
+            id_salt,
+        }
+    }
+
+    /// The instant all trace timeline offsets are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Microseconds from the telemetry epoch to `t`.
+    pub fn offset_us(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Draws the next request sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The configured sampling period (0 = capture off, 1 = every request).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// The trace ID for a request: the client's, or one derived from the
+    /// sequence number.
+    pub fn assign_id(&self, seq: u64, explicit: Option<TraceId>) -> TraceId {
+        explicit.unwrap_or(TraceId(splitmix64(seq ^ self.id_salt)))
+    }
+
+    /// Whether this request's span tree should be captured.
+    pub fn should_capture(&self, seq: u64, explicit: bool) -> bool {
+        match self.sample_every {
+            0 => false,
+            1 => true,
+            n => explicit || seq % n == 0,
+        }
+    }
+
+    /// Retains a finished trace in the ring and offers it to the slow log.
+    pub fn retain(&self, trace: Arc<RequestTrace>) {
+        self.ring.push(Arc::clone(&trace));
+        self.slow.offer(trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tel(sample_every: u64) -> Telemetry {
+        Telemetry::new(sample_every, 2, 8, 4, 10, 250)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seq() {
+        let t = tel(4);
+        let picks: Vec<bool> = (0..8).map(|s| t.should_capture(s, false)).collect();
+        assert_eq!(
+            picks,
+            vec![true, false, false, false, true, false, false, false]
+        );
+        // Explicit header forces capture on off-period requests.
+        assert!(t.should_capture(3, true));
+    }
+
+    #[test]
+    fn sample_zero_disables_even_explicit() {
+        let t = tel(0);
+        assert!(!t.should_capture(0, false));
+        assert!(!t.should_capture(0, true));
+        let t = tel(1);
+        assert!(t.should_capture(7, false));
+    }
+
+    #[test]
+    fn assigned_ids_prefer_the_client_and_spread_otherwise() {
+        let t = tel(1);
+        let mine = TraceId(0xabc);
+        assert_eq!(t.assign_id(5, Some(mine)), mine);
+        let a = t.assign_id(1, None);
+        let b = t.assign_id(2, None);
+        assert_ne!(a, b);
+        // Pure function of seq within one lifetime.
+        assert_eq!(t.assign_id(1, None), a);
+    }
+
+    #[test]
+    fn retain_feeds_ring_and_slow_log() {
+        let t = tel(1);
+        let trace = Arc::new(RequestTrace {
+            id: TraceId(3),
+            seq: 0,
+            label: "POST /personalize".into(),
+            start_us: 0,
+            total_us: 1234,
+            meta: vec![],
+            spans: vec![],
+            events: vec![],
+        });
+        t.retain(trace);
+        assert_eq!(t.ring.len(), 1);
+        assert_eq!(t.slow.worst().len(), 1);
+        assert!(t.ring.find(TraceId(3)).is_some());
+    }
+}

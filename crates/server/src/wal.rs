@@ -119,6 +119,7 @@ pub struct Wal {
     appends: AtomicU64,
     append_errors: AtomicU64,
     bytes_appended: AtomicU64,
+    bytes_since_compaction: AtomicU64,
     compactions: AtomicU64,
 }
 
@@ -158,6 +159,8 @@ impl Wal {
             .create(true)
             .append(true)
             .open(dir.join(LOG_FILE))?;
+        // Log bytes surviving recovery still await the next compaction.
+        let live_log_bytes = log.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(OpenedWal {
             wal: Wal {
                 dir: dir.to_path_buf(),
@@ -166,6 +169,7 @@ impl Wal {
                 appends: AtomicU64::new(0),
                 append_errors: AtomicU64::new(0),
                 bytes_appended: AtomicU64::new(0),
+                bytes_since_compaction: AtomicU64::new(live_log_bytes),
                 compactions: AtomicU64::new(0),
             },
             records,
@@ -195,6 +199,8 @@ impl Wal {
             Ok(()) => {
                 self.appends.fetch_add(1, Ordering::Relaxed);
                 self.bytes_appended
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                self.bytes_since_compaction
                     .fetch_add(frame.len() as u64, Ordering::Relaxed);
             }
             Err(_) => {
@@ -250,7 +256,15 @@ impl Wal {
         log.set_len(0)?;
         log.seek(SeekFrom::Start(0))?;
         self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.bytes_since_compaction.store(0, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Log bytes written since the last compaction (seeded with whatever
+    /// recovery left in `log.wal`) — the WAL-size gauge `/metrics` exports
+    /// and the signal a compaction policy would trigger on.
+    pub fn bytes_since_compaction(&self) -> u64 {
+        self.bytes_since_compaction.load(Ordering::Relaxed)
     }
 
     /// `(appends, append_errors, bytes_appended, compactions)` counters.
@@ -479,6 +493,31 @@ mod tests {
         let users: Vec<_> = opened.records.iter().map(|r| r.user.as_str()).collect();
         assert_eq!(users, ["al", "bo"]);
         assert_eq!(opened.records[0].version, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bytes_since_compaction_tracks_log_growth_and_resets() {
+        let dir = tmpdir("since-compact");
+        {
+            let opened = Wal::open(&dir).unwrap();
+            let wal = opened.wal;
+            assert_eq!(wal.bytes_since_compaction(), 0);
+            wal.append_put("al", 1, PROFILE).unwrap();
+            wal.append_put("al", 2, PROFILE).unwrap();
+            let grown = wal.bytes_since_compaction();
+            assert!(grown > 0);
+            wal.compact([("al", 2u64, PROFILE)].into_iter()).unwrap();
+            assert_eq!(wal.bytes_since_compaction(), 0);
+            wal.append_put("bo", 1, PROFILE).unwrap();
+            assert!(wal.bytes_since_compaction() > 0);
+            assert!(wal.bytes_since_compaction() < grown);
+        }
+        // Reopen: the surviving log bytes seed the gauge.
+        let opened = Wal::open(&dir).unwrap();
+        let log_len = std::fs::metadata(dir.join(LOG_FILE)).unwrap().len();
+        assert_eq!(opened.wal.bytes_since_compaction(), log_len);
+        assert!(log_len > 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -450,12 +450,57 @@ fn metrics_endpoint_reports_counters_and_top_k_depth_works() {
 
     let resp = request(addr, "GET", "/metrics", &[], None);
     assert_eq!(resp.status, 200);
-    let metrics = json::parse(&resp.body_text()).expect("metrics is valid JSON");
-    let server = metrics.get("server").expect("server section");
-    assert_eq!(server.get("admitted").and_then(Json::as_u64), Some(2));
-    assert_eq!(server.get("submit_panics").and_then(Json::as_u64), Some(0));
-    assert!(server.get("profile_upserts").and_then(Json::as_u64) >= Some(1));
-    // The solver's own counters flow through the same report.
-    assert!(metrics.get("counters").is_some());
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8"),
+        "Prometheus exposition content type"
+    );
+    let text = resp.body_text();
+    // Exact serving-tier counters.
+    assert_eq!(prom_value(&text, "cqp_admission_admitted_total"), Some(2.0));
+    assert_eq!(prom_value(&text, "cqp_submit_panics_total"), Some(0.0));
+    assert!(prom_value(&text, "cqp_profile_upserts_total") >= Some(1.0));
+    assert_eq!(prom_value(&text, "cqp_admission_queue_depth"), Some(0.0));
+    assert!(prom_value(&text, "cqp_connections_active").is_some());
+    // Labeled request accounting: both personalize calls were clean 200s.
+    assert_eq!(
+        prom_value(
+            &text,
+            "cqp_requests_total{endpoint=\"personalize\",outcome=\"ok\"}"
+        ),
+        Some(2.0)
+    );
+    assert!(text.contains("algorithm=\"c_maxbounds\""));
+    // SLO gauges exist and the window saw both requests.
+    assert_eq!(prom_value(&text, "cqp_slo_window_requests"), Some(2.0));
+    assert!(prom_value(&text, "cqp_slo_burn_ratio").is_some());
+    // The solver's own registry flows through the same document, with the
+    // latency histogram as a full le-bucket family.
+    assert!(text.contains("# TYPE cqp_server_latency_us histogram"));
+    assert_eq!(prom_value(&text, "cqp_server_latency_us_count"), Some(2.0));
+    // Every sample line is well-formed `name[{labels}] value`.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "bad sample: {line}"
+        );
+    }
     handle.stop();
+}
+
+/// The value of the first sample line starting with `prefix` (a bare
+/// metric name or a full `name{labels}` form).
+fn prom_value(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| {
+            l.strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
 }

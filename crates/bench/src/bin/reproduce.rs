@@ -26,6 +26,8 @@
 //!             Chrome trace dump (BENCH_obs.json, trace_chrome.json)
 //!   recovery  WAL crash differential + drain quantiles + breaker trips
 //!             (BENCH_recovery.json)
+//!   cache     cache-off vs cache-on closed-loop load over a Zipf-skewed
+//!             user mix with live profile mutations (BENCH_cache.json)
 //!
 //! --threads N fans the fig12 grid cells and the batch driver across N
 //! work-stealing workers (default 1 = sequential).
@@ -180,6 +182,10 @@ fn main() {
     }
     if run_all || experiment == "recovery" {
         recovery(&w, &out);
+        ran = true;
+    }
+    if run_all || experiment == "cache" {
+        cache_experiment(&w, threads, &out);
         ran = true;
     }
     if !ran {
@@ -924,6 +930,9 @@ fn serve(w: &Workload, threads: usize, out: &Path) {
         zero_deadline_permille: 150,
         top_k_choices: vec![-1, 2, 4],
         trace_every: 0,
+        zipf_theta: 0.0,
+        mutate_permille: 0,
+        mutation_texts: Vec::new(),
     };
     println!(
         "--- serve: {} closed-loop client(s) x {} requests against {} ---",
@@ -1009,6 +1018,171 @@ fn serve(w: &Workload, threads: usize, out: &Path) {
     );
 }
 
+/// One leg of the cache experiment: boots `cqp-server` with the answer
+/// cache on or off, seeds the workload profiles, drives the given load,
+/// and returns the load report plus the server-side cache counters.
+fn cache_leg(
+    w: &Workload,
+    load: &cqp_server::LoadConfig,
+    answer_cache: bool,
+) -> (cqp_server::LoadReport, Json) {
+    let server_config = cqp_server::ServerConfig {
+        max_inflight: load.clients,
+        queue_cap: 0,
+        seed_users: 0,
+        answer_cache,
+        ..cqp_server::ServerConfig::default()
+    };
+    let mut handle =
+        cqp_server::start(Arc::new(w.db.clone()), server_config).expect("server start");
+    for (i, p) in w.profiles.iter().enumerate() {
+        handle
+            .state()
+            .store
+            .put(&format!("user{:04}", i + 1), p.clone());
+    }
+    let report = cqp_server::run_load(handle.addr(), load).expect("load run");
+    let state = handle.state();
+    let counters = match state.driver.answer_cache() {
+        Some(cache) => {
+            let c = cache.counters();
+            Json::obj(vec![
+                ("hits_exact", Json::from(c.hits_exact)),
+                ("hits_warm", Json::from(c.hits_warm)),
+                ("hits_repair", Json::from(c.hits_repair)),
+                ("misses", Json::from(c.misses)),
+                ("invalidations", Json::from(c.invalidations)),
+                ("entries", Json::from(cache.entries() as u64)),
+                ("families", Json::from(cache.families() as u64)),
+            ])
+        }
+        None => Json::Null,
+    };
+    handle.stop();
+    assert_eq!(report.io_errors, 0, "cache load hit socket errors");
+    assert_eq!(report.server_errors, 0, "cache load hit 5xx responses");
+    assert!(report.ok > 0, "cache load produced no 200s");
+    assert_eq!(
+        report.stale_answers, 0,
+        "a stale personalization was served"
+    );
+    (report, counters)
+}
+
+/// Answer-cache experiment: the same Zipf-skewed, mutation-carrying
+/// closed-loop load, once against a cache-off server and once against a
+/// cache-on server. The skew makes templates repeat (exact tier), the two
+/// `p2` budgets exercise the warm tier within a family, and the live
+/// profile mutations exercise invalidation + delta-repair; the staleness
+/// audit inside the load generator must stay at zero in both legs.
+/// Written as `BENCH_cache.json` in `out` and at the repo root.
+fn cache_experiment(w: &Workload, threads: usize, out: &Path) {
+    let clients = threads.max(2);
+    let users: Vec<String> = (1..=w.profiles.len())
+        .map(|i| format!("user{i:04}"))
+        .collect();
+    let queries: Vec<String> = w
+        .queries
+        .iter()
+        .map(|q| cqp_engine::sql::conjunctive_sql(w.db.catalog(), q))
+        .collect();
+    let cmax = w.scale.cmax_blocks;
+    let load = cqp_server::LoadConfig {
+        clients,
+        requests_per_client: 80,
+        seed: 42,
+        users,
+        queries,
+        // Branch-and-bound is the one algorithm the warm tier can *seed*
+        // (the cached objective is a valid pruning bound under the
+        // Formula 4/7/8 monotonicity); exact and repair tiers are
+        // algorithm-agnostic.
+        algorithms: vec!["branch_bound".to_string()],
+        // Two budgets of the same problem kind: same family, different
+        // variant key, so a hot template hits the warm tier when only the
+        // budget moved.
+        problems: vec![
+            format!("{{\"kind\":\"p2\",\"cmax\":{cmax}}}"),
+            format!("{{\"kind\":\"p2\",\"cmax\":{}}}", cmax / 2),
+        ],
+        // Degraded answers are never cached, so a zero-deadline mix would
+        // only add noise to the off/on comparison.
+        zero_deadline_permille: 0,
+        top_k_choices: vec![-1],
+        trace_every: 0,
+        zipf_theta: 1.2,
+        mutate_permille: 25,
+        mutation_texts: vec![
+            "# cqp-profile v1\nprofile m\nselect 0.7 GENRE.genre eq \"comedy\"\n".to_string(),
+        ],
+    };
+    println!(
+        "--- cache: {} client(s) x {} requests, zipf {:.1}, {}‰ mutations ---",
+        load.clients, load.requests_per_client, load.zipf_theta, load.mutate_permille
+    );
+    let (off, _) = cache_leg(w, &load, false);
+    let (on, counters) = cache_leg(w, &load, true);
+    let hit_rate = on.cache_hit_rate();
+    let p50_ratio = if off.p50_us == 0 {
+        1.0
+    } else {
+        on.p50_us as f64 / off.p50_us as f64
+    };
+    println!(
+        "cache off: p50 {:>6} us  p95 {:>6} us  ok {}  mutations {}",
+        off.p50_us, off.p95_us, off.ok, off.mutations
+    );
+    println!(
+        "cache on : p50 {:>6} us  p95 {:>6} us  ok {}  mutations {}  \
+         exact {}  warm {}  repair {}  miss {}  hit rate {:.2}  p50 ratio {:.2}",
+        on.p50_us,
+        on.p95_us,
+        on.ok,
+        on.mutations,
+        on.cache_exact,
+        on.cache_warm,
+        on.cache_repair,
+        on.cache_miss,
+        hit_rate,
+        p50_ratio,
+    );
+    assert_eq!(
+        off.cache_exact + off.cache_warm + off.cache_repair,
+        0,
+        "cache-off leg reported cache hits"
+    );
+    assert!(on.cache_exact > 0, "cache-on leg saw no exact hits");
+    assert!(
+        hit_rate >= 0.5,
+        "exact+warm hit rate {hit_rate:.2} below the 0.5 acceptance floor"
+    );
+    assert!(
+        p50_ratio <= 0.5,
+        "cache-on p50 must be at most half of cache-off p50 (ratio {p50_ratio:.2})"
+    );
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("cache".into())),
+        ("scale", Json::Str(w.scale.name.to_string())),
+        ("clients", Json::from(load.clients as u64)),
+        ("seed", Json::from(load.seed)),
+        ("zipf_theta", Json::from(load.zipf_theta)),
+        ("mutate_permille", Json::from(load.mutate_permille as u64)),
+        ("cache_off", off.to_json()),
+        ("cache_on", on.to_json()),
+        ("server_cache", counters),
+        ("hit_rate", Json::from(hit_rate)),
+        ("p50_ratio", Json::from(p50_ratio)),
+    ]);
+    let rendered = doc.render();
+    std::fs::create_dir_all(out).expect("results dir");
+    std::fs::write(out.join("BENCH_cache.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_cache.json", &rendered).expect("bench write");
+    println!(
+        "BENCH_cache.json written ({} and repo root)\n",
+        out.display()
+    );
+}
+
 /// Observability experiment: what does tracing cost, and what does a
 /// captured trace actually show?
 ///
@@ -1072,6 +1246,9 @@ fn obs_experiment(w: &Workload, threads: usize, out: &Path) {
             zero_deadline_permille: 150,
             top_k_choices: vec![-1, 2, 4],
             trace_every,
+            zipf_theta: 0.0,
+            mutate_permille: 0,
+            mutation_texts: Vec::new(),
         };
 
     // Best-of-N with the modes *interleaved*: closed-loop throughput in a

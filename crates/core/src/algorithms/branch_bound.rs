@@ -41,6 +41,32 @@ pub fn solve_bounded(
     problem: &ProblemSpec,
     token: &CancelToken,
 ) -> Solution {
+    solve_bounded_warm(space, conj, problem, token, None)
+}
+
+/// [`solve_bounded`] seeded with a *pruning bound* from a previously solved
+/// instance over the same preference space (the cross-request warm start).
+///
+/// `warm` must be the parameters of a state that is **feasible under
+/// `problem`** — typically a cached answer for the same template/profile
+/// whose constraint budget moved. The seed is used exactly like a
+/// cross-worker incumbent bound, never as the incumbent itself: subtrees
+/// that cannot reach it are cut *strictly* (`doi_bound < warm.doi` for
+/// MaxDoi, `cost > warm.cost_blocks` for MinCost — sound by the monotone
+/// Formulas 4 and 7), so every state that could still win — including tie
+/// candidates of the eventual optimum — is visited in the same
+/// include-first preorder as a cold search. The returned solution is
+/// therefore bit-identical to [`solve_bounded`]'s; only the states visited
+/// shrink. Seeding the incumbent instead would break that: a seed tying the
+/// optimum on both doi and cost but with different members would be
+/// returned over the cold search's preorder-first winner.
+pub fn solve_bounded_warm(
+    space: &PreferenceSpace,
+    conj: ConjModel,
+    problem: &ProblemSpec,
+    token: &CancelToken,
+    warm: Option<crate::params::QueryParams>,
+) -> Solution {
     let eval = ParamEval::new(space, conj);
     let k = space.k();
     let mut inst = Instrument::new();
@@ -59,6 +85,7 @@ pub fn solve_bounded(
         inst: &mut inst,
         chosen: Vec::new(),
         shared: None,
+        warm,
         token,
     };
     search.recurse(0, 0, Vec::new(), space.base_rows);
@@ -142,6 +169,7 @@ pub fn solve_partitioned_bounded(
             inst: &mut inst,
             chosen,
             shared: Some(&shared),
+            warm: None,
             token,
         };
         search.recurse(d, cost, dois, size);
@@ -212,6 +240,9 @@ struct Search<'a, 'b> {
     chosen: Vec<usize>,
     /// Cross-worker bound in partitioned mode; `None` when sequential.
     shared: Option<&'a SharedBest>,
+    /// Warm-start bound from a cached feasible solution; pruned against
+    /// strictly, exactly like `shared`, so it never changes the answer.
+    warm: Option<crate::params::QueryParams>,
     /// Cooperative cancellation, polled once per DFS node.
     token: &'a CancelToken,
 }
@@ -295,6 +326,23 @@ impl Search<'_, '_> {
                 }
                 Objective::MinCost => {
                     if cost > sh.best_cost() {
+                        return;
+                    }
+                }
+            }
+        }
+        // Warm-start bound: a cached solution known feasible under this
+        // problem bounds the optimum from the first node, before any local
+        // incumbent exists. Strict cuts only, for the same reason as above.
+        if let Some(w) = &self.warm {
+            match self.problem.objective {
+                Objective::MaxDoi => {
+                    if doi_bound < w.doi {
+                        return;
+                    }
+                }
+                Objective::MinCost => {
+                    if cost > w.cost_blocks {
                         return;
                     }
                 }
@@ -474,6 +522,89 @@ mod tests {
         assert_eq!(par.prefs, seq.prefs);
         assert_eq!(par.doi, seq.doi);
         assert!(par.cost_blocks <= 120);
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_and_prunes() {
+        use crate::budget::CancelToken;
+        let space = fig6();
+        // Solve at one budget, then warm-start the neighboring budgets with
+        // that answer wherever it stays feasible.
+        let base = solve(&space, ConjModel::NoisyOr, &ProblemSpec::p2(180));
+        assert!(base.found);
+        let seed = crate::params::QueryParams {
+            doi: base.doi,
+            cost_blocks: base.cost_blocks,
+            size_rows: base.size_rows,
+        };
+        for cmax in (180..=340).step_by(10) {
+            let problem = ProblemSpec::p2(cmax);
+            let cold = solve(&space, ConjModel::NoisyOr, &problem);
+            let warm = solve_bounded_warm(
+                &space,
+                ConjModel::NoisyOr,
+                &problem,
+                &CancelToken::unlimited(),
+                Some(seed),
+            );
+            assert_eq!(warm.prefs, cold.prefs, "cmax={cmax}");
+            assert_eq!(warm.doi, cold.doi, "cmax={cmax}");
+            assert_eq!(warm.cost_blocks, cold.cost_blocks, "cmax={cmax}");
+            assert_eq!(warm.size_rows, cold.size_rows, "cmax={cmax}");
+            assert!(
+                warm.instrument.states_examined <= cold.instrument.states_examined,
+                "warm start must never expand more states (cmax={cmax})"
+            );
+        }
+        // At the seed's own budget the warm bound is at worst a no-op: the
+        // cold incumbent converges so fast here that the seed cannot do
+        // strictly better, but it must never do worse.
+        let cold = solve(&space, ConjModel::NoisyOr, &ProblemSpec::p2(180));
+        let warm = solve_bounded_warm(
+            &space,
+            ConjModel::NoisyOr,
+            &ProblemSpec::p2(180),
+            &CancelToken::unlimited(),
+            Some(seed),
+        );
+        assert!(warm.instrument.states_examined <= cold.instrument.states_examined);
+    }
+
+    #[test]
+    fn warm_start_min_cost_objective_stays_exact() {
+        use crate::budget::CancelToken;
+        // The highest-doi preference is wildly expensive and excluded from
+        // the optimum: a cold search burns states inside its subtree before
+        // any incumbent exists, which is exactly where a warm bound helps.
+        let space = space_with(
+            &[500, 5, 5, 5, 5],
+            &[0.95, 0.6, 0.6, 0.6, 0.6],
+            &[0.9, 0.5, 0.7, 0.3, 0.8],
+        );
+        let problem = ProblemSpec::p4(Doi::new(0.97));
+        let cold = solve(&space, ConjModel::NoisyOr, &problem);
+        assert!(cold.found);
+        let seed = crate::params::QueryParams {
+            doi: cold.doi,
+            cost_blocks: cold.cost_blocks,
+            size_rows: cold.size_rows,
+        };
+        // Seeding with the optimum itself must still return the optimum.
+        let warm = solve_bounded_warm(
+            &space,
+            ConjModel::NoisyOr,
+            &problem,
+            &CancelToken::unlimited(),
+            Some(seed),
+        );
+        assert_eq!(warm.prefs, cold.prefs);
+        assert_eq!(warm.doi, cold.doi);
+        assert_eq!(warm.cost_blocks, cold.cost_blocks);
+        // Under MinCost the cold search has no incumbent until it first
+        // reaches a doi-feasible state, while the warm bound prunes
+        // over-budget subtrees from the very first expansion — so here the
+        // seed strictly shrinks the search.
+        assert!(warm.instrument.states_examined < cold.instrument.states_examined);
     }
 
     #[test]

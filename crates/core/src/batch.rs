@@ -23,6 +23,7 @@
 //! bit-identical to `threads = 1` (verified in `tests/parallel.rs`).
 
 use crate::algorithms::{exhaustive, solve_p2_budgeted, Algorithm, Solution};
+use crate::answer_cache::{AnswerCache, CachedAnswer, FamilyKey, Lookup, VariantKey};
 use crate::budget::CancelToken;
 use crate::construct::construct;
 use crate::cost_cache::{EvictionPolicy, SharedCostCache};
@@ -175,6 +176,53 @@ pub struct BatchDriver {
     submit_panics: AtomicU64,
     /// Transient-failure retries performed on the `submit` path.
     submit_retries: AtomicU64,
+    /// Cross-request answer cache for `submit_cached`; `None` solves every
+    /// request cold.
+    answer_cache: Option<Arc<AnswerCache>>,
+}
+
+/// Cache identity of one `submit_cached` request: which template/profile
+/// family it belongs to and at which profile version it must be answered.
+/// The caller (the serving tier) owns canonicalization and versioning;
+/// the driver trusts `profile_version` to change whenever `profile` does.
+#[derive(Debug, Clone)]
+pub struct CacheRequest {
+    /// Hash of the canonicalized query template.
+    pub template_hash: u64,
+    /// Identity of the profile (the user id at the serving tier).
+    pub profile_key: String,
+    /// Version the profile was read at; answers cached under any other
+    /// version are never served as exact/warm hits.
+    pub profile_version: u64,
+}
+
+/// Which reuse tier served a `submit_cached` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Identical key: the stored answer was returned with zero search.
+    Exact,
+    /// Cached preference space reused; branch-and-bound seeded with a
+    /// feasible cached bound where one existed.
+    Warm,
+    /// Profile version moved: the space was delta-repaired, then searched.
+    Repair,
+    /// Nothing cached; full pipeline (and the result was recorded).
+    Miss,
+    /// The answer cache is disabled (or execution is on); full pipeline.
+    Off,
+}
+
+impl CacheTier {
+    /// Wire/metrics label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheTier::Exact => "exact",
+            CacheTier::Warm => "warm",
+            CacheTier::Repair => "repair",
+            CacheTier::Miss => "miss",
+            CacheTier::Off => "off",
+        }
+    }
 }
 
 /// Default total capacity of the persistent `submit` cost cache.
@@ -207,7 +255,19 @@ impl BatchDriver {
             ),
             submit_panics: AtomicU64::new(0),
             submit_retries: AtomicU64::new(0),
+            answer_cache: None,
         }
+    }
+
+    /// Installs a cross-request answer cache on the `submit_cached` path.
+    pub fn with_answer_cache(mut self, cache: Arc<AnswerCache>) -> Self {
+        self.answer_cache = Some(cache);
+        self
+    }
+
+    /// The installed answer cache, when one exists.
+    pub fn answer_cache(&self) -> Option<&Arc<AnswerCache>> {
+        self.answer_cache.as_ref()
     }
 
     /// Replaces the persistent `submit`-path cost cache with one of
@@ -440,6 +500,168 @@ impl BatchDriver {
         })
     }
 
+    /// [`BatchDriver::submit_recorded`] through the cross-request answer
+    /// cache, returning which reuse tier served the request.
+    ///
+    /// * **exact** — the stored answer is returned before the breaker gate
+    ///   (it touches neither the search machinery nor the database, which
+    ///   is what the breaker protects) with zero pipeline work;
+    /// * **warm** — the cached preference space skips extraction, and a
+    ///   cached solution still feasible under the new constraints bounds
+    ///   the branch-and-bound search (strictly — the answer cannot change);
+    /// * **repair** — the profile version moved: the space is delta-repaired
+    ///   (cost/size estimates reused, rank vectors merged) and searched
+    ///   fresh;
+    /// * **miss** — full cold pipeline; the result seeds the cache.
+    ///
+    /// Falls back to the plain path (tier `off`) when no cache is installed
+    /// or when execution is enabled — cached answers stop at construction,
+    /// so a driver that must execute queries cannot serve them.
+    pub fn submit_cached_recorded(
+        &self,
+        req: BatchRequest,
+        cache_req: &CacheRequest,
+        recorder: &dyn Recorder,
+    ) -> Result<(BatchItemResult, CacheTier), SolverError> {
+        let cache = match &self.answer_cache {
+            Some(cache) if self.execution_ms_per_block.is_none() => Arc::clone(cache),
+            _ => {
+                return self
+                    .submit_recorded(req, recorder)
+                    .map(|item| (item, CacheTier::Off));
+            }
+        };
+        let _dispatch = span_guard(recorder, "dispatch");
+        let key = FamilyKey::new(cache_req.template_hash, &cache_req.profile_key, &req.config);
+        let variant = VariantKey::of(&req.problem);
+        let t = Instant::now();
+        let lookup = cache.lookup(&key, cache_req.profile_version, &variant, &req.problem);
+        if recorder.is_enabled() {
+            recorder.event(&format!("answer cache: {}", lookup.tier()));
+        }
+        if let Lookup::Exact(hit) = lookup {
+            let latency_us = t.elapsed().as_micros() as u64;
+            recorder.observe("batch.latency_us", latency_us);
+            return Ok((
+                BatchItemResult {
+                    solution: hit.solution,
+                    query: hit.query,
+                    sql: hit.sql,
+                    space_k: hit.space_k,
+                    pref_dois: hit.pref_dois,
+                    latency_us,
+                    exec_rows: None,
+                    exec_retries: 0,
+                },
+                CacheTier::Exact,
+            ));
+        }
+        let tier = match &lookup {
+            Lookup::Warm { .. } => CacheTier::Warm,
+            Lookup::Repair { .. } => CacheTier::Repair,
+            _ => CacheTier::Miss,
+        };
+        if let Some(breaker) = &self.breaker {
+            if let Err(retry_after_ms) = breaker.try_acquire() {
+                recorder.add("batch.breaker_shed", 1);
+                if recorder.is_enabled() {
+                    recorder.event(&format!(
+                        "breaker open: shed before dispatch (retry after {retry_after_ms} ms)"
+                    ));
+                }
+                return Err(CqpError::CircuitOpen { retry_after_ms });
+            }
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = span_guard(recorder, "personalize");
+            let system = CqpSystem::from_parts(&self.db, (*self.stats).clone());
+            let (space, seed) = match lookup {
+                Lookup::Warm { space, seed } => (space, seed),
+                Lookup::Repair { space, .. } => {
+                    let _s = span_guard(recorder, "prefspace");
+                    let delta = system.preference_space_delta(
+                        &req.query,
+                        &req.profile,
+                        &req.config,
+                        &space,
+                    );
+                    if recorder.is_enabled() {
+                        recorder.event(&format!(
+                            "delta repair: {} params reused, {} estimated, +{} -{} prefs",
+                            delta.params_reused,
+                            delta.params_estimated,
+                            delta.prefs_added,
+                            delta.prefs_removed
+                        ));
+                    }
+                    (delta.space, None)
+                }
+                _ => {
+                    let _s = span_guard(recorder, "prefspace");
+                    (
+                        system.preference_space(&req.query, &req.profile, &req.config),
+                        None,
+                    )
+                }
+            };
+            let item = finish_on_space(
+                &self.db,
+                &self.submit_cache,
+                &req,
+                recorder,
+                self,
+                &self.submit_retries,
+                &system,
+                &space,
+                seed,
+            )?;
+            // Seed the cache (degraded solutions are rejected inside).
+            cache.insert(
+                &key,
+                cache_req.profile_version,
+                variant,
+                &space,
+                CachedAnswer {
+                    solution: item.solution.clone(),
+                    query: item.query.clone(),
+                    sql: item.sql.clone(),
+                    pref_dois: item.pref_dois.clone(),
+                    space_k: item.space_k,
+                },
+            );
+            Ok(item)
+        }))
+        .unwrap_or_else(|payload| {
+            self.submit_panics.fetch_add(1, Ordering::Relaxed);
+            recorder.add("batch.panics_caught", 1);
+            Err(CqpError::Internal(panic_message(payload.as_ref())))
+        });
+        let latency_us = t.elapsed().as_micros() as u64;
+        recorder.observe("batch.latency_us", latency_us);
+        if r.is_err() {
+            recorder.add("batch.errors", 1);
+        }
+        if let Some(breaker) = &self.breaker {
+            let failed_transiently = matches!(&r, Err(e) if e.is_transient());
+            breaker.record(!failed_transiently, recorder);
+        }
+        r.map(|mut item| {
+            item.latency_us = latency_us;
+            if let Some(d) = &item.solution.degraded {
+                recorder.add("batch.degraded", 1);
+                if recorder.is_enabled() {
+                    recorder.event(&format!(
+                        "degraded: {} after {} states in {:?}",
+                        d.reason.name(),
+                        d.states_visited,
+                        d.elapsed
+                    ));
+                }
+            }
+            (item, tier)
+        })
+    }
+
     /// Panics caught on the `submit` path over the driver's lifetime.
     pub fn submit_panics(&self) -> u64 {
         self.submit_panics.load(Ordering::Relaxed)
@@ -492,6 +714,36 @@ fn serve_one(
         let _s = span_guard(recorder, "prefspace");
         system.preference_space(&req.query, &req.profile, &req.config)
     };
+    finish_on_space(
+        db,
+        cache,
+        req,
+        recorder,
+        driver,
+        batch_retries,
+        &system,
+        &space,
+        None,
+    )
+}
+
+/// The pipeline tail shared by cold serving and the cache tiers: search
+/// over an already-built preference space (optionally warm-started) →
+/// construction → SQL → optional metered execution. `warm` is a strict
+/// pruning bound — it can only shrink the branch-and-bound search, never
+/// change its answer.
+#[allow(clippy::too_many_arguments)]
+fn finish_on_space(
+    db: &Database,
+    cache: &SharedCostCache,
+    req: &BatchRequest,
+    recorder: &dyn Recorder,
+    driver: &BatchDriver,
+    batch_retries: &AtomicU64,
+    system: &CqpSystem<'_>,
+    space: &cqp_prefspace::PreferenceSpace,
+    warm: Option<crate::params::QueryParams>,
+) -> Result<BatchItemResult, SolverError> {
     if req.config.algorithm == Algorithm::Exhaustive && space.k() > exhaustive::MAX_EXHAUSTIVE_K {
         return Err(CqpError::SpaceTooLarge {
             k: space.k(),
@@ -512,7 +764,7 @@ fn serve_one(
             Some(cmax) => {
                 let token = CancelToken::for_budget(&req.config.budget);
                 solve_p2_budgeted(
-                    &space,
+                    space,
                     req.config.conj,
                     cmax,
                     req.config.algorithm,
@@ -521,12 +773,12 @@ fn serve_one(
                     &token,
                 )
             }
-            None => system.search_recorded(&space, &req.problem, &req.config, recorder),
+            None => system.search_warm_recorded(space, &req.problem, &req.config, warm, recorder),
         }
     };
     let pq = {
         let _s = span_guard(recorder, "construct");
-        construct(&req.query, &space, &solution.prefs)?
+        construct(&req.query, space, &solution.prefs)?
     };
     let sql = cqp_engine::sql::personalized_sql(db.catalog(), &pq);
 
@@ -569,11 +821,12 @@ fn serve_one(
         .iter()
         .map(|&i| space.doi(i).value())
         .collect();
+    let space_k = space.k();
     Ok(BatchItemResult {
         solution,
         query: pq,
         sql,
-        space_k: space.k(),
+        space_k,
         pref_dois,
         latency_us: 0,
         exec_rows,
@@ -770,6 +1023,133 @@ mod tests {
         assert_eq!(breaker.state(), BreakerState::Open);
         assert_eq!(shed, 4);
         assert_eq!(breaker.counters().0, 1);
+    }
+
+    #[test]
+    fn submit_cached_walks_exact_warm_repair_tiers_bit_identically() {
+        use crate::answer_cache::AnswerCache;
+        let db = Arc::new(movie_db());
+        let cold_driver = BatchDriver::new(Arc::clone(&db), 1);
+        let driver =
+            BatchDriver::new(Arc::clone(&db), 1).with_answer_cache(Arc::new(AnswerCache::new()));
+        let base = QueryBuilder::from(db.catalog(), "MOVIE")
+            .unwrap()
+            .select("MOVIE", "title")
+            .unwrap()
+            .build();
+        let profile = Profile::paper_figure1(db.catalog()).unwrap();
+        let req = |cmax: u64| BatchRequest {
+            query: base.clone(),
+            profile: profile.clone(),
+            problem: ProblemSpec::p2(cmax),
+            config: SolverConfig {
+                algorithm: Algorithm::BranchBound,
+                ..Default::default()
+            },
+        };
+        let cache_req = |version: u64| CacheRequest {
+            template_hash: 7,
+            profile_key: "u1".into(),
+            profile_version: version,
+        };
+        let assert_same = |a: &BatchItemResult, b: &BatchItemResult| {
+            assert_eq!(a.solution.prefs, b.solution.prefs);
+            assert_eq!(a.solution.doi, b.solution.doi);
+            assert_eq!(a.solution.cost_blocks, b.solution.cost_blocks);
+            assert_eq!(a.solution.size_rows, b.solution.size_rows);
+            assert_eq!(a.sql, b.sql);
+            assert_eq!(a.pref_dois, b.pref_dois);
+        };
+
+        // Cold → miss; identical key → exact, bit-identical to a cold solve.
+        let (miss, t1) = driver
+            .submit_cached_recorded(req(100), &cache_req(1), &NoopRecorder)
+            .unwrap();
+        assert_eq!(t1, CacheTier::Miss);
+        let (exact, t2) = driver
+            .submit_cached_recorded(req(100), &cache_req(1), &NoopRecorder)
+            .unwrap();
+        assert_eq!(t2, CacheTier::Exact);
+        assert_same(&exact, &miss);
+        let cold = cold_driver.submit(req(100)).unwrap();
+        assert_same(&exact, &cold);
+
+        // Moved budget, same version → warm; identical to a cold solve.
+        let (warm, t3) = driver
+            .submit_cached_recorded(req(15), &cache_req(1), &NoopRecorder)
+            .unwrap();
+        assert_eq!(t3, CacheTier::Warm);
+        assert_same(&warm, &cold_driver.submit(req(15)).unwrap());
+
+        // Version bump → repair; still identical to a cold solve.
+        let (repair, t4) = driver
+            .submit_cached_recorded(req(100), &cache_req(2), &NoopRecorder)
+            .unwrap();
+        assert_eq!(t4, CacheTier::Repair);
+        assert_same(&repair, &cold);
+
+        // And the repaired family now serves exact hits at the new version.
+        let (_, t5) = driver
+            .submit_cached_recorded(req(100), &cache_req(2), &NoopRecorder)
+            .unwrap();
+        assert_eq!(t5, CacheTier::Exact);
+
+        let c = driver.answer_cache().unwrap().counters();
+        assert_eq!(c.hits_exact, 2);
+        assert_eq!(c.hits_warm, 1);
+        assert_eq!(c.hits_repair, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn submit_cached_without_cache_reports_off_tier() {
+        let db = Arc::new(movie_db());
+        let driver = BatchDriver::new(Arc::clone(&db), 1);
+        let mut reqs = paper_requests(&db, 1);
+        let (item, tier) = driver
+            .submit_cached_recorded(
+                reqs.remove(0),
+                &CacheRequest {
+                    template_hash: 1,
+                    profile_key: "u".into(),
+                    profile_version: 1,
+                },
+                &NoopRecorder,
+            )
+            .unwrap();
+        assert_eq!(tier, CacheTier::Off);
+        assert!(item.space_k >= 1);
+    }
+
+    #[test]
+    fn submit_cached_never_caches_degraded_answers() {
+        use crate::answer_cache::AnswerCache;
+        use crate::budget::Budget;
+        let db = Arc::new(movie_db());
+        let driver =
+            BatchDriver::new(Arc::clone(&db), 1).with_answer_cache(Arc::new(AnswerCache::new()));
+        let mut reqs = paper_requests(&db, 1);
+        let mut req = reqs.remove(0);
+        req.config.algorithm = Algorithm::BranchBound;
+        req.config.budget = Budget::with_deadline_ms(0);
+        let cache_req = CacheRequest {
+            template_hash: 3,
+            profile_key: "u".into(),
+            profile_version: 1,
+        };
+        let (item, tier) = driver
+            .submit_cached_recorded(req.clone(), &cache_req, &NoopRecorder)
+            .unwrap();
+        assert_eq!(tier, CacheTier::Miss);
+        assert!(item.solution.degraded.is_some());
+        assert_eq!(driver.answer_cache().unwrap().entries(), 0);
+        // The degraded answer must not be served to the next request.
+        req.config.budget = Budget::default();
+        let (full, tier) = driver
+            .submit_cached_recorded(req, &cache_req, &NoopRecorder)
+            .unwrap();
+        assert_eq!(tier, CacheTier::Miss);
+        assert!(full.solution.degraded.is_none());
     }
 
     #[test]

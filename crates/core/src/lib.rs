@@ -45,6 +45,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod answer_cache;
 pub mod batch;
 pub mod breaker;
 pub mod budget;
@@ -65,7 +66,12 @@ pub mod prelude {
     pub use crate::algorithms::general::solve as general_solve;
     pub use crate::algorithms::pareto::{pareto_frontier, ParetoPoint};
     pub use crate::algorithms::{solve_p2, solve_p2_recorded, Algorithm, Solution};
-    pub use crate::batch::{BatchDriver, BatchItemResult, BatchRequest, RetryPolicy};
+    pub use crate::answer_cache::{
+        AnswerCache, CacheCounters, CachedAnswer, FamilyKey, Lookup, VariantKey, PROFILE_SCOPE_SEP,
+    };
+    pub use crate::batch::{
+        BatchDriver, BatchItemResult, BatchRequest, CacheRequest, CacheTier, RetryPolicy,
+    };
     pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
     pub use crate::budget::{Budget, CancelToken, DegradeReason, DegradedInfo};
     pub use crate::context::{Connection, Device, Intent, PolicyConfig, SearchContext};

@@ -172,6 +172,24 @@ impl<'a> CqpSystem<'a> {
         extract(query, profile, &self.stats, &extract_cfg).space
     }
 
+    /// [`CqpSystem::preference_space`] repaired incrementally from a cached
+    /// space built for the same base query at an older profile version:
+    /// surviving preferences reuse their cost/size estimates and the rank
+    /// vectors are merged, not re-sorted. Bit-identical to a fresh build
+    /// (`cqp_prefspace::extract_delta`).
+    pub fn preference_space_delta(
+        &self,
+        query: &ConjunctiveQuery,
+        profile: &Profile,
+        config: &SolverConfig,
+        cached: &PreferenceSpace,
+    ) -> cqp_prefspace::DeltaExtraction {
+        let mut extract_cfg = config.extract.clone();
+        extract_cfg.with_cost_vectors =
+            extract_cfg.with_cost_vectors || config.algorithm.needs_cost_vectors();
+        cqp_prefspace::extract_delta(query, profile, &self.stats, &extract_cfg, cached)
+    }
+
     /// Runs the full pipeline for one CQP problem.
     pub fn personalize(
         &self,
@@ -337,6 +355,36 @@ impl<'a> CqpSystem<'a> {
         }
         let _span = span_guard(recorder, "general");
         let mut sol = general::solve_bounded(space, config.conj, problem, &token);
+        sol.degraded = token.degraded_info();
+        sol.instrument.flush_to(recorder);
+        sol
+    }
+
+    /// [`CqpSystem::search_recorded`] seeded with a warm-start bound from a
+    /// previously solved instance over the same space (cross-request answer
+    /// cache, warm tier). Only the branch-and-bound path can exploit the
+    /// seed; every other algorithm dispatches exactly like
+    /// [`CqpSystem::search_recorded`], so the returned solution is always
+    /// bit-identical to a cold search — the seed only shrinks the states
+    /// visited.
+    ///
+    /// The caller must guarantee `warm` is feasible under `problem` (the
+    /// answer cache checks this before handing out a seed).
+    pub fn search_warm_recorded(
+        &self,
+        space: &PreferenceSpace,
+        problem: &ProblemSpec,
+        config: &SolverConfig,
+        warm: Option<crate::params::QueryParams>,
+        recorder: &dyn Recorder,
+    ) -> Solution {
+        if config.algorithm != Algorithm::BranchBound || warm.is_none() {
+            return self.search_recorded(space, problem, config, recorder);
+        }
+        let token = CancelToken::for_budget(&config.budget);
+        let _span = span_guard(recorder, "BranchBound");
+        let mut sol =
+            algorithms::branch_bound::solve_bounded_warm(space, config.conj, problem, &token, warm);
         sol.degraded = token.degraded_info();
         sol.instrument.flush_to(recorder);
         sol

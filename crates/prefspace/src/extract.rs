@@ -17,13 +17,13 @@
 //!   members' costs, Formula 6), and
 //! * a path doi below `min_doi` can never recover (Formula 2).
 
-use crate::space::{PrefParams, PreferenceSpace};
+use crate::space::{pref_key, PrefParams, PreferenceSpace};
 use cqp_engine::{CardEstimator, ConjunctiveQuery, CostModel};
 use cqp_prefs::{Doi, JoinEdge, PathCompose, Preference, Profile, SelectionEdge};
 use cqp_storage::{DbStats, RelationId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration for preference extraction.
 #[derive(Debug, Clone)]
@@ -107,6 +107,26 @@ impl Ord for Candidate {
     }
 }
 
+/// The result of a delta extraction: the repaired space plus how much
+/// work the cached space saved.
+#[derive(Debug, Clone)]
+pub struct DeltaExtraction {
+    /// The repaired preference space (bit-identical to a fresh
+    /// [`extract`] over the same inputs).
+    pub space: PreferenceSpace,
+    /// Candidates popped from the queue.
+    pub candidates_examined: usize,
+    /// Preferences whose cost/size parameters were reused from the cached
+    /// space (the expensive estimator calls skipped).
+    pub params_reused: usize,
+    /// Preferences whose parameters had to be estimated fresh.
+    pub params_estimated: usize,
+    /// Preferences present now but absent from the cached space.
+    pub prefs_added: usize,
+    /// Cached preferences no longer extracted.
+    pub prefs_removed: usize,
+}
+
 /// Runs the Figure 3 extraction for `query` against `profile`.
 pub fn extract(
     query: &ConjunctiveQuery,
@@ -114,6 +134,85 @@ pub fn extract(
     stats: &DbStats,
     config: &ExtractConfig,
 ) -> Extraction {
+    let (prefs, params, examined, _, _) = extract_core(query, profile, stats, config, None);
+    let cost_model = CostModel::new(stats);
+    let card = CardEstimator::new(stats);
+    let mut space = PreferenceSpace {
+        prefs,
+        params,
+        base_rows: card.query_rows(query),
+        base_cost_blocks: cost_model.query_blocks(query),
+        d: Vec::new(),
+        c: Vec::new(),
+        s: Vec::new(),
+    };
+    space.build_vectors(config.with_cost_vectors);
+    Extraction {
+        space,
+        candidates_examined: examined,
+    }
+}
+
+/// [`extract`] against a *cached* space built for the same base query at an
+/// older profile version: the traversal re-runs (the profile changed, so
+/// dois and the membership of `P` may differ), but the per-preference cost
+/// and size estimates — the expensive part, one cost-model and one
+/// cardinality call per preference — are reused for every preference whose
+/// predicate key survives, and the rank vectors are repaired by
+/// [`PreferenceSpace::delta_rerank`] instead of re-sorted. The resulting
+/// space is bit-identical to a fresh extraction.
+///
+/// `cached` must come from the same base query and statistics; parameters
+/// are keyed by predicate list, which is query- and stats-independent only
+/// within that scope.
+pub fn extract_delta(
+    query: &ConjunctiveQuery,
+    profile: &Profile,
+    stats: &DbStats,
+    config: &ExtractConfig,
+    cached: &PreferenceSpace,
+) -> DeltaExtraction {
+    let reuse: HashMap<String, (u64, f64)> = cached
+        .prefs
+        .iter()
+        .zip(&cached.params)
+        .map(|(p, params)| (pref_key(p), (params.cost_blocks, params.size_factor)))
+        .collect();
+    let (prefs, params, examined, reused, estimated) =
+        extract_core(query, profile, stats, config, Some(&reuse));
+    let new_keys: HashSet<String> = prefs.iter().map(pref_key).collect();
+    let prefs_added = prefs.len() - reused;
+    let prefs_removed = reuse.keys().filter(|k| !new_keys.contains(*k)).count();
+    let cost_model = CostModel::new(stats);
+    let card = CardEstimator::new(stats);
+    let space = PreferenceSpace::delta_rerank(
+        cached,
+        prefs,
+        params,
+        card.query_rows(query),
+        cost_model.query_blocks(query),
+        config.with_cost_vectors,
+    );
+    DeltaExtraction {
+        space,
+        candidates_examined: examined,
+        params_reused: reused,
+        params_estimated: estimated,
+        prefs_added,
+        prefs_removed,
+    }
+}
+
+/// The shared Figure 3 traversal: returns `(prefs, params, examined,
+/// params_reused, params_estimated)`. With `reuse` set, cost/size estimates
+/// are looked up by predicate key before falling back to the estimators.
+fn extract_core(
+    query: &ConjunctiveQuery,
+    profile: &Profile,
+    stats: &DbStats,
+    config: &ExtractConfig,
+    reuse: Option<&HashMap<String, (u64, f64)>>,
+) -> (Vec<Preference>, Vec<PrefParams>, usize, usize, usize) {
     let cost_model = CostModel::new(stats);
     let card = CardEstimator::new(stats);
     let graph = profile.graph();
@@ -161,6 +260,8 @@ pub fn extract(
     let mut params: Vec<PrefParams> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
     let mut examined = 0usize;
+    let mut reused = 0usize;
+    let mut estimated = 0usize;
 
     // Step 3: best-first expansion.
     while let Some(cand) = qp.pop() {
@@ -196,13 +297,27 @@ pub fn extract(
                 } else {
                     Preference::implicit(cand.joins.clone(), sel.clone(), config.compose)
                 };
-                let key = format!("{:?}", pref.predicates());
-                if !seen.insert(key) {
+                let key = pref_key(&pref);
+                if !seen.insert(key.clone()) {
                     continue; // reachable via a second path; keep the best-doi one
                 }
-                let q = query.with_predicates(pref.predicates());
-                let cost_blocks = cost_model.query_blocks(&q);
-                let size_factor = card.preference_factor(query, &pref.predicates());
+                // Cost and size depend only on the predicates (not on the
+                // profile's dois), so a cached estimate for this key is
+                // exact — the whole point of the repair tier.
+                let (cost_blocks, size_factor) = match reuse.and_then(|m| m.get(&key)) {
+                    Some(&(cost_blocks, size_factor)) => {
+                        reused += 1;
+                        (cost_blocks, size_factor)
+                    }
+                    None => {
+                        estimated += 1;
+                        let q = query.with_predicates(pref.predicates());
+                        (
+                            cost_model.query_blocks(&q),
+                            card.preference_factor(query, &pref.predicates()),
+                        )
+                    }
+                };
                 params.push(PrefParams {
                     doi: pref.doi,
                     cost_blocks,
@@ -254,22 +369,7 @@ pub fn extract(
         }
     }
 
-    let base_rows = card.query_rows(query);
-    let base_cost_blocks = cost_model.query_blocks(query);
-    let mut space = PreferenceSpace {
-        prefs,
-        params,
-        base_rows,
-        base_cost_blocks,
-        d: Vec::new(),
-        c: Vec::new(),
-        s: Vec::new(),
-    };
-    space.build_vectors(config.with_cost_vectors);
-    Extraction {
-        space,
-        candidates_examined: examined,
-    }
+    (prefs, params, examined, reused, estimated)
 }
 
 fn c_min_doi(config: &ExtractConfig) -> f64 {
@@ -500,6 +600,67 @@ mod tests {
         // 0.9 × 0.8 × 0.75 = 0.54
         assert!((ex.space.doi(0).value() - 0.54).abs() < 1e-12);
         assert_eq!(ex.space.prefs[0].len(), 3);
+    }
+
+    #[test]
+    fn delta_extraction_is_bit_identical_and_reuses_params() {
+        let db = movie_db();
+        let stats = db.analyze();
+        let q = base_query(&db);
+        let profile = figure1_profile(&db);
+        let cfg = ExtractConfig::default();
+        let cached = extract(&q, &profile, &stats, &cfg).space;
+
+        // Mutate the profile: add a selection (gaining a preference) — the
+        // repaired space must equal a cold rebuild bit for bit, with the
+        // surviving preferences' estimator calls skipped.
+        let mut gained = profile.clone();
+        gained
+            .add_selection(db.catalog(), "GENRE", "genre", "drama", Doi::new(0.6))
+            .unwrap();
+        let fresh = extract(&q, &gained, &stats, &cfg);
+        let delta = extract_delta(&q, &gained, &stats, &cfg, &cached);
+        assert_eq!(delta.space.prefs, fresh.space.prefs);
+        assert_eq!(delta.space.params, fresh.space.params);
+        assert_eq!(delta.space.c, fresh.space.c);
+        assert_eq!(delta.space.s, fresh.space.s);
+        assert_eq!(delta.space.d, fresh.space.d);
+        assert!((delta.space.base_rows - fresh.space.base_rows).abs() < 1e-12);
+        assert_eq!(delta.space.base_cost_blocks, fresh.space.base_cost_blocks);
+        delta.space.check_invariants().unwrap();
+        assert_eq!(delta.params_reused, cached.k());
+        assert_eq!(delta.prefs_added, 1);
+        assert_eq!(delta.prefs_removed, 0);
+        assert_eq!(delta.params_estimated, 1);
+
+        // Now lose a preference: repair from the *gained* space back under
+        // the original profile.
+        let fresh_back = extract(&q, &profile, &stats, &cfg);
+        let delta_back = extract_delta(&q, &profile, &stats, &cfg, &delta.space);
+        assert_eq!(delta_back.space.prefs, fresh_back.space.prefs);
+        assert_eq!(delta_back.space.params, fresh_back.space.params);
+        assert_eq!(delta_back.space.c, fresh_back.space.c);
+        assert_eq!(delta_back.space.s, fresh_back.space.s);
+        assert_eq!(delta_back.prefs_removed, 1);
+        assert_eq!(delta_back.prefs_added, 0);
+        assert_eq!(delta_back.params_estimated, 0);
+    }
+
+    #[test]
+    fn delta_extraction_against_empty_cache_equals_cold() {
+        let db = movie_db();
+        let stats = db.analyze();
+        let q = base_query(&db);
+        let profile = figure1_profile(&db);
+        let cfg = ExtractConfig::default();
+        let empty = PreferenceSpace::synthetic(Vec::new(), 0.0, 0);
+        let fresh = extract(&q, &profile, &stats, &cfg);
+        let delta = extract_delta(&q, &profile, &stats, &cfg, &empty);
+        assert_eq!(delta.space.prefs, fresh.space.prefs);
+        assert_eq!(delta.space.c, fresh.space.c);
+        assert_eq!(delta.space.s, fresh.space.s);
+        assert_eq!(delta.params_reused, 0);
+        assert_eq!(delta.params_estimated, fresh.space.k());
     }
 
     #[test]

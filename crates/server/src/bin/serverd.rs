@@ -72,10 +72,12 @@ fn main() {
                 })
             }
             "--chrome-trace" => chrome_trace = Some(value("--chrome-trace").into()),
+            "--no-answer-cache" => config.answer_cache = false,
             "--help" | "-h" => {
                 println!(
                     "usage: serverd [--addr HOST:PORT] [--wal-dir DIR] [--seed N] \
-                     [--seed-users N] [--trace-sample N] [--slo-ms N] [--chrome-trace PATH]"
+                     [--seed-users N] [--trace-sample N] [--slo-ms N] \
+                     [--chrome-trace PATH] [--no-answer-cache]"
                 );
                 return;
             }

@@ -1,0 +1,230 @@
+//! SQL template canonicalization for the answer cache.
+//!
+//! Two requests that spell the same query differently — extra whitespace,
+//! different keyword or identifier case, `007` vs `7` — must land on the
+//! same cache family, or the answer cache degenerates into a per-spelling
+//! cache. [`canonicalize_sql`] maps textual variants onto one canonical
+//! template:
+//!
+//! * everything *outside* single-quoted string literals is lowercased;
+//! * whitespace runs collapse to single separators, placed by token kind
+//!   (none before `, ) . ;`, none after `( .`);
+//! * numeric literals are normalized through an `f64` round-trip
+//!   (`007` → `7`, `1990.0` → `1990`), so equal values spelled
+//!   differently hash identically while *different* values stay distinct;
+//! * string literal *content* is preserved byte-for-byte (including the
+//!   `''` escape) — `'Drama'` and `'drama'` are different constants;
+//! * multi-character comparison operators (`<=`, `>=`, `<>`, `!=`) are
+//!   kept as single tokens.
+//!
+//! The canonical text is hashed together with the *parsed* query's debug
+//! form ([`template_hash`]): the text catches spelling variance, the
+//! parsed form is a semantic backstop so two texts that canonicalize
+//! alike but parse differently can never share a family.
+
+use cqp_core::answer_cache::{fnv1a, FNV_OFFSET};
+use cqp_engine::ConjunctiveQuery;
+
+/// One lexed piece of the input, carrying enough kind information for the
+/// joiner to place separators.
+enum Tok {
+    Word(String),
+    Number(String),
+    Str(String),
+    Punct(String),
+}
+
+/// Canonicalizes a SQL text (see the module docs for the exact rules).
+/// Purely textual — invalid SQL still canonicalizes deterministically,
+/// which is fine because the parser has its own say in [`template_hash`].
+pub fn canonicalize_sql(sql: &str) -> String {
+    let toks = lex(sql);
+    let mut out = String::with_capacity(sql.len());
+    let mut prev_glues_right = true; // no leading space
+    for tok in &toks {
+        let (text, glue_left, glue_right) = match tok {
+            Tok::Word(w) | Tok::Number(w) | Tok::Str(w) => (w.as_str(), false, false),
+            Tok::Punct(p) => match p.as_str() {
+                "," | ")" | ";" => (p.as_str(), true, false),
+                "(" => (p.as_str(), false, true),
+                "." => (p.as_str(), true, true),
+                _ => (p.as_str(), false, false),
+            },
+        };
+        if !out.is_empty() && !prev_glues_right && !glue_left {
+            out.push(' ');
+        }
+        out.push_str(text);
+        prev_glues_right = glue_right;
+    }
+    out
+}
+
+/// Hashes a request's SQL into its cache-template identity: FNV over the
+/// canonical text, chained with the parsed query's debug rendering.
+pub fn template_hash(sql: &str, query: &ConjunctiveQuery) -> u64 {
+    let h = fnv1a(FNV_OFFSET, canonicalize_sql(sql).as_bytes());
+    fnv1a(h, format!("{query:?}").as_bytes())
+}
+
+fn lex(sql: &str) -> Vec<Tok> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b == b'\'' {
+            let (lit, next) = lex_string(sql, i);
+            toks.push(Tok::Str(lit));
+            i = next;
+        } else if b.is_ascii_digit()
+            || (b == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+        {
+            let (num, next) = lex_number(sql, i);
+            toks.push(Tok::Number(num));
+            i = next;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            toks.push(Tok::Word(sql[start..i].to_ascii_lowercase()));
+        } else {
+            // Punctuation / operator; greedy two-byte comparison forms.
+            let two = bytes.get(i + 1).map(|&n| [b, n]);
+            let op = match two {
+                Some(pair) if matches!(&pair, b"<=" | b">=" | b"<>" | b"!=" | b"==" | b"||") => {
+                    i += 2;
+                    String::from_utf8_lossy(&pair).into_owned()
+                }
+                _ => {
+                    let ch = sql[i..].chars().next().unwrap_or(' ');
+                    i += ch.len_utf8();
+                    ch.to_lowercase().collect()
+                }
+            };
+            toks.push(Tok::Punct(op));
+        }
+    }
+    toks
+}
+
+/// Consumes a `'...'` literal starting at `start`, honoring the `''`
+/// escape. Content is preserved verbatim; an unterminated literal runs to
+/// the end of the text (still deterministic).
+fn lex_string(sql: &str, start: usize) -> (String, usize) {
+    let bytes = sql.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                i += 2; // escaped quote, keep going
+            } else {
+                i += 1; // closing quote
+                break;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    (sql[start..i].to_string(), i)
+}
+
+/// Consumes a numeric literal and normalizes it through `f64` when the
+/// round-trip is exact enough to be value-preserving for our purposes.
+fn lex_number(sql: &str, start: usize) -> (String, usize) {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut seen_dot = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_digit() {
+            i += 1;
+        } else if b == b'.' && !seen_dot {
+            seen_dot = true;
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let raw = &sql[start..i];
+    let norm = raw
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .map_or_else(|| raw.to_string(), |v| format!("{v}"));
+    (norm, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_and_case_variants_collapse() {
+        let a = canonicalize_sql("SELECT title FROM MOVIE WHERE year >= 1990");
+        let b = canonicalize_sql("select   title\n  from movie\twhere YEAR>=1990");
+        assert_eq!(a, b);
+        assert_eq!(a, "select title from movie where year >= 1990");
+    }
+
+    #[test]
+    fn numeric_literals_normalize_but_stay_distinct() {
+        assert_eq!(
+            canonicalize_sql("where year = 007"),
+            canonicalize_sql("where YEAR=7")
+        );
+        assert_eq!(
+            canonicalize_sql("where size > 10.50"),
+            canonicalize_sql("where size > 10.5")
+        );
+        assert_ne!(
+            canonicalize_sql("where year = 1990"),
+            canonicalize_sql("where year = 1991")
+        );
+    }
+
+    #[test]
+    fn string_literal_content_is_preserved_verbatim() {
+        let c = canonicalize_sql("SELECT * FROM MOVIE WHERE Title = 'The BIG Sleep'");
+        assert!(c.contains("'The BIG Sleep'"));
+        assert_ne!(
+            canonicalize_sql("where g = 'Drama'"),
+            canonicalize_sql("where g = 'drama'")
+        );
+        // The '' escape stays inside the literal instead of ending it.
+        let esc = canonicalize_sql("WHERE name = 'O''Hara' AND x = 1");
+        assert!(esc.contains("'O''Hara'"));
+        assert!(esc.ends_with("and x = 1"));
+    }
+
+    #[test]
+    fn punctuation_spacing_is_canonical() {
+        let a = canonicalize_sql("SELECT m.title , g.genre FROM MOVIE m,GENRE g");
+        let b = canonicalize_sql("select M . Title, G.GENRE from movie m , genre g");
+        assert_eq!(a, b);
+        assert_eq!(a, "select m.title, g.genre from movie m, genre g");
+        assert_eq!(
+            canonicalize_sql("WHERE a IN ( 1 , 2 )"),
+            canonicalize_sql("where a in(1,2)")
+        );
+    }
+
+    #[test]
+    fn comparison_operators_are_single_tokens() {
+        assert_eq!(canonicalize_sql("a<=b"), "a <= b");
+        assert_eq!(canonicalize_sql("a <> b"), "a <> b");
+        assert_eq!(canonicalize_sql("a<b"), "a < b");
+    }
+
+    #[test]
+    fn unterminated_literal_is_deterministic() {
+        let a = canonicalize_sql("where x = 'oops");
+        let b = canonicalize_sql("where x = 'oops");
+        assert_eq!(a, b);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`json`] — a bounded recursive-descent parser producing the same
 //!   [`Json`](cqp_obs::Json) tree `cqp-obs` renders, so the server reads
 //!   and writes one JSON dialect.
+//! * [`canon`] — SQL template canonicalization, so spelling variants of
+//!   one query land on one answer-cache family.
 //! * [`session`] — the sharded, versioned profile store; profiles arrive
 //!   via the `# cqp-profile v1` wire format and live across requests.
 //! * [`admission`] — bounded-queue admission control: predictable 429/503
@@ -34,6 +36,7 @@
 //! Everything is `std`-only, same as the rest of the workspace.
 
 pub mod admission;
+pub mod canon;
 pub mod chaos;
 pub mod http;
 pub mod json;
@@ -44,9 +47,10 @@ pub mod telemetry;
 pub mod wal;
 
 pub use admission::{AdmissionController, AdmissionError, Permit};
+pub use canon::{canonicalize_sql, template_hash};
 pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosOutcome, ChaosReport};
 pub use loadgen::{overload_probe, run_load, LoadConfig, LoadReport, ProbeReport};
 pub use server::{start, ServerConfig, ServerHandle, ServerState};
-pub use session::{SessionStore, StoredProfile, UpsertMode};
+pub use session::{SessionStore, StoredProfile, UpsertMode, WriteListener};
 pub use telemetry::{Telemetry, DEADLINE_REMAINING_HEADER, TRACE_ID_HEADER};
 pub use wal::{OpenedWal, PutRecord, RecoveryReport, Wal};

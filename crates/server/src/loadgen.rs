@@ -47,6 +47,20 @@ pub struct LoadConfig {
     /// client (0 = never). The ID is a pure function of `(seed, client,
     /// index)`, and the client verifies the server echoes it back.
     pub trace_every: u64,
+    /// Zipf skew of the user draw: `0.0` keeps the historical uniform
+    /// pick bit-for-bit; `θ > 0` weights rank `i` (0-based position in
+    /// `users`) by `1/(i+1)^θ`, concentrating load on the head — the
+    /// regime where a cross-request answer cache earns its keep.
+    pub zipf_theta: f64,
+    /// Per-mille of requests that first merge a mutation into the drawn
+    /// user's profile (`POST /profiles/{user}?merge=true`) before
+    /// personalizing — the write-then-read race the staleness counter
+    /// audits. Decided on its own generator stream per `(seed, client,
+    /// index)`, so enabling mutations never perturbs the request mix.
+    pub mutate_permille: u32,
+    /// `# cqp-profile v1` wire texts the mutations draw from; mutations
+    /// are disabled while this is empty.
+    pub mutation_texts: Vec<String>,
 }
 
 impl Default for LoadConfig {
@@ -62,6 +76,9 @@ impl Default for LoadConfig {
             zero_deadline_permille: 100,
             top_k_choices: vec![-1, 2, 4],
             trace_every: 0,
+            zipf_theta: 0.0,
+            mutate_permille: 0,
+            mutation_texts: Vec::new(),
         }
     }
 }
@@ -99,6 +116,21 @@ pub struct LoadReport {
     pub traced: u64,
     /// Traced responses whose `x-cqp-trace-id` echo did not match.
     pub trace_mismatches: u64,
+    /// Profile mutations merged before personalize requests.
+    pub mutations: u64,
+    /// 200s served at a profile version older than one this client had
+    /// already observed for the user — must stay zero (read-your-writes).
+    pub stale_answers: u64,
+    /// 200s served from the answer cache's exact tier.
+    pub cache_exact: u64,
+    /// 200s served via the warm tier (space reuse + pruning seed).
+    pub cache_warm: u64,
+    /// 200s served via the repair tier (delta-repaired space).
+    pub cache_repair: u64,
+    /// 200s that missed the answer cache.
+    pub cache_miss: u64,
+    /// 200s served with the answer cache absent or bypassed.
+    pub cache_off: u64,
 }
 
 impl LoadReport {
@@ -129,7 +161,25 @@ impl LoadReport {
             ("requests_per_sec", Json::from(self.requests_per_sec)),
             ("traced", Json::from(self.traced)),
             ("trace_mismatches", Json::from(self.trace_mismatches)),
+            ("mutations", Json::from(self.mutations)),
+            ("stale_answers", Json::from(self.stale_answers)),
+            ("cache_exact", Json::from(self.cache_exact)),
+            ("cache_warm", Json::from(self.cache_warm)),
+            ("cache_repair", Json::from(self.cache_repair)),
+            ("cache_miss", Json::from(self.cache_miss)),
+            ("cache_off", Json::from(self.cache_off)),
+            ("cache_hit_rate", Json::from(self.cache_hit_rate())),
         ])
+    }
+
+    /// Fraction of 200s that avoided a cold solve via the exact or warm
+    /// tier — the headline reuse number `BENCH_cache.json` gates on.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            (self.cache_exact + self.cache_warm) as f64 / self.ok as f64
+        }
     }
 }
 
@@ -218,8 +268,40 @@ impl Client {
     }
 }
 
-/// Renders the personalize body for `(client, index)` of the mix.
-fn render_request(config: &LoadConfig, client: usize, index: usize) -> Option<(String, bool)> {
+/// Draws a user index: uniform at `zipf_theta == 0` (bit-identical to the
+/// historical mix) or Zipf-weighted (`1/(rank+1)^θ` over list position)
+/// otherwise. Exactly one generator draw either way, so enabling skew
+/// perturbs nothing downstream of the user pick.
+fn pick_user<'a>(config: &'a LoadConfig, state: &mut u64) -> Option<&'a String> {
+    if config.users.is_empty() {
+        return None;
+    }
+    let r = splitmix64(state);
+    if config.zipf_theta <= 0.0 {
+        return Some(&config.users[(r % config.users.len() as u64) as usize]);
+    }
+    // Inverse-CDF over the (small) user list; the 53-bit mantissa draw
+    // keeps the unit sample unbiased.
+    let unit = (r >> 11) as f64 / (1u64 << 53) as f64;
+    let weight = |i: usize| 1.0 / ((i + 1) as f64).powf(config.zipf_theta);
+    let total: f64 = (0..config.users.len()).map(weight).sum();
+    let mut target = unit * total;
+    for (i, user) in config.users.iter().enumerate() {
+        target -= weight(i);
+        if target <= 0.0 {
+            return Some(user);
+        }
+    }
+    config.users.last()
+}
+
+/// Renders the personalize body for `(client, index)` of the mix,
+/// returning `(body, zero_deadline, user)`.
+fn render_request(
+    config: &LoadConfig,
+    client: usize,
+    index: usize,
+) -> Option<(String, bool, String)> {
     let mut state = config
         .seed
         .wrapping_mul(0x5851_f42d_4c95_7f2d)
@@ -227,7 +309,7 @@ fn render_request(config: &LoadConfig, client: usize, index: usize) -> Option<(S
         .wrapping_add(index as u64);
     // Warm the stream so nearby (client, index) pairs decorrelate.
     splitmix64(&mut state);
-    let user = pick(&config.users, &mut state)?;
+    let user = pick_user(config, &mut state)?;
     let sql = pick(&config.queries, &mut state)?;
     let problem = pick(&config.problems, &mut state)?;
     let algorithm = pick(&config.algorithms, &mut state);
@@ -253,7 +335,27 @@ fn render_request(config: &LoadConfig, client: usize, index: usize) -> Option<(S
         body.push_str(",\"deadline_ms\":0");
     }
     body.push('}');
-    Some((body, zero_deadline))
+    Some((body, zero_deadline, user.clone()))
+}
+
+/// Whether request `(client, index)` merges a profile mutation first, and
+/// with which wire text. A distinct splitmix64 stream from both the body
+/// mix and the trace IDs, so turning mutations on (or changing the rate)
+/// never changes which users/queries/deadlines the mix draws.
+fn mutation_for(config: &LoadConfig, client: usize, index: usize) -> Option<&String> {
+    if config.mutate_permille == 0 || config.mutation_texts.is_empty() {
+        return None;
+    }
+    let mut state = config
+        .seed
+        .wrapping_mul(0x8f0c_93a1_6f12_c52b)
+        .wrapping_add((client as u64) << 32)
+        .wrapping_add(index as u64);
+    splitmix64(&mut state);
+    if splitmix64(&mut state) % 1000 >= u64::from(config.mutate_permille) {
+        return None;
+    }
+    pick(&config.mutation_texts, &mut state)
 }
 
 /// The deterministic trace ID for `(seed, client, index)` — a distinct
@@ -315,6 +417,13 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadRe
         report.io_errors += partial.io_errors;
         report.traced += partial.traced;
         report.trace_mismatches += partial.trace_mismatches;
+        report.mutations += partial.mutations;
+        report.stale_answers += partial.stale_answers;
+        report.cache_exact += partial.cache_exact;
+        report.cache_warm += partial.cache_warm;
+        report.cache_repair += partial.cache_repair;
+        report.cache_miss += partial.cache_miss;
+        report.cache_off += partial.cache_off;
         completed += partial.requests - partial.io_errors;
         for l in lats {
             latencies.observe(l);
@@ -340,11 +449,34 @@ fn client_loop(
     let mut client = Client::connect(addr)?;
     let mut report = LoadReport::default();
     let mut latencies = Vec::with_capacity(config.requests_per_client);
+    // Highest profile version this client has observed per user — from
+    // its own mutation acks and from personalize responses. HTTP here is
+    // synchronous per client, so any later 200 below the high-water mark
+    // is a genuinely stale cached answer.
+    let mut seen_versions: std::collections::HashMap<String, u64> =
+        std::collections::HashMap::new();
     for i in 0..config.requests_per_client {
-        let (body, _) = match render_request(config, client_id, i) {
+        let (body, _, user) = match render_request(config, client_id, i) {
             Some(r) => r,
             None => break,
         };
+        if let Some(text) = mutation_for(config, client_id, i) {
+            let path = format!("/profiles/{user}?merge=true");
+            match client.post(&path, &[], text) {
+                Ok(resp) if resp.status == 200 => {
+                    report.mutations += 1;
+                    if let Some(v) = json::parse(&resp.body_text())
+                        .ok()
+                        .and_then(|j| j.get("version").and_then(Json::as_u64))
+                    {
+                        let seen = seen_versions.entry(user.clone()).or_insert(0);
+                        *seen = (*seen).max(v);
+                    }
+                }
+                Ok(_) => report.client_errors += 1,
+                Err(_) => report.io_errors += 1,
+            }
+        }
         report.requests += 1;
         let trace_id = (config.trace_every > 0 && (i as u64) % config.trace_every == 0)
             .then(|| trace_id_for(config, client_id, i));
@@ -367,8 +499,27 @@ fn client_loop(
                     200 => {
                         report.ok += 1;
                         latencies.push(us);
-                        if response_is_degraded(&resp) {
+                        let parsed = json::parse(&resp.body_text()).ok();
+                        let field = |k: &str| parsed.as_ref().and_then(|j| j.get(k).cloned());
+                        if field("solution")
+                            .and_then(|s| s.get("degraded").cloned())
+                            .is_some_and(|d| !matches!(d, Json::Null))
+                        {
                             report.degraded += 1;
+                        }
+                        match field("cache").as_ref().and_then(Json::as_str) {
+                            Some("exact") => report.cache_exact += 1,
+                            Some("warm") => report.cache_warm += 1,
+                            Some("repair") => report.cache_repair += 1,
+                            Some("miss") => report.cache_miss += 1,
+                            _ => report.cache_off += 1,
+                        }
+                        if let Some(v) = field("profile_version").and_then(|v| v.as_u64()) {
+                            let seen = seen_versions.entry(user.clone()).or_insert(0);
+                            if v < *seen {
+                                report.stale_answers += 1;
+                            }
+                            *seen = (*seen).max(v);
                         }
                     }
                     429 => report.rejected += 1,
@@ -380,18 +531,6 @@ fn client_loop(
         }
     }
     Ok((latencies, report))
-}
-
-/// Whether a 200 body reports a degraded solution.
-fn response_is_degraded(resp: &ClientResponse) -> bool {
-    json::parse(&resp.body_text())
-        .ok()
-        .and_then(|j| {
-            j.get("solution")
-                .and_then(|s| s.get("degraded"))
-                .map(|d| !matches!(d, Json::Null))
-        })
-        .unwrap_or(false)
 }
 
 /// What a deliberate overload burst observed.
@@ -499,13 +638,88 @@ mod tests {
             zero_deadline_permille: 1000,
             ..LoadConfig::default()
         };
-        let (body, zero_deadline) = render_request(&config, 0, 0).unwrap();
+        let (body, zero_deadline, user) = render_request(&config, 0, 0).unwrap();
         assert!(zero_deadline);
+        assert_eq!(user, "al\"ice");
         let parsed = json::parse(&body).unwrap();
         assert_eq!(parsed.get("user").and_then(Json::as_str), Some("al\"ice"));
         assert!(parsed.get("sql").is_some());
         assert!(parsed.get("problem").and_then(|p| p.get("kind")).is_some());
         assert_eq!(parsed.get("deadline_ms").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_head_users_without_perturbing_rest() {
+        let uniform = LoadConfig {
+            users: (0..10).map(|i| format!("u{i}")).collect(),
+            queries: vec!["SELECT title FROM MOVIE".into()],
+            ..LoadConfig::default()
+        };
+        let skewed = LoadConfig {
+            zipf_theta: 1.2,
+            ..uniform.clone()
+        };
+        let mut head_uniform = 0;
+        let mut head_skewed = 0;
+        for i in 0..400 {
+            let (bu, zu, _) = render_request(&uniform, 0, i).unwrap();
+            let (bs, zs, us) = render_request(&skewed, 0, i).unwrap();
+            // Only the user draw changes: the same single generator draw
+            // feeds both paths, so everything after the user segment of
+            // the body is identical.
+            assert_eq!(zu, zs);
+            assert_eq!(
+                bu.split("\"sql\"").nth(1),
+                bs.split("\"sql\"").nth(1),
+                "skew must not perturb the non-user mix at index {i}"
+            );
+            if bu.contains("\"u0\"") {
+                head_uniform += 1;
+            }
+            if us == "u0" {
+                head_skewed += 1;
+            }
+        }
+        // θ = 1.2 over 10 users puts ~40% of draws on the head vs 10%.
+        assert!(head_skewed > head_uniform * 2);
+        // θ = 0 is bit-identical to the historical mix.
+        let zero = LoadConfig {
+            zipf_theta: 0.0,
+            ..uniform.clone()
+        };
+        for i in 0..50 {
+            assert_eq!(render_request(&uniform, 1, i), render_request(&zero, 1, i));
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic_and_do_not_perturb_the_mix() {
+        let base = LoadConfig {
+            users: vec!["a".into(), "b".into()],
+            queries: vec!["SELECT title FROM MOVIE".into()],
+            ..LoadConfig::default()
+        };
+        let mutating = LoadConfig {
+            mutate_permille: 300,
+            mutation_texts: vec!["# cqp-profile v1\nprofile m\n".into()],
+            ..base.clone()
+        };
+        // The request mix is untouched by the mutation knobs…
+        for i in 0..50 {
+            assert_eq!(render_request(&base, 0, i), render_request(&mutating, 0, i));
+        }
+        // …the mutation schedule is deterministic, fires at roughly the
+        // configured rate, and is off when texts are missing.
+        let fired: Vec<bool> = (0..1000)
+            .map(|i| mutation_for(&mutating, 0, i).is_some())
+            .collect();
+        let again: Vec<bool> = (0..1000)
+            .map(|i| mutation_for(&mutating, 0, i).is_some())
+            .collect();
+        assert_eq!(fired, again);
+        let count = fired.iter().filter(|&&f| f).count();
+        assert!((150..450).contains(&count), "rate off: {count}");
+        assert!(mutation_for(&base, 0, 0).is_none());
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub struct ServerConfig {
     pub cache_policy: EvictionPolicy,
     /// Cost-cache total capacity (entries).
     pub cache_capacity: usize,
+    /// Whether the cross-request answer cache (exact/warm/repair reuse
+    /// tiers) is enabled on the dispatch path.
+    pub answer_cache: bool,
+    /// Answer-cache capacity, in families (template × profile × config).
+    pub answer_cache_capacity: usize,
     /// Deadline applied when a request specifies none (ms; `None` = no
     /// default deadline).
     pub default_deadline_ms: Option<u64>,
@@ -126,6 +131,8 @@ impl Default for ServerConfig {
             // not insertion age — predicts reuse.
             cache_policy: EvictionPolicy::Lru,
             cache_capacity: cqp_core::batch::SUBMIT_CACHE_CAPACITY,
+            answer_cache: true,
+            answer_cache_capacity: cqp_core::answer_cache::DEFAULT_FAMILY_CAPACITY,
             default_deadline_ms: None,
             drain_deadline_ms: 5_000,
             read_timeout_ms: 5_000,
@@ -428,9 +435,15 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let breaker = Arc::new(CircuitBreaker::new(config.breaker));
-    let driver = BatchDriver::new(Arc::clone(&db), 1)
+    let answer_cache = config
+        .answer_cache
+        .then(|| Arc::new(AnswerCache::with_capacity(config.answer_cache_capacity)));
+    let mut driver = BatchDriver::new(Arc::clone(&db), 1)
         .with_submit_cache(config.cache_policy, config.cache_capacity)
         .with_breaker(Arc::clone(&breaker));
+    if let Some(cache) = &answer_cache {
+        driver = driver.with_answer_cache(Arc::clone(cache));
+    }
     let (store, recovery) = match &config.wal_dir {
         Some(dir) => {
             let (store, report) = SessionStore::recover(config.store_shards, dir, db.catalog())?;
@@ -438,6 +451,15 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         }
         None => (SessionStore::new(config.store_shards), None),
     };
+    if let Some(cache) = &answer_cache {
+        // Session writes eagerly drop every cached scope of the written
+        // profile; WAL replay above deliberately did not route through
+        // this hook (the cache was empty during recovery anyway).
+        let cache = Arc::clone(cache);
+        store.set_write_listener(Arc::new(move |user, version| {
+            cache.invalidate_profile(user, version);
+        }));
+    }
     if config.seed_users > 0 && store.is_empty() {
         store.seed_from_datagen(db.catalog(), config.seed_users, config.seed);
     }
@@ -1092,6 +1114,44 @@ fn metrics(state: &ServerState) -> Response {
         &[("policy", state.driver_cache_policy())],
         1.0,
     );
+    if let Some(cache) = state.driver.answer_cache() {
+        let c = cache.counters();
+        w.family(
+            "cqp_answer_cache_hits_total",
+            "Answer-cache hits by reuse tier.",
+            "counter",
+        );
+        w.sample(
+            "cqp_answer_cache_hits_total",
+            &[("tier", "exact")],
+            c.hits_exact as f64,
+        );
+        w.sample(
+            "cqp_answer_cache_hits_total",
+            &[("tier", "warm")],
+            c.hits_warm as f64,
+        );
+        w.sample(
+            "cqp_answer_cache_hits_total",
+            &[("tier", "repair")],
+            c.hits_repair as f64,
+        );
+        w.counter(
+            "cqp_answer_cache_misses_total",
+            "Answer-cache lookups that found nothing reusable.",
+            c.misses,
+        );
+        w.counter(
+            "cqp_answer_cache_invalidations_total",
+            "Cached answers dropped by session-write invalidation.",
+            c.invalidations,
+        );
+        w.gauge(
+            "cqp_answer_cache_entries",
+            "Answers currently cached across all families.",
+            cache.entries() as f64,
+        );
+    }
     w.counter(
         "cqp_submit_panics_total",
         "Solver panics caught by the dispatch supervisor.",
@@ -1276,6 +1336,9 @@ fn get_profile(state: &ServerState, user: &str) -> Result<Response, ApiError> {
 struct PersonalizeParams {
     user: String,
     query: cqp_engine::ConjunctiveQuery,
+    /// Answer-cache template identity: canonicalized SQL chained with the
+    /// parsed query ([`crate::canon::template_hash`]).
+    template_hash: u64,
     problem: ProblemSpec,
     algorithm: Algorithm,
     top_k: Option<usize>,
@@ -1300,6 +1363,7 @@ fn parse_personalize(state: &ServerState, req: &Request) -> Result<PersonalizePa
         .ok_or_else(|| ApiError::new(400, "missing_field", "`sql` (string) is required"))?;
     let query = parse_query(sql, state.db.catalog())
         .map_err(|e| ApiError::new(400, "bad_query", e.to_string()))?;
+    let template_hash = crate::canon::template_hash(sql, &query);
     let problem =
         parse_problem(body.get("problem").ok_or_else(|| {
             ApiError::new(400, "missing_field", "`problem` (object) is required")
@@ -1353,6 +1417,7 @@ fn parse_personalize(state: &ServerState, req: &Request) -> Result<PersonalizePa
     Ok(PersonalizeParams {
         user,
         query,
+        template_hash,
         problem,
         algorithm,
         top_k,
@@ -1519,15 +1584,30 @@ fn personalize(
         problem: params.problem,
         config,
     };
-    let item = state.driver.submit_recorded(batch_req, rec).map_err(|e| {
-        state.obs.add("server.solver_errors", 1);
-        let api = cqp_error_response(&e);
-        if api.status == 429 || api.status == 503 {
-            state.obs.add("server.unavailable", 1);
-            ctx.outcome = "shed";
-        }
-        api
-    })?;
+    // The profile key scopes the family to the personalization depth —
+    // `top_k` truncates the profile, so two depths are two profiles —
+    // while a session write for the user invalidates every scope at once
+    // (see `AnswerCache::invalidate_profile`).
+    let cache_req = CacheRequest {
+        template_hash: params.template_hash,
+        profile_key: match params.top_k {
+            None => params.user.clone(),
+            Some(k) => format!("{}{}k{k}", params.user, PROFILE_SCOPE_SEP),
+        },
+        profile_version: stored.version,
+    };
+    let (item, cache_tier) = state
+        .driver
+        .submit_cached_recorded(batch_req, &cache_req, rec)
+        .map_err(|e| {
+            state.obs.add("server.solver_errors", 1);
+            let api = cqp_error_response(&e);
+            if api.status == 429 || api.status == 503 {
+                state.obs.add("server.unavailable", 1);
+                ctx.outcome = "shed";
+            }
+            api
+        })?;
 
     // Result materialization (zero simulated I/O latency: the serving
     // layer measures real wall-clock, not the paper's block model).
@@ -1615,6 +1695,7 @@ fn personalize(
             Json::Arr(item.pref_dois.iter().map(|&d| Json::from(d)).collect()),
         ),
         ("sql".to_string(), Json::from(item.sql.as_str())),
+        ("cache".to_string(), Json::from(cache_tier.name())),
         ("latency_us".to_string(), Json::from(latency_us)),
     ];
     if let Some(rows) = rows_json {

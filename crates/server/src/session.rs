@@ -47,12 +47,28 @@ struct Durable {
     catalog: Catalog,
 }
 
+/// Observer invoked after every version-bumping profile write with the
+/// user id and the new version — the answer cache's invalidation hook.
+pub type WriteListener = Arc<dyn Fn(&str, u64) + Send + Sync>;
+
+/// Holds the optional write listener; a manual `Debug` because closures
+/// have none.
+#[derive(Default)]
+struct ListenerCell(Mutex<Option<WriteListener>>);
+
+impl std::fmt::Debug for ListenerCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ListenerCell")
+    }
+}
+
 /// Sharded, versioned in-memory profile store, optionally backed by a
 /// write-ahead log (see [`SessionStore::recover`]).
 #[derive(Debug)]
 pub struct SessionStore {
     shards: Vec<Mutex<HashMap<String, StoredProfile>>>,
     durable: Option<Durable>,
+    write_listener: ListenerCell,
     upserts: AtomicU64,
     lookups: AtomicU64,
     misses: AtomicU64,
@@ -75,6 +91,7 @@ impl SessionStore {
         SessionStore {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             durable: None,
+            write_listener: ListenerCell::default(),
             upserts: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -116,6 +133,20 @@ impl SessionStore {
         self.durable.as_ref().map(|d| &d.wal)
     }
 
+    /// Installs the post-write observer. Fired by [`SessionStore::put`]
+    /// (and everything routed through it) *after* the shard lock is
+    /// released; deliberately **not** fired by WAL replay
+    /// ([`SessionStore::restore`]) — recovery rebuilds into a fresh
+    /// process whose caches are empty, so replay invalidations would only
+    /// add noise to the counters.
+    pub fn set_write_listener(&self, listener: WriteListener) {
+        *self
+            .write_listener
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(listener);
+    }
+
     /// Applies a replayed record: no version bump, no WAL append.
     fn restore(&self, user: &str, profile: Profile, version: u64) {
         let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
@@ -143,16 +174,32 @@ impl SessionStore {
     /// with the failure visible in [`Wal::counters`].
     pub fn put(&self, user: &str, profile: Profile) -> u64 {
         self.upserts.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
-        let version = shard.get(user).map_or(1, |e| e.version + 1);
-        if let Some(d) = &self.durable {
-            // Write-ahead, while the shard lock serializes same-user
-            // appends so log order matches version order.
-            let _ = d
-                .wal
-                .append_put(user, version, &to_text(&profile, &d.catalog));
+        let version = {
+            let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
+            let version = shard.get(user).map_or(1, |e| e.version + 1);
+            if let Some(d) = &self.durable {
+                // Write-ahead, while the shard lock serializes same-user
+                // appends so log order matches version order.
+                let _ = d
+                    .wal
+                    .append_put(user, version, &to_text(&profile, &d.catalog));
+            }
+            shard.insert(user.to_string(), StoredProfile { profile, version });
+            version
+        };
+        // Outside the shard lock: the listener may take its own locks
+        // (the answer cache's shards), and a reader that beats the
+        // invalidation is still safe — version keying rejects stale
+        // entries on lookup.
+        let listener = self
+            .write_listener
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(listener) = listener {
+            listener(user, version);
         }
-        shard.insert(user.to_string(), StoredProfile { profile, version });
         version
     }
 
@@ -464,6 +511,43 @@ mod tests {
         let store = SessionStore::new(2);
         assert!(store.wal().is_none());
         store.compact().unwrap();
+    }
+
+    #[test]
+    fn write_listener_fires_on_puts_but_not_on_replay() {
+        let c = catalog();
+        let dir = tmpdir("listener");
+        {
+            let (store, _) = SessionStore::recover(2, &dir, &c).unwrap();
+            store
+                .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+            store
+                .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+                .unwrap();
+        }
+        let (recovered, report) = SessionStore::recover(2, &dir, &c).unwrap();
+        let events: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        recovered.set_write_listener(Arc::new(move |user, version| {
+            sink.lock().unwrap().push((user.to_string(), version));
+        }));
+        // Replay happened before the listener existed, and replay itself
+        // never routes through put(): nothing observed yet.
+        assert_eq!(report.records_replayed(), 2);
+        assert!(events.lock().unwrap().is_empty());
+        // A real write fires the listener with the bumped version.
+        recovered
+            .upsert_text("al", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        recovered
+            .upsert_text("bo", WIRE, &c, UpsertMode::Replace)
+            .unwrap();
+        assert_eq!(
+            events.lock().unwrap().clone(),
+            vec![("al".to_string(), 3), ("bo".to_string(), 1)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

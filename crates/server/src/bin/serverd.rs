@@ -9,7 +9,13 @@
 //! ```text
 //! serverd --addr 127.0.0.1:9142 --wal-dir /tmp/cqp-wal --seed 42 [--seed-users 8]
 //!         [--trace-sample N] [--slo-ms N] [--chrome-trace PATH]
+//!         [--backend threaded|epoll] [--read-timeout-ms N] [--max-conns N]
 //! ```
+//!
+//! `--backend` picks the serving core (defaults to `CQP_SERVER_BACKEND`,
+//! then `threaded`); the connection-scale bench boots `--backend epoll`
+//! as a child process so the 10k-connection herd lives in its own fd
+//! table.
 //!
 //! `--chrome-trace PATH` periodically dumps the trace retention ring as a
 //! Chrome trace-event document (loadable in `chrome://tracing` or
@@ -17,7 +23,7 @@
 //! sees a torn JSON file.
 
 use cqp_obs::reqtrace::traces_to_chrome;
-use cqp_server::{start, ServerConfig};
+use cqp_server::{start, Backend, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -73,11 +79,31 @@ fn main() {
             }
             "--chrome-trace" => chrome_trace = Some(value("--chrome-trace").into()),
             "--no-answer-cache" => config.answer_cache = false,
+            "--backend" => {
+                let v = value("--backend");
+                config.backend = Backend::parse(&v).unwrap_or_else(|| {
+                    eprintln!("serverd: --backend must be 'threaded' or 'epoll'");
+                    std::process::exit(2);
+                })
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = value("--read-timeout-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("serverd: --read-timeout-ms must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--max-conns" => {
+                config.max_connections = value("--max-conns").parse().unwrap_or_else(|_| {
+                    eprintln!("serverd: --max-conns must be an integer");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serverd [--addr HOST:PORT] [--wal-dir DIR] [--seed N] \
                      [--seed-users N] [--trace-sample N] [--slo-ms N] \
-                     [--chrome-trace PATH] [--no-answer-cache]"
+                     [--chrome-trace PATH] [--no-answer-cache] \
+                     [--backend threaded|epoll] [--read-timeout-ms N] [--max-conns N]"
                 );
                 return;
             }
@@ -88,6 +114,17 @@ fn main() {
         }
     }
     config.seed = db_seed;
+    if config.backend == Backend::Epoll {
+        // A C10k herd needs fd headroom: one fd per connection plus the
+        // reactor plumbing. Best effort — the kernel hard cap rules.
+        let want = (config.max_connections as u64)
+            .saturating_mul(2)
+            .saturating_add(64);
+        let got = cqp_sys::raise_nofile_limit(want).unwrap_or(0);
+        if got < want {
+            eprintln!("serverd: nofile limit {got} < requested {want}; large herds may shed");
+        }
+    }
     let db = Arc::new(cqp_datagen::generate_movie_db(
         &cqp_datagen::MovieDbConfig::tiny(db_seed),
     ));

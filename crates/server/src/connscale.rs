@@ -1,0 +1,416 @@
+//! Open-loop connection-scale load: the C10k harness.
+//!
+//! [`run_load`](crate::loadgen::run_load) is a *closed* loop — offered
+//! load adapts to observed latency, which is the right discipline for
+//! latency measurement but cannot exercise connection scale: `clients`
+//! threads hold `clients` sockets. This module is the other half of the
+//! story, and it is *open* where it matters:
+//!
+//! 1. **Idle herd** — `idle_conns` keep-alive connections are dialed and
+//!    then held silent. Each one costs the server a registration, not a
+//!    thread; the epoll backend must carry them all and eventually reap
+//!    every one on its idle deadline. A connection the server never
+//!    closes is a *leak* — the number this harness exists to measure.
+//! 2. **Slowloris drippers** — `slowloris_conns` writers send a valid
+//!    request head and then drip one header byte per `drip_interval_ms`,
+//!    forever. The read deadline must answer `408` (or sever) every one.
+//! 3. **Open-loop lanes** — `lanes` writer/reader thread pairs send
+//!    requests on a fixed wall-clock schedule (`lane_rps`), *not* when
+//!    the previous response returns. Latency is measured against the
+//!    scheduled send instant, so server-side queueing is charged to the
+//!    server (no coordinated omission), while the idle herd and the
+//!    drippers occupy the connection table.
+//!
+//! Determinism: the lane request mix reuses the loadgen splitmix64
+//! streams — a pure function of `(mix.seed, lane, index)` — and the
+//! schedule is pure arithmetic. Latencies and reap timing are wall-clock.
+
+use crate::http::parse_response;
+use crate::loadgen::{render_request, LoadConfig};
+use cqp_obs::{Histogram, Json};
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Shape of one connection-scale run.
+#[derive(Debug, Clone)]
+pub struct ConnScaleConfig {
+    /// Silent keep-alive connections to dial and hold.
+    pub idle_conns: usize,
+    /// Slow-dripping writers the read deadline must reap.
+    pub slowloris_conns: usize,
+    /// Milliseconds between dripped bytes.
+    pub drip_interval_ms: u64,
+    /// Open-loop writer/reader lane pairs.
+    pub lanes: usize,
+    /// Scheduled requests per second, per lane.
+    pub lane_rps: u64,
+    /// Scheduled requests per lane.
+    pub lane_requests: usize,
+    /// Request mix for the lanes (loadgen streams; `mix.seed` rules).
+    pub mix: LoadConfig,
+    /// How long to wait for the server to reap the idle herd and the
+    /// drippers before declaring the remainder leaked. Must exceed the
+    /// server's `read_timeout_ms` or everything reads as a leak.
+    pub reap_patience_ms: u64,
+    /// Connections dialed back-to-back before a 1 ms breather, so the
+    /// herd doesn't overrun the listen backlog.
+    pub connect_burst: usize,
+}
+
+impl Default for ConnScaleConfig {
+    fn default() -> Self {
+        ConnScaleConfig {
+            idle_conns: 256,
+            slowloris_conns: 16,
+            drip_interval_ms: 40,
+            lanes: 2,
+            lane_rps: 50,
+            lane_requests: 100,
+            mix: LoadConfig::default(),
+            reap_patience_ms: 10_000,
+            connect_burst: 128,
+        }
+    }
+}
+
+/// What the connection-scale run observed.
+#[derive(Debug, Clone, Default)]
+pub struct ConnScaleReport {
+    /// Idle connections requested by the config.
+    pub idle_target: u64,
+    /// Idle connections actually established.
+    pub idle_opened: u64,
+    /// Idle dials refused by the OS or the server.
+    pub idle_connect_errors: u64,
+    /// Idle connections the server closed within patience.
+    pub idle_reaped: u64,
+    /// Idle connections still open after patience — must be zero.
+    pub idle_leaked: u64,
+    /// Dripping writers established.
+    pub slowloris_opened: u64,
+    /// Dripper dials that failed outright.
+    pub slowloris_connect_errors: u64,
+    /// Drippers answered `408` or severed within patience.
+    pub slowloris_reaped: u64,
+    /// Drippers still dripping after patience — must be zero.
+    pub slowloris_leaked: u64,
+    /// Requests the lanes actually wrote.
+    pub lane_requests: u64,
+    /// Lane 200s.
+    pub lane_ok: u64,
+    /// Lane 429s/503s (shed under pressure is an answer, not a failure).
+    pub lane_shed: u64,
+    /// Other lane statuses.
+    pub lane_errors: u64,
+    /// Lane requests written but never answered.
+    pub lane_io_errors: u64,
+    /// Open-loop latency quantiles (vs the *scheduled* send instant),
+    /// microseconds, over lane 200s.
+    pub open_loop_p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub open_loop_p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub open_loop_p99_us: u64,
+    /// Wall-clock of the whole run, seconds.
+    pub wall_secs: f64,
+}
+
+impl ConnScaleReport {
+    /// Connections the server never closed — the pass/fail number.
+    pub fn leaked(&self) -> u64 {
+        self.idle_leaked + self.slowloris_leaked
+    }
+
+    /// The report as a JSON object (the `conn_scale` section of
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("idle_target", Json::from(self.idle_target)),
+            ("idle_opened", Json::from(self.idle_opened)),
+            ("idle_connect_errors", Json::from(self.idle_connect_errors)),
+            ("idle_reaped", Json::from(self.idle_reaped)),
+            ("idle_leaked", Json::from(self.idle_leaked)),
+            ("slowloris_opened", Json::from(self.slowloris_opened)),
+            (
+                "slowloris_connect_errors",
+                Json::from(self.slowloris_connect_errors),
+            ),
+            ("slowloris_reaped", Json::from(self.slowloris_reaped)),
+            ("slowloris_leaked", Json::from(self.slowloris_leaked)),
+            ("lane_requests", Json::from(self.lane_requests)),
+            ("lane_ok", Json::from(self.lane_ok)),
+            ("lane_shed", Json::from(self.lane_shed)),
+            ("lane_errors", Json::from(self.lane_errors)),
+            ("lane_io_errors", Json::from(self.lane_io_errors)),
+            ("open_loop_p50_us", Json::from(self.open_loop_p50_us)),
+            ("open_loop_p95_us", Json::from(self.open_loop_p95_us)),
+            ("open_loop_p99_us", Json::from(self.open_loop_p99_us)),
+            ("leaked", Json::from(self.leaked())),
+            ("wall_secs", Json::from(self.wall_secs)),
+        ])
+    }
+}
+
+/// Per-lane tallies, merged into the report.
+#[derive(Debug, Default)]
+struct LaneStats {
+    written: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    io_errors: u64,
+    latencies: Vec<u64>,
+}
+
+/// Runs the full scenario: dial the idle herd, then drippers and lanes
+/// concurrently, then wait for the server to reap everything it should.
+/// Errors only on config nonsense; connection failures are counted.
+pub fn run_conn_scale(
+    addr: SocketAddr,
+    config: &ConnScaleConfig,
+) -> std::io::Result<ConnScaleReport> {
+    if config.lanes > 0
+        && (config.mix.users.is_empty()
+            || config.mix.queries.is_empty()
+            || config.mix.problems.is_empty())
+    {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "conn-scale lanes need at least one user, query, and problem in the mix",
+        ));
+    }
+    // The herd costs this process one fd per connection; ask for the
+    // headroom up front (best effort — the hard limit rules).
+    let _ = cqp_sys::raise_nofile_limit(
+        (config.idle_conns + config.slowloris_conns + config.lanes) as u64 + 256,
+    );
+    let t0 = Instant::now();
+    let mut report = ConnScaleReport {
+        idle_target: config.idle_conns as u64,
+        ..ConnScaleReport::default()
+    };
+
+    // Phase 1: the idle herd, dialed in bursts.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(config.idle_conns);
+    for i in 0..config.idle_conns {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                idle.push(s);
+            }
+            Err(_) => report.idle_connect_errors += 1,
+        }
+        if config.connect_burst > 0 && (i + 1) % config.connect_burst == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    report.idle_opened = idle.len() as u64;
+
+    // Phases 2 + 3 concurrently: drippers hold read deadlines hostage
+    // while the lanes push scheduled traffic through the same reactor.
+    let patience = Duration::from_millis(config.reap_patience_ms.max(1));
+    let drip = Duration::from_millis(config.drip_interval_ms.max(1));
+    let (slow_outcomes, lane_stats) = std::thread::scope(|s| {
+        let slow: Vec<_> = (0..config.slowloris_conns)
+            .map(|_| s.spawn(move || slowloris(addr, drip, patience)))
+            .collect();
+        let lanes: Vec<_> = (0..config.lanes)
+            .map(|lane| s.spawn(move || run_lane(addr, config, lane, patience)))
+            .collect();
+        let slow_outcomes: Vec<Option<bool>> = slow
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Some(false)))
+            .collect();
+        let lane_stats: Vec<LaneStats> = lanes
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+        (slow_outcomes, lane_stats)
+    });
+    for outcome in slow_outcomes {
+        match outcome {
+            None => report.slowloris_connect_errors += 1,
+            Some(reaped) => {
+                report.slowloris_opened += 1;
+                if reaped {
+                    report.slowloris_reaped += 1;
+                } else {
+                    report.slowloris_leaked += 1;
+                }
+            }
+        }
+    }
+    let mut latencies = Histogram::default();
+    for lane in lane_stats {
+        report.lane_requests += lane.written;
+        report.lane_ok += lane.ok;
+        report.lane_shed += lane.shed;
+        report.lane_errors += lane.errors;
+        report.lane_io_errors += lane.io_errors;
+        for l in lane.latencies {
+            latencies.observe(l);
+        }
+    }
+    report.open_loop_p50_us = latencies.quantile(0.50);
+    report.open_loop_p95_us = latencies.quantile(0.95);
+    report.open_loop_p99_us = latencies.quantile(0.99);
+
+    // Phase 4: the server must close every idle connection on its own.
+    // Non-blocking reads: a closed socket reads Ok(0) instantly, a live
+    // one is WouldBlock, and any parting bytes (a backend that answers
+    // before closing) get consumed so the EOF behind them is reachable.
+    for s in &idle {
+        let _ = s.set_nonblocking(true);
+    }
+    let reap_deadline = Instant::now() + patience;
+    let mut buf = [0u8; 512];
+    loop {
+        idle.retain(|s| {
+            let mut r: &TcpStream = s;
+            loop {
+                match r.read(&mut buf) {
+                    Ok(0) => {
+                        report.idle_reaped += 1;
+                        return false;
+                    }
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                    Err(_) => {
+                        // A reset is the server closing with bytes in
+                        // flight — reaped, just unceremoniously.
+                        report.idle_reaped += 1;
+                        return false;
+                    }
+                }
+            }
+        });
+        if idle.is_empty() || Instant::now() >= reap_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    report.idle_leaked = idle.len() as u64;
+    report.wall_secs = t0.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+/// One dripper. `None`: could not connect. `Some(true)`: the server
+/// answered `408` or severed the connection. `Some(false)`: still alive
+/// after `patience` — a leak.
+fn slowloris(addr: SocketAddr, drip: Duration, patience: Duration) -> Option<bool> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    // The read below doubles as the drip pacing.
+    let _ = stream.set_read_timeout(Some(drip));
+    if stream
+        .write_all(b"POST /personalize HTTP/1.1\r\nhost: slow\r\n")
+        .is_err()
+    {
+        return Some(true);
+    }
+    let deadline = Instant::now() + patience;
+    let mut buf = [0u8; 512];
+    while Instant::now() < deadline {
+        // One more header-name byte; never a newline, never a request.
+        if stream.write_all(b"x").is_err() {
+            return Some(true);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Some(true),
+            Ok(n) => {
+                if buf[..n].windows(8).any(|w| w == b" 408 Req") {
+                    return Some(true);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return Some(true),
+        }
+    }
+    Some(false)
+}
+
+/// One open-loop lane: a writer pushes requests at their scheduled
+/// instants over one keep-alive connection while a reader (this thread)
+/// scores responses against the schedule.
+fn run_lane(
+    addr: SocketAddr,
+    config: &ConnScaleConfig,
+    lane: usize,
+    patience: Duration,
+) -> LaneStats {
+    let mut stats = LaneStats::default();
+    let n = config.lane_requests;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return stats;
+    };
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_stream) = stream.try_clone() else {
+        return stats;
+    };
+    let _ = reader_stream.set_read_timeout(Some(patience));
+    let rps = config.lane_rps.max(1);
+    let schedule: Vec<Duration> = (0..n)
+        .map(|i| Duration::from_micros(i as u64 * 1_000_000 / rps))
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut w = &stream;
+            let mut written = 0usize;
+            for (i, offset) in schedule.iter().enumerate() {
+                let sched = start + *offset;
+                let now = Instant::now();
+                if sched > now {
+                    std::thread::sleep(sched - now);
+                }
+                let Some((body, _, _)) = render_request(&config.mix, lane, i) else {
+                    break;
+                };
+                let head = format!(
+                    "POST /personalize HTTP/1.1\r\nhost: cqp\r\ncontent-length: {}\r\n",
+                    body.len()
+                );
+                if w.write_all(head.as_bytes())
+                    .and_then(|()| w.write_all(b"\r\n"))
+                    .and_then(|()| w.write_all(body.as_bytes()))
+                    .is_err()
+                {
+                    break;
+                }
+                written += 1;
+            }
+            // Half-close: the server finishes the pipelined tail, then
+            // closes, handing the reader a clean EOF.
+            let _ = stream.shutdown(Shutdown::Write);
+            written
+        });
+        let mut reader = BufReader::new(&reader_stream);
+        let mut answered = 0u64;
+        for offset in &schedule {
+            match parse_response(&mut reader) {
+                Ok(resp) => {
+                    answered += 1;
+                    let us = (start + *offset).elapsed().as_micros() as u64;
+                    match resp.status {
+                        200 => {
+                            stats.ok += 1;
+                            stats.latencies.push(us);
+                        }
+                        429 | 503 => stats.shed += 1,
+                        _ => stats.errors += 1,
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let written = writer.join().unwrap_or(0) as u64;
+        stats.written = written;
+        stats.io_errors = written.saturating_sub(answered);
+    });
+    stats
+}

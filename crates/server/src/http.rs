@@ -14,7 +14,7 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parse-level failure; each maps to one 4xx response.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
     /// The peer closed the connection before a full request arrived (a
     /// clean close between keep-alive requests surfaces as this with
@@ -58,7 +58,7 @@ impl From<io::Error> for HttpError {
 }
 
 /// One parsed request.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Uppercase method as sent (`GET`, `POST`, …).
     pub method: String,
@@ -97,6 +97,61 @@ impl Request {
     }
 }
 
+/// Strips trailing `\n`/`\r` bytes and decodes lossily — the one line
+/// normalization both parsers share.
+fn finish_line(line: &[u8]) -> String {
+    let mut end = line.len();
+    while end > 0 && (line[end - 1] == b'\n' || line[end - 1] == b'\r') {
+        end -= 1;
+    }
+    // Lossy is fine: header values the router cares about are ASCII, and
+    // a garbled line fails its downstream parse with a typed error.
+    String::from_utf8_lossy(&line[..end]).into_owned()
+}
+
+/// Parses the request line into `(method, path, keep_alive_default)`.
+/// HTTP/1.1 defaults to keep-alive, 1.0 to close.
+fn parse_request_line(request_line: String) -> Result<(String, String, bool), HttpError> {
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if v.starts_with("HTTP/1.") && p.starts_with('/') => {
+            Ok((m.to_ascii_uppercase(), p.to_string(), v != "HTTP/1.0"))
+        }
+        _ => Err(HttpError::BadRequestLine(request_line)),
+    }
+}
+
+/// Parses one header line into `(lowercase name, trimmed value)`,
+/// flipping `keep_alive` on `connection: close`.
+fn parse_header_line(line: String, keep_alive: &mut bool) -> Result<(String, String), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+    let name = name.trim().to_ascii_lowercase();
+    let value = value.trim().to_string();
+    if name == "connection" {
+        *keep_alive = !value.eq_ignore_ascii_case("close");
+    }
+    Ok((name, value))
+}
+
+/// Decides how many body bytes the head declares. `POST`/`PUT` without a
+/// `Content-Length` is a typed error; declared bodies above
+/// [`MAX_BODY_BYTES`] are rejected before any allocation.
+fn declared_body_len(method: &str, headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::BadContentLength))
+        .transpose()?;
+    match content_length {
+        None if method == "POST" || method == "PUT" => Err(HttpError::BadContentLength),
+        None | Some(0) => Ok(0),
+        Some(n) if n > MAX_BODY_BYTES => Err(HttpError::BodyTooLarge(n)),
+        Some(n) => Ok(n),
+    }
+}
+
 /// Reads one line terminated by `\n`, stripping `\r\n`/`\n`. Returns
 /// `None` on a clean EOF before any byte.
 fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<Option<String>, HttpError> {
@@ -121,12 +176,7 @@ fn read_line<R: BufRead>(reader: &mut R, budget: &mut usize) -> Result<Option<St
             break;
         }
     }
-    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    // Lossy is fine: header values the router cares about are ASCII, and
-    // a garbled line fails its downstream parse with a typed error.
-    Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+    Ok(Some(finish_line(&line)))
 }
 
 /// Parses one request from `reader`. Blocks until a full head (and body,
@@ -137,15 +187,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         None => return Err(HttpError::ConnectionClosed),
         Some(l) => l,
     };
-    let mut parts = request_line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v), None) if v.starts_with("HTTP/1.") && p.starts_with('/') => {
-            (m.to_ascii_uppercase(), p.to_string(), v)
-        }
-        _ => return Err(HttpError::BadRequestLine(request_line)),
-    };
-    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
-    let mut keep_alive = version != "HTTP/1.0";
+    let (method, path, mut keep_alive) = parse_request_line(request_line)?;
 
     let mut headers = Vec::new();
     loop {
@@ -156,27 +198,12 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         if line.is_empty() {
             break;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim().to_string();
-        if name == "connection" {
-            keep_alive = !value.eq_ignore_ascii_case("close");
-        }
-        headers.push((name, value));
+        headers.push(parse_header_line(line, &mut keep_alive)?);
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::BadContentLength))
-        .transpose()?;
-    let body = match content_length {
-        None if method == "POST" || method == "PUT" => return Err(HttpError::BadContentLength),
-        None | Some(0) => Vec::new(),
-        Some(n) if n > MAX_BODY_BYTES => return Err(HttpError::BodyTooLarge(n)),
-        Some(n) => {
+    let body = match declared_body_len(&method, &headers)? {
+        0 => Vec::new(),
+        n => {
             let mut body = vec![0u8; n];
             reader.read_exact(&mut body)?;
             body
@@ -189,6 +216,234 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         body,
         keep_alive,
     })
+}
+
+/// How far an incremental parse has progressed through one request.
+#[derive(Debug)]
+enum ParsePhase {
+    /// Waiting for the request line to complete.
+    RequestLine,
+    /// Request line parsed; consuming header lines.
+    Headers {
+        method: String,
+        path: String,
+        keep_alive: bool,
+        headers: Vec<(String, String)>,
+    },
+    /// Head complete; waiting for `body_len` body bytes.
+    Body {
+        method: String,
+        path: String,
+        keep_alive: bool,
+        headers: Vec<(String, String)>,
+        body_len: usize,
+    },
+}
+
+/// An incremental (resumable) request parser for readiness-driven I/O.
+///
+/// The epoll backend reads whatever fragment the socket has and calls
+/// [`RequestParser::feed`] + [`RequestParser::try_next`]; the parser
+/// consumes bytes as lines complete and yields a [`Request`] exactly when
+/// the blocking [`parse_request`] would have, with byte-for-byte identical
+/// results and identical typed errors **regardless of how the input is
+/// fragmented** (the `http_fuzz` suite replays every corpus at every split
+/// point to prove it). Pipelined requests are supported: leftover bytes
+/// stay buffered for the next `try_next`.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed offset into `buf` (everything before it belongs to
+    /// already-yielded requests).
+    start: usize,
+    /// Start of the line currently being scanned (absolute).
+    line_start: usize,
+    /// Resume point for the newline scan (absolute, `>= line_start`).
+    scan: usize,
+    /// Head bytes consumed by completed lines of the current request.
+    head_bytes: usize,
+    phase: ParsePhase,
+    /// A parse error is terminal for the connection; it is sticky so a
+    /// caller that polls again gets the same answer.
+    failed: Option<HttpError>,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// An empty parser at the start of a connection.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            start: 0,
+            line_start: 0,
+            scan: 0,
+            head_bytes: 0,
+            phase: ParsePhase::RequestLine,
+            failed: None,
+        }
+    }
+
+    /// Appends newly-read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered (a nonzero value between
+    /// requests means a pipelined request is already arriving).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True once any byte of the *current* request has arrived.
+    pub fn mid_request(&self) -> bool {
+        self.buffered() > 0 || !matches!(self.phase, ParsePhase::RequestLine)
+    }
+
+    /// The error the blocking parser would report if the peer closed the
+    /// connection right now: `Io(UnexpectedEof)` mid-body, otherwise
+    /// `ConnectionClosed` (which is also the clean between-requests EOF).
+    pub fn eof_error(&self) -> HttpError {
+        match self.phase {
+            ParsePhase::Body { .. } => HttpError::Io(io::ErrorKind::UnexpectedEof),
+            _ => HttpError::ConnectionClosed,
+        }
+    }
+
+    /// Advances the parse as far as the buffered bytes allow. Returns
+    /// `Ok(Some(request))` when one request completed, `Ok(None)` when
+    /// more bytes are needed, or the same typed error [`parse_request`]
+    /// would produce. Errors are sticky and terminal.
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match self.advance() {
+            Err(e) => {
+                self.failed = Some(e.clone());
+                Err(e)
+            }
+            Ok(out) => Ok(out),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            if let ParsePhase::Body { body_len, .. } = &self.phase {
+                let body_len = *body_len;
+                if self.buffered() < body_len {
+                    return Ok(None);
+                }
+                let body = self.buf[self.start..self.start + body_len].to_vec();
+                let phase = std::mem::replace(&mut self.phase, ParsePhase::RequestLine);
+                let ParsePhase::Body {
+                    method,
+                    path,
+                    keep_alive,
+                    headers,
+                    ..
+                } = phase
+                else {
+                    unreachable!("phase checked above");
+                };
+                self.start += body_len;
+                self.finish_request();
+                return Ok(Some(Request {
+                    method,
+                    path,
+                    headers,
+                    body,
+                    keep_alive,
+                }));
+            }
+
+            // Head phase: hunt for the next newline from the resume point.
+            let Some(rel) = self.buf[self.scan..].iter().position(|&b| b == b'\n') else {
+                self.scan = self.buf.len();
+                // The blocking parser consumes partial-line bytes as they
+                // arrive and trips the head budget as soon as cumulative
+                // consumption would exceed it — even mid-line.
+                if self.head_bytes + (self.scan - self.line_start) > MAX_HEAD_BYTES {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                return Ok(None);
+            };
+            let nl = self.scan + rel;
+            let take = nl + 1 - self.line_start;
+            if self.head_bytes + take > MAX_HEAD_BYTES {
+                return Err(HttpError::HeadTooLarge);
+            }
+            self.head_bytes += take;
+            let line = finish_line(&self.buf[self.line_start..=nl]);
+            self.line_start = nl + 1;
+            self.scan = self.line_start;
+            self.start = self.line_start;
+
+            match std::mem::replace(&mut self.phase, ParsePhase::RequestLine) {
+                ParsePhase::RequestLine => {
+                    let (method, path, keep_alive) = parse_request_line(line)?;
+                    self.phase = ParsePhase::Headers {
+                        method,
+                        path,
+                        keep_alive,
+                        headers: Vec::new(),
+                    };
+                }
+                ParsePhase::Headers {
+                    method,
+                    path,
+                    mut keep_alive,
+                    mut headers,
+                } => {
+                    if line.is_empty() {
+                        // Head complete: the body plan (and its typed
+                        // errors) is decided here, same as the blocking
+                        // parser deciding it right after the header loop.
+                        let body_len = declared_body_len(&method, &headers)?;
+                        self.phase = ParsePhase::Body {
+                            method,
+                            path,
+                            keep_alive,
+                            headers,
+                            body_len,
+                        };
+                    } else {
+                        headers.push(parse_header_line(line, &mut keep_alive)?);
+                        self.phase = ParsePhase::Headers {
+                            method,
+                            path,
+                            keep_alive,
+                            headers,
+                        };
+                    }
+                }
+                ParsePhase::Body { .. } => unreachable!("body handled before line scan"),
+            }
+        }
+    }
+
+    /// Resets per-request state and compacts the buffer once the consumed
+    /// prefix grows past the head cap (keeps long-lived keep-alive
+    /// connections from accreting memory).
+    fn finish_request(&mut self) {
+        self.head_bytes = 0;
+        self.line_start = self.start;
+        self.scan = self.start;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+        } else if self.start > MAX_HEAD_BYTES {
+            self.buf.drain(..self.start);
+        } else {
+            return;
+        }
+        self.line_start -= self.start;
+        self.scan -= self.start;
+        self.start = 0;
+    }
 }
 
 /// A response under construction.

@@ -38,9 +38,11 @@
 pub mod admission;
 pub mod canon;
 pub mod chaos;
+pub mod connscale;
 pub mod http;
 pub mod json;
 pub mod loadgen;
+pub(crate) mod reactor;
 pub mod server;
 pub mod session;
 pub mod telemetry;
@@ -49,8 +51,9 @@ pub mod wal;
 pub use admission::{AdmissionController, AdmissionError, Permit};
 pub use canon::{canonicalize_sql, template_hash};
 pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosOutcome, ChaosReport};
+pub use connscale::{run_conn_scale, ConnScaleConfig, ConnScaleReport};
 pub use loadgen::{overload_probe, run_load, LoadConfig, LoadReport, ProbeReport};
-pub use server::{start, ServerConfig, ServerHandle, ServerState};
+pub use server::{start, Backend, ServerConfig, ServerHandle, ServerState};
 pub use session::{SessionStore, StoredProfile, UpsertMode, WriteListener};
 pub use telemetry::{Telemetry, DEADLINE_REMAINING_HEADER, TRACE_ID_HEADER};
 pub use wal::{OpenedWal, PutRecord, RecoveryReport, Wal};

@@ -296,8 +296,9 @@ fn pick_user<'a>(config: &'a LoadConfig, state: &mut u64) -> Option<&'a String> 
 }
 
 /// Renders the personalize body for `(client, index)` of the mix,
-/// returning `(body, zero_deadline, user)`.
-fn render_request(
+/// returning `(body, zero_deadline, user)`. Shared with the
+/// connection-scale generator so both draw one mix.
+pub(crate) fn render_request(
     config: &LoadConfig,
     client: usize,
     index: usize,

@@ -50,11 +50,69 @@ use std::time::{Duration, Instant};
 /// How often blocked reads wake up to re-check lifecycle and deadlines.
 const POLL_MS: u64 = 25;
 
+/// Which serving backend owns sockets and request reads.
+///
+/// Both backends route through the same handler, admission gate, solver
+/// driver, caches, and telemetry — the `backend_differential` suite holds
+/// them to bit-identical answers. The env var `CQP_SERVER_BACKEND`
+/// (`threaded` | `epoll`) overrides the default, which is how CI runs
+/// every socket-level suite against both without duplicating tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One blocking handler thread per connection (the portable
+    /// baseline).
+    #[default]
+    Threaded,
+    /// A readiness-driven epoll reactor pool (Linux; C10k-capable).
+    Epoll,
+}
+
+impl Backend {
+    /// Stable lowercase tag for configs, reports, and `/metrics`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Threaded => "threaded",
+            Backend::Epoll => "epoll",
+        }
+    }
+
+    /// Parses the wire/CLI spelling.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "threaded" => Some(Backend::Threaded),
+            "epoll" => Some(Backend::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The backend `CQP_SERVER_BACKEND` selects, or `Threaded`.
+    pub fn from_env() -> Backend {
+        std::env::var("CQP_SERVER_BACKEND")
+            .ok()
+            .and_then(|v| Backend::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
 /// Tunables for [`start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
+    /// Which serving backend owns sockets ([`Backend::from_env`] by
+    /// default, so suites and benches can flip it without code changes).
+    pub backend: Backend,
+    /// Reactor (event-loop) threads for the epoll backend; reactor 0
+    /// additionally owns the listener.
+    pub reactor_threads: usize,
+    /// Resident solver-worker threads for the epoll backend. `0` sizes
+    /// the pool to `max_inflight + queue_cap + 2`, so the admission gate
+    /// — not the worker pool — stays the shedding bottleneck, exactly as
+    /// in the thread-per-connection backend.
+    pub worker_threads: usize,
+    /// Most connections the epoll backend holds open at once; accepts
+    /// beyond the cap are closed immediately.
+    pub max_connections: usize,
     /// Concurrent personalization executions admitted.
     pub max_inflight: usize,
     /// Requests allowed to wait for an execution slot; beyond this → 429.
@@ -120,6 +178,10 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            backend: Backend::from_env(),
+            reactor_threads: 2,
+            worker_threads: 0,
+            max_connections: 16_384,
             max_inflight: std::thread::available_parallelism().map_or(2, usize::from),
             queue_cap: 32,
             retry_after_ms: 250,
@@ -199,11 +261,11 @@ pub struct ServerState {
     pub telemetry: Telemetry,
     /// What startup recovery replayed, when the store is durable.
     pub recovery: Option<RecoveryReport>,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     started: Instant,
-    phase: AtomicU8,
-    active_conns: AtomicUsize,
-    drain_rejected: AtomicU64,
+    pub(crate) phase: AtomicU8,
+    pub(crate) active_conns: AtomicUsize,
+    pub(crate) drain_rejected: AtomicU64,
 }
 
 impl ServerState {
@@ -302,8 +364,17 @@ pub struct DrainStats {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    conns: ConnRegistry,
+    backend: BackendImpl,
+}
+
+/// Backend-specific ownership inside [`ServerHandle`].
+#[derive(Debug)]
+enum BackendImpl {
+    Threaded {
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+        conns: ConnRegistry,
+    },
+    Epoll(crate::reactor::EpollHandle),
 }
 
 /// Live connections with their handler threads, pruned as they finish.
@@ -357,11 +428,16 @@ impl ServerHandle {
             )
             .is_err()
         {
-            // Already draining or stopped; just make sure the accept
-            // thread is gone.
-            if let Some(t) = self.accept_thread.take() {
-                let _ = TcpStream::connect(self.addr);
-                let _ = t.join();
+            // Already draining or stopped; just make sure the backend's
+            // threads are gone.
+            match &mut self.backend {
+                BackendImpl::Threaded { accept_thread, .. } => {
+                    if let Some(t) = accept_thread.take() {
+                        let _ = TcpStream::connect(self.addr);
+                        let _ = t.join();
+                    }
+                }
+                BackendImpl::Epoll(h) => h.join_all(),
             }
             return DrainStats {
                 drain_ms: 0,
@@ -370,41 +446,51 @@ impl ServerHandle {
             };
         }
         self.state.obs.set_gauge("server.phase", 1.0);
-        // Unblock `accept` by connecting once; the loop re-checks the
-        // phase and exits.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Drain: handlers finish their in-flight request, answer new work
-        // with 503 + close, and exit; idle connections close within one
-        // poll tick.
-        let deadline = t0 + drain_deadline;
-        loop {
-            if prune_finished(&self.conns) == 0 {
-                break;
+        let forced = match &mut self.backend {
+            BackendImpl::Threaded {
+                accept_thread,
+                conns,
+            } => {
+                // Unblock `accept` by connecting once; the loop re-checks
+                // the phase and exits.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                // Drain: handlers finish their in-flight request, answer
+                // new work with 503 + close, and exit; idle connections
+                // close within one poll tick.
+                let deadline = t0 + drain_deadline;
+                loop {
+                    if prune_finished(conns) == 0 {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // Sever whatever outlived the deadline, then join uncon-
+                // ditionally: a severed socket errors the handler's next
+                // read/write.
+                prune_finished(conns);
+                let stragglers: Vec<(TcpStream, JoinHandle<()>)> = {
+                    let mut reg = conns.lock().unwrap_or_else(|p| p.into_inner());
+                    reg.drain(..).collect()
+                };
+                let mut forced = 0;
+                for (sock, _) in &stragglers {
+                    if sock.shutdown(Shutdown::Both).is_ok() {
+                        forced += 1;
+                    }
+                }
+                for (_, handle) in stragglers {
+                    let _ = handle.join();
+                }
+                forced
             }
-            if Instant::now() >= deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        // Sever whatever outlived the deadline, then join uncondition-
-        // ally: a severed socket errors the handler's next read/write.
-        prune_finished(&self.conns);
-        let stragglers: Vec<(TcpStream, JoinHandle<()>)> = {
-            let mut reg = self.conns.lock().unwrap_or_else(|p| p.into_inner());
-            reg.drain(..).collect()
+            BackendImpl::Epoll(h) => h.drain(&self.state, t0 + drain_deadline),
         };
-        let mut forced = 0;
-        for (sock, _) in &stragglers {
-            if sock.shutdown(Shutdown::Both).is_ok() {
-                forced += 1;
-            }
-        }
-        for (_, handle) in stragglers {
-            let _ = handle.join();
-        }
         self.state
             .phase
             .store(Phase::Stopped as u8, Ordering::SeqCst);
@@ -495,6 +581,15 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         active_conns: AtomicUsize::new(0),
         drain_rejected: AtomicU64::new(0),
     });
+    if state.config.backend == Backend::Epoll {
+        let handle = crate::reactor::EpollHandle::start(listener, Arc::clone(&state))?;
+        return Ok(ServerHandle {
+            addr,
+            state,
+            backend: BackendImpl::Epoll(handle),
+        });
+    }
+
     let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
 
     let accept_state = Arc::clone(&state);
@@ -534,8 +629,10 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
     Ok(ServerHandle {
         addr,
         state,
-        accept_thread: Some(accept_thread),
-        conns,
+        backend: BackendImpl::Threaded {
+            accept_thread: Some(accept_thread),
+            conns,
+        },
     })
 }
 
@@ -611,40 +708,13 @@ fn serve_connection(stream: TcpStream, state: &ServerState) {
         set_deadline(None);
         served += 1;
         let (response, keep_alive) = match parsed {
-            Ok(req) => {
-                if state.phase() != Phase::Live
-                    && !matches!(
-                        req.segments().first(),
-                        Some(&"healthz") | Some(&"metrics") | Some(&"debug")
-                    )
-                {
-                    // Draining: answer new work with 503 + close. Health,
-                    // metrics, and debug stay reachable so pollers (and
-                    // an operator pulling traces) see the transition.
-                    state.drain_rejected.fetch_add(1, Ordering::Relaxed);
-                    state.obs.add("server.drain_rejected", 1);
-                    (draining_response(), false)
-                } else {
-                    let keep = req.keep_alive
-                        && served < state.config.max_requests_per_conn
-                        && state.phase() == Phase::Live;
-                    (route(state, &req, req_t0, parse_us), keep)
-                }
-            }
+            Ok(req) => handle_request(state, &req, served, req_t0, parse_us),
             Err(HttpError::ConnectionClosed) => return,
             Err(HttpError::Io(std::io::ErrorKind::TimedOut)) => {
                 // The read deadline expired mid-request: a slowloris (or
                 // a genuinely glacial client) — answer 408 and close.
                 state.obs.add("server.read_timeouts", 1);
-                (
-                    ApiError::new(
-                        408,
-                        "request_timeout",
-                        "request did not complete within the read deadline",
-                    )
-                    .response(),
-                    false,
-                )
+                (read_timeout_response(), false)
             }
             Err(HttpError::Io(_)) => return,
             Err(e) => {
@@ -694,6 +764,49 @@ fn wait_for_request(reader: &mut BufReader<TimedStream>, state: &ServerState) ->
             Err(_) => return IdleWait::Close,
         }
     }
+}
+
+/// Dispatches one parsed request through the lifecycle policy both
+/// backends share: drain rejection (with the health/metrics/debug
+/// exemption), the keep-alive decision (client wish ∧ per-connection
+/// request cap ∧ still live), and routing. `served` counts this request
+/// (i.e. it is already incremented). Returns `(response, keep_alive)`.
+pub(crate) fn handle_request(
+    state: &ServerState,
+    req: &Request,
+    served: usize,
+    req_t0: Instant,
+    parse_us: u64,
+) -> (Response, bool) {
+    if state.phase() != Phase::Live
+        && !matches!(
+            req.segments().first(),
+            Some(&"healthz") | Some(&"metrics") | Some(&"debug")
+        )
+    {
+        // Draining: answer new work with 503 + close. Health, metrics,
+        // and debug stay reachable so pollers (and an operator pulling
+        // traces) see the transition.
+        state.drain_rejected.fetch_add(1, Ordering::Relaxed);
+        state.obs.add("server.drain_rejected", 1);
+        (draining_response(), false)
+    } else {
+        let keep = req.keep_alive
+            && served < state.config.max_requests_per_conn
+            && state.phase() == Phase::Live;
+        (route(state, req, req_t0, parse_us), keep)
+    }
+}
+
+/// The `408` a slowloris (or genuinely glacial) request is answered with
+/// when its read deadline expires.
+pub(crate) fn read_timeout_response() -> Response {
+    ApiError::new(
+        408,
+        "request_timeout",
+        "request did not complete within the read deadline",
+    )
+    .response()
 }
 
 /// The `503 Connection: close` everything but health/metrics gets while
@@ -747,7 +860,7 @@ impl ApiError {
 }
 
 /// Maps an HTTP parse failure onto a 4xx.
-fn http_error_response(e: &HttpError) -> Response {
+pub(crate) fn http_error_response(e: &HttpError) -> Response {
     let (status, code) = match e {
         HttpError::BodyTooLarge(_) => (413, "body_too_large"),
         HttpError::HeadTooLarge => (431, "head_too_large"),

@@ -15,13 +15,19 @@ use cqp_obs::Json;
 use cqp_server::http::{parse_response, ClientResponse, HttpError};
 use cqp_server::server::Phase;
 use cqp_server::{
-    json, run_chaos, start, ChaosConfig, ChaosMode, ChaosOutcome, ServerConfig, ServerHandle,
+    json, run_chaos, run_conn_scale, start, Backend, ChaosConfig, ChaosMode, ChaosOutcome,
+    ConnScaleConfig, LoadConfig, ServerConfig, ServerHandle,
 };
 use cqp_storage::Database;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Every socket-level scenario in this file runs against both serving
+/// backends: misbehaving clients and drains are exactly where the epoll
+/// reactor must not diverge from the threaded baseline.
+const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Epoll];
 
 const PROFILE_WIRE: &str = "# cqp-profile v1\n\
     profile al\n\
@@ -61,7 +67,14 @@ fn personalize_body() -> String {
 
 #[test]
 fn chaos_modes_answer_or_reap_and_server_stays_bit_exact() {
+    for backend in BACKENDS {
+        chaos_modes_answer_or_reap(backend);
+    }
+}
+
+fn chaos_modes_answer_or_reap(backend: Backend) {
     let (db, mut handle) = boot(ServerConfig {
+        backend,
         // A short read deadline so slowloris is reaped quickly; chaos
         // patience below comfortably exceeds it.
         read_timeout_ms: 400,
@@ -174,7 +187,14 @@ fn chaos_modes_answer_or_reap_and_server_stays_bit_exact() {
 
 #[test]
 fn drain_finishes_inflight_rejects_arrivals_and_joins_every_thread() {
+    for backend in BACKENDS {
+        drain_finishes_inflight(backend);
+    }
+}
+
+fn drain_finishes_inflight(backend: Backend) {
     let (_db, handle) = boot(ServerConfig {
+        backend,
         read_timeout_ms: 5_000,
         drain_deadline_ms: 5_000,
         ..ServerConfig::default()
@@ -252,7 +272,14 @@ fn drain_finishes_inflight_rejects_arrivals_and_joins_every_thread() {
 
 #[test]
 fn healthz_stays_reachable_and_reports_draining_mid_drain() {
+    for backend in BACKENDS {
+        healthz_reachable_mid_drain(backend);
+    }
+}
+
+fn healthz_reachable_mid_drain(backend: Backend) {
     let (_db, handle) = boot(ServerConfig {
+        backend,
         read_timeout_ms: 5_000,
         ..ServerConfig::default()
     });
@@ -297,7 +324,14 @@ fn healthz_stays_reachable_and_reports_draining_mid_drain() {
 
 #[test]
 fn keep_alive_connections_close_at_the_request_cap() {
+    for backend in BACKENDS {
+        keep_alive_request_cap(backend);
+    }
+}
+
+fn keep_alive_request_cap(backend: Backend) {
     let (_db, mut handle) = boot(ServerConfig {
+        backend,
         max_requests_per_conn: 2,
         ..ServerConfig::default()
     });
@@ -324,4 +358,80 @@ fn keep_alive_connections_close_at_the_request_cap() {
         other => panic!("third request must hit a closed connection, got {other:?}"),
     }
     handle.stop();
+}
+
+/// The reactor at connection scale: an idle keep-alive herd is held open
+/// while slowloris writers drip and open-loop lanes push real traffic —
+/// then the idle deadline must reap every idle connection, the read
+/// deadline must end every dripper, and a drain must quiesce the rest
+/// with nothing force-severed and nothing leaked.
+///
+/// The in-process herd defaults to 2 000 connections (both socket ends
+/// share this process's fd table); `CQP_C10K_TARGET` scales it up to the
+/// full 10k on machines with the fd budget — the `reproduce serve` bench
+/// runs that shape against a child `serverd` process.
+#[test]
+fn epoll_reaps_idle_herd_and_slowloris_then_drains_with_zero_leaks() {
+    let requested: usize = std::env::var("CQP_C10K_TARGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    // Two fds per in-process connection, plus server internals + margin.
+    let (soft, _hard) = cqp_sys::nofile_limit().expect("rlimit");
+    let _ = cqp_sys::raise_nofile_limit(soft.max(requested as u64 * 2 + 512));
+    let (soft, _hard) = cqp_sys::nofile_limit().expect("rlimit");
+    let target = requested.min(((soft.saturating_sub(512)) / 2) as usize);
+
+    let (_db, mut handle) = boot(ServerConfig {
+        backend: Backend::Epoll,
+        read_timeout_ms: 1_200,
+        drain_deadline_ms: 5_000,
+        max_connections: target + 256,
+        seed_users: 2,
+        seed: 11,
+        ..ServerConfig::default()
+    });
+    let state = Arc::clone(handle.state());
+    let report = run_conn_scale(
+        handle.addr(),
+        &ConnScaleConfig {
+            idle_conns: target,
+            slowloris_conns: 12,
+            drip_interval_ms: 40,
+            lanes: 2,
+            lane_rps: 60,
+            lane_requests: 30,
+            mix: LoadConfig {
+                users: vec!["user0001".into(), "user0002".into()],
+                queries: vec![SQL.to_string()],
+                ..LoadConfig::default()
+            },
+            reap_patience_ms: 15_000,
+            connect_burst: 64,
+        },
+    )
+    .expect("conn scale run");
+
+    // The herd arrived (the OS may refuse a few dials at the margin) and
+    // every accepted connection was eventually closed by the server.
+    assert!(
+        report.idle_opened as usize >= target * 9 / 10,
+        "herd failed to establish: {report:?}"
+    );
+    assert_eq!(report.idle_leaked, 0, "{report:?}");
+    assert_eq!(report.slowloris_leaked, 0, "{report:?}");
+    assert_eq!(report.slowloris_reaped, report.slowloris_opened);
+    assert_eq!(report.leaked(), 0);
+    // Lanes got real answers through the pressure.
+    assert!(report.lane_ok > 0, "{report:?}");
+    assert_eq!(report.lane_errors, 0, "{report:?}");
+
+    // Everything the client saw reaped is also gone server-side, the
+    // reap counters moved, and the drain has nothing left to sever.
+    assert_eq!(state.driver.submit_panics(), 0);
+    let stats = handle.shutdown(Duration::from_millis(5_000));
+    assert!(stats.graceful, "{stats:?}");
+    assert_eq!(stats.forced, 0, "{stats:?}");
+    assert_eq!(state.active_connections(), 0);
+    assert_eq!(state.phase(), Phase::Stopped);
 }

@@ -28,6 +28,9 @@
 //!             (BENCH_recovery.json)
 //!   cache     cache-off vs cache-on closed-loop load over a Zipf-skewed
 //!             user mix with live profile mutations (BENCH_cache.json)
+//!   cluster   distributed tier: SIGKILL-failover write-loss audit against
+//!             child serverd pairs + divergent-vs-uniform replica routing
+//!             + ring balance (BENCH_cluster.json)
 //!
 //! --threads N fans the fig12 grid cells and the batch driver across N
 //! work-stealing workers (default 1 = sequential).
@@ -186,6 +189,10 @@ fn main() {
     }
     if run_all || experiment == "cache" {
         cache_experiment(&w, threads, &out);
+        ran = true;
+    }
+    if run_all || experiment == "cluster" {
+        cluster_experiment(&out);
         ran = true;
     }
     if !ran {
@@ -1969,6 +1976,488 @@ fn recovery(w: &Workload, out: &Path) {
     let _ = std::fs::remove_dir_all(&wal_root);
     println!(
         "BENCH_recovery.json written ({} and repo root)\n",
+        out.display()
+    );
+}
+
+/// One bench-side HTTP request over a fresh connection.
+fn cluster_http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<cqp_server::http::ClientResponse> {
+    use std::io::{BufReader, Write};
+    let stream = std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(20)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n");
+    if let Some(b) = body {
+        head.push_str(&format!("content-length: {}\r\n", b.len()));
+    }
+    head.push_str("\r\n");
+    let mut payload = head.into_bytes();
+    if let Some(b) = body {
+        payload.extend_from_slice(b.as_bytes());
+    }
+    writer.write_all(&payload)?;
+    writer.flush()?;
+    cqp_server::http::parse_response(&mut BufReader::new(stream))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Removes `fields` from every object level of `json` — used to compare
+/// personalize answers minus the per-run fields (`latency_us`, `cache`).
+fn cluster_strip(json: Json, fields: &[&str]) -> Json {
+    match json {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| !fields.contains(&k.as_str()))
+                .map(|(k, v)| (k, cluster_strip(v, fields)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(
+            items
+                .into_iter()
+                .map(|v| cluster_strip(v, fields))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// One op of the seeded failover burst: `(user, profile wire text)`.
+fn cluster_burst_op(seed: u64, round: u64, i: u64) -> (String, String) {
+    const USERS: [&str; 6] = ["al", "bo", "cy", "di", "ed", "fay"];
+    const GENRES: [&str; 4] = ["comedy", "drama", "horror", "scifi"];
+    let r = rand::splitmix64_mix(seed ^ rand::splitmix64_mix(round.wrapping_mul(0x9E37) ^ i));
+    let user = USERS[(r % USERS.len() as u64) as usize];
+    let genre = GENRES[((r >> 8) % GENRES.len() as u64) as usize];
+    let year = 1970 + ((r >> 16) % 50);
+    let text = format!(
+        "# cqp-profile v1\n\
+         profile {user}\n\
+         join 0.9 MOVIE.mid GENRE.mid\n\
+         select 0.8 GENRE.genre eq \"{genre}\"\n\
+         select 0.6 MOVIE.year ge {year}\n"
+    );
+    (user.to_string(), text)
+}
+
+fn cluster_personalize_body(user: &str, sql: &str) -> String {
+    format!(
+        "{{\"user\":{},\"sql\":{},\"problem\":{{\"kind\":\"p2\",\"cmax\":500}},\
+         \"algorithm\":\"c_maxbounds\"}}",
+        Json::Str(user.to_string()).render(),
+        Json::Str(sql.to_string()).render()
+    )
+}
+
+/// Outcome of one kill-the-primary audit round.
+struct ClusterRound {
+    kill_at: u64,
+    acked: u64,
+    lost: u64,
+    mismatches: u64,
+}
+
+/// The write-loss audit against an already-running primary/follower pair:
+/// runs a seeded profile burst against the primary, invokes `kill` after
+/// `kill_at` acknowledged writes (SIGKILL for child processes), promotes
+/// the follower, and checks that every acknowledged write — and the
+/// personalize answer it implies — is present on the promoted follower,
+/// bit-identical to a fresh single-node reference that replayed the same
+/// acknowledged sequence.
+fn cluster_audit_round(
+    db: &Arc<cqp_storage::Database>,
+    primary_addr: std::net::SocketAddr,
+    follower_addr: std::net::SocketAddr,
+    kill: &mut dyn FnMut(),
+    seed: u64,
+    round: u64,
+) -> ClusterRound {
+    let total = 60u64;
+    let kill_at = 15 + rand::splitmix64_mix(seed.wrapping_add(round.wrapping_mul(0xC13))) % 30;
+    let mut acked: Vec<(String, String)> = Vec::new();
+    for i in 0..total {
+        let (user, text) = cluster_burst_op(seed, round, i);
+        match cluster_http(
+            primary_addr,
+            "POST",
+            &format!("/profiles/{user}"),
+            Some(&text),
+        ) {
+            Ok(resp) if resp.status == 200 => acked.push((user, text)),
+            // The primary is gone (or refused): nothing past this point
+            // was acknowledged, so nothing past this point is owed.
+            _ => break,
+        }
+        if acked.len() as u64 == kill_at {
+            kill();
+        }
+    }
+    let promoted =
+        cluster_http(follower_addr, "POST", "/admin/promote", Some("")).expect("promote follower");
+    assert_eq!(promoted.status, 200, "{}", promoted.body_text());
+
+    // A fresh single-node reference replays the same acknowledged writes;
+    // the promoted follower must agree with it bit-for-bit.
+    let mut reference = cqp_server::start(
+        Arc::clone(db),
+        cqp_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            seed_users: 0,
+            ..Default::default()
+        },
+    )
+    .expect("reference server");
+    for (user, text) in &acked {
+        let resp = cluster_http(
+            reference.addr(),
+            "POST",
+            &format!("/profiles/{user}"),
+            Some(text),
+        )
+        .expect("reference upsert");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+    }
+    let users: std::collections::BTreeSet<&str> = acked.iter().map(|(u, _)| u.as_str()).collect();
+    let mut lost = 0u64;
+    let mut mismatches = 0u64;
+    for user in &users {
+        let on_follower = cluster_http(follower_addr, "GET", &format!("/profiles/{user}"), None);
+        let on_reference =
+            cluster_http(reference.addr(), "GET", &format!("/profiles/{user}"), None)
+                .expect("reference read");
+        match on_follower {
+            Ok(resp) if resp.status == 200 && resp.body == on_reference.body => {}
+            _ => lost += 1,
+        }
+        for sql in [
+            "SELECT title FROM MOVIE",
+            "SELECT title FROM MOVIE WHERE MOVIE.year >= 1990",
+        ] {
+            let body = cluster_personalize_body(user, sql);
+            let f = cluster_http(follower_addr, "POST", "/personalize", Some(&body))
+                .expect("follower personalize");
+            let r = cluster_http(reference.addr(), "POST", "/personalize", Some(&body))
+                .expect("reference personalize");
+            assert_eq!(f.status, 200, "{}", f.body_text());
+            assert_eq!(r.status, 200, "{}", r.body_text());
+            let strip = |resp: &cqp_server::http::ClientResponse| {
+                cluster_strip(
+                    cqp_server::json::parse(&resp.body_text()).expect("personalize JSON"),
+                    &["latency_us", "cache"],
+                )
+                .render()
+            };
+            if strip(&f) != strip(&r) {
+                mismatches += 1;
+            }
+        }
+    }
+    reference.stop();
+    ClusterRound {
+        kill_at,
+        acked: acked.len() as u64,
+        lost,
+        mismatches,
+    }
+}
+
+/// Spawns a child `serverd`, reading its banner lines. Returns the child,
+/// its serving address, and (for primaries) its replication address.
+fn cluster_spawn_serverd(
+    bin: &Path,
+    wal_dir: &Path,
+    role_args: &[&str],
+) -> (
+    std::process::Child,
+    std::net::SocketAddr,
+    Option<std::net::SocketAddr>,
+) {
+    use std::io::BufRead;
+    let mut child = std::process::Command::new(bin)
+        .args(["--addr", "127.0.0.1:0", "--seed", "7", "--seed-users", "0"])
+        .arg("--wal-dir")
+        .arg(wal_dir)
+        .args(role_args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serverd");
+    let stdout = child.stdout.take().expect("serverd stdout");
+    let mut repl_addr = None;
+    let mut addr = None;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.expect("serverd banner");
+        if let Some(rest) = line.strip_prefix("replication on ") {
+            repl_addr = rest.split_whitespace().next().and_then(|a| a.parse().ok());
+        } else if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = rest.split_whitespace().next().and_then(|a| a.parse().ok());
+            break;
+        }
+    }
+    (child, addr.expect("serverd readiness banner"), repl_addr)
+}
+
+/// One arm of the divergent-vs-uniform comparison: boots a 2-group
+/// in-process cluster under `policy`, seeds profiles through the router
+/// (so ring placement is real), and drives a Zipf-skewed template mix.
+fn cluster_routing_leg(policy: cqp_cluster::RoutingPolicy, root: &Path) -> cqp_server::LoadReport {
+    use cqp_cluster::{Cluster, ClusterConfig};
+    let mut config = ClusterConfig::new(2, root.join(policy.as_str()));
+    config.policy = policy;
+    let mut cluster = Cluster::start(config).expect("cluster start");
+    let addr = cluster.router.addr();
+    let users: Vec<String> = (0..12).map(|i| format!("user{i:03}")).collect();
+    for user in &users {
+        let text = format!(
+            "# cqp-profile v1\n\
+             profile {user}\n\
+             join 0.9 MOVIE.mid GENRE.mid\n\
+             select 0.8 GENRE.genre eq \"comedy\"\n\
+             select 0.6 MOVIE.year ge 1990\n"
+        );
+        let resp = cluster_http(addr, "POST", &format!("/profiles/{user}"), Some(&text))
+            .expect("seed profile");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+    }
+    let load = cqp_server::LoadConfig {
+        clients: 4,
+        requests_per_client: 150,
+        seed: 42,
+        users,
+        queries: (0..6)
+            .map(|i| {
+                format!(
+                    "SELECT title FROM MOVIE WHERE MOVIE.year >= {}",
+                    1970 + i * 5
+                )
+            })
+            .collect(),
+        algorithms: vec!["c_maxbounds".to_string()],
+        problems: vec!["{\"kind\":\"p2\",\"cmax\":500}".to_string()],
+        zero_deadline_permille: 0,
+        top_k_choices: vec![-1],
+        zipf_theta: 0.8,
+        ..cqp_server::LoadConfig::default()
+    };
+    let report = cqp_server::run_load_targets(&[addr], &load).expect("cluster load");
+    cluster.stop();
+    report
+}
+
+/// `reproduce cluster` — the distributed-tier audit. Three legs:
+///
+/// 1. **SIGKILL failover, zero lost acknowledged writes** — seeded
+///    rounds against child `serverd` primary/follower pairs (in-process
+///    pairs when the binary is absent): SIGKILL the primary at a seeded
+///    point mid-burst, promote the follower, and verify every
+///    acknowledged write — profile bytes and the personalize answer they
+///    imply — against a fresh single-node reference.
+/// 2. **Divergent vs uniform read routing** — the same Zipf template mix
+///    through a 2-group cluster under both policies; divergent (template
+///    class → pinned replica) must beat uniform on answer-cache hits.
+/// 3. **Ring balance** — placement spread of 10k users over 4 groups.
+///
+/// Emits `BENCH_cluster.json` in `out` and at the repo root.
+fn cluster_experiment(out: &Path) {
+    use cqp_cluster::{Ring, RoutingPolicy};
+    use cqp_datagen::{generate_movie_db, MovieDbConfig};
+
+    println!("--- cluster: failover audit + divergent routing + ring balance ---");
+    let seed = 7u64;
+    let rounds = 3u64;
+    let root = out.join("cluster-wal");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("cluster wal root");
+    let db = Arc::new(generate_movie_db(&MovieDbConfig::tiny(seed)));
+
+    let serverd = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|d| d.join("serverd")))
+        .filter(|p| p.is_file());
+    let mode = if serverd.is_some() {
+        "child-process"
+    } else {
+        "in-process"
+    };
+    let mut round_docs = Vec::new();
+    let mut total_acked = 0u64;
+    let mut total_lost = 0u64;
+    let mut total_mismatches = 0u64;
+    for round in 0..rounds {
+        let outcome = match &serverd {
+            Some(bin) => {
+                let (mut primary, primary_addr, repl_addr) = cluster_spawn_serverd(
+                    bin,
+                    &root.join(format!("r{round}-primary")),
+                    &["--repl-listen", "127.0.0.1:0"],
+                );
+                let repl_addr = repl_addr.expect("primary replication banner");
+                let (mut follower, follower_addr, _) = cluster_spawn_serverd(
+                    bin,
+                    &root.join(format!("r{round}-follower")),
+                    &["--follow", &repl_addr.to_string()],
+                );
+                let outcome = cluster_audit_round(
+                    &db,
+                    primary_addr,
+                    follower_addr,
+                    &mut || {
+                        // SIGKILL: no drain, no flush courtesy — the
+                        // acked-write contract must hold anyway.
+                        let _ = primary.kill();
+                        let _ = primary.wait();
+                    },
+                    seed,
+                    round,
+                );
+                // Idempotent: the round's kill closure already SIGKILLed
+                // the primary on the expected path.
+                let _ = primary.kill();
+                let _ = primary.wait();
+                let _ = follower.kill();
+                let _ = follower.wait();
+                outcome
+            }
+            None => {
+                let mut primary = cqp_server::start(
+                    Arc::clone(&db),
+                    cqp_server::ServerConfig {
+                        addr: "127.0.0.1:0".into(),
+                        wal_dir: Some(root.join(format!("r{round}-primary"))),
+                        repl_listen: Some("127.0.0.1:0".into()),
+                        seed_users: 0,
+                        ..Default::default()
+                    },
+                )
+                .expect("primary start");
+                let repl_addr = primary.repl_addr().expect("primary repl addr");
+                let mut follower = cqp_server::start(
+                    Arc::clone(&db),
+                    cqp_server::ServerConfig {
+                        addr: "127.0.0.1:0".into(),
+                        wal_dir: Some(root.join(format!("r{round}-follower"))),
+                        follow: Some(repl_addr.to_string()),
+                        seed_users: 0,
+                        ..Default::default()
+                    },
+                )
+                .expect("follower start");
+                let primary_addr = primary.addr();
+                let follower_addr = follower.addr();
+                let outcome = cluster_audit_round(
+                    &db,
+                    primary_addr,
+                    follower_addr,
+                    &mut || primary.stop(),
+                    seed,
+                    round,
+                );
+                follower.stop();
+                outcome
+            }
+        };
+        println!(
+            "round {round}: killed primary after {} acks ({} acked total) — \
+             lost {}  personalize mismatches {}",
+            outcome.kill_at, outcome.acked, outcome.lost, outcome.mismatches
+        );
+        total_acked += outcome.acked;
+        total_lost += outcome.lost;
+        total_mismatches += outcome.mismatches;
+        round_docs.push(Json::obj(vec![
+            ("round", Json::from(round)),
+            ("kill_after_acks", Json::from(outcome.kill_at)),
+            ("acked_writes", Json::from(outcome.acked)),
+            ("lost_acked_writes", Json::from(outcome.lost)),
+            ("personalize_mismatches", Json::from(outcome.mismatches)),
+        ]));
+    }
+    assert_eq!(total_lost, 0, "acknowledged writes lost across failover");
+    assert_eq!(
+        total_mismatches, 0,
+        "post-failover personalize diverged from the single-node reference"
+    );
+
+    let divergent = cluster_routing_leg(RoutingPolicy::Divergent, &root);
+    let uniform = cluster_routing_leg(RoutingPolicy::Uniform, &root);
+    println!(
+        "routing: divergent hit rate {:.3} at {:.0} req/s vs uniform {:.3} at {:.0} req/s",
+        divergent.cache_hit_rate(),
+        divergent.requests_per_sec,
+        uniform.cache_hit_rate(),
+        uniform.requests_per_sec
+    );
+    assert_eq!(divergent.io_errors, 0, "{divergent:?}");
+    assert_eq!(uniform.io_errors, 0, "{uniform:?}");
+    assert!(
+        divergent.cache_hit_rate() > uniform.cache_hit_rate(),
+        "divergent routing must beat uniform on cache hits: {:.3} vs {:.3}",
+        divergent.cache_hit_rate(),
+        uniform.cache_hit_rate()
+    );
+
+    let ring = Ring::with_groups(&["g0", "g1", "g2", "g3"]);
+    let keys: Vec<String> = (0..10_000).map(|i| format!("user{i:05}")).collect();
+    let load = ring.load(&keys);
+    let max = load.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let min = load.iter().map(|(_, c)| *c).min().unwrap_or(0);
+    println!(
+        "ring: 10k users over 4 groups — min {min}, max {max}, ratio {:.2}",
+        max as f64 / min.max(1) as f64
+    );
+
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("cluster".into())),
+        ("seed", Json::from(seed)),
+        ("mode", Json::Str(mode.into())),
+        (
+            "failover",
+            Json::obj(vec![
+                ("rounds", Json::from(rounds)),
+                ("acked_writes", Json::from(total_acked)),
+                ("lost_acked_writes", Json::from(total_lost)),
+                ("personalize_mismatches", Json::from(total_mismatches)),
+                ("rounds_detail", Json::Arr(round_docs)),
+            ]),
+        ),
+        (
+            "routing",
+            Json::obj(vec![
+                ("divergent", divergent.to_json()),
+                ("uniform", uniform.to_json()),
+                ("divergent_hit_rate", Json::from(divergent.cache_hit_rate())),
+                ("uniform_hit_rate", Json::from(uniform.cache_hit_rate())),
+                (
+                    "hit_rate_advantage",
+                    Json::from(divergent.cache_hit_rate() - uniform.cache_hit_rate()),
+                ),
+                ("divergent_rps", Json::from(divergent.requests_per_sec)),
+                ("uniform_rps", Json::from(uniform.requests_per_sec)),
+            ]),
+        ),
+        (
+            "ring",
+            Json::obj(vec![
+                ("groups", Json::from(4u64)),
+                ("keys", Json::from(10_000u64)),
+                ("min_load", Json::from(min as u64)),
+                ("max_load", Json::from(max as u64)),
+                ("load_ratio", Json::from(max as f64 / min.max(1) as f64)),
+            ]),
+        ),
+    ]);
+    let rendered = doc.render();
+    std::fs::write(out.join("BENCH_cluster.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_cluster.json", &rendered).expect("bench write");
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "BENCH_cluster.json written ({} and repo root)\n",
         out.display()
     );
 }

@@ -1,0 +1,138 @@
+//! In-process cluster harness: N primary/follower shard groups behind a
+//! router, all in one process.
+//!
+//! This is the CI-runnable shape of the distributed tier: every replica
+//! is a real `cqp-server` instance with its own WAL directory, real
+//! loopback sockets, and a real replication stream — only the process
+//! boundary is folded away so tests can reach into [`ServerHandle`]s
+//! (stop a primary, dump a store) without signals. The `reproduce
+//! cluster` bench uses actual child `serverd` processes for the SIGKILL
+//! failover audit; everything else runs on this harness.
+
+use crate::router::{start_router, RouterConfig, RouterHandle, RoutingPolicy, ShardSpec};
+use cqp_datagen::{generate_movie_db, MovieDbConfig};
+use cqp_server::{start, ServerConfig, ServerHandle};
+use cqp_storage::Database;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cluster topology knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shard groups; each gets one primary and one follower.
+    pub groups: usize,
+    /// Datagen database seed (all replicas share the database).
+    pub seed: u64,
+    /// Read-routing policy for the router.
+    pub policy: RoutingPolicy,
+    /// Root directory for WAL storage: group `i` journals under
+    /// `root/g{i}/primary` and `root/g{i}/follower`.
+    pub root: PathBuf,
+    /// Router health-probe period (also the failover detection bound).
+    pub probe_interval: Duration,
+}
+
+impl ClusterConfig {
+    /// A `groups`-group cluster journaling under `root`.
+    pub fn new(groups: usize, root: impl Into<PathBuf>) -> ClusterConfig {
+        ClusterConfig {
+            groups,
+            seed: 7,
+            policy: RoutingPolicy::Divergent,
+            root: root.into(),
+            probe_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One running shard group.
+#[derive(Debug)]
+pub struct ClusterGroup {
+    /// Ring name (`g{i}`) — what the router places users onto.
+    pub name: String,
+    /// The initial primary (ships its WAL to the follower).
+    pub primary: ServerHandle,
+    /// The follower (applies the stream; promotable).
+    pub follower: ServerHandle,
+}
+
+/// A running in-process cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    /// The shard groups, index-aligned with the router's ring names.
+    pub groups: Vec<ClusterGroup>,
+    /// The front door.
+    pub router: RouterHandle,
+    db: Arc<Database>,
+}
+
+impl Cluster {
+    /// Boots `config.groups` primary/follower pairs and a router over
+    /// them. Stores start empty — populate through the router so ring
+    /// placement is real.
+    pub fn start(config: ClusterConfig) -> io::Result<Cluster> {
+        let db = Arc::new(generate_movie_db(&MovieDbConfig::tiny(config.seed)));
+        let mut groups = Vec::with_capacity(config.groups);
+        let mut shards = Vec::with_capacity(config.groups);
+        for i in 0..config.groups {
+            let name = format!("g{i}");
+            let primary = start(
+                Arc::clone(&db),
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    wal_dir: Some(config.root.join(&name).join("primary")),
+                    repl_listen: Some("127.0.0.1:0".into()),
+                    seed_users: 0,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )?;
+            let repl_addr = primary.repl_addr().ok_or_else(|| {
+                io::Error::other("primary started without a replication listener")
+            })?;
+            let follower = start(
+                Arc::clone(&db),
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    wal_dir: Some(config.root.join(&name).join("follower")),
+                    follow: Some(repl_addr.to_string()),
+                    seed_users: 0,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )?;
+            shards.push(ShardSpec {
+                name: name.clone(),
+                replicas: vec![primary.addr(), follower.addr()],
+            });
+            groups.push(ClusterGroup {
+                name,
+                primary,
+                follower,
+            });
+        }
+        let router = start_router(RouterConfig {
+            shards,
+            policy: config.policy,
+            probe_interval: config.probe_interval,
+            ..Default::default()
+        })?;
+        Ok(Cluster { groups, router, db })
+    }
+
+    /// The shared movie database every replica serves.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Stops the router, then every replica (drains in-flight work).
+    pub fn stop(&mut self) {
+        self.router.stop();
+        for group in &mut self.groups {
+            group.primary.stop();
+            group.follower.stop();
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! cqp-cluster — the distributed tier: a consistent-hash router over
+//! WAL-shipping shard groups.
+//!
+//! One shard group = a primary `cqp-server` plus a follower joined by
+//! the synchronous replication stream (`cqp_server::repl`): the primary
+//! acknowledges a profile write only after the follower has applied it,
+//! so killing a primary loses no acknowledged write. The router
+//! ([`start_router`]) places users on groups with a consistent-hash
+//! [`Ring`], sends writes to primaries (no retry — failover instead),
+//! and routes reads *divergently*: each canonical SQL template class is
+//! pinned to one replica so that replica's answer/cost caches stay warm
+//! for it, instead of every replica paying every cold miss.
+//!
+//! Three layers:
+//!
+//! * [`ring`] — placement (balance + minimal movement, property-tested).
+//! * [`router`] — the HTTP front door: routing, failover, health probes.
+//! * [`harness`] — an in-process N-group cluster for tests and benches.
+//!
+//! The `routerd` binary wraps [`start_router`] for real multi-process
+//! deployments (see `serverd --repl-listen/--follow` for the replicas).
+
+pub mod harness;
+pub mod ring;
+pub mod router;
+
+pub use harness::{Cluster, ClusterConfig, ClusterGroup};
+pub use ring::{key_point, Ring, DEFAULT_VNODES};
+pub use router::{start_router, Router, RouterConfig, RouterHandle, RoutingPolicy, ShardSpec};

@@ -10,7 +10,13 @@
 //! serverd --addr 127.0.0.1:9142 --wal-dir /tmp/cqp-wal --seed 42 [--seed-users 8]
 //!         [--trace-sample N] [--slo-ms N] [--chrome-trace PATH]
 //!         [--backend threaded|epoll] [--read-timeout-ms N] [--max-conns N]
+//!         [--repl-listen HOST:PORT | --follow HOST:PORT]
 //! ```
+//!
+//! `--repl-listen` / `--follow` form primary/follower pairs: the primary
+//! ships its WAL synchronously to the follower, and `POST /admin/promote`
+//! fails the follower over (see `cqp_server::repl`). `serverd --help`
+//! documents every flag.
 //!
 //! `--backend` picks the serving core (defaults to `CQP_SERVER_BACKEND`,
 //! then `threaded`); the connection-scale bench boots `--backend epoll`
@@ -79,6 +85,8 @@ fn main() {
             }
             "--chrome-trace" => chrome_trace = Some(value("--chrome-trace").into()),
             "--no-answer-cache" => config.answer_cache = false,
+            "--repl-listen" => config.repl_listen = Some(value("--repl-listen")),
+            "--follow" => config.follow = Some(value("--follow")),
             "--backend" => {
                 let v = value("--backend");
                 config.backend = Backend::parse(&v).unwrap_or_else(|| {
@@ -100,10 +108,42 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: serverd [--addr HOST:PORT] [--wal-dir DIR] [--seed N] \
-                     [--seed-users N] [--trace-sample N] [--slo-ms N] \
-                     [--chrome-trace PATH] [--no-answer-cache] \
-                     [--backend threaded|epoll] [--read-timeout-ms N] [--max-conns N]"
+                    "serverd — a standalone cqp-server process\n\
+                     \n\
+                     usage: serverd [FLAGS]\n\
+                     \n\
+                     serving:\n\
+                     \x20 --addr HOST:PORT         bind address (default 127.0.0.1:0 = ephemeral port)\n\
+                     \x20 --backend threaded|epoll serving core (default $CQP_SERVER_BACKEND, then threaded)\n\
+                     \x20 --max-conns N            epoll backend: most connections held open at once\n\
+                     \x20 --read-timeout-ms N      per-request read deadline / keep-alive idle timeout\n\
+                     \n\
+                     data:\n\
+                     \x20 --wal-dir DIR            journal the session store to a WAL in DIR and\n\
+                     \x20                          recover from it on startup\n\
+                     \x20 --seed N                 datagen database seed (default 7)\n\
+                     \x20 --seed-users N           pre-seed N deterministic user profiles (0 = none;\n\
+                     \x20                          only applies when recovery left the store empty)\n\
+                     \x20 --no-answer-cache        disable the cross-request answer cache\n\
+                     \n\
+                     replication:\n\
+                     \x20 --repl-listen HOST:PORT  act as a primary: ship the WAL to whichever\n\
+                     \x20                          follower connects here (requires --wal-dir)\n\
+                     \x20 --follow HOST:PORT       act as a follower of the primary whose replication\n\
+                     \x20                          listener is at this address (requires --wal-dir;\n\
+                     \x20                          POST /admin/promote fails over); mutually\n\
+                     \x20                          exclusive with --repl-listen\n\
+                     \n\
+                     observability:\n\
+                     \x20 --trace-sample N         capture one span tree every N personalize requests\n\
+                     \x20                          (0 = off; explicit x-cqp-trace-id always captured)\n\
+                     \x20 --slo-ms N               latency objective for SLO burn accounting\n\
+                     \x20 --chrome-trace PATH      periodically dump the trace ring as a Chrome\n\
+                     \x20                          trace-event document (atomic tmp+rename)\n\
+                     \n\
+                     The readiness contract: the last line printed on successful boot is\n\
+                     `listening on ADDR (recovered N records)`; with --repl-listen a\n\
+                     `replication on ADDR` line precedes it."
                 );
                 return;
             }
@@ -151,6 +191,11 @@ fn main() {
         .recovery
         .as_ref()
         .map_or(0, |r| r.records_replayed());
+    if let Some(repl_addr) = handle.repl_addr() {
+        // Where followers connect; printed before the readiness line so a
+        // spawner reading until "listening on" has it already.
+        println!("replication on {repl_addr}");
+    }
     // The "listening on" line is the readiness contract with CI scripts.
     println!(
         "listening on {} (recovered {recovered} records)",

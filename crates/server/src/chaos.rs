@@ -150,14 +150,7 @@ impl ChaosReport {
     }
 }
 
-/// SplitMix64 — the workspace's standard seeded mixer.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use rand::splitmix64_mix as splitmix64;
 
 fn mix(seed: u64, mode: usize, iteration: usize) -> u64 {
     splitmix64(seed ^ splitmix64(mode as u64 ^ splitmix64(iteration as u64)))

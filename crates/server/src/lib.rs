@@ -25,6 +25,9 @@
 //!   per-request deadlines ([`Budget`](cqp_core::prelude::Budget)).
 //! * [`wal`] — the append-only, checksummed write-ahead log that makes
 //!   the session store survive crashes (torn tails healed on replay).
+//! * [`repl`] — synchronous WAL shipping to a follower replica, with
+//!   follower roles and `POST /admin/promote` failover (the WAL record
+//!   format doubles as the replication wire format).
 //! * [`telemetry`] — per-server trace identity and sampling, trace
 //!   retention (ring + slow-query log), SLO time series, and the labeled
 //!   request counters behind the Prometheus `/metrics` endpoint.
@@ -43,6 +46,7 @@ pub mod http;
 pub mod json;
 pub mod loadgen;
 pub(crate) mod reactor;
+pub mod repl;
 pub mod server;
 pub mod session;
 pub mod telemetry;
@@ -52,7 +56,10 @@ pub use admission::{AdmissionController, AdmissionError, Permit};
 pub use canon::{canonicalize_sql, template_hash};
 pub use chaos::{run_chaos, ChaosConfig, ChaosMode, ChaosOutcome, ChaosReport};
 pub use connscale::{run_conn_scale, ConnScaleConfig, ConnScaleReport};
-pub use loadgen::{overload_probe, run_load, LoadConfig, LoadReport, ProbeReport};
+pub use loadgen::{
+    overload_probe, run_load, run_load_targets, LoadConfig, LoadReport, ProbeReport,
+};
+pub use repl::{Repl, Role};
 pub use server::{start, Backend, ServerConfig, ServerHandle, ServerState};
 pub use session::{SessionStore, StoredProfile, UpsertMode, WriteListener};
 pub use telemetry::{Telemetry, DEADLINE_REMAINING_HEADER, TRACE_ID_HEADER};

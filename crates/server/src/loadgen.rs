@@ -184,13 +184,7 @@ impl LoadReport {
 }
 
 /// splitmix64 — the mix stream is a pure function of the seed.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use rand::splitmix64;
 
 fn pick<'a, T>(items: &'a [T], state: &mut u64) -> Option<&'a T> {
     if items.is_empty() {
@@ -374,16 +368,36 @@ fn trace_id_for(config: &LoadConfig, client: usize, index: usize) -> String {
 /// clients saw. Returns an `io::Error` only when a client cannot connect
 /// at all; per-request socket failures are counted in the report.
 pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadReport> {
+    run_load_targets(&[addr], config)
+}
+
+/// Multi-target [`run_load`]: client `i` drives `targets[i % len]`, so a
+/// cluster's router processes (or replicas under test) split the closed
+/// loop deterministically. The per-client request streams are identical
+/// to single-target runs — only the socket each client dials differs.
+pub fn run_load_targets(
+    targets: &[SocketAddr],
+    config: &LoadConfig,
+) -> std::io::Result<LoadReport> {
     if config.users.is_empty() || config.queries.is_empty() || config.problems.is_empty() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
             "load config needs at least one user, query, and problem",
         ));
     }
+    if targets.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "load needs at least one target address",
+        ));
+    }
     let t0 = Instant::now();
     let per_client: Vec<(Vec<u64>, LoadReport)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..config.clients.max(1))
-            .map(|c| s.spawn(move || client_loop(addr, config, c)))
+            .map(|c| {
+                let addr = targets[c % targets.len()];
+                s.spawn(move || client_loop(addr, config, c))
+            })
             .collect();
         handles
             .into_iter()

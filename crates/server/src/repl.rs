@@ -1,0 +1,506 @@
+//! WAL shipping: synchronous primary → follower replication.
+//!
+//! The on-disk WAL format (`W1 <len> <fnv1a64> <payload>\n`, see
+//! [`crate::wal`]) doubles as the wire format: the primary ships every
+//! appended frame verbatim over one TCP stream, and the follower's
+//! decoder is the same [`decode_frame`] recovery uses — a frame that
+//! hasn't fully arrived looks exactly like a torn tail and simply waits
+//! for more bytes. Replication correctness therefore rides on the same
+//! checksummed framing the crash-recovery differential already proves.
+//!
+//! ## Protocol
+//!
+//! One follower connects to the primary's replication listener. The
+//! primary sends, in order:
+//!
+//! 1. **History** — every valid frame currently on disk (snapshot file
+//!    then log), captured under the WAL log lock so the boundary between
+//!    history and live stream is exact (no gap, no duplicate).
+//! 2. **Live frames** — each subsequent append, shipped from inside the
+//!    WAL's frame listener *while the log lock is held*.
+//!
+//! The follower applies each decoded frame to its store (and its own
+//! WAL) and answers with a single ack byte `a`. The primary's frame
+//! listener blocks until the cumulative ack count covers the frame it
+//! just shipped. Because that happens before the client's `200` is
+//! written, **an acknowledged profile write is on the follower by the
+//! time the client sees the ack** — the zero-lost-acked-writes guarantee
+//! is by construction, not by luck, and holds under SIGKILL at any
+//! instant.
+//!
+//! ## Failover
+//!
+//! Roles are static per process start (`--follow` makes a follower) with
+//! one transition: `POST /admin/promote` flips a follower to primary —
+//! it stops consuming the stream, starts accepting profile writes, and
+//! counts a failover. The router (see `cqp-cluster`) drives this when it
+//! detects primary death. A promoted follower does not re-ship to a new
+//! follower of its own; chained re-replication is future work.
+
+use crate::session::SessionStore;
+use crate::wal::{decode_frame, FrameListener, Wal};
+use cqp_storage::Catalog;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long the primary waits for a follower ack before declaring the
+/// follower dead and detaching it. Generous: loopback acks take
+/// microseconds, so only a truly wedged follower trips this.
+const ACK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a booting follower keeps retrying its primary connection
+/// (the primary's replication listener may bind a moment later).
+const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(10);
+
+/// Which side of the replication stream this process is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes; ships its WAL to an attached follower.
+    Primary = 0,
+    /// Applies the primary's stream; rejects direct writes until promoted.
+    Follower = 1,
+}
+
+impl Role {
+    /// Stable lowercase tag for `/healthz/ready` and `/metrics`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+        }
+    }
+}
+
+/// Replication state shared between the server handlers, the shipping
+/// listener, and the follower's apply thread.
+#[derive(Debug)]
+pub struct Repl {
+    role: AtomicU8,
+    /// Frames written to the follower socket (history + live).
+    sent: Arc<AtomicU64>,
+    /// Acks drained from the follower (≤ sent; lag = sent - acked).
+    acked: Arc<AtomicU64>,
+    /// Live frames shipped *and* acked through the frame listener.
+    shipped: AtomicU64,
+    /// Frames applied from the stream while following.
+    received: AtomicU64,
+    /// Follower → primary promotions.
+    failovers: AtomicU64,
+    /// Bound address of the replication listener, when primary-capable.
+    repl_addr: Mutex<Option<SocketAddr>>,
+    /// The follower's stream socket, kept so promotion can sever it.
+    follow_conn: Mutex<Option<TcpStream>>,
+    stopping: AtomicBool,
+}
+
+impl Repl {
+    fn new(role: Role) -> Self {
+        Repl {
+            role: AtomicU8::new(role as u8),
+            sent: Arc::new(AtomicU64::new(0)),
+            acked: Arc::new(AtomicU64::new(0)),
+            shipped: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            repl_addr: Mutex::new(None),
+            follow_conn: Mutex::new(None),
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// This process's current role.
+    pub fn role(&self) -> Role {
+        if self.role.load(Ordering::SeqCst) == Role::Follower as u8 {
+            Role::Follower
+        } else {
+            Role::Primary
+        }
+    }
+
+    /// Where followers connect, once the listener is bound.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        *self.repl_addr.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// `(shipped, received, failovers)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.shipped.load(Ordering::Relaxed),
+            self.received.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Frames written to the follower but not yet acked. Synchronous
+    /// shipping keeps this at 0 between appends; it is nonzero only
+    /// inside an append or when the follower has died mid-stream.
+    pub fn lag_records(&self) -> u64 {
+        self.sent
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.acked.load(Ordering::Relaxed))
+    }
+
+    /// Promotes a follower to primary: stops consuming the stream and
+    /// lets profile writes through. Idempotent — promoting a primary is
+    /// a no-op returning `false`.
+    pub fn promote(&self) -> bool {
+        let was_follower = self
+            .role
+            .compare_exchange(
+                Role::Follower as u8,
+                Role::Primary as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if was_follower {
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+            // Sever the stream so the apply thread exits even if the
+            // (dead) primary never closes its end.
+            if let Some(conn) = self
+                .follow_conn
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+            {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        was_follower
+    }
+
+    /// Unblocks and retires the replication accept loop (server shutdown).
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.repl_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(conn) = self
+            .follow_conn
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Starts the primary-side replication listener on `listen_addr`: each
+/// accepted follower gets the WAL history and then the live frame
+/// stream. The newest follower wins; attaching a new one detaches the
+/// previous. Returns the shared [`Repl`] with the bound address filled in.
+pub fn start_primary(listen_addr: &str, wal: Arc<Wal>) -> io::Result<Arc<Repl>> {
+    let listener = TcpListener::bind(listen_addr)?;
+    let addr = listener.local_addr()?;
+    let repl = Arc::new(Repl::new(Role::Primary));
+    *repl.repl_addr.lock().unwrap_or_else(|p| p.into_inner()) = Some(addr);
+    let accept_repl = Arc::clone(&repl);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_repl.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if let Err(e) = attach_follower(&accept_repl, &wal, stream) {
+                eprintln!("repl: follower attach failed: {e}");
+            }
+        }
+    });
+    Ok(repl)
+}
+
+/// One attached follower: the write half plus the ack reader, locked
+/// together so ship/ack pairs from the frame listener stay ordered.
+struct FollowerConn {
+    stream: TcpStream,
+}
+
+/// Sends the WAL history to a newly connected follower and installs the
+/// live frame listener.
+fn attach_follower(repl: &Arc<Repl>, wal: &Arc<Wal>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(ACK_TIMEOUT))?;
+    stream.set_write_timeout(Some(ACK_TIMEOUT))?;
+    // A new follower restarts the ship/ack ledger.
+    repl.sent.store(0, Ordering::SeqCst);
+    repl.acked.store(0, Ordering::SeqCst);
+    let sent = Arc::clone(&repl.sent);
+    let acked = Arc::clone(&repl.acked);
+    let conn = Mutex::new(FollowerConn {
+        stream: stream.try_clone()?,
+    });
+    let mut history_stream = stream;
+    let hist_sent = Arc::clone(&repl.sent);
+    let listener_repl = Arc::clone(repl);
+    let listener: FrameListener = Arc::new(move |frame: &[u8]| {
+        let mut c = conn.lock().unwrap_or_else(|p| p.into_inner());
+        c.stream.write_all(frame)?;
+        let target = sent.fetch_add(1, Ordering::SeqCst) + 1;
+        // Drain acks (history acks lazily, this frame's synchronously):
+        // returning Ok means the follower has applied everything up to
+        // and including this frame.
+        while acked.load(Ordering::SeqCst) < target {
+            let mut b = [0u8; 1];
+            c.stream.read_exact(&mut b)?;
+            if b[0] != b'a' {
+                return Err(io::Error::other("repl: bad ack byte from follower"));
+            }
+            acked.fetch_add(1, Ordering::SeqCst);
+        }
+        listener_repl.shipped.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    });
+    wal.attach_replica(
+        |history| {
+            history_stream.write_all(history)?;
+            // Preload the ledger with the history frame count; their acks
+            // drain on the first live ship.
+            let mut frames = 0u64;
+            let mut offset = 0usize;
+            while let Some((_, next)) = decode_frame(history, offset) {
+                offset = next;
+                frames += 1;
+            }
+            hist_sent.store(frames, Ordering::SeqCst);
+            Ok(())
+        },
+        listener,
+    )
+}
+
+/// Starts the follower side: connects to the primary's replication
+/// listener at `primary_addr` (retrying briefly while it boots), applies
+/// every decoded frame to `store`, and acks each one. The apply thread
+/// exits when the stream closes, errors, or the process is promoted.
+pub fn start_follower(
+    primary_addr: String,
+    store: Arc<SessionStore>,
+    catalog: Catalog,
+) -> io::Result<Arc<Repl>> {
+    let repl = Arc::new(Repl::new(Role::Follower));
+    let stream = connect_with_retry(&primary_addr)?;
+    stream.set_nodelay(true).ok();
+    // Short poll so a promoted follower notices within one tick even if
+    // the dead primary's socket never closes.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    *repl.follow_conn.lock().unwrap_or_else(|p| p.into_inner()) = Some(stream.try_clone()?);
+    let apply_repl = Arc::clone(&repl);
+    std::thread::spawn(move || {
+        if let Err(e) = follow_loop(&apply_repl, stream, &store, &catalog) {
+            if apply_repl.role() == Role::Follower {
+                eprintln!("repl: stream from primary ended: {e}");
+            }
+        }
+    });
+    Ok(repl)
+}
+
+fn connect_with_retry(addr: &str) -> io::Result<TcpStream> {
+    let deadline = std::time::Instant::now() + CONNECT_RETRY_WINDOW;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// The follower's apply loop: incremental [`decode_frame`] over a
+/// growing buffer — exactly the recovery decoder, fed by the socket.
+fn follow_loop(
+    repl: &Arc<Repl>,
+    mut stream: TcpStream,
+    store: &SessionStore,
+    catalog: &Catalog,
+) -> io::Result<()> {
+    let mut ack_stream = stream.try_clone()?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut offset = 0usize;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if repl.role() != Role::Follower {
+            return Ok(()); // promoted: stop consuming
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(io::Error::other("primary closed the stream")),
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll tick — re-check the role
+            }
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((rec, next)) = decode_frame(&buf, offset) {
+            // Apply before acking: an acked frame is queryable.
+            if store
+                .apply_replicated(&buf[offset..next], &rec, catalog)
+                .is_err()
+            {
+                // A checksummed record whose profile no longer parses —
+                // same stance as recovery: skip, stay available.
+            }
+            repl.received.fetch_add(1, Ordering::Relaxed);
+            ack_stream.write_all(b"a")?;
+            offset = next;
+        }
+        // Reclaim the applied prefix so the buffer stays bounded by one
+        // in-flight frame, not the whole history.
+        if offset > 0 {
+            buf.drain(..offset);
+            offset = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_storage::{DataType, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(RelationSchema::new(
+            "MOVIE",
+            vec![("mid", DataType::Int), ("title", DataType::Str)],
+        ))
+        .unwrap();
+        c.add_relation(RelationSchema::new(
+            "GENRE",
+            vec![("mid", DataType::Int), ("genre", DataType::Str)],
+        ))
+        .unwrap();
+        c
+    }
+
+    const WIRE: &str = "# cqp-profile v1\nprofile al\nselect 0.7 GENRE.genre eq \"comedy\"\n";
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cqp-repl-{tag}-{}-{}",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-")
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// End-to-end in-process shipping: writes on the primary store appear
+    /// on the follower store (history + live), dumps bit-identical.
+    #[test]
+    fn ships_history_and_live_frames() {
+        let c = catalog();
+        let (p_dir, f_dir) = (tmpdir("ship-p"), tmpdir("ship-f"));
+        let (primary, _) = SessionStore::recover(4, &p_dir, &c).unwrap();
+        // History: two writes before the follower exists.
+        primary
+            .upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace)
+            .unwrap();
+        primary
+            .upsert_text("bo", WIRE, &c, crate::session::UpsertMode::Replace)
+            .unwrap();
+        let wal = Arc::clone(primary.wal().unwrap());
+        let repl = start_primary("127.0.0.1:0", wal).unwrap();
+        let (follower, _) = SessionStore::recover(4, &f_dir, &c).unwrap();
+        let follower = Arc::new(follower);
+        let f_repl = start_follower(
+            repl.repl_addr().unwrap().to_string(),
+            Arc::clone(&follower),
+            c.clone(),
+        )
+        .unwrap();
+        // Wait for history to apply. Once it has, the frame listener is
+        // provably installed (install happens under the same log lock
+        // appends take, before any live append can proceed).
+        let t0 = std::time::Instant::now();
+        while f_repl.counters().1 < 2 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "history never applied"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Live: the upsert returning means the follower acked, so the
+        // follower store is already current.
+        primary
+            .upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace)
+            .unwrap();
+        primary
+            .upsert_text("cy", WIRE, &c, crate::session::UpsertMode::Replace)
+            .unwrap();
+        assert_eq!(follower.dump(&c), primary.dump(&c));
+        assert_eq!(follower.get("al").unwrap().version, 2);
+        assert_eq!(repl.lag_records(), 0);
+        assert_eq!(repl.counters().0, 2); // two live frames shipped+acked
+        assert_eq!(f_repl.counters().1, 4); // four frames applied
+                                            // The follower journaled the stream to its own WAL: a recovery
+                                            // from the follower's directory reproduces the same store.
+        drop(f_repl);
+        let (recovered, _) = SessionStore::recover(4, &f_dir, &c).unwrap();
+        assert_eq!(recovered.dump(&c), primary.dump(&c));
+        let _ = std::fs::remove_dir_all(&p_dir);
+        let _ = std::fs::remove_dir_all(&f_dir);
+    }
+
+    /// Promotion flips the role once, counts a failover, and the promoted
+    /// store accepts its own (version-bumping) writes on top of the
+    /// replicated state.
+    #[test]
+    fn promote_stops_following_and_accepts_writes() {
+        let c = catalog();
+        let (p_dir, f_dir) = (tmpdir("promote-p"), tmpdir("promote-f"));
+        let (primary, _) = SessionStore::recover(4, &p_dir, &c).unwrap();
+        let wal = Arc::clone(primary.wal().unwrap());
+        let repl = start_primary("127.0.0.1:0", wal).unwrap();
+        let (follower, _) = SessionStore::recover(4, &f_dir, &c).unwrap();
+        let follower = Arc::new(follower);
+        let f_repl = start_follower(
+            repl.repl_addr().unwrap().to_string(),
+            Arc::clone(&follower),
+            c.clone(),
+        )
+        .unwrap();
+        primary
+            .upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace)
+            .unwrap();
+        // Wait until the frame has crossed (it may have shipped as
+        // history if the write beat the attach).
+        let t0 = std::time::Instant::now();
+        while f_repl.counters().1 < 1 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "frame never applied"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(f_repl.role(), Role::Follower);
+        assert!(f_repl.promote());
+        assert!(!f_repl.promote()); // idempotent
+        assert_eq!(f_repl.role(), Role::Primary);
+        assert_eq!(f_repl.counters().2, 1);
+        // The promoted store continues the version chain from the
+        // replicated state: al is at 1, the next write bumps to 2.
+        let (v, _) = follower
+            .upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace)
+            .unwrap();
+        assert_eq!(v, 2);
+        repl.stop();
+        let _ = std::fs::remove_dir_all(&p_dir);
+        let _ = std::fs::remove_dir_all(&f_dir);
+    }
+}

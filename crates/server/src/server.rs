@@ -172,6 +172,16 @@ pub struct ServerConfig {
     pub slo_objective_ms: u64,
     /// Sliding window for the request-rate and burn-ratio gauges, seconds.
     pub slo_window_secs: u64,
+    /// When set, bind a replication listener here and ship the WAL to
+    /// whichever follower connects (requires `wal_dir`). Port 0 picks an
+    /// ephemeral port; the bound address is on [`ServerHandle::repl_addr`].
+    pub repl_listen: Option<String>,
+    /// When set, boot as a *follower* of the primary whose replication
+    /// listener is at this address: apply its WAL stream, reject direct
+    /// profile writes until promoted via `POST /admin/promote`. Requires
+    /// `wal_dir` (the follower journals the stream for its own failover).
+    /// Mutually exclusive with `repl_listen`.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -208,6 +218,8 @@ impl Default for ServerConfig {
             slow_log_capacity: 16,
             slo_objective_ms: 250,
             slo_window_secs: 60,
+            repl_listen: None,
+            follow: None,
         }
     }
 }
@@ -250,7 +262,8 @@ pub struct ServerState {
     /// The solver driver (persistent LRU submit cache).
     pub driver: BatchDriver,
     /// Per-user profiles (WAL-backed when `config.wal_dir` is set).
-    pub store: SessionStore,
+    /// Shared with the replication apply thread on followers.
+    pub store: Arc<SessionStore>,
     /// The admission gate.
     pub gate: AdmissionController,
     /// The dispatch circuit breaker (shared with the driver).
@@ -261,6 +274,9 @@ pub struct ServerState {
     pub telemetry: Telemetry,
     /// What startup recovery replayed, when the store is durable.
     pub recovery: Option<RecoveryReport>,
+    /// Replication role + counters, when this process is part of a
+    /// primary/follower pair (`config.repl_listen` / `config.follow`).
+    pub repl: Option<Arc<crate::repl::Repl>>,
     pub(crate) config: ServerConfig,
     started: Instant,
     pub(crate) phase: AtomicU8,
@@ -406,6 +422,12 @@ impl ServerHandle {
         &self.state
     }
 
+    /// The bound replication-listener address, when `repl_listen` was set
+    /// (resolves port 0) — where a follower's `follow` should point.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.state.repl.as_ref().and_then(|r| r.repl_addr())
+    }
+
     /// Graceful shutdown with the configured drain deadline. Idempotent.
     pub fn stop(&mut self) {
         let deadline = Duration::from_millis(self.state.config.drain_deadline_ms);
@@ -417,6 +439,12 @@ impl ServerHandle {
     /// no handler thread is running. Idempotent — later calls are no-ops.
     pub fn shutdown(&mut self, drain_deadline: Duration) -> DrainStats {
         let t0 = Instant::now();
+        // Retire replication threads first (idempotent): the accept loop
+        // unblocks and exits, a follower's apply loop sees its stream
+        // severed.
+        if let Some(repl) = &self.state.repl {
+            repl.stop();
+        }
         if self
             .state
             .phase
@@ -537,6 +565,7 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         }
         None => (SessionStore::new(config.store_shards), None),
     };
+    let store = Arc::new(store);
     if let Some(cache) = &answer_cache {
         // Session writes eagerly drop every cached scope of the written
         // profile; WAL replay above deliberately did not route through
@@ -549,6 +578,38 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
     if config.seed_users > 0 && store.is_empty() {
         store.seed_from_datagen(db.catalog(), config.seed_users, config.seed);
     }
+    let repl = match (&config.repl_listen, &config.follow) {
+        (Some(_), Some(_)) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "repl_listen and follow are mutually exclusive \
+                 (a promoted follower does not re-ship; chained replication is unsupported)",
+            ))
+        }
+        (Some(listen), None) => {
+            let wal = store.wal().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "repl_listen requires wal_dir (replication ships the WAL)",
+                )
+            })?;
+            Some(crate::repl::start_primary(listen, Arc::clone(wal))?)
+        }
+        (None, Some(primary)) => {
+            if store.wal().is_none() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "follow requires wal_dir (the follower journals the stream)",
+                ));
+            }
+            Some(crate::repl::start_follower(
+                primary.clone(),
+                Arc::clone(&store),
+                db.catalog().clone(),
+            )?)
+        }
+        (None, None) => None,
+    };
     let obs = Arc::new(Obs::new());
     if let Some(r) = &recovery {
         obs.add("server.wal_records_recovered", r.records_replayed());
@@ -574,6 +635,7 @@ pub fn start(db: Arc<Database>, config: ServerConfig) -> std::io::Result<ServerH
         obs,
         telemetry,
         recovery,
+        repl,
         db,
         config,
         started: Instant::now(),
@@ -907,12 +969,14 @@ fn route(state: &ServerState, req: &Request, t0: Instant, parse_us: u64) -> Resp
         ("GET", ["debug", "slow"]) => Ok(debug_slow(state)),
         ("POST", ["profiles", user]) => upsert_profile(state, req, user),
         ("GET", ["profiles", user]) => get_profile(state, user),
+        ("POST", ["admin", "promote"]) => Ok(promote(state)),
         ("POST", ["personalize"]) => {
             return personalize_route(state, req, t0, parse_us);
         }
         (_, ["healthz" | "metrics"])
         | (_, ["healthz", "live" | "ready"])
         | (_, ["debug", "traces" | "slow"])
+        | (_, ["admin", "promote"])
         | (_, ["profiles", _])
         | (_, ["personalize"]) => Err(ApiError::new(
             405,
@@ -1121,11 +1185,18 @@ fn readiness(state: &ServerState) -> Response {
     } else {
         200
     };
+    // Followers are *ready* (they serve reads); the role field tells the
+    // router which replica may take writes.
+    let role = state
+        .repl
+        .as_ref()
+        .map_or("standalone", |r| r.role().as_str());
     Response::json(
         code,
         &Json::obj(vec![
             ("status", Json::from(status)),
             ("breaker", Json::from(breaker.as_str())),
+            ("role", Json::from(role)),
         ]),
     )
 }
@@ -1347,6 +1418,34 @@ fn metrics(state: &ServerState) -> Response {
             );
         }
     }
+    if let Some(repl) = &state.repl {
+        let (shipped, received, failovers) = repl.counters();
+        w.gauge(
+            "cqp_repl_role",
+            "Replication role: 0 primary, 1 follower.",
+            repl.role() as u8 as f64,
+        );
+        w.gauge(
+            "cqp_repl_lag_records",
+            "Frames written to the follower socket but not yet acked.",
+            repl.lag_records() as f64,
+        );
+        w.counter(
+            "cqp_repl_shipped_total",
+            "WAL frames shipped to and acked by a follower.",
+            shipped,
+        );
+        w.counter(
+            "cqp_repl_received_total",
+            "WAL frames applied from the primary's stream.",
+            received,
+        );
+        w.counter(
+            "cqp_repl_failovers_total",
+            "Follower-to-primary promotions.",
+            failovers,
+        );
+    }
     // SLO: windowed rate and burn over per-second buckets.
     let tel = &state.telemetry;
     let slo = tel.slo.snapshot();
@@ -1411,7 +1510,41 @@ impl ServerState {
     }
 }
 
+/// `POST /admin/promote` — flips a follower to primary (failover). On a
+/// primary (or a server with no replication role) this is a no-op that
+/// reports the current role, so the router can fire it blind.
+fn promote(state: &ServerState) -> Response {
+    let (promoted, role, failovers) = match &state.repl {
+        Some(repl) => {
+            let promoted = repl.promote();
+            (promoted, repl.role().as_str(), repl.counters().2)
+        }
+        None => (false, "primary", 0),
+    };
+    Response::json(
+        200,
+        &Json::obj(vec![
+            ("promoted", Json::Bool(promoted)),
+            ("role", Json::from(role)),
+            ("failovers", Json::from(failovers)),
+        ]),
+    )
+}
+
 fn upsert_profile(state: &ServerState, req: &Request, user: &str) -> Result<Response, ApiError> {
+    if let Some(repl) = &state.repl {
+        if repl.role() == crate::repl::Role::Follower {
+            // Followers apply the primary's stream only: accepting a
+            // direct write here would fork the version chain the primary
+            // is still extending. 503 (not 4xx) — the router retries the
+            // write against the primary, or promotes us first.
+            return Err(ApiError::new(
+                503,
+                "not_primary",
+                "this replica is a follower; write to the primary or promote it",
+            ));
+        }
+    }
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| ApiError::new(400, "bad_encoding", "profile body must be utf-8"))?;
     let mode = if req.query_param("merge") == Some("true") {

@@ -11,7 +11,7 @@
 //! response can state which profile version produced it — the closest
 //! zero-dependency analog of an MVCC read timestamp.
 
-use crate::wal::{RecoveryReport, Wal};
+use crate::wal::{PutRecord, RecoveryReport, Wal};
 use cqp_prefs::{from_text, to_text, Profile, ProfileParseError};
 use cqp_storage::Catalog;
 use std::collections::{BTreeMap, HashMap};
@@ -74,14 +74,10 @@ pub struct SessionStore {
     misses: AtomicU64,
 }
 
-/// FNV-1a over the user id — stable across runs, so shard placement is
-/// deterministic.
+/// FNV-1a over the user id (the shared workspace hash) — stable across
+/// runs, so shard placement is deterministic.
 fn hash_user(user: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in user.as_bytes() {
-        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    cqp_core::answer_cache::fnv1a(cqp_core::answer_cache::FNV_OFFSET, user.as_bytes())
 }
 
 impl SessionStore {
@@ -201,6 +197,51 @@ impl SessionStore {
             listener(user, version);
         }
         version
+    }
+
+    /// Applies one record received over the replication stream: persists
+    /// the raw `frame` bytes to this store's own WAL verbatim (so a
+    /// promoted follower can itself recover and re-ship), installs the
+    /// profile at *exactly* the replicated version — no bump, unlike
+    /// [`SessionStore::put`] — and fires the write listener so a warm
+    /// answer cache drops entries for the superseded version. Unlike
+    /// startup replay ([`SessionStore::restore`]) the process is already
+    /// serving divergent-routed reads, so the invalidation is load-bearing.
+    pub fn apply_replicated(
+        &self,
+        frame: &[u8],
+        rec: &PutRecord,
+        catalog: &Catalog,
+    ) -> Result<(), ProfileParseError> {
+        let profile = from_text(&rec.profile_text, catalog)?;
+        {
+            let mut shard = self
+                .shard(&rec.user)
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if let Some(d) = &self.durable {
+                // Same availability-over-durability stance as put(): a
+                // failed local append keeps the in-memory apply.
+                let _ = d.wal.append_raw_frame(frame);
+            }
+            shard.insert(
+                rec.user.clone(),
+                StoredProfile {
+                    profile,
+                    version: rec.version,
+                },
+            );
+        }
+        let listener = self
+            .write_listener
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(listener) = listener {
+            listener(&rec.user, rec.version);
+        }
+        Ok(())
     }
 
     /// Every `(user, (version, wire text))` pair, sorted by user — the

@@ -26,13 +26,7 @@ pub const TRACE_ID_HEADER: &str = "x-cqp-trace-id";
 pub const DEADLINE_REMAINING_HEADER: &str = "x-cqp-deadline-remaining-ms";
 
 /// splitmix64 — scrambles sequence numbers into well-spread trace IDs.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use rand::splitmix64_mix as splitmix64;
 
 /// Shared telemetry state for one server instance.
 #[derive(Debug)]

@@ -110,12 +110,34 @@ pub struct OpenedWal {
     pub report: RecoveryReport,
 }
 
+/// Observer invoked with each successfully appended frame (full bytes,
+/// including framing and trailing newline) *while the log lock is held*,
+/// so observation order is exactly log order. This is the replication
+/// shipping hook: the primary's sender writes the frame to the follower
+/// socket and waits for its ack here, which is what makes an acked client
+/// write provably present on the follower. Returning `Err` detaches the
+/// listener (the follower is considered gone); the local append itself
+/// has already succeeded and is unaffected.
+pub type FrameListener = Arc<dyn Fn(&[u8]) -> io::Result<()> + Send + Sync>;
+
+/// Holds the optional frame listener; manual `Debug` because closures
+/// have none.
+#[derive(Default)]
+struct FrameListenerCell(Mutex<Option<FrameListener>>);
+
+impl std::fmt::Debug for FrameListenerCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FrameListenerCell")
+    }
+}
+
 /// Append handle over the WAL directory.
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
     log: Mutex<File>,
     fault: Option<Arc<FaultPlan>>,
+    frame_listener: FrameListenerCell,
     appends: AtomicU64,
     append_errors: AtomicU64,
     bytes_appended: AtomicU64,
@@ -166,6 +188,7 @@ impl Wal {
                 dir: dir.to_path_buf(),
                 log: Mutex::new(log),
                 fault: None,
+                frame_listener: FrameListenerCell::default(),
                 appends: AtomicU64::new(0),
                 append_errors: AtomicU64::new(0),
                 bytes_appended: AtomicU64::new(0),
@@ -224,7 +247,96 @@ impl Wal {
             }
         }
         log.write_all(frame)?;
-        log.flush()
+        log.flush()?;
+        // Ship the frame while still holding the log lock: the follower
+        // sees frames in exactly log order, and a write acked to the
+        // client has — by the time the ack leaves this function — already
+        // been acked by the follower too (synchronous replication).
+        let listener = self
+            .frame_listener
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(listener) = listener {
+            if listener(frame).is_err() {
+                // The follower died mid-ship. Local durability holds;
+                // detach so later appends stop paying the round-trip.
+                *self
+                    .frame_listener
+                    .0
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner()) = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one already-encoded frame (a record received over the
+    /// replication stream) verbatim. The caller has validated framing and
+    /// checksum; counters advance exactly as for a local
+    /// [`Wal::append_put`].
+    pub fn append_raw_frame(&self, frame: &[u8]) -> io::Result<()> {
+        let r = self.append_frame(frame);
+        match &r {
+            Ok(()) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.bytes_appended
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                self.bytes_since_compaction
+                    .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        r
+    }
+
+    /// Atomically snapshots the current WAL contents and installs `listener`
+    /// as the frame observer: `send_history` receives every valid frame
+    /// currently on disk (snapshot file first, then log) while the log lock
+    /// blocks concurrent appends, so no frame is missed or duplicated
+    /// between history and the live stream. If `send_history` fails the
+    /// listener is *not* installed.
+    pub fn attach_replica(
+        &self,
+        send_history: impl FnOnce(&[u8]) -> io::Result<()>,
+        listener: FrameListener,
+    ) -> io::Result<()> {
+        let _log = self.lock_log();
+        let mut history = Vec::new();
+        for file in [SNAPSHOT_FILE, LOG_FILE] {
+            let path = self.dir.join(file);
+            if !path.exists() {
+                continue;
+            }
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            // Ship only the valid prefix: a torn local tail (failed
+            // append) must not stall the follower's frame decoder.
+            let mut offset = 0usize;
+            while let Some((_, next)) = decode_frame(&buf, offset) {
+                offset = next;
+            }
+            history.extend_from_slice(&buf[..offset]);
+        }
+        send_history(&history)?;
+        *self
+            .frame_listener
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(listener);
+        Ok(())
+    }
+
+    /// Drops the frame listener (follower detached or promoted).
+    pub fn detach_replica(&self) {
+        *self
+            .frame_listener
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = None;
     }
 
     /// Fsyncs the log file — upgrade from "survives process death" to
@@ -282,13 +394,11 @@ impl Wal {
     }
 }
 
-/// FNV-1a 64 — the same stable hash the session store shards with.
+/// FNV-1a 64 — the shared workspace hash ([`cqp_core::answer_cache::fnv1a`]),
+/// the same stable function the session store shards and the answer cache
+/// key with.
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    cqp_core::answer_cache::fnv1a(cqp_core::answer_cache::FNV_OFFSET, bytes)
 }
 
 /// Encodes one put record as a full frame (including the trailing `\n`).
@@ -313,8 +423,9 @@ fn encode_put(user: &str, version: u64, profile_text: &str) -> Vec<u8> {
 
 /// Parses one frame starting at `buf[offset..]`. Returns the record and
 /// the offset just past its trailing newline, or `None` if the bytes at
-/// `offset` are not a complete valid record (torn tail / corruption).
-fn decode_frame(buf: &[u8], offset: usize) -> Option<(PutRecord, usize)> {
+/// `offset` are not a complete valid record (torn tail / corruption —
+/// or, on the replication stream, simply "not fully arrived yet").
+pub fn decode_frame(buf: &[u8], offset: usize) -> Option<(PutRecord, usize)> {
     let rest = &buf[offset..];
     let nl = rest.iter().position(|b| *b == b'\n')?;
     let line = std::str::from_utf8(&rest[..nl]).ok()?;

@@ -23,13 +23,9 @@ impl TestRng {
         TestRng { state: seed }
     }
 
-    /// Next 64 random bits.
+    /// Next 64 random bits (the shared workspace splitmix64 stream).
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        rand::splitmix64(&mut self.state)
     }
 
     /// Uniform draw in `[0, span)`.

@@ -13,6 +13,28 @@
 
 use std::ops::{Range, RangeInclusive};
 
+/// One step of the splitmix64 stream (Steele, Lea & Flood): advances
+/// `state` by the golden-ratio increment and returns the finalized mix.
+/// This is THE workspace splitmix64 — every seeded stream (loadgen, chaos,
+/// fault plans, trace IDs, the test shims) derives from this function or
+/// [`splitmix64_mix`], so deterministic fixtures stay bit-identical no
+/// matter which crate drew them.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The stateless form: one splitmix64 step over a copy of `x`. Callers
+/// that just need a hash-quality scramble of an existing value (trace
+/// IDs, chaos case derivation, fault-plan coin flips) use this directly;
+/// it is bit-identical to `splitmix64(&mut x.clone())`.
+pub fn splitmix64_mix(mut x: u64) -> u64 {
+    splitmix64(&mut x)
+}
+
 /// Core source of randomness: a stream of `u64`s.
 pub trait RngCore {
     /// The next 64 random bits.
@@ -159,21 +181,13 @@ impl<R: RngCore + ?Sized> Rng for R {}
 pub mod rngs {
     //! Concrete generators.
 
-    use super::{RngCore, SeedableRng};
+    use super::{splitmix64, RngCore, SeedableRng};
 
     /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
-    /// seeded via splitmix64 as its authors recommend.
+    /// seeded via [`splitmix64`] as its authors recommend.
     #[derive(Debug, Clone)]
     pub struct StdRng {
         s: [u64; 4],
-    }
-
-    fn splitmix64(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
     }
 
     impl SeedableRng for StdRng {

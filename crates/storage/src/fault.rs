@@ -251,15 +251,9 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64 — the same generator the proptest shim uses; good enough to
-/// decorrelate per-read coin flips from the seed.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 — the shared workspace mixer; good enough to decorrelate
+/// per-read coin flips from the seed.
+use rand::splitmix64_mix as splitmix64;
 
 /// Maps a u64 to a uniform float in `[0, 1)`.
 fn unit_f64(x: u64) -> f64 {

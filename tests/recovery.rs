@@ -12,6 +12,7 @@ use cqp_server::http::parse_response;
 use cqp_server::{start, Backend, ServerConfig, SessionStore, UpsertMode};
 use cqp_storage::{Catalog, Database};
 use proptest::prelude::*;
+use rand::splitmix64_mix as splitmix64;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,15 +36,6 @@ fn tmpdir(tag: &str) -> PathBuf {
 
 fn db() -> Database {
     generate_movie_db(&MovieDbConfig::tiny(7))
-}
-
-/// SplitMix64, the workspace's standard seeded mixer.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// One op of a seeded write burst: `(user, profile_text)`.

@@ -31,6 +31,10 @@
 //!   cluster   distributed tier: SIGKILL-failover write-loss audit against
 //!             child serverd pairs + divergent-vs-uniform replica routing
 //!             + ring balance (BENCH_cluster.json)
+//!   partition seeded split-brain and nemesis-churn schedules against a
+//!             nemesis-fronted cluster: epoch fencing on the stale face,
+//!             zero lost acked writes by the consistency checker
+//!             (BENCH_partition.json)
 //!
 //! --threads N fans the fig12 grid cells and the batch driver across N
 //! work-stealing workers (default 1 = sequential).
@@ -193,6 +197,10 @@ fn main() {
     }
     if run_all || experiment == "cluster" {
         cluster_experiment(&out);
+        ran = true;
+    }
+    if run_all || experiment == "partition" {
+        partition_experiment(&out);
         ran = true;
     }
     if !ran {
@@ -2458,6 +2466,360 @@ fn cluster_experiment(out: &Path) {
     let _ = std::fs::remove_dir_all(&root);
     println!(
         "BENCH_cluster.json written ({} and repo root)\n",
+        out.display()
+    );
+}
+
+/// [`cluster_http`] with extra request headers (the partition legs stamp
+/// `x-cqp-epoch` to play the newer-primary side of a split brain).
+fn partition_http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> std::io::Result<cqp_server::http::ClientResponse> {
+    use std::io::{BufReader, Write};
+    let stream = std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(20)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\n\r\n",
+        body.map_or(0, str::len)
+    ));
+    let mut payload = head.into_bytes();
+    if let Some(b) = body {
+        payload.extend_from_slice(b.as_bytes());
+    }
+    writer.write_all(&payload)?;
+    writer.flush()?;
+    cqp_server::http::parse_response(&mut BufReader::new(stream))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Writes `user`'s profile through `addr`; a 200 records the ack (version
+/// and epoch from the response body) into `log`. Transport errors and
+/// refusals return normally — in a partition schedule only acks count.
+fn partition_acked_write(
+    addr: std::net::SocketAddr,
+    user: &str,
+    log: &cqp_cluster::AckLog,
+) -> std::io::Result<cqp_server::http::ClientResponse> {
+    let text = format!(
+        "# cqp-profile v1\n\
+         profile {user}\n\
+         join 0.9 MOVIE.mid GENRE.mid\n\
+         select 0.8 GENRE.genre eq \"comedy\"\n\
+         select 0.6 MOVIE.year ge 1990\n"
+    );
+    let resp = partition_http(addr, "POST", &format!("/profiles/{user}"), &[], Some(&text))?;
+    if resp.status == 200 {
+        let body = cqp_server::json::parse(&resp.body_text())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let version = body.get("version").and_then(Json::as_u64).unwrap_or(0);
+        let epoch = body.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+        log.record(user, version, epoch, &text);
+    }
+    Ok(resp)
+}
+
+/// Polls `f` until it returns true or `timeout` elapses.
+fn partition_wait(timeout: std::time::Duration, mut f: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < timeout {
+        if f() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    false
+}
+
+/// A replica's `/healthz/ready` role, read directly ("?" on any failure).
+fn partition_role(addr: std::net::SocketAddr) -> String {
+    cluster_http(addr, "GET", "/healthz/ready", None)
+        .ok()
+        .and_then(|resp| cqp_server::json::parse(&resp.body_text()).ok())
+        .and_then(|j| j.get("role").and_then(|r| r.as_str().map(str::to_string)))
+        .unwrap_or_else(|| "?".to_string())
+}
+
+/// Outcome of one partition leg: the checker verdict plus leg counters.
+struct PartitionLeg {
+    acked: u64,
+    fenced_write_rejections: u64,
+    report: cqp_cluster::ConsistencyReport,
+    detail: Json,
+}
+
+/// The split-brain schedule: partition the primary (HTTP and repl at
+/// once), let the router promote the follower at a higher epoch, write
+/// through both faces of the brain, heal, and run the checker. Every
+/// write the stale face refuses with `stale_epoch` counts as a fenced
+/// rejection — the number the shape gate requires to be positive.
+fn partition_split_brain_leg(root: &Path, seed: u64) -> PartitionLeg {
+    use cqp_cluster::nemesis::Fault;
+    use cqp_cluster::{check, AckLog, Cluster, ClusterConfig, ReplicaDump};
+
+    let mut cluster =
+        Cluster::start(ClusterConfig::with_nemesis(1, root.join("split"))).expect("cluster start");
+    let router_addr = cluster.router.addr();
+    let acks = AckLog::new();
+    let users: Vec<String> = (0..6).map(|i| format!("user{i:03}")).collect();
+    for user in &users {
+        let resp = partition_acked_write(router_addr, user, &acks).expect("healthy write");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+    }
+
+    {
+        let nemesis = cluster.groups[0].nemesis.as_ref().expect("nemesis cluster");
+        nemesis.primary_http.set_fault(Fault::Partition);
+        nemesis.repl.set_fault(Fault::Partition);
+    }
+    let promoted = partition_wait(std::time::Duration::from_secs(20), || {
+        cluster_http(router_addr, "GET", "/router/stats", None)
+            .ok()
+            .and_then(|s| cqp_server::json::parse(&s.body_text()).ok())
+            .and_then(|j| j.get("failovers").and_then(Json::as_u64))
+            .is_some_and(|n| n >= 1)
+    });
+    assert!(promoted, "router never failed over the partitioned primary");
+    for user in &users {
+        let ok = partition_wait(std::time::Duration::from_secs(10), || {
+            partition_acked_write(router_addr, user, &acks)
+                .map(|r| r.status == 200)
+                .unwrap_or(false)
+        });
+        assert!(ok, "{user}: healthy side of the brain must accept writes");
+    }
+
+    // The stale face: clients on the old primary's side of the partition
+    // reach it directly. The first write carrying the new epoch fences
+    // it; every refusal is what the experiment exists to count.
+    let old_primary = cluster.groups[0].primary.addr();
+    let stats = cluster_http(router_addr, "GET", "/router/stats", None).expect("router stats");
+    let new_epoch = cqp_server::json::parse(&stats.body_text())
+        .ok()
+        .and_then(|j| j.get("groups")?.as_array()?.first()?.get("epoch")?.as_u64())
+        .expect("router stats expose the group epoch");
+    assert!(new_epoch >= 1, "failover must bump the epoch");
+    let epoch_header = new_epoch.to_string();
+    let mut fenced_write_rejections = 0u64;
+    let mut stale_acks = 0u64;
+    for user in &users {
+        let text = format!("# cqp-profile v1\nprofile {user}\nselect 0.5 MOVIE.year ge 2000\n");
+        let resp = partition_http(
+            old_primary,
+            "POST",
+            &format!("/profiles/{user}"),
+            &[("x-cqp-epoch", &epoch_header)],
+            Some(&text),
+        )
+        .expect("old primary reachable directly");
+        if resp.status == 503 {
+            fenced_write_rejections += 1;
+        } else if resp.status == 200 {
+            stale_acks += 1;
+        }
+    }
+    assert_eq!(stale_acks, 0, "the stale face acknowledged a write");
+    let fenced_role = partition_role(old_primary);
+    assert_eq!(fenced_role, "fenced", "old primary must end up fenced");
+
+    {
+        let nemesis = cluster.groups[0].nemesis.as_ref().expect("nemesis cluster");
+        nemesis.primary_http.heal();
+        nemesis.repl.heal();
+    }
+    let healed = partition_wait(std::time::Duration::from_secs(10), || {
+        partition_acked_write(router_addr, &users[0], &acks)
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    });
+    assert!(
+        healed,
+        "cluster never healed after the split-brain schedule"
+    );
+
+    let catalog = cluster.db().catalog().clone();
+    let dumps = vec![
+        ReplicaDump {
+            name: "g0/old-primary".into(),
+            fenced: true,
+            sessions: cluster.groups[0].primary.state().store.dump(&catalog),
+        },
+        ReplicaDump {
+            name: "g0/new-primary".into(),
+            fenced: false,
+            sessions: cluster.groups[0].follower.state().store.dump(&catalog),
+        },
+    ];
+    let snapshot = acks.snapshot();
+    let report = check(&snapshot, &dumps);
+    println!(
+        "split brain: {} acked writes, {} fenced rejections, epoch {new_epoch} — \
+         lost {}  divergent {}  order violations {}",
+        snapshot.len(),
+        fenced_write_rejections,
+        report.lost_acked_writes,
+        report.split_brain_divergence,
+        report.order_violations
+    );
+    cluster.stop();
+    let detail = Json::obj(vec![
+        ("schedule", Json::Str("split_brain".into())),
+        ("seed", Json::from(seed)),
+        ("failover_epoch", Json::from(new_epoch)),
+        ("checker", report.to_json()),
+    ]);
+    PartitionLeg {
+        acked: snapshot.len() as u64,
+        fenced_write_rejections,
+        report,
+        detail,
+    }
+}
+
+/// The churn schedule: a seeded [`NemesisPlan`] timeline (partitions,
+/// delays, connection drops) flaps the primary's HTTP link while writes
+/// race it best-effort; after the plan drains and the links heal, the
+/// checker audits every ack that made it through.
+///
+/// [`NemesisPlan`]: cqp_cluster::NemesisPlan
+fn partition_churn_leg(root: &Path, seed: u64) -> PartitionLeg {
+    use cqp_cluster::{check, AckLog, Cluster, ClusterConfig, NemesisPlan, ReplicaDump};
+
+    let mut cluster =
+        Cluster::start(ClusterConfig::with_nemesis(1, root.join("churn"))).expect("cluster start");
+    let router_addr = cluster.router.addr();
+    let acks = AckLog::new();
+    let users: Vec<String> = (0..4).map(|i| format!("user{i:03}")).collect();
+    for user in &users {
+        let resp = partition_acked_write(router_addr, user, &acks).expect("healthy write");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+    }
+
+    let plan = NemesisPlan::seeded(seed, 8, 40);
+    {
+        let nemesis = cluster.groups[0].nemesis.as_mut().expect("nemesis cluster");
+        nemesis.primary_http.run_plan(plan);
+    }
+    let mut attempted = 0u64;
+    for _round in 0..8 {
+        for user in &users {
+            attempted += 1;
+            let _ = partition_acked_write(router_addr, user, &acks);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+    {
+        let nemesis = cluster.groups[0].nemesis.as_mut().expect("nemesis cluster");
+        nemesis.primary_http.join_plan();
+        nemesis.primary_http.heal();
+        nemesis.repl.heal();
+    }
+    let healed = partition_wait(std::time::Duration::from_secs(10), || {
+        partition_acked_write(router_addr, &users[0], &acks)
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    });
+    assert!(healed, "cluster never healed after the churn plan");
+
+    let catalog = cluster.db().catalog().clone();
+    let dumps: Vec<ReplicaDump> = [
+        ("g0/primary", &cluster.groups[0].primary),
+        ("g0/follower", &cluster.groups[0].follower),
+    ]
+    .into_iter()
+    .map(|(name, server)| ReplicaDump {
+        name: name.into(),
+        fenced: partition_role(server.addr()) == "fenced",
+        sessions: server.state().store.dump(&catalog),
+    })
+    .collect();
+    let snapshot = acks.snapshot();
+    let report = check(&snapshot, &dumps);
+    println!(
+        "churn: {} acked writes ({attempted} raced the seeded plan) — \
+         lost {}  divergent {}  order violations {}",
+        snapshot.len(),
+        report.lost_acked_writes,
+        report.split_brain_divergence,
+        report.order_violations
+    );
+    cluster.stop();
+    let detail = Json::obj(vec![
+        ("schedule", Json::Str("seeded_churn".into())),
+        ("seed", Json::from(seed)),
+        ("attempted_writes", Json::from(attempted)),
+        ("checker", report.to_json()),
+    ]);
+    PartitionLeg {
+        acked: snapshot.len() as u64,
+        fenced_write_rejections: 0,
+        report,
+        detail,
+    }
+}
+
+/// `reproduce partition` — the partition-tolerance audit. Two seeded
+/// schedules against a nemesis-fronted in-process cluster:
+///
+/// 1. **Split brain** — partition the primary, promote the follower at a
+///    higher epoch, write through both faces, heal. The stale face must
+///    refuse every write with `stale_epoch` (counted as
+///    `fenced_write_rejections`) and the checker must find zero lost
+///    acked writes and zero divergent `(user, version)` slots.
+/// 2. **Seeded churn** — a deterministic nemesis timeline flaps the
+///    primary's HTTP link under a best-effort write load; every ack that
+///    made it through must survive.
+///
+/// Emits `BENCH_partition.json` in `out` and at the repo root; its
+/// top-level `lost_acked_writes`, `split_brain_divergence`, and
+/// `fenced_write_rejections` fields are CI's shape gate.
+fn partition_experiment(out: &Path) {
+    println!("--- partition: split-brain fencing + seeded churn audit ---");
+    let seed = 0xC0FFEE_u64;
+    let root = out.join("partition-wal");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("partition wal root");
+
+    let split = partition_split_brain_leg(&root, seed);
+    let churn = partition_churn_leg(&root, seed);
+
+    let lost = split.report.lost_acked_writes + churn.report.lost_acked_writes;
+    let divergence = split.report.split_brain_divergence + churn.report.split_brain_divergence;
+    let order = split.report.order_violations + churn.report.order_violations;
+    let fenced = split.fenced_write_rejections + churn.fenced_write_rejections;
+    assert_eq!(lost, 0, "acked writes lost across partition schedules");
+    assert_eq!(divergence, 0, "split brain merged divergent state");
+    assert_eq!(order, 0, "acked order not linearizable");
+    assert!(
+        fenced > 0,
+        "no write ever hit the fence — schedule is vacuous"
+    );
+
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("partition".into())),
+        ("seed", Json::from(seed)),
+        ("acked_writes", Json::from(split.acked + churn.acked)),
+        ("lost_acked_writes", Json::from(lost as u64)),
+        ("split_brain_divergence", Json::from(divergence as u64)),
+        ("order_violations", Json::from(order as u64)),
+        ("fenced_write_rejections", Json::from(fenced)),
+        ("schedules", Json::Arr(vec![split.detail, churn.detail])),
+    ]);
+    let rendered = doc.render();
+    std::fs::write(out.join("BENCH_partition.json"), &rendered).expect("bench write");
+    std::fs::write("BENCH_partition.json", &rendered).expect("bench write");
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "BENCH_partition.json written ({} and repo root)\n",
         out.display()
     );
 }

@@ -97,7 +97,7 @@ fn main() {
     }
     let policy = config.policy;
     let shards = config.shards.len();
-    let handle = match start_router(config) {
+    let mut handle = match start_router(config) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("routerd: failed to start: {e}");
@@ -111,6 +111,28 @@ fn main() {
         shards,
         policy.as_str()
     );
+    wait_for_termination();
+    // Graceful drain: stop() unblocks and joins the accept loop and the
+    // probe thread; in-flight connection handlers (each owning its
+    // pooled backend connections) finish their current exchange and
+    // exit, closing those connections with them.
+    eprintln!("routerd: termination signal received, draining");
+    handle.stop();
+    std::process::exit(0);
+}
+
+/// Parks until SIGTERM/SIGINT on Linux; forever elsewhere (the process
+/// dies with the default signal disposition there, as before).
+fn wait_for_termination() {
+    #[cfg(target_os = "linux")]
+    {
+        if cqp_sys::install_termination_flag().is_ok() {
+            while !cqp_sys::termination_requested() {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            return;
+        }
+    }
     loop {
         std::thread::park();
     }

@@ -9,6 +9,7 @@
 //! cluster` bench uses actual child `serverd` processes for the SIGKILL
 //! failover audit; everything else runs on this harness.
 
+use crate::nemesis::{start_nemesis, NemesisHandle};
 use crate::router::{start_router, RouterConfig, RouterHandle, RoutingPolicy, ShardSpec};
 use cqp_datagen::{generate_movie_db, MovieDbConfig};
 use cqp_server::{start, ServerConfig, ServerHandle};
@@ -32,6 +33,10 @@ pub struct ClusterConfig {
     pub root: PathBuf,
     /// Router health-probe period (also the failover detection bound).
     pub probe_interval: Duration,
+    /// When `true`, every link — primary HTTP, follower HTTP, and the
+    /// replication stream — is fronted by a [`crate::nemesis`] proxy so
+    /// tests can partition, delay, or flap any of them independently.
+    pub nemesis: bool,
 }
 
 impl ClusterConfig {
@@ -43,8 +48,30 @@ impl ClusterConfig {
             policy: RoutingPolicy::Divergent,
             root: root.into(),
             probe_interval: Duration::from_millis(100),
+            nemesis: false,
         }
     }
+
+    /// Same, with every link nemesis-fronted for partition testing.
+    pub fn with_nemesis(groups: usize, root: impl Into<PathBuf>) -> ClusterConfig {
+        ClusterConfig {
+            nemesis: true,
+            ..ClusterConfig::new(groups, root)
+        }
+    }
+}
+
+/// The nemesis proxies fronting one group's links (present when
+/// [`ClusterConfig::nemesis`] is set).
+#[derive(Debug)]
+pub struct GroupNemesis {
+    /// Fronts the replication stream (follower connects through this).
+    pub repl: NemesisHandle,
+    /// Fronts the primary's HTTP endpoint (what the router probes and
+    /// writes through).
+    pub primary_http: NemesisHandle,
+    /// Fronts the follower's HTTP endpoint.
+    pub follower_http: NemesisHandle,
 }
 
 /// One running shard group.
@@ -56,6 +83,9 @@ pub struct ClusterGroup {
     pub primary: ServerHandle,
     /// The follower (applies the stream; promotable).
     pub follower: ServerHandle,
+    /// Fault-injection proxies fronting this group's links, when the
+    /// cluster was started with [`ClusterConfig::nemesis`].
+    pub nemesis: Option<GroupNemesis>,
 }
 
 /// A running in-process cluster.
@@ -92,25 +122,50 @@ impl Cluster {
             let repl_addr = primary.repl_addr().ok_or_else(|| {
                 io::Error::other("primary started without a replication listener")
             })?;
+            // With the nemesis enabled, the follower follows *through*
+            // the repl proxy and the router reaches both replicas
+            // *through* the HTTP proxies — so tests can cut any link.
+            let repl_nemesis = if config.nemesis {
+                Some(start_nemesis(repl_addr)?)
+            } else {
+                None
+            };
+            let follow_addr = repl_nemesis.as_ref().map(|n| n.addr()).unwrap_or(repl_addr);
             let follower = start(
                 Arc::clone(&db),
                 ServerConfig {
                     addr: "127.0.0.1:0".into(),
                     wal_dir: Some(config.root.join(&name).join("follower")),
-                    follow: Some(repl_addr.to_string()),
+                    follow: Some(follow_addr.to_string()),
                     seed_users: 0,
                     seed: config.seed,
                     ..Default::default()
                 },
             )?;
+            let (nemesis, replicas) = if let Some(repl) = repl_nemesis {
+                let primary_http = start_nemesis(primary.addr())?;
+                let follower_http = start_nemesis(follower.addr())?;
+                let replicas = vec![primary_http.addr(), follower_http.addr()];
+                (
+                    Some(GroupNemesis {
+                        repl,
+                        primary_http,
+                        follower_http,
+                    }),
+                    replicas,
+                )
+            } else {
+                (None, vec![primary.addr(), follower.addr()])
+            };
             shards.push(ShardSpec {
                 name: name.clone(),
-                replicas: vec![primary.addr(), follower.addr()],
+                replicas,
             });
             groups.push(ClusterGroup {
                 name,
                 primary,
                 follower,
+                nemesis,
             });
         }
         let router = start_router(RouterConfig {
@@ -127,12 +182,18 @@ impl Cluster {
         &self.db
     }
 
-    /// Stops the router, then every replica (drains in-flight work).
+    /// Stops the router, then every replica (drains in-flight work),
+    /// then the nemesis proxies.
     pub fn stop(&mut self) {
         self.router.stop();
         for group in &mut self.groups {
             group.primary.stop();
             group.follower.stop();
+            if let Some(nemesis) = &mut group.nemesis {
+                nemesis.repl.stop();
+                nemesis.primary_http.stop();
+                nemesis.follower_http.stop();
+            }
         }
     }
 }

@@ -39,6 +39,7 @@ use cqp_core::answer_cache::{fnv1a, FNV_OFFSET};
 use cqp_obs::Json;
 use cqp_server::http::{parse_request, parse_response, ClientResponse, HttpError, Request};
 use cqp_server::{canonicalize_sql, json};
+use rand::splitmix64_mix;
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -103,6 +104,13 @@ pub struct RouterConfig {
     pub probe_interval: Duration,
     /// Backend connect timeout (probes, promotes, forwards).
     pub connect_timeout: Duration,
+    /// Per-group read-retry budget, in whole retries. Each sibling retry
+    /// costs one token; each retry-free successful read refunds a tenth
+    /// of one. When the bucket runs dry the router sheds with 503 +
+    /// `Retry-After` instead of hammering a sick group into a storm.
+    pub retry_budget: u64,
+    /// Seed for the jittered retry backoff (deterministic per seed).
+    pub retry_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -113,9 +121,23 @@ impl Default for RouterConfig {
             policy: RoutingPolicy::Divergent,
             probe_interval: Duration::from_millis(250),
             connect_timeout: Duration::from_secs(1),
+            retry_budget: 32,
+            retry_seed: 7,
         }
     }
 }
+
+/// Replica roles as the probe last saw them (`u8` values for the
+/// `Replica::role` atomic).
+const ROLE_PRIMARY: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
+const ROLE_FENCED: u8 = 2;
+const ROLE_UNKNOWN: u8 = 3;
+
+/// One read-retry costs a full token; a retry-free success refunds a
+/// tenth. Milli-token accounting keeps it all in one atomic.
+const RETRY_COST_MILLIS: i64 = 1000;
+const RETRY_REFILL_MILLIS: i64 = 100;
 
 /// Live view of one replica.
 #[derive(Debug)]
@@ -123,6 +145,10 @@ struct Replica {
     addr: SocketAddr,
     /// Updated by the probe thread and by forward failures.
     alive: AtomicBool,
+    /// Role the probe last parsed from `/healthz/ready` (`ROLE_*`).
+    role: std::sync::atomic::AtomicU8,
+    /// Epoch the replica last reported.
+    epoch: AtomicU64,
 }
 
 /// Live view of one shard group.
@@ -134,8 +160,42 @@ struct Group {
     primary: AtomicUsize,
     /// Uniform-policy read rotation counter.
     reads: AtomicU64,
+    /// Highest replication epoch seen anywhere in the group. Stamped on
+    /// every proxied write and every probe — the fencing signal.
+    epoch: AtomicU64,
+    /// Read-retry budget, milli-tokens (see `RETRY_COST_MILLIS`).
+    retry_millis: std::sync::atomic::AtomicI64,
+    /// Retry sequence number feeding the jittered backoff.
+    retry_seq: AtomicU64,
     /// Serializes failover so concurrent write failures promote once.
     failover: Mutex<()>,
+}
+
+impl Group {
+    /// Takes one retry token from the bucket; `false` when dry.
+    fn try_charge_retry(&self) -> bool {
+        let prev = self
+            .retry_millis
+            .fetch_sub(RETRY_COST_MILLIS, Ordering::Relaxed);
+        if prev < RETRY_COST_MILLIS {
+            self.retry_millis
+                .fetch_add(RETRY_COST_MILLIS, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Refunds a tenth of a token after a retry-free successful read,
+    /// capped at the configured budget.
+    fn refill_retry(&self, cap_millis: i64) {
+        let prev = self
+            .retry_millis
+            .fetch_add(RETRY_REFILL_MILLIS, Ordering::Relaxed);
+        if prev + RETRY_REFILL_MILLIS > cap_millis {
+            self.retry_millis
+                .fetch_sub(RETRY_REFILL_MILLIS, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Monotonic router counters (all `Ordering::Relaxed`; they are
@@ -154,6 +214,10 @@ pub struct RouterStats {
     pub read_retries: AtomicU64,
     /// Requests answered locally with an error (no primary, bad body…).
     pub rejected: AtomicU64,
+    /// Reads shed because the group's retry budget ran dry.
+    pub retry_budget_exhausted: AtomicU64,
+    /// Replicas observed fenced (stale-epoch ex-primaries) by the probe.
+    pub fenced: AtomicU64,
 }
 
 /// The routing core shared by the accept loop, the probe thread, and
@@ -165,6 +229,10 @@ pub struct Router {
     policy: RoutingPolicy,
     stats: RouterStats,
     connect_timeout: Duration,
+    /// Retry-budget cap in milli-tokens (`retry_budget * 1000`).
+    retry_cap_millis: i64,
+    /// Seed for the jittered retry backoff.
+    retry_seed: u64,
     stopping: AtomicBool,
 }
 
@@ -204,10 +272,17 @@ pub fn start_router(config: RouterConfig) -> io::Result<RouterHandle> {
                     // Optimistic: traffic can flow before the first probe
                     // round; a dead replica is demoted on first contact.
                     alive: AtomicBool::new(true),
+                    role: std::sync::atomic::AtomicU8::new(ROLE_UNKNOWN),
+                    epoch: AtomicU64::new(0),
                 })
                 .collect(),
             primary: AtomicUsize::new(0),
             reads: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            retry_millis: std::sync::atomic::AtomicI64::new(
+                config.retry_budget as i64 * RETRY_COST_MILLIS,
+            ),
+            retry_seq: AtomicU64::new(0),
             failover: Mutex::new(()),
         });
     }
@@ -218,6 +293,8 @@ pub fn start_router(config: RouterConfig) -> io::Result<RouterHandle> {
         policy: config.policy,
         stats: RouterStats::default(),
         connect_timeout: config.connect_timeout,
+        retry_cap_millis: config.retry_budget as i64 * RETRY_COST_MILLIS,
+        retry_seed: config.retry_seed,
         stopping: AtomicBool::new(false),
     });
 
@@ -303,8 +380,9 @@ impl Router {
     }
 
     /// Counter snapshot: `(forwarded, writes, reads, failovers,
-    /// read_retries, rejected)`.
-    pub fn stats(&self) -> (u64, u64, u64, u64, u64, u64) {
+    /// read_retries, rejected, retry_budget_exhausted, fenced)`.
+    #[allow(clippy::type_complexity)]
+    pub fn stats(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
         let s = &self.stats;
         (
             s.forwarded.load(Ordering::Relaxed),
@@ -313,6 +391,8 @@ impl Router {
             s.failovers.load(Ordering::Relaxed),
             s.read_retries.load(Ordering::Relaxed),
             s.rejected.load(Ordering::Relaxed),
+            s.retry_budget_exhausted.load(Ordering::Relaxed),
+            s.fenced.load(Ordering::Relaxed),
         )
     }
 
@@ -328,21 +408,83 @@ impl Router {
             .expect("ring names mirror group names")
     }
 
-    /// One probe round: refresh every replica's liveness, then fail over
-    /// any group whose primary is down while a follower is up.
+    /// One probe round: refresh every replica's liveness, role, and
+    /// epoch; resolve dual-primary splits by crowning the highest-epoch
+    /// claimant at a strictly higher epoch (the loser self-fences on its
+    /// next heartbeat); then fail over any group whose primary is down.
     fn probe_once(&self) {
         for group in &self.groups {
             for replica in &group.replicas {
-                let alive = probe_ready(replica.addr, self.connect_timeout);
-                replica.alive.store(alive, Ordering::SeqCst);
+                let group_epoch = group.epoch.load(Ordering::SeqCst);
+                match probe_replica(replica.addr, group_epoch, self.connect_timeout) {
+                    Some((role, epoch)) => {
+                        replica.alive.store(true, Ordering::SeqCst);
+                        replica.role.store(role, Ordering::SeqCst);
+                        replica.epoch.store(epoch, Ordering::SeqCst);
+                        group.epoch.fetch_max(epoch, Ordering::SeqCst);
+                    }
+                    None => replica.alive.store(false, Ordering::SeqCst),
+                }
             }
+            self.resolve_primaries(group);
             self.ensure_primary(group);
         }
     }
 
+    /// Reconciles the probe's role view with `group.primary`. One live
+    /// claimant: adopt it. Two or more (split-brain — e.g. an isolated
+    /// primary healed after a follower was promoted): pick the
+    /// highest-epoch claimant (lowest index breaks ties) and re-promote
+    /// it at a *strictly higher* epoch, so every other claimant observes
+    /// a newer epoch on its next heartbeat and self-demotes to fenced.
+    fn resolve_primaries(&self, group: &Group) {
+        let claimants: Vec<usize> = group
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.alive.load(Ordering::SeqCst) && r.role.load(Ordering::SeqCst) == ROLE_PRIMARY
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match claimants.len() {
+            0 => {}
+            1 => {
+                group.primary.store(claimants[0], Ordering::SeqCst);
+            }
+            _ => {
+                let _guard = group.failover.lock().unwrap();
+                let winner = *claimants
+                    .iter()
+                    .max_by_key(|&&i| {
+                        (
+                            group.replicas[i].epoch.load(Ordering::SeqCst),
+                            std::cmp::Reverse(i),
+                        )
+                    })
+                    .expect("claimants is non-empty");
+                let target = group.epoch.load(Ordering::SeqCst) + 1;
+                if let Some(epoch) = promote(
+                    group.replicas[winner].addr,
+                    self.connect_timeout,
+                    Some(target),
+                ) {
+                    group.primary.store(winner, Ordering::SeqCst);
+                    group.epoch.fetch_max(epoch, Ordering::SeqCst);
+                    group.replicas[winner].epoch.store(epoch, Ordering::SeqCst);
+                    self.stats
+                        .fenced
+                        .fetch_add(claimants.len() as u64 - 1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Returns the index of a live primary for `group`, promoting a live
-    /// follower when the current primary is down. `None` when the whole
-    /// group is unreachable.
+    /// follower when the current primary is down. Promotion targets a
+    /// strictly higher epoch than anything the group has seen, so the
+    /// dead primary — should it come back — is fenced, not trusted.
+    /// `None` when the whole group is unreachable.
     fn ensure_primary(&self, group: &Group) -> Option<usize> {
         let current = group.primary.load(Ordering::SeqCst);
         if group.replicas[current].alive.load(Ordering::SeqCst) {
@@ -359,8 +501,17 @@ impl Router {
             if i == current || !replica.alive.load(Ordering::SeqCst) {
                 continue;
             }
-            if promote(replica.addr, self.connect_timeout) {
+            // A fenced replica is permanently stale (there is no
+            // re-sync); promoting it would resurrect pre-partition data.
+            if replica.role.load(Ordering::SeqCst) == ROLE_FENCED {
+                continue;
+            }
+            let target = group.epoch.load(Ordering::SeqCst) + 1;
+            if let Some(epoch) = promote(replica.addr, self.connect_timeout, Some(target)) {
                 group.primary.store(i, Ordering::SeqCst);
+                replica.role.store(ROLE_PRIMARY, Ordering::SeqCst);
+                replica.epoch.store(epoch, Ordering::SeqCst);
+                group.epoch.fetch_max(epoch, Ordering::SeqCst);
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                 return Some(i);
             }
@@ -417,7 +568,18 @@ impl Router {
             );
         };
         let replica = &group.replicas[primary];
-        match forward_fresh(replica.addr, req, self.connect_timeout) {
+        // Stamp the group's fencing epoch on the proxied write: a
+        // deposed primary that never heard about the failover sees a
+        // newer epoch in the header and self-demotes instead of
+        // accepting a doomed write. Client-supplied values are stripped
+        // so nobody outside the router can spoof the fencing signal.
+        let mut req = req.clone();
+        req.headers.retain(|(name, _)| name != "x-cqp-epoch");
+        req.headers.push((
+            "x-cqp-epoch".into(),
+            group.epoch.load(Ordering::SeqCst).to_string(),
+        ));
+        match forward_fresh(replica.addr, &req, self.connect_timeout) {
             Ok(resp) => {
                 self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
                 resp
@@ -480,7 +642,12 @@ impl Router {
 
     /// Tries `preferred` first (when alive), then each other live
     /// replica once. Reads are idempotent, so replica-level retry is
-    /// safe.
+    /// safe — but each retry draws on the group's token bucket, with a
+    /// short seeded-jittered backoff first, so a sick group sheds load
+    /// (503 + `Retry-After`) instead of amplifying it into a storm.
+    /// Fenced replicas never serve reads: they stopped receiving the
+    /// replication stream at the moment they were deposed and are
+    /// permanently stale.
     fn forward_read(
         &self,
         req: &Request,
@@ -493,16 +660,40 @@ impl Router {
         for offset in 0..n {
             let i = (preferred + offset) % n;
             let replica = &group.replicas[i];
-            if !replica.alive.load(Ordering::SeqCst) {
+            if !replica.alive.load(Ordering::SeqCst)
+                || replica.role.load(Ordering::SeqCst) == ROLE_FENCED
+            {
                 continue;
             }
             if attempted {
+                if !group.try_charge_retry() {
+                    self.stats
+                        .retry_budget_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut resp = local_error(
+                        503,
+                        "retry_budget_exhausted",
+                        format!(
+                            "group {:?} exhausted its read-retry budget; back off",
+                            group.name
+                        ),
+                    );
+                    resp.headers.push(("retry-after".into(), "1".into()));
+                    return resp;
+                }
                 self.stats.read_retries.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(self.retry_backoff_ms(group)));
             }
             attempted = true;
             match forward_reused(backends, replica.addr, req, self.connect_timeout) {
                 Ok(resp) => {
                     self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    if offset == 0 {
+                        // First-try success: the group looks healthy, so
+                        // slowly pay the budget back.
+                        group.refill_retry(self.retry_cap_millis);
+                    }
                     return resp;
                 }
                 Err(_) => replica.alive.store(false, Ordering::SeqCst),
@@ -516,9 +707,22 @@ impl Router {
         )
     }
 
+    /// Deterministic jittered backoff before a sibling retry: 1–8 ms,
+    /// derived from the router seed, the group name, and a per-group
+    /// retry sequence number, so concurrent retries de-correlate without
+    /// any wall-clock randomness.
+    fn retry_backoff_ms(&self, group: &Group) -> u64 {
+        let seq = group.retry_seq.fetch_add(1, Ordering::Relaxed);
+        let class = fnv1a(FNV_OFFSET, group.name.as_bytes());
+        let mixed =
+            splitmix64_mix(self.retry_seed ^ class ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        1 + mixed % 8
+    }
+
     /// The `/router/stats` document.
     pub fn stats_json(&self) -> Json {
-        let (forwarded, writes, reads, failovers, read_retries, rejected) = self.stats();
+        let (forwarded, writes, reads, failovers, read_retries, rejected, budget_exhausted, fenced) =
+            self.stats();
         let groups: Vec<Json> = self
             .groups
             .iter()
@@ -527,9 +731,17 @@ impl Router {
                     .replicas
                     .iter()
                     .map(|r| {
+                        let role = match r.role.load(Ordering::SeqCst) {
+                            ROLE_PRIMARY => "primary",
+                            ROLE_FOLLOWER => "follower",
+                            ROLE_FENCED => "fenced",
+                            _ => "unknown",
+                        };
                         Json::obj(vec![
                             ("addr", Json::from(r.addr.to_string())),
                             ("alive", Json::Bool(r.alive.load(Ordering::SeqCst))),
+                            ("role", Json::from(role)),
+                            ("epoch", Json::from(r.epoch.load(Ordering::SeqCst))),
                         ])
                     })
                     .collect();
@@ -538,6 +750,11 @@ impl Router {
                     (
                         "primary",
                         Json::from(g.primary.load(Ordering::SeqCst) as u64),
+                    ),
+                    ("epoch", Json::from(g.epoch.load(Ordering::SeqCst))),
+                    (
+                        "retry_budget_millis",
+                        Json::Num(g.retry_millis.load(Ordering::Relaxed) as f64),
                     ),
                     ("replicas", Json::Arr(replicas)),
                 ])
@@ -551,6 +768,8 @@ impl Router {
             ("failovers", Json::from(failovers)),
             ("read_retries", Json::from(read_retries)),
             ("rejected", Json::from(rejected)),
+            ("retry_budget_exhausted", Json::from(budget_exhausted)),
+            ("fenced", Json::from(fenced)),
             ("groups", Json::Arr(groups)),
         ])
     }
@@ -599,19 +818,60 @@ fn personalize_fields(body: &[u8]) -> Option<(String, String)> {
     Some((user, sql))
 }
 
-/// `GET /healthz/ready` returns 200 — counts followers as ready (they
-/// serve reads), which is exactly what the router wants.
-fn probe_ready(addr: SocketAddr, timeout: Duration) -> bool {
-    send_local_request(addr, "GET", "/healthz/ready", timeout)
-        .map(|resp| resp.status == 200)
-        .unwrap_or(false)
+/// `GET /healthz/ready` doubles as the fencing heartbeat: the probe
+/// carries the group's epoch in `x-cqp-epoch` (a lower-epoch primary
+/// self-demotes on receipt) and parses the replica's role and epoch out
+/// of the readiness body. Liveness is still just "status 200" — a
+/// pre-epoch backend with no role/epoch fields probes as an unknown-role
+/// epoch-0 replica and everything behaves as before.
+fn probe_replica(addr: SocketAddr, group_epoch: u64, timeout: Duration) -> Option<(u8, u64)> {
+    let headers = [("x-cqp-epoch", group_epoch.to_string())];
+    let resp = send_local_request(addr, "GET", "/healthz/ready", &headers, timeout).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    let body = std::str::from_utf8(&resp.body)
+        .ok()
+        .and_then(|text| json::parse(text).ok());
+    let role = body
+        .as_ref()
+        .and_then(|b| b.get("role"))
+        .and_then(Json::as_str)
+        .map(|r| match r {
+            "primary" => ROLE_PRIMARY,
+            "follower" => ROLE_FOLLOWER,
+            "fenced" => ROLE_FENCED,
+            _ => ROLE_UNKNOWN,
+        })
+        .unwrap_or(ROLE_UNKNOWN);
+    let epoch = body
+        .as_ref()
+        .and_then(|b| b.get("epoch"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    Some((role, epoch))
 }
 
-/// `POST /admin/promote` — idempotent on the backend.
-fn promote(addr: SocketAddr, timeout: Duration) -> bool {
-    send_local_request(addr, "POST", "/admin/promote", timeout)
-        .map(|resp| resp.status == 200)
-        .unwrap_or(false)
+/// `POST /admin/promote` — with `target`, asks the backend to take that
+/// exact epoch (the backend refuses, idempotently, if it is already at
+/// or past it). Success means the backend now reports itself primary;
+/// returns its resulting epoch (0 for pre-epoch backends).
+fn promote(addr: SocketAddr, timeout: Duration, target: Option<u64>) -> Option<u64> {
+    let path = match target {
+        Some(epoch) => format!("/admin/promote?epoch={epoch}"),
+        None => "/admin/promote".to_string(),
+    };
+    let resp = send_local_request(addr, "POST", &path, &[], timeout).ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    let body = std::str::from_utf8(&resp.body)
+        .ok()
+        .and_then(|text| json::parse(text).ok())?;
+    match body.get("role").and_then(Json::as_str) {
+        Some("primary") => Some(body.get("epoch").and_then(Json::as_u64).unwrap_or(0)),
+        _ => None,
+    }
 }
 
 /// A one-shot router-originated request (probe, promote).
@@ -619,18 +879,22 @@ fn send_local_request(
     addr: SocketAddr,
     method: &str,
     path: &str,
+    headers: &[(&str, String)],
     timeout: Duration,
 ) -> io::Result<ClientResponse> {
     let stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
-    writer.write_all(
-        format!(
-            "{method} {path} HTTP/1.1\r\nhost: cqp-router\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
-        )
-        .as_bytes(),
-    )?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: cqp-router\r\ncontent-length: 0\r\n");
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
+    writer.write_all(head.as_bytes())?;
     writer.flush()?;
     parse_response(&mut BufReader::new(stream)).map_err(http_to_io)
 }

@@ -28,17 +28,34 @@
 //! is by construction, not by luck, and holds under SIGKILL at any
 //! instant.
 //!
-//! ## Failover
+//! ## Failover and epoch fencing
 //!
-//! Roles are static per process start (`--follow` makes a follower) with
-//! one transition: `POST /admin/promote` flips a follower to primary —
-//! it stops consuming the stream, starts accepting profile writes, and
-//! counts a failover. The router (see `cqp-cluster`) drives this when it
-//! detects primary death. A promoted follower does not re-ship to a new
-//! follower of its own; chained re-replication is future work.
+//! Roles start static per process (`--follow` makes a follower) with two
+//! transitions: `POST /admin/promote` flips a follower (or a fenced
+//! replica) to primary, and **fencing** flips a primary to
+//! [`Role::Fenced`] the moment it learns a higher epoch exists.
+//!
+//! Every promotion advances a monotone **epoch**, durably recorded in
+//! the WAL as an `E1` marker before the new primary accepts a write.
+//! The epoch travels three ways:
+//!
+//! * stamped on every shipped `W1` frame and announced at stream attach
+//!   (so a follower rejects streams from a lower-epoch primary),
+//! * carried by the router on every proxied write and health probe as
+//!   the `x-cqp-epoch` header,
+//! * returned by `/healthz/ready`, `/admin/promote`, and `/metrics`.
+//!
+//! A replica that sees a **higher** epoch than its own adopts it durably
+//! and — if it was primary — self-demotes to fenced; fenced replicas
+//! answer writes with `503 stale_epoch`. A replica that sees a write
+//! carrying a **lower** epoch rejects it too (the sender's view is
+//! stale). Together these make the split-brain outcome one-sided by
+//! construction: once a follower is promoted at epoch `e+1`, the old
+//! primary can never accept another epoch-carried write — the first such
+//! write (or probe) fences it.
 
 use crate::session::SessionStore;
-use crate::wal::{decode_frame, FrameListener, Wal};
+use crate::wal::{decode_wal_frame, FrameListener, Wal, WalFrame};
 use cqp_storage::Catalog;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +79,9 @@ pub enum Role {
     Primary = 0,
     /// Applies the primary's stream; rejects direct writes until promoted.
     Follower = 1,
+    /// A demoted ex-primary: learned a higher epoch exists, so every
+    /// write is refused with `stale_epoch` until (re-)promoted.
+    Fenced = 2,
 }
 
 impl Role {
@@ -70,8 +90,35 @@ impl Role {
         match self {
             Role::Primary => "primary",
             Role::Follower => "follower",
+            Role::Fenced => "fenced",
         }
     }
+}
+
+/// The outcome of [`Repl::gate_write`]: whether a profile write may
+/// proceed on this replica, and if not, which typed rejection applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteGate {
+    /// This replica is the primary at the write's epoch: proceed.
+    Allow,
+    /// A plain follower: the router should be writing to the primary.
+    NotPrimary,
+    /// Epoch mismatch — the replica is fenced, or the write carried a
+    /// different epoch than the replica's. `own` is the replica's epoch
+    /// after any adoption triggered by the check.
+    StaleEpoch {
+        /// The replica's (possibly just-advanced) epoch.
+        own: u64,
+    },
+}
+
+/// The outcome of [`Repl::promote_to`].
+#[derive(Debug, Clone, Copy)]
+pub struct PromoteOutcome {
+    /// Whether this call changed anything (role flip or epoch advance).
+    pub promoted: bool,
+    /// The replica's epoch after the call.
+    pub epoch: u64,
 }
 
 /// Replication state shared between the server handlers, the shipping
@@ -89,6 +136,16 @@ pub struct Repl {
     received: AtomicU64,
     /// Follower → primary promotions.
     failovers: AtomicU64,
+    /// Writes refused with `stale_epoch` (fenced replica or epoch
+    /// mismatch on the `x-cqp-epoch` header).
+    fenced_writes: AtomicU64,
+    /// Replication frames refused because the stream's epoch fell behind
+    /// this replica's.
+    fenced_frames: AtomicU64,
+    /// The WAL whose epoch this replica speaks (and records advances to).
+    wal: Arc<Wal>,
+    /// Serializes role/epoch transitions (promote vs. observe races).
+    transition: Mutex<()>,
     /// Bound address of the replication listener, when primary-capable.
     repl_addr: Mutex<Option<SocketAddr>>,
     /// The follower's stream socket, kept so promotion can sever it.
@@ -97,7 +154,7 @@ pub struct Repl {
 }
 
 impl Repl {
-    fn new(role: Role) -> Self {
+    fn new(role: Role, wal: Arc<Wal>) -> Self {
         Repl {
             role: AtomicU8::new(role as u8),
             sent: Arc::new(AtomicU64::new(0)),
@@ -105,6 +162,10 @@ impl Repl {
             shipped: AtomicU64::new(0),
             received: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            fenced_writes: AtomicU64::new(0),
+            fenced_frames: AtomicU64::new(0),
+            wal,
+            transition: Mutex::new(()),
             repl_addr: Mutex::new(None),
             follow_conn: Mutex::new(None),
             stopping: AtomicBool::new(false),
@@ -113,11 +174,17 @@ impl Repl {
 
     /// This process's current role.
     pub fn role(&self) -> Role {
-        if self.role.load(Ordering::SeqCst) == Role::Follower as u8 {
-            Role::Follower
-        } else {
-            Role::Primary
+        match self.role.load(Ordering::SeqCst) {
+            x if x == Role::Follower as u8 => Role::Follower,
+            x if x == Role::Fenced as u8 => Role::Fenced,
+            _ => Role::Primary,
         }
+    }
+
+    /// The replication epoch this replica speaks (delegates to the WAL,
+    /// where the value is durably recovered from).
+    pub fn epoch(&self) -> u64 {
+        self.wal.epoch()
     }
 
     /// Where followers connect, once the listener is bound.
@@ -145,18 +212,53 @@ impl Repl {
 
     /// Promotes a follower to primary: stops consuming the stream and
     /// lets profile writes through. Idempotent — promoting a primary is
-    /// a no-op returning `false`.
+    /// a no-op returning `false`. Equivalent to
+    /// `promote_to(None).promoted`.
     pub fn promote(&self) -> bool {
-        let was_follower = self
-            .role
-            .compare_exchange(
-                Role::Follower as u8,
-                Role::Primary as u8,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            )
-            .is_ok();
-        if was_follower {
+        self.promote_to(None).promoted
+    }
+
+    /// Promotes this replica to primary at a **higher epoch**, durably
+    /// recording the advance (`E1` marker, fsync'd) before any write can
+    /// be accepted under it.
+    ///
+    /// With `target: Some(e)` the promotion succeeds only if `e` is
+    /// strictly above the replica's current epoch — a router racing two
+    /// promotions at the same target therefore crowns at most one
+    /// winner. With `None` the epoch advances to `own + 1` when the role
+    /// actually flips (follower/fenced → primary); promoting a primary
+    /// with no target stays a no-op.
+    pub fn promote_to(&self, target: Option<u64>) -> PromoteOutcome {
+        let _t = self.transition.lock().unwrap_or_else(|p| p.into_inner());
+        let own = self.epoch();
+        let role = self.role();
+        let new_epoch = match target {
+            Some(t) if t <= own => {
+                return PromoteOutcome {
+                    promoted: false,
+                    epoch: own,
+                }
+            }
+            Some(t) => t,
+            None if role == Role::Primary => {
+                return PromoteOutcome {
+                    promoted: false,
+                    epoch: own,
+                }
+            }
+            None => own + 1,
+        };
+        // Durability first: the epoch advance must be on disk before the
+        // role flip lets a write through under it.
+        if let Err(e) = self.wal.record_epoch(new_epoch) {
+            eprintln!("repl: failed to record epoch {new_epoch}: {e}");
+            return PromoteOutcome {
+                promoted: false,
+                epoch: own,
+            };
+        }
+        self.role.store(Role::Primary as u8, Ordering::SeqCst);
+        if role != Role::Primary {
             self.failovers.fetch_add(1, Ordering::Relaxed);
             // Sever the stream so the apply thread exits even if the
             // (dead) primary never closes its end.
@@ -169,7 +271,66 @@ impl Repl {
                 let _ = conn.shutdown(std::net::Shutdown::Both);
             }
         }
-        was_follower
+        PromoteOutcome {
+            promoted: true,
+            epoch: new_epoch,
+        }
+    }
+
+    /// Folds an epoch learned from the outside (an `x-cqp-epoch` request
+    /// or probe header) into this replica: a higher epoch is adopted
+    /// durably, and a primary seeing one **self-demotes to fenced** — it
+    /// can never accept another write at its stale epoch. Returns the
+    /// epoch now in effect.
+    pub fn observe_epoch(&self, seen: u64) -> u64 {
+        if seen <= self.epoch() {
+            return self.epoch();
+        }
+        let _t = self.transition.lock().unwrap_or_else(|p| p.into_inner());
+        let own = self.epoch();
+        if seen <= own {
+            return own;
+        }
+        if let Err(e) = self.wal.record_epoch(seen) {
+            eprintln!("repl: failed to record observed epoch {seen}: {e}");
+        }
+        if self.role() == Role::Primary {
+            self.role.store(Role::Fenced as u8, Ordering::SeqCst);
+        }
+        seen
+    }
+
+    /// Decides whether a profile write may proceed here, folding in the
+    /// write's `x-cqp-epoch` header when present. Counts every
+    /// `stale_epoch` rejection in [`Repl::fenced_counters`].
+    pub fn gate_write(&self, header_epoch: Option<u64>) -> WriteGate {
+        if let Some(h) = header_epoch {
+            // Higher epoch: adopt it (demoting ourselves if primary).
+            self.observe_epoch(h);
+            if h < self.epoch() {
+                // The *sender* is stale: refuse rather than accept a
+                // write routed under a superseded view of the group.
+                self.fenced_writes.fetch_add(1, Ordering::Relaxed);
+                return WriteGate::StaleEpoch { own: self.epoch() };
+            }
+        }
+        match self.role() {
+            Role::Primary => WriteGate::Allow,
+            Role::Follower => WriteGate::NotPrimary,
+            Role::Fenced => {
+                self.fenced_writes.fetch_add(1, Ordering::Relaxed);
+                WriteGate::StaleEpoch { own: self.epoch() }
+            }
+        }
+    }
+
+    /// `(fenced_writes, fenced_frames)` — writes refused `stale_epoch`
+    /// and replication frames refused for falling behind the epoch.
+    pub fn fenced_counters(&self) -> (u64, u64) {
+        (
+            self.fenced_writes.load(Ordering::Relaxed),
+            self.fenced_frames.load(Ordering::Relaxed),
+        )
     }
 
     /// Unblocks and retires the replication accept loop (server shutdown).
@@ -196,7 +357,7 @@ impl Repl {
 pub fn start_primary(listen_addr: &str, wal: Arc<Wal>) -> io::Result<Arc<Repl>> {
     let listener = TcpListener::bind(listen_addr)?;
     let addr = listener.local_addr()?;
-    let repl = Arc::new(Repl::new(Role::Primary));
+    let repl = Arc::new(Repl::new(Role::Primary, Arc::clone(&wal)));
     *repl.repl_addr.lock().unwrap_or_else(|p| p.into_inner()) = Some(addr);
     let accept_repl = Arc::clone(&repl);
     std::thread::spawn(move || {
@@ -260,11 +421,12 @@ fn attach_follower(repl: &Arc<Repl>, wal: &Arc<Wal>, stream: TcpStream) -> io::R
     wal.attach_replica(
         |history| {
             history_stream.write_all(history)?;
-            // Preload the ledger with the history frame count; their acks
-            // drain on the first live ship.
+            // Preload the ledger with the history frame count (puts and
+            // epoch markers both ack); their acks drain on the first
+            // live ship.
             let mut frames = 0u64;
             let mut offset = 0usize;
-            while let Some((_, next)) = decode_frame(history, offset) {
+            while let Some((_, next)) = decode_wal_frame(history, offset) {
                 offset = next;
                 frames += 1;
             }
@@ -284,7 +446,13 @@ pub fn start_follower(
     store: Arc<SessionStore>,
     catalog: Catalog,
 ) -> io::Result<Arc<Repl>> {
-    let repl = Arc::new(Repl::new(Role::Follower));
+    let wal = Arc::clone(store.wal().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "follower requires a durable store (the stream is journaled)",
+        )
+    })?);
+    let repl = Arc::new(Repl::new(Role::Follower, wal));
     let stream = connect_with_retry(&primary_addr)?;
     stream.set_nodelay(true).ok();
     // Short poll so a promoted follower notices within one tick even if
@@ -313,8 +481,15 @@ fn connect_with_retry(addr: &str) -> io::Result<TcpStream> {
     }
 }
 
-/// The follower's apply loop: incremental [`decode_frame`] over a
+/// The follower's apply loop: incremental [`decode_wal_frame`] over a
 /// growing buffer — exactly the recovery decoder, fed by the socket.
+///
+/// The stream's epoch is whatever the latest `E1` marker announced (the
+/// primary leads every attach with one). If this replica's own epoch
+/// ever exceeds the stream's — it learned of a newer primary via a
+/// heartbeat, or the stream announces a lower epoch outright — the loop
+/// **rejects the frame without acking and severs the stream**: a stale
+/// primary cannot feed a follower that knows better.
 fn follow_loop(
     repl: &Arc<Repl>,
     mut stream: TcpStream,
@@ -325,6 +500,7 @@ fn follow_loop(
     let mut buf: Vec<u8> = Vec::new();
     let mut offset = 0usize;
     let mut chunk = [0u8; 64 * 1024];
+    let mut stream_epoch = 0u64;
     loop {
         if repl.role() != Role::Follower {
             return Ok(()); // promoted: stop consuming
@@ -343,14 +519,40 @@ fn follow_loop(
             Err(e) => return Err(e),
         };
         buf.extend_from_slice(&chunk[..n]);
-        while let Some((rec, next)) = decode_frame(&buf, offset) {
-            // Apply before acking: an acked frame is queryable.
-            if store
-                .apply_replicated(&buf[offset..next], &rec, catalog)
-                .is_err()
-            {
-                // A checksummed record whose profile no longer parses —
-                // same stance as recovery: skip, stay available.
+        while let Some((frame, next)) = decode_wal_frame(&buf, offset) {
+            if let WalFrame::Epoch(e) = &frame {
+                stream_epoch = stream_epoch.max(*e);
+            }
+            if stream_epoch < repl.epoch() {
+                // The primary on the far end speaks a superseded epoch.
+                // No apply, no ack; drop the link.
+                repl.fenced_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Err(io::Error::other(format!(
+                    "rejecting stream at epoch {stream_epoch} (own epoch {})",
+                    repl.epoch()
+                )));
+            }
+            match &frame {
+                WalFrame::Epoch(e) => {
+                    // Journal the marker so the advance survives a
+                    // restart of this follower too.
+                    if let Some(wal) = store.wal() {
+                        let _ = wal.append_raw_frame(&buf[offset..next]);
+                    }
+                    repl.wal.observe_epoch(*e);
+                }
+                WalFrame::Put(rec) => {
+                    // Apply before acking: an acked frame is queryable.
+                    if store
+                        .apply_replicated(&buf[offset..next], rec, catalog)
+                        .is_err()
+                    {
+                        // A checksummed record whose profile no longer
+                        // parses — same stance as recovery: skip, stay
+                        // available.
+                    }
+                }
             }
             repl.received.fetch_add(1, Ordering::Relaxed);
             ack_stream.write_all(b"a")?;
@@ -424,11 +626,12 @@ mod tests {
             c.clone(),
         )
         .unwrap();
-        // Wait for history to apply. Once it has, the frame listener is
-        // provably installed (install happens under the same log lock
-        // appends take, before any live append can proceed).
+        // Wait for history to apply (an E1 epoch header plus the two
+        // records). Once it has, the frame listener is provably installed
+        // (install happens under the same log lock appends take, before
+        // any live append can proceed).
         let t0 = std::time::Instant::now();
-        while f_repl.counters().1 < 2 {
+        while f_repl.counters().1 < 3 {
             assert!(
                 t0.elapsed() < Duration::from_secs(10),
                 "history never applied"
@@ -447,7 +650,7 @@ mod tests {
         assert_eq!(follower.get("al").unwrap().version, 2);
         assert_eq!(repl.lag_records(), 0);
         assert_eq!(repl.counters().0, 2); // two live frames shipped+acked
-        assert_eq!(f_repl.counters().1, 4); // four frames applied
+        assert_eq!(f_repl.counters().1, 5); // epoch header + four records
                                             // The follower journaled the stream to its own WAL: a recovery
                                             // from the follower's directory reproduces the same store.
         drop(f_repl);
@@ -478,10 +681,11 @@ mod tests {
         primary
             .upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace)
             .unwrap();
-        // Wait until the frame has crossed (it may have shipped as
-        // history if the write beat the attach).
+        // Wait until the put frame has crossed — frame 2, after the E1
+        // epoch header (it may have shipped as history if the write beat
+        // the attach).
         let t0 = std::time::Instant::now();
-        while f_repl.counters().1 < 1 {
+        while f_repl.counters().1 < 2 {
             assert!(
                 t0.elapsed() < Duration::from_secs(10),
                 "frame never applied"
@@ -489,16 +693,69 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(f_repl.role(), Role::Follower);
+        assert_eq!(f_repl.epoch(), 0);
         assert!(f_repl.promote());
         assert!(!f_repl.promote()); // idempotent
         assert_eq!(f_repl.role(), Role::Primary);
         assert_eq!(f_repl.counters().2, 1);
+        // Promotion advanced the epoch and recorded it durably.
+        assert_eq!(f_repl.epoch(), 1);
         // The promoted store continues the version chain from the
         // replicated state: al is at 1, the next write bumps to 2.
         let (v, _) = follower
             .upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace)
             .unwrap();
         assert_eq!(v, 2);
+        repl.stop();
+        let _ = std::fs::remove_dir_all(&p_dir);
+        let _ = std::fs::remove_dir_all(&f_dir);
+    }
+
+    /// A follower that has learned a higher epoch (heartbeat from the
+    /// new topology) refuses the old primary's stream: the stale frame
+    /// is not applied, not acked, and the link is severed.
+    #[test]
+    fn follower_rejects_stream_from_lower_epoch_primary() {
+        let c = catalog();
+        let (p_dir, f_dir) = (tmpdir("fence-p"), tmpdir("fence-f"));
+        let (primary, _) = SessionStore::recover(4, &p_dir, &c).unwrap();
+        let wal = Arc::clone(primary.wal().unwrap());
+        let repl = start_primary("127.0.0.1:0", wal).unwrap();
+        let (follower, _) = SessionStore::recover(4, &f_dir, &c).unwrap();
+        let follower = Arc::new(follower);
+        let f_repl = start_follower(
+            repl.repl_addr().unwrap().to_string(),
+            Arc::clone(&follower),
+            c.clone(),
+        )
+        .unwrap();
+        // Let the attach complete (E1 header applied).
+        let t0 = std::time::Instant::now();
+        while f_repl.counters().1 < 1 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "attach never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Heartbeat: the follower learns a newer primary exists at epoch 2.
+        assert_eq!(f_repl.observe_epoch(2), 2);
+        assert_eq!(f_repl.role(), Role::Follower, "followers are not demoted");
+        // The old primary keeps writing at epoch 0. The follower must
+        // reject the stream rather than apply stale frames.
+        let _ = primary.upsert_text("al", WIRE, &c, crate::session::UpsertMode::Replace);
+        let t0 = std::time::Instant::now();
+        while f_repl.fenced_counters().1 < 1 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "stale stream never rejected"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(follower.get("al").is_none(), "stale frame must not apply");
+        // The epoch advance was durable: a recovery of the follower's
+        // directory comes back at epoch 2.
+        drop(f_repl);
+        let (recovered, report) = SessionStore::recover(4, &f_dir, &c).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(recovered.wal().unwrap().epoch(), 2);
         repl.stop();
         let _ = std::fs::remove_dir_all(&p_dir);
         let _ = std::fs::remove_dir_all(&f_dir);

@@ -963,13 +963,13 @@ fn route(state: &ServerState, req: &Request, t0: Instant, parse_us: u64) -> Resp
     let result = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(healthz(state)),
         ("GET", ["healthz", "live"]) => Ok(liveness()),
-        ("GET", ["healthz", "ready"]) => Ok(readiness(state)),
+        ("GET", ["healthz", "ready"]) => Ok(readiness(state, req)),
         ("GET", ["metrics"]) => Ok(metrics(state)),
         ("GET", ["debug", "traces"]) => debug_traces(state, req),
         ("GET", ["debug", "slow"]) => Ok(debug_slow(state)),
         ("POST", ["profiles", user]) => upsert_profile(state, req, user),
         ("GET", ["profiles", user]) => get_profile(state, user),
-        ("POST", ["admin", "promote"]) => Ok(promote(state)),
+        ("POST", ["admin", "promote"]) => Ok(promote(state, req)),
         ("POST", ["personalize"]) => {
             return personalize_route(state, req, t0, parse_us);
         }
@@ -1176,7 +1176,7 @@ fn liveness() -> Response {
 /// Readiness: 200 `ready` when live and the breaker admits traffic;
 /// 503 while draining or while the breaker is open, so pollers and load
 /// balancers take the instance out of rotation before it stops.
-fn readiness(state: &ServerState) -> Response {
+fn readiness(state: &ServerState, req: &Request) -> Response {
     let draining = state.phase() != Phase::Live;
     let breaker = state.breaker.state();
     let status = if draining { "draining" } else { "ready" };
@@ -1185,6 +1185,19 @@ fn readiness(state: &ServerState) -> Response {
     } else {
         200
     };
+    // The probe doubles as the epoch heartbeat: a router that has seen a
+    // newer epoch announces it here, which is what fences a partitioned
+    // ex-primary on its first post-heal heartbeat.
+    let mut epoch = 0u64;
+    if let Some(repl) = &state.repl {
+        if let Some(h) = req
+            .header("x-cqp-epoch")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            repl.observe_epoch(h);
+        }
+        epoch = repl.epoch();
+    }
     // Followers are *ready* (they serve reads); the role field tells the
     // router which replica may take writes.
     let role = state
@@ -1197,6 +1210,7 @@ fn readiness(state: &ServerState) -> Response {
             ("status", Json::from(status)),
             ("breaker", Json::from(breaker.as_str())),
             ("role", Json::from(role)),
+            ("epoch", Json::from(epoch)),
         ]),
     )
 }
@@ -1420,10 +1434,26 @@ fn metrics(state: &ServerState) -> Response {
     }
     if let Some(repl) = &state.repl {
         let (shipped, received, failovers) = repl.counters();
+        let (fenced_writes, fenced_frames) = repl.fenced_counters();
         w.gauge(
             "cqp_repl_role",
-            "Replication role: 0 primary, 1 follower.",
+            "Replication role: 0 primary, 1 follower, 2 fenced.",
             repl.role() as u8 as f64,
+        );
+        w.gauge(
+            "cqp_repl_epoch",
+            "Replication epoch this replica speaks (monotone; bumped by promotion).",
+            repl.epoch() as f64,
+        );
+        w.counter(
+            "cqp_repl_fenced_writes_total",
+            "Profile writes refused with stale_epoch (fenced replica or epoch mismatch).",
+            fenced_writes,
+        );
+        w.counter(
+            "cqp_repl_fenced_frames_total",
+            "Replication frames refused because the stream's epoch fell behind.",
+            fenced_frames,
         );
         w.gauge(
             "cqp_repl_lag_records",
@@ -1510,22 +1540,35 @@ impl ServerState {
     }
 }
 
-/// `POST /admin/promote` — flips a follower to primary (failover). On a
-/// primary (or a server with no replication role) this is a no-op that
-/// reports the current role, so the router can fire it blind.
-fn promote(state: &ServerState) -> Response {
-    let (promoted, role, failovers) = match &state.repl {
+/// `POST /admin/promote` — promotes this replica to primary at a higher
+/// epoch (failover/fencing). An optional `?epoch=N` query names the
+/// target epoch: promotion succeeds only if `N` is strictly above the
+/// replica's own, so a router racing two promotions at the same target
+/// crowns exactly one winner. Without a target, a follower (or fenced
+/// replica) advances to `own + 1`; a primary is a no-op. Always 200 with
+/// the resulting role and epoch, so the router can fire it blind.
+fn promote(state: &ServerState, req: &Request) -> Response {
+    let target = req
+        .query_param("epoch")
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    let (promoted, role, epoch, failovers) = match &state.repl {
         Some(repl) => {
-            let promoted = repl.promote();
-            (promoted, repl.role().as_str(), repl.counters().2)
+            let outcome = repl.promote_to(target);
+            (
+                outcome.promoted,
+                repl.role().as_str(),
+                outcome.epoch,
+                repl.counters().2,
+            )
         }
-        None => (false, "primary", 0),
+        None => (false, "primary", 0, 0),
     };
     Response::json(
         200,
         &Json::obj(vec![
             ("promoted", Json::Bool(promoted)),
             ("role", Json::from(role)),
+            ("epoch", Json::from(epoch)),
             ("failovers", Json::from(failovers)),
         ]),
     )
@@ -1533,16 +1576,38 @@ fn promote(state: &ServerState) -> Response {
 
 fn upsert_profile(state: &ServerState, req: &Request, user: &str) -> Result<Response, ApiError> {
     if let Some(repl) = &state.repl {
-        if repl.role() == crate::repl::Role::Follower {
-            // Followers apply the primary's stream only: accepting a
-            // direct write here would fork the version chain the primary
-            // is still extending. 503 (not 4xx) — the router retries the
-            // write against the primary, or promotes us first.
-            return Err(ApiError::new(
-                503,
-                "not_primary",
-                "this replica is a follower; write to the primary or promote it",
-            ));
+        let header_epoch = req
+            .header("x-cqp-epoch")
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        match repl.gate_write(header_epoch) {
+            crate::repl::WriteGate::Allow => {}
+            crate::repl::WriteGate::NotPrimary => {
+                // Followers apply the primary's stream only: accepting a
+                // direct write here would fork the version chain the
+                // primary is still extending. 503 (not 4xx) — the router
+                // retries the write against the primary, or promotes us
+                // first.
+                return Err(ApiError::new(
+                    503,
+                    "not_primary",
+                    "this replica is a follower; write to the primary or promote it",
+                ));
+            }
+            crate::repl::WriteGate::StaleEpoch { own } => {
+                // Either we are fenced (a newer primary exists) or the
+                // write was routed under a superseded epoch. Refusing is
+                // what keeps split-brain one-sided: the old primary never
+                // extends its version chain past the fence.
+                return Err(ApiError::new(
+                    503,
+                    "stale_epoch",
+                    format!(
+                        "write refused at epoch {own}: a newer primary epoch exists \
+                         (this replica is {})",
+                        repl.role().as_str()
+                    ),
+                ));
+            }
         }
     }
     let text = std::str::from_utf8(&req.body)
@@ -1557,12 +1622,14 @@ fn upsert_profile(state: &ServerState, req: &Request, user: &str) -> Result<Resp
         .upsert_text(user, text, state.db.catalog(), mode)
         .map_err(|e| ApiError::new(400, "bad_profile", e.to_string()))?;
     state.obs.add("server.profile_upserts", 1);
+    let epoch = state.repl.as_ref().map_or(0, |r| r.epoch());
     Ok(Response::json(
         200,
         &Json::obj(vec![
             ("user", Json::from(user)),
             ("version", Json::from(version)),
             ("preferences", Json::from(preferences as u64)),
+            ("epoch", Json::from(epoch)),
         ]),
     ))
 }

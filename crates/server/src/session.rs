@@ -143,10 +143,19 @@ impl SessionStore {
             .unwrap_or_else(|p| p.into_inner()) = Some(listener);
     }
 
-    /// Applies a replayed record: no version bump, no WAL append.
+    /// Applies a replayed record: no version bump, no WAL append. Skips
+    /// records older than what the store already holds — a crash between
+    /// a compaction's snapshot rename and its log truncation leaves a
+    /// *stale* log after a *fresh* snapshot, and blind insertion would
+    /// regress versions during replay.
     fn restore(&self, user: &str, profile: Profile, version: u64) {
         let mut shard = self.shard(user).lock().unwrap_or_else(|p| p.into_inner());
-        shard.insert(user.to_string(), StoredProfile { profile, version });
+        match shard.get(user) {
+            Some(existing) if existing.version > version => {}
+            _ => {
+                shard.insert(user.to_string(), StoredProfile { profile, version });
+            }
+        }
     }
 
     fn shard(&self, user: &str) -> &Mutex<HashMap<String, StoredProfile>> {

@@ -58,6 +58,11 @@ use std::time::Instant;
 
 /// Record magic: bump on incompatible format changes.
 const MAGIC: &str = "W1";
+/// Epoch-marker magic: a frame recording a replication-epoch advance
+/// (`{"op":"epoch","epoch":N}` payload, same framing and checksum as
+/// `W1`). Absent entirely from pre-epoch logs, which therefore recover
+/// as epoch 0 — the backward-compatibility contract.
+const EPOCH_MAGIC: &str = "E1";
 /// Snapshot file name inside the WAL directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.wal";
 /// Log file name inside the WAL directory.
@@ -72,6 +77,20 @@ pub struct PutRecord {
     pub version: u64,
     /// The profile in `# cqp-profile v1` wire format.
     pub profile_text: String,
+    /// Replication epoch the write was accepted under (0 for records
+    /// written before the epoch protocol existed — the field is optional
+    /// on the wire, so seed-format logs stay readable).
+    pub epoch: u64,
+}
+
+/// One decoded WAL/replication frame: a profile upsert or an epoch
+/// advance marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalFrame {
+    /// A `W1` profile-upsert record.
+    Put(PutRecord),
+    /// An `E1` epoch marker: the log's epoch is `>= n` from here on.
+    Epoch(u64),
 }
 
 /// What recovery found and did.
@@ -88,6 +107,9 @@ pub struct RecoveryReport {
     /// Checksummed records whose profile text failed to parse later —
     /// skipped, never fatal (counted by the caller, not here).
     pub parse_skipped: u64,
+    /// Highest replication epoch recovered (from `E1` markers and the
+    /// optional per-record epoch stamp). Pre-epoch logs recover as 0.
+    pub epoch: u64,
     /// Wall-clock spent replaying, seconds.
     pub replay_secs: f64,
 }
@@ -143,6 +165,9 @@ pub struct Wal {
     bytes_appended: AtomicU64,
     bytes_since_compaction: AtomicU64,
     compactions: AtomicU64,
+    /// Current replication epoch: max of every epoch recovered from disk
+    /// and every epoch recorded/observed since. Monotone.
+    epoch: AtomicU64,
 }
 
 impl Wal {
@@ -158,7 +183,8 @@ impl Wal {
             if !path.exists() {
                 continue;
             }
-            let (recs, valid_bytes, total_bytes) = replay_file(&path)?;
+            let (recs, epoch, valid_bytes, total_bytes) = replay_file(&path)?;
+            report.epoch = report.epoch.max(epoch);
             if valid_bytes < total_bytes {
                 // Torn or corrupt tail: truncate to the last clean record
                 // boundary so future appends start from a healthy file.
@@ -194,6 +220,7 @@ impl Wal {
                 bytes_appended: AtomicU64::new(0),
                 bytes_since_compaction: AtomicU64::new(live_log_bytes),
                 compactions: AtomicU64::new(0),
+                epoch: AtomicU64::new(report.epoch),
             },
             records,
             report,
@@ -216,7 +243,12 @@ impl Wal {
     /// write) leaves a partial frame behind and returns an error — the
     /// same state a crash mid-append produces, which recovery heals.
     pub fn append_put(&self, user: &str, version: u64, profile_text: &str) -> io::Result<()> {
-        let frame = encode_put(user, version, profile_text);
+        let frame = encode_put(
+            user,
+            version,
+            profile_text,
+            self.epoch.load(Ordering::Acquire),
+        );
         let r = self.append_frame(&frame);
         match &r {
             Ok(()) => {
@@ -305,7 +337,11 @@ impl Wal {
         listener: FrameListener,
     ) -> io::Result<()> {
         let _log = self.lock_log();
-        let mut history = Vec::new();
+        // Lead with an epoch header so the follower knows which epoch
+        // this primary speaks *before* any record arrives — a follower
+        // that already learned a higher epoch rejects the stream at
+        // frame one instead of applying stale history.
+        let mut history = encode_epoch(self.epoch.load(Ordering::Acquire));
         for file in [SNAPSHOT_FILE, LOG_FILE] {
             let path = self.dir.join(file);
             if !path.exists() {
@@ -316,7 +352,7 @@ impl Wal {
             // Ship only the valid prefix: a torn local tail (failed
             // append) must not stall the follower's frame decoder.
             let mut offset = 0usize;
-            while let Some((_, next)) = decode_frame(&buf, offset) {
+            while let Some((_, next)) = decode_wal_frame(&buf, offset) {
                 offset = next;
             }
             history.extend_from_slice(&buf[..offset]);
@@ -328,6 +364,34 @@ impl Wal {
             .lock()
             .unwrap_or_else(|p| p.into_inner()) = Some(listener);
         Ok(())
+    }
+
+    /// The current replication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Raises the epoch to whatever higher value was learned from an
+    /// already-persisted source (a replicated `E1` frame appended via
+    /// [`Wal::append_raw_frame`]). Never lowers it. Returns the epoch now
+    /// in effect.
+    pub fn observe_epoch(&self, epoch: u64) -> u64 {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel).max(epoch)
+    }
+
+    /// Durably records an epoch advance: appends an `E1` marker frame
+    /// (fsync'd — epoch transitions are rare and must survive power
+    /// loss), ships it to any attached follower through the ordinary
+    /// frame listener, and raises the in-memory epoch. A no-op returning
+    /// the current epoch if `epoch` is not an advance.
+    pub fn record_epoch(&self, epoch: u64) -> io::Result<u64> {
+        if epoch <= self.epoch.load(Ordering::Acquire) {
+            return Ok(self.epoch.load(Ordering::Acquire));
+        }
+        let frame = encode_epoch(epoch);
+        self.append_raw_frame(&frame)?;
+        self.sync()?;
+        Ok(self.observe_epoch(epoch))
     }
 
     /// Drops the frame listener (follower detached or promoted).
@@ -356,14 +420,24 @@ impl Wal {
     ) -> io::Result<()> {
         let mut log = self.lock_log();
         let tmp = self.dir.join("snapshot.tmp");
+        let epoch = self.epoch.load(Ordering::Acquire);
         {
             let mut f = File::create(&tmp)?;
+            if epoch > 0 {
+                // Carry the epoch across compaction: the log's E1 markers
+                // are about to be truncated away.
+                f.write_all(&encode_epoch(epoch))?;
+            }
             for (user, version, text) in entries {
-                f.write_all(&encode_put(user, version, text))?;
+                f.write_all(&encode_put(user, version, text, epoch))?;
             }
             f.sync_data()?;
         }
         std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // Fsync the directory: the rename itself must survive power loss,
+        // or recovery could see the *old* snapshot next to a log we are
+        // about to truncate.
+        File::open(&self.dir)?.sync_all()?;
         // The snapshot now covers everything: restart the log.
         log.set_len(0)?;
         log.seek(SeekFrom::Start(0))?;
@@ -402,14 +476,20 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Encodes one put record as a full frame (including the trailing `\n`).
-fn encode_put(user: &str, version: u64, profile_text: &str) -> Vec<u8> {
-    let payload = Json::obj(vec![
+/// The epoch stamp is omitted at epoch 0 so pre-epoch readers (and
+/// byte-for-byte comparisons against seed-format logs) see the original
+/// frame shape.
+fn encode_put(user: &str, version: u64, profile_text: &str, epoch: u64) -> Vec<u8> {
+    let mut fields = vec![
         ("op", Json::Str("put".into())),
         ("user", Json::Str(user.into())),
         ("version", Json::Num(version as f64)),
         ("profile", Json::Str(profile_text.into())),
-    ])
-    .render();
+    ];
+    if epoch > 0 {
+        fields.push(("epoch", Json::Num(epoch as f64)));
+    }
+    let payload = Json::obj(fields).render();
     let mut frame = format!(
         "{MAGIC} {} {:016x} ",
         payload.len(),
@@ -421,16 +501,36 @@ fn encode_put(user: &str, version: u64, profile_text: &str) -> Vec<u8> {
     frame
 }
 
-/// Parses one frame starting at `buf[offset..]`. Returns the record and
-/// the offset just past its trailing newline, or `None` if the bytes at
-/// `offset` are not a complete valid record (torn tail / corruption —
-/// or, on the replication stream, simply "not fully arrived yet").
-pub fn decode_frame(buf: &[u8], offset: usize) -> Option<(PutRecord, usize)> {
+/// Encodes an `E1` epoch-marker frame (including the trailing `\n`).
+pub fn encode_epoch(epoch: u64) -> Vec<u8> {
+    let payload = Json::obj(vec![
+        ("op", Json::Str("epoch".into())),
+        ("epoch", Json::Num(epoch as f64)),
+    ])
+    .render();
+    let mut frame = format!(
+        "{EPOCH_MAGIC} {} {:016x} ",
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    )
+    .into_bytes();
+    frame.extend_from_slice(payload.as_bytes());
+    frame.push(b'\n');
+    frame
+}
+
+/// Parses one frame of either type starting at `buf[offset..]`. Returns
+/// the frame and the offset just past its trailing newline, or `None` if
+/// the bytes at `offset` are not a complete valid frame (torn tail /
+/// corruption — or, on the replication stream, simply "not fully arrived
+/// yet").
+pub fn decode_wal_frame(buf: &[u8], offset: usize) -> Option<(WalFrame, usize)> {
     let rest = &buf[offset..];
     let nl = rest.iter().position(|b| *b == b'\n')?;
     let line = std::str::from_utf8(&rest[..nl]).ok()?;
     let mut parts = line.splitn(4, ' ');
-    if parts.next()? != MAGIC {
+    let magic = parts.next()?;
+    if magic != MAGIC && magic != EPOCH_MAGIC {
         return None;
     }
     let len: usize = parts.next()?.parse().ok()?;
@@ -440,37 +540,62 @@ pub fn decode_frame(buf: &[u8], offset: usize) -> Option<(PutRecord, usize)> {
         return None;
     }
     let json = crate::json::parse(payload).ok()?;
+    let next = offset + nl + 1;
+    if magic == EPOCH_MAGIC {
+        if json.get("op")?.as_str()? != "epoch" {
+            return None;
+        }
+        return Some((WalFrame::Epoch(json.get("epoch")?.as_u64()?), next));
+    }
     if json.get("op")?.as_str()? != "put" {
         return None;
     }
     Some((
-        PutRecord {
+        WalFrame::Put(PutRecord {
             user: json.get("user")?.as_str()?.to_string(),
             version: json.get("version")?.as_u64()?,
             profile_text: json.get("profile")?.as_str()?.to_string(),
-        },
-        offset + nl + 1,
+            epoch: json.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+        }),
+        next,
     ))
 }
 
-/// Replays `path`, returning `(records, valid_bytes, total_bytes)` where
-/// `valid_bytes` is the clean prefix length (everything past it is torn
-/// tail or corruption the caller should truncate).
-fn replay_file(path: &Path) -> io::Result<(Vec<PutRecord>, u64, u64)> {
+/// Parses one `W1` put frame at `buf[offset..]` — `None` for anything
+/// else, including valid `E1` markers. Kept for callers that only care
+/// about records; stream decoders should use [`decode_wal_frame`].
+pub fn decode_frame(buf: &[u8], offset: usize) -> Option<(PutRecord, usize)> {
+    match decode_wal_frame(buf, offset)? {
+        (WalFrame::Put(rec), next) => Some((rec, next)),
+        _ => None,
+    }
+}
+
+/// Replays `path`, returning `(records, epoch, valid_bytes, total_bytes)`
+/// where `valid_bytes` is the clean prefix length (everything past it is
+/// torn tail or corruption the caller should truncate) and `epoch` is the
+/// highest epoch seen in the valid prefix.
+fn replay_file(path: &Path) -> io::Result<(Vec<PutRecord>, u64, u64, u64)> {
     let mut buf = Vec::new();
     File::open(path)?.read_to_end(&mut buf)?;
     let mut records = Vec::new();
+    let mut epoch = 0u64;
     let mut offset = 0usize;
     while offset < buf.len() {
-        match decode_frame(&buf, offset) {
-            Some((rec, next)) => {
+        match decode_wal_frame(&buf, offset) {
+            Some((WalFrame::Put(rec), next)) => {
+                epoch = epoch.max(rec.epoch);
                 records.push(rec);
+                offset = next;
+            }
+            Some((WalFrame::Epoch(e), next)) => {
+                epoch = epoch.max(e);
                 offset = next;
             }
             None => break,
         }
     }
-    Ok((records, offset as u64, buf.len() as u64))
+    Ok((records, epoch, offset as u64, buf.len() as u64))
 }
 
 #[cfg(test)]
@@ -629,6 +754,67 @@ mod tests {
         let log_len = std::fs::metadata(dir.join(LOG_FILE)).unwrap().len();
         assert_eq!(opened.wal.bytes_since_compaction(), log_len);
         assert!(log_len > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_markers_are_durable_and_survive_compaction() {
+        let dir = tmpdir("epoch");
+        {
+            let opened = Wal::open(&dir).unwrap();
+            assert_eq!(opened.wal.epoch(), 0);
+            opened.wal.append_put("al", 1, PROFILE).unwrap();
+            assert_eq!(opened.wal.record_epoch(3).unwrap(), 3);
+            // Not an advance: ignored.
+            assert_eq!(opened.wal.record_epoch(2).unwrap(), 3);
+            opened.wal.append_put("al", 2, PROFILE).unwrap();
+        }
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.report.epoch, 3);
+        assert_eq!(opened.wal.epoch(), 3);
+        assert_eq!(opened.records.len(), 2);
+        // Records carry the epoch they were accepted under.
+        assert_eq!(opened.records[0].epoch, 0);
+        assert_eq!(opened.records[1].epoch, 3);
+        // Compaction truncates the log's E1 marker but re-seeds it in the
+        // snapshot.
+        opened
+            .wal
+            .compact([("al", 2u64, PROFILE)].into_iter())
+            .unwrap();
+        drop(opened);
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.report.epoch, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_epoch_seed_format_recovers_as_epoch_zero() {
+        let dir = tmpdir("pre-epoch");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A seed-format frame: no `epoch` field, no E1 markers.
+        let payload = Json::obj(vec![
+            ("op", Json::Str("put".into())),
+            ("user", Json::Str("al".into())),
+            ("version", Json::Num(1.0)),
+            ("profile", Json::Str(PROFILE.into())),
+        ])
+        .render();
+        let frame = format!(
+            "{MAGIC} {} {:016x} {payload}\n",
+            payload.len(),
+            fnv1a(payload.as_bytes())
+        );
+        std::fs::write(dir.join(LOG_FILE), frame).unwrap();
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.records[0].epoch, 0);
+        assert_eq!(opened.report.epoch, 0);
+        assert_eq!(opened.report.torn_tail_bytes, 0);
+        // And epoch-0 appends reproduce the seed frame shape exactly.
+        let reencoded = encode_put("al", 1, PROFILE, 0);
+        let on_disk = std::fs::read(dir.join(LOG_FILE)).unwrap();
+        assert_eq!(reencoded, on_disk);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

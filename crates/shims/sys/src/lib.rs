@@ -68,7 +68,13 @@ struct RLimit {
     max: c_ulong,
 }
 
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+/// `SIG_ERR` — `signal(2)`'s failure sentinel (`(sighandler_t) -1`).
+const SIG_ERR: usize = usize::MAX;
+
 extern "C" {
+    fn signal(signum: c_int, handler: usize) -> usize;
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
@@ -285,6 +291,35 @@ pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
     Ok(())
 }
 
+/// The flag [`install_termination_flag`] arms. A static is the only
+/// state an async-signal-safe handler may touch; an atomic store is one
+/// of the few operations allowed inside one.
+static TERMINATION_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_termination_signal(_signum: c_int) {
+    TERMINATION_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that set a process-wide flag
+/// instead of killing the process, so daemons can drain and exit
+/// cleanly. Poll the flag with [`termination_requested`]. Idempotent.
+pub fn install_termination_flag() -> io::Result<()> {
+    for sig in [SIGTERM, SIGINT] {
+        let handler = on_termination_signal as extern "C" fn(c_int) as usize;
+        if unsafe { signal(sig, handler) } == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Whether SIGTERM or SIGINT has been received since
+/// [`install_termination_flag`].
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 /// The process's `RLIMIT_NOFILE` as `(soft, hard)`.
 pub fn nofile_limit() -> io::Result<(u64, u64)> {
     let mut lim = RLimit { cur: 0, max: 0 };
@@ -386,6 +421,24 @@ mod tests {
         let ev = events.iter().find(|e| e.token == 2).unwrap();
         assert!(ev.readable || ev.read_closed || ev.error);
         ep.delete(server_side.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn termination_flag_arms_on_sigterm() {
+        install_termination_flag().unwrap();
+        assert!(!termination_requested(), "flag must start clear");
+        // Deliver a real SIGTERM to ourselves; the handler turns it
+        // into a flag instead of killing the test harness.
+        let status = std::process::Command::new("kill")
+            .args(["-TERM", &std::process::id().to_string()])
+            .status()
+            .expect("spawn kill");
+        assert!(status.success());
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !termination_requested() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(termination_requested(), "SIGTERM should set the flag");
     }
 
     #[test]

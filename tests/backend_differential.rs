@@ -177,6 +177,12 @@ fn six_problems_are_bit_identical_across_backends() {
     compare_counters(&threaded, &epoll, "six problems");
     for h in [&threaded, &epoll] {
         assert_eq!(h.state().driver.submit_panics(), 0);
+        // The server tears a connection down *after* the client has read
+        // the response, so the gauge trails the last exchange briefly.
+        let t0 = std::time::Instant::now();
+        while h.state().active_connections() != 0 && t0.elapsed().as_secs() < 5 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
         assert_eq!(h.state().active_connections(), 0);
     }
     threaded.stop();

@@ -222,6 +222,75 @@ fn crash_after_compaction_replays_snapshot_plus_log() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The compaction crash window *after* the snapshot rename but *before*
+/// the log truncation: the renamed snapshot already contains every
+/// record, and the stale log still holds pre-compaction records at
+/// versions the snapshot has since superseded. A crash here must not
+/// let the stale log drag any user's version backwards on replay —
+/// and the window itself must be durable (the snapshot rename is
+/// fsynced into the directory, which is what makes "the snapshot is
+/// now authoritative" true across power loss).
+#[test]
+fn crash_between_snapshot_rename_and_log_truncation_never_regresses() {
+    let db = db();
+    let catalog = db.catalog();
+    let seed = 0x5EED;
+    let dir = tmpdir("rename-window");
+    let (store, _) = SessionStore::recover(4, &dir, catalog).expect("recover");
+    for i in 0..10 {
+        let (user, text) = burst_op(seed, i);
+        store
+            .upsert_text(&user, &text, catalog, UpsertMode::Replace)
+            .unwrap();
+    }
+    let stale_log = std::fs::read(dir.join(LOG_FILE)).expect("pre-compaction log");
+    store.compact().expect("compact");
+    let at_compaction = store.dump(catalog);
+    drop(store);
+
+    // Recreate the window: snapshot.wal is the renamed snapshot, but
+    // log.wal still holds the entire pre-compaction history (truncation
+    // never happened). Replaying snapshot + full stale log must land on
+    // exactly the compaction-time store — the stale records are all at
+    // versions the snapshot already covers.
+    std::fs::write(dir.join(LOG_FILE), &stale_log).expect("restore stale log");
+    let (recovered, report) = SessionStore::recover(4, &dir, catalog).expect("recover window");
+    assert!(report.snapshot_records > 0, "snapshot replayed");
+    assert_eq!(report.log_records, 10, "the stale log replays in full");
+    assert_eq!(
+        recovered.dump(catalog),
+        at_compaction,
+        "stale log records must not regress any user past the snapshot"
+    );
+
+    // Writes continue from the snapshot's version chain, not the stale
+    // log's.
+    let (user, text) = burst_op(seed, 10);
+    let before = recovered.dump(catalog).get(&user).map(|(v, _)| *v);
+    recovered
+        .upsert_text(&user, &text, catalog, UpsertMode::Replace)
+        .unwrap();
+    let after = recovered.dump(catalog).get(&user).map(|(v, _)| *v);
+    assert_eq!(after, before.map(|v| v + 1), "versions continue forward");
+    drop(recovered);
+
+    // And the crash can also tear the stale log anywhere: any prefix of
+    // it beside the snapshot still recovers to the compaction-time
+    // store (completed-but-stale records are skipped, torn tails are
+    // healed as usual).
+    let bounds = boundaries(&stale_log);
+    for cut in [bounds[3], bounds[7] + 5, stale_log.len() - 2] {
+        std::fs::write(dir.join(LOG_FILE), &stale_log[..cut]).expect("torn stale log");
+        let (recovered, _) = SessionStore::recover(4, &dir, catalog).expect("recover torn window");
+        assert_eq!(
+            recovered.dump(catalog),
+            at_compaction,
+            "cut at {cut}: snapshot remains authoritative"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Upserts one profile through a live server socket; panics on non-200.
 fn socket_upsert(addr: std::net::SocketAddr, user: &str, text: &str) {
     use std::io::Write;
